@@ -1,0 +1,449 @@
+// Package repro holds the top-level benchmark harness: one benchmark per
+// table and figure of the paper (see DESIGN.md's experiment index E1–E10),
+// plus ablation benches for the design choices DESIGN.md calls out. Each
+// benchmark executes the real algorithms and reports the paper's metrics —
+// replication rate (pairs/input) and communication (pairs) — via
+// b.ReportMetric, so `go test -bench=.` regenerates the quantitative
+// content of the paper alongside wall-clock costs.
+package repro
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitstr"
+	"repro/internal/core"
+	"repro/internal/graphs"
+	"repro/internal/hamming"
+	"repro/internal/join"
+	"repro/internal/matmul"
+	"repro/internal/mr"
+	"repro/internal/relation"
+	"repro/internal/subgraph"
+	"repro/internal/triangle"
+)
+
+func allStrings(b int) []uint64 {
+	xs := make([]uint64, bitstr.Universe(b))
+	for i := range xs {
+		xs[i] = uint64(i)
+	}
+	return xs
+}
+
+// BenchmarkTable1Recipes (E1) evaluates every lower-bound recipe of
+// Table 1, including the numeric monotonicity verification the recipe
+// requires.
+func BenchmarkTable1Recipes(b *testing.B) {
+	recipes := []core.Recipe{
+		hamming.Recipe(16),
+		triangle.Recipe(100),
+		subgraph.TwoPathRecipe(100),
+		matmul.Recipe(64),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, rc := range recipes {
+			_ = rc.LowerBound(256)
+			_ = rc.GOverQMonotone(2, 1<<16, 100)
+		}
+		_ = subgraph.AlonLowerBound(100, 4, 400)
+		_ = join.LowerBound(10, 4, 2, 100)
+	}
+}
+
+// BenchmarkTable2 (E2) runs each constructive algorithm once per
+// iteration on its Table 2 instance and reports the measured replication
+// rate as a custom metric.
+func BenchmarkTable2(b *testing.B) {
+	b.Run("hamming-splitting-b12-c3", func(b *testing.B) {
+		inputs := allStrings(12)
+		s, err := hamming.NewSplittingSchema(12, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var met mr.Metrics
+		for i := 0; i < b.N; i++ {
+			_, met, err = hamming.RunSplitting(s, inputs, mr.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(met.ReplicationRate(), "r")
+	})
+	b.Run("triangles-k4-n60", func(b *testing.B) {
+		g := graphs.Complete(60)
+		s, err := triangle.NewPartitionSchema(60, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var met mr.Metrics
+		for i := 0; i < b.N; i++ {
+			_, met, err = triangle.Count(s, g, mr.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(met.ReplicationRate(), "r")
+	})
+	b.Run("twopaths-k4-n48", func(b *testing.B) {
+		g := graphs.Complete(48)
+		s, err := subgraph.NewTwoPathSchema(48, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var met mr.Metrics
+		for i := 0; i < b.N; i++ {
+			_, met, err = subgraph.RunTwoPaths(s, g, mr.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(met.ReplicationRate(), "r")
+	})
+	b.Run("chainjoin-N3-p16", func(b *testing.B) {
+		rels := relation.FullChain(3, 8)
+		s, err := join.OptimizeShares(rels, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var met mr.Metrics
+		for i := 0; i < b.N; i++ {
+			_, met, err = s.Run(mr.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(met.ReplicationRate(), "r")
+	})
+	b.Run("matmul-1phase-n32-s4", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(1))
+		x := matmul.Random(32, 32, rng)
+		y := matmul.Random(32, 32, rng)
+		s, err := matmul.NewOnePhaseSchema(32, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var met mr.Metrics
+		for i := 0; i < b.N; i++ {
+			_, met, err = matmul.RunOnePhase(x, y, s, mr.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(met.ReplicationRate(), "r")
+	})
+}
+
+// BenchmarkFig1Splitting (E3) sweeps the Splitting algorithm across every
+// c dividing b = 12, the dots of Figure 1.
+func BenchmarkFig1Splitting(b *testing.B) {
+	inputs := allStrings(12)
+	for _, c := range []int{1, 2, 3, 4, 6, 12} {
+		s, err := hamming.NewSplittingSchema(12, c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("c=%d", c), func(b *testing.B) {
+			var met mr.Metrics
+			for i := 0; i < b.N; i++ {
+				_, met, err = hamming.RunSplitting(s, inputs, mr.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(met.ReplicationRate(), "r")
+			b.ReportMetric(math.Log2(float64(met.MaxReducerInput)), "log2q")
+		})
+	}
+}
+
+// BenchmarkWeightPartition (E4) measures the Sections 3.4/3.5 algorithm
+// on the structural model (replication and max cell).
+func BenchmarkWeightPartition(b *testing.B) {
+	for _, tc := range []struct{ b, d, k int }{
+		{16, 2, 1}, {16, 2, 2}, {16, 2, 4}, {16, 4, 2},
+	} {
+		s, err := hamming.NewWeightSchema(tc.b, tc.k, tc.d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := hamming.NewProblem(tc.b)
+		b.Run(fmt.Sprintf("b=%d/d=%d/k=%d", tc.b, tc.d, tc.k), func(b *testing.B) {
+			var st core.Stats
+			for i := 0; i < b.N; i++ {
+				st = core.Measure(p, s)
+			}
+			b.ReportMetric(st.ReplicationRate, "r")
+			b.ReportMetric(float64(st.MaxReducerLoad), "maxq")
+		})
+	}
+}
+
+// BenchmarkHammingD (E5) runs the two distance-2 algorithms of
+// Section 3.6.
+func BenchmarkHammingD(b *testing.B) {
+	inputs := allStrings(10)
+	b.Run("ball2-b10", func(b *testing.B) {
+		s := hamming.NewBallSchema(10)
+		var met mr.Metrics
+		var err error
+		for i := 0; i < b.N; i++ {
+			_, met, err = hamming.RunBall(s, inputs, mr.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(met.ReplicationRate(), "r")
+	})
+	b.Run("splitting-b10-c5-d2", func(b *testing.B) {
+		s, err := hamming.NewSplittingDSchema(10, 5, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var met mr.Metrics
+		for i := 0; i < b.N; i++ {
+			_, met, err = hamming.RunSplittingD(s, inputs, mr.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(met.ReplicationRate(), "r")
+	})
+}
+
+// BenchmarkTriangle (E6) covers the dense and sparse Section 4 workloads
+// and the serial baseline.
+func BenchmarkTriangle(b *testing.B) {
+	b.Run("serial-n200-m3000", func(b *testing.B) {
+		g := graphs.GNM(200, 3000, rand.New(rand.NewSource(2)))
+		for i := 0; i < b.N; i++ {
+			_ = g.TriangleCount()
+		}
+	})
+	for _, k := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("dense-n60-k=%d", k), func(b *testing.B) {
+			g := graphs.Complete(60)
+			s, err := triangle.NewPartitionSchema(60, k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var met mr.Metrics
+			for i := 0; i < b.N; i++ {
+				_, met, err = triangle.Count(s, g, mr.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(met.ReplicationRate(), "r")
+			b.ReportMetric(float64(met.MaxReducerInput), "maxq")
+		})
+		b.Run(fmt.Sprintf("sparse-n200-m3000-k=%d", k), func(b *testing.B) {
+			g := graphs.GNM(200, 3000, rand.New(rand.NewSource(3)))
+			s, err := triangle.NewPartitionSchema(200, k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var met mr.Metrics
+			for i := 0; i < b.N; i++ {
+				_, met, err = triangle.Count(s, g, mr.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(met.ReplicationRate(), "r")
+			b.ReportMetric(float64(met.MaxReducerInput), "maxq")
+		})
+	}
+}
+
+// BenchmarkTwoPaths (E7) sweeps k for the Section 5.4 algorithm.
+func BenchmarkTwoPaths(b *testing.B) {
+	g := graphs.Complete(48)
+	for _, k := range []int{1, 2, 4, 6} {
+		s, err := subgraph.NewTwoPathSchema(48, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			var met mr.Metrics
+			for i := 0; i < b.N; i++ {
+				_, met, err = subgraph.RunTwoPaths(s, g, mr.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(met.ReplicationRate(), "r")
+		})
+	}
+}
+
+// BenchmarkChainJoin and BenchmarkStarJoin (E8) run the Shares algorithm
+// with optimized share vectors.
+func BenchmarkChainJoin(b *testing.B) {
+	for _, numRels := range []int{2, 3, 4} {
+		rels := relation.FullChain(numRels, 8)
+		s, err := join.OptimizeShares(rels, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("N=%d", numRels), func(b *testing.B) {
+			var met mr.Metrics
+			for i := 0; i < b.N; i++ {
+				_, met, err = s.Run(mr.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(met.ReplicationRate(), "r")
+		})
+	}
+}
+
+// BenchmarkStarJoin (E8) measures a fact-heavy star query.
+func BenchmarkStarJoin(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	fact, dims := relation.Star(2, 8, 500, 40, rng)
+	query := append([]*relation.Relation{fact}, dims...)
+	s, err := join.OptimizeShares(query, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var met mr.Metrics
+	for i := 0; i < b.N; i++ {
+		_, met, err = s.Run(mr.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(met.ReplicationRate(), "r")
+}
+
+// BenchmarkMatMul (E9) compares serial, one-phase, and two-phase at a
+// fixed reducer budget, reporting total communication.
+func BenchmarkMatMul(b *testing.B) {
+	const n = 48
+	rng := rand.New(rand.NewSource(5))
+	x := matmul.Random(n, n, rng)
+	y := matmul.Random(n, n, rng)
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = x.Mul(y)
+		}
+	})
+	b.Run("onephase-q192", func(b *testing.B) {
+		s, err := matmul.NewOnePhaseSchema(n, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var met mr.Metrics
+		for i := 0; i < b.N; i++ {
+			_, met, err = matmul.RunOnePhase(x, y, s, mr.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(met.PairsEmitted), "comm")
+	})
+	b.Run("twophase-q192", func(b *testing.B) {
+		s, err := matmul.NewTwoPhaseSchema(n, 24, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var pipe *mr.Pipeline
+		for i := 0; i < b.N; i++ {
+			var err error
+			_, pipe, err = matmul.RunTwoPhase(x, y, s, mr.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(pipe.TotalPairsEmitted()), "comm")
+	})
+}
+
+// BenchmarkMatMulAspect is the DESIGN.md ablation: 2:1 vs square first-
+// phase tiles at the same q (st = 18 on n = 36).
+func BenchmarkMatMulAspect(b *testing.B) {
+	const n = 36
+	rng := rand.New(rand.NewSource(6))
+	x := matmul.Random(n, n, rng)
+	y := matmul.Random(n, n, rng)
+	for _, tc := range []struct{ s, t int }{{6, 3}, {9, 2}, {3, 6}} {
+		schema, err := matmul.NewTwoPhaseSchema(n, tc.s, tc.t)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("s=%d_t=%d", tc.s, tc.t), func(b *testing.B) {
+			var pipe *mr.Pipeline
+			for i := 0; i < b.N; i++ {
+				var err error
+				_, pipe, err = matmul.RunTwoPhase(x, y, schema, mr.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(pipe.TotalPairsEmitted()), "comm")
+		})
+	}
+}
+
+// BenchmarkCostModel (E10) optimizes the Section 1.2 cluster cost.
+func BenchmarkCostModel(b *testing.B) {
+	m := core.CostModel{
+		F: func(q float64) float64 { return 20 / math.Log2(q) },
+		A: 1e4, B: 1,
+	}
+	var q float64
+	for i := 0; i < b.N; i++ {
+		q, _ = m.OptimalQ(2, 1<<20)
+	}
+	b.ReportMetric(q, "q*")
+}
+
+// BenchmarkTriangleEmitAll is the exactly-once ablation: duplicated
+// emission plus driver-side dedup versus the bucket-multiset rule.
+func BenchmarkTriangleEmitAll(b *testing.B) {
+	g := graphs.GNM(100, 1500, rand.New(rand.NewSource(7)))
+	s, err := triangle.NewPartitionSchema(100, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, emitAll := range []bool{false, true} {
+		name := "exactly-once"
+		if emitAll {
+			name = "emit-all-dedup"
+		}
+		b.Run(name, func(b *testing.B) {
+			var res triangle.Result
+			for i := 0; i < b.N; i++ {
+				res, err = triangle.Run(s, g, triangle.Options{EmitAll: emitAll})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Metrics.Outputs), "rawout")
+		})
+	}
+}
+
+// BenchmarkEngineWorkers is the runtime ablation: the same job at several
+// worker-pool sizes.
+func BenchmarkEngineWorkers(b *testing.B) {
+	inputs := allStrings(14)
+	s, err := hamming.NewSplittingSchema(14, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := hamming.RunSplitting(s, inputs, mr.Config{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graphs"
+	"repro/internal/join"
+	"repro/internal/mr"
+	"repro/internal/relation"
+	"repro/internal/subgraph"
+	"repro/internal/triangle"
+)
+
+// runTriangles regenerates the Section 4 analysis: the partition algorithm
+// on dense (complete) and sparse (G(n,m)) graphs, with measured r and q
+// against the dense bound n/√(2q) and the sparse bound √(m/q).
+func runTriangles() {
+	fmt.Println("Section 4 — triangle finding")
+
+	fmt.Println("\nDense (complete K_n) instances:")
+	fmt.Printf("%4s %4s %10s %12s %14s %12s %12s\n", "n", "k", "q", "r measured", "n/sqrt(2q)", "ratio", "triangles")
+	for _, tc := range []struct{ n, k int }{
+		{30, 2}, {30, 4}, {60, 4}, {60, 8}, {90, 6},
+	} {
+		g := graphs.Complete(tc.n)
+		s, err := triangle.NewPartitionSchema(tc.n, tc.k)
+		if err != nil {
+			panic(err)
+		}
+		count, met, err := triangle.Count(s, g, mr.Config{})
+		if err != nil {
+			panic(err)
+		}
+		lb := triangle.LowerBound(tc.n, float64(met.MaxReducerInput))
+		fmt.Printf("%4d %4d %10d %12.4f %14.4f %12.2f %9d/%d\n",
+			tc.n, tc.k, met.MaxReducerInput, met.ReplicationRate(), lb,
+			met.ReplicationRate()/lb, count, g.TriangleCount())
+	}
+
+	fmt.Println("\nSparse (random G(n,m)) instances — Section 4.2 rescaling:")
+	fmt.Printf("%4s %6s %4s %10s %12s %14s %12s\n", "n", "m", "k", "q", "r measured", "sqrt(m/q)", "ratio")
+	rng := rand.New(rand.NewSource(2024))
+	for _, tc := range []struct{ n, m, k int }{
+		{100, 800, 4}, {100, 800, 8}, {200, 2400, 8}, {200, 2400, 12},
+	} {
+		g := graphs.GNM(tc.n, tc.m, rng)
+		s, err := triangle.NewPartitionSchema(tc.n, tc.k)
+		if err != nil {
+			panic(err)
+		}
+		count, met, err := triangle.Count(s, g, mr.Config{})
+		if err != nil {
+			panic(err)
+		}
+		lb := triangle.SparseLowerBound(g.M(), float64(met.MaxReducerInput))
+		fmt.Printf("%4d %6d %4d %10d %12.4f %14.4f %12.2f   (%d triangles)\n",
+			tc.n, tc.m, tc.k, met.MaxReducerInput, met.ReplicationRate(), lb,
+			met.ReplicationRate()/lb, count)
+	}
+}
+
+// runTwoPaths regenerates the Section 5.4 analysis: the [u,{i,j}] hash
+// algorithm with measured r = 2(k-1) against the bound 2n/q, including the
+// k = 1 (q = n) endpoint where both are exactly 2.
+func runTwoPaths() {
+	fmt.Println("Section 5.4 — paths of length two")
+	fmt.Printf("%4s %4s %10s %12s %12s %12s %14s\n", "n", "k", "q", "r measured", "2(k-1)", "2n/q bound", "paths found")
+	for _, tc := range []struct{ n, k int }{
+		{24, 1}, {24, 2}, {24, 3}, {24, 4}, {48, 4}, {48, 6},
+	} {
+		g := graphs.Complete(tc.n)
+		s, err := subgraph.NewTwoPathSchema(tc.n, tc.k)
+		if err != nil {
+			panic(err)
+		}
+		paths, met, err := subgraph.RunTwoPaths(s, g, mr.Config{})
+		if err != nil {
+			panic(err)
+		}
+		want := g.TwoPathCount()
+		expect := float64(s.Replication())
+		fmt.Printf("%4d %4d %10d %12.4f %12.0f %12.4f %8d/%d\n",
+			tc.n, tc.k, met.MaxReducerInput, met.ReplicationRate(), expect,
+			subgraph.TwoPathLowerBound(tc.n, float64(met.MaxReducerInput)),
+			len(paths), want)
+	}
+	fmt.Println("\nAlon-class membership of small sample graphs (Section 5.1):")
+	for _, g := range []struct {
+		name string
+		g    *graphs.Graph
+	}{
+		{"triangle", graphs.Cycle(3)},
+		{"4-cycle", graphs.Cycle(4)},
+		{"5-cycle", graphs.Cycle(5)},
+		{"K4", graphs.Complete(4)},
+		{"path of 2 edges", graphs.Path(3)},
+		{"path of 3 edges", graphs.Path(4)},
+		{"star with 3 leaves", graphs.Star(4)},
+	} {
+		fmt.Printf("  %-20s in Alon class: %v\n", g.name, subgraph.InAlonClass(g.g))
+	}
+}
+
+// runJoins regenerates the Section 5.5 analysis: fractional edge covers
+// (ρ) via the LP, chain joins under optimized Shares with measured r
+// against (n/√q)^{N-1}, and the star-join closed forms.
+func runJoins() {
+	fmt.Println("Section 5.5 — multiway joins")
+
+	fmt.Println("\nFractional edge covers ρ (the g(q) = q^ρ exponent), from the LP:")
+	for _, tc := range []struct {
+		name string
+		rels []*relation.Relation
+	}{
+		{"chain N=2", relation.FullChain(2, 4)},
+		{"chain N=3", relation.FullChain(3, 4)},
+		{"chain N=5", relation.FullChain(5, 4)},
+	} {
+		rho, w, err := join.FromQuery(tc.rels).FractionalEdgeCover()
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("  %-12s rho = %.2f  weights = %.2f\n", tc.name, rho, w)
+	}
+
+	fmt.Println("\nChain joins, full instances, optimized Shares (measured on the engine):")
+	fmt.Printf("%4s %4s %6s %10s %12s %16s %12s\n", "N", "n", "p", "q", "r measured", "(n/sqrt(q))^N-1", "ratio")
+	for _, tc := range []struct{ numRels, n, p int }{
+		{3, 8, 16}, {3, 8, 64}, {4, 6, 64}, {5, 4, 64},
+	} {
+		rels := relation.FullChain(tc.numRels, tc.n)
+		sh, err := join.OptimizeShares(rels, tc.p)
+		if err != nil {
+			panic(err)
+		}
+		_, met, err := sh.Run(mr.Config{})
+		if err != nil {
+			panic(err)
+		}
+		lb := join.ChainLowerBound(float64(tc.n), tc.numRels, float64(met.MaxReducerInput))
+		fmt.Printf("%4d %4d %6d %10d %12.4f %16.4f %12.2f   shares: %s\n",
+			tc.numRels, tc.n, sh.NumReducers(), met.MaxReducerInput,
+			met.ReplicationRate(), lb, met.ReplicationRate()/lb, sh.Describe())
+	}
+
+	fmt.Println("\nStar joins (closed forms of Section 5.5.2):")
+	fmt.Printf("%4s %10s %10s %8s %14s %14s\n", "N", "f", "d0", "p", "r upper", "r lower @q")
+	for _, tc := range []struct {
+		numDims int
+		f, d0   float64
+		p       float64
+	}{
+		{2, 1e6, 1e3, 64}, {3, 1e6, 1e3, 64}, {4, 1e6, 1e3, 256},
+	} {
+		ub := join.StarUpperBound(tc.f, tc.d0, tc.numDims, tc.p)
+		q := ub * (tc.f + float64(tc.numDims)*tc.d0) / tc.p
+		lb := join.StarLowerBound(tc.f, tc.d0, tc.numDims, q)
+		fmt.Printf("%4d %10.0f %10.0f %8.0f %14.6f %14.6f\n", tc.numDims, tc.f, tc.d0, tc.p, ub, lb)
+	}
+
+	fmt.Println("\nStar join measured (small instance, Shares with fact attrs sharded):")
+	rng := rand.New(rand.NewSource(5))
+	fact, dims := relation.Star(2, 8, 400, 40, rng)
+	query := append([]*relation.Relation{fact}, dims...)
+	sh, err := join.OptimizeShares(query, 16)
+	if err != nil {
+		panic(err)
+	}
+	res, met, err := sh.Run(mr.Config{})
+	if err != nil {
+		panic(err)
+	}
+	serial := relation.MultiJoin(query...)
+	fmt.Printf("  shares %s  r=%.4f  q=%d  result %d tuples (serial %d)\n",
+		sh.Describe(), met.ReplicationRate(), met.MaxReducerInput, res.Size(), serial.Size())
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestAllExperimentsRun executes every experiment end to end, catching
+// panics and regressions in the harness itself. Output goes to the test
+// log's stdout; correctness of the numbers is asserted by the package
+// tests — this guards the glue.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow; skipped with -short")
+	}
+	// Silence the harness output during tests.
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	defer func() {
+		os.Stdout = old
+		null.Close()
+	}()
+	for _, e := range experiments() {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("experiment %s panicked: %v", e.name, r)
+				}
+			}()
+			e.run()
+		})
+	}
+}
+
+func TestExperimentNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range experiments() {
+		if seen[e.name] {
+			t.Errorf("duplicate experiment %q", e.name)
+		}
+		seen[e.name] = true
+		if e.about == "" {
+			t.Errorf("experiment %q has no description", e.name)
+		}
+		if e.run == nil {
+			t.Errorf("experiment %q has no runner", e.name)
+		}
+	}
+}

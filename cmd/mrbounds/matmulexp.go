@@ -1,0 +1,77 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/matmul"
+	"repro/internal/mr"
+)
+
+// runMatMul regenerates the Section 6.3 comparison: total communication of
+// the optimal one-phase algorithm (4n⁴/q) versus the two-phase algorithm
+// with 2:1 tiles (4n³/√q), both measured by actually running the jobs, and
+// the q = n² crossover.
+func runMatMul() {
+	fmt.Println("Section 6.3 — one-phase vs two-phase matrix multiplication")
+
+	n := 48
+	rng := rand.New(rand.NewSource(6))
+	a := matmul.Random(n, n, rng)
+	b := matmul.Random(n, n, rng)
+	serial := a.Mul(b)
+
+	fmt.Printf("\nMeasured total communication, n=%d (|I| = 2n² = %d):\n", n, 2*n*n)
+	fmt.Printf("%8s %14s %14s %14s %14s %10s\n", "q", "1-phase meas", "4n^4/q", "2-phase meas", "4n^3/sqrt(q)", "winner")
+
+	type config struct {
+		s1     int // one-phase group size (q = 2·s1·n)
+		s2, t2 int // two-phase tile (q = 2·s2·t2)
+	}
+	// Configs aligned so both algorithms see the same q.
+	for _, c := range []config{
+		{1, 12, 4}, // q = 96
+		{2, 24, 4}, // q = 192
+		{4, 24, 8}, // q = 384
+		{8, 48, 8}, // q = 768
+		{16, 48, 16} /* q = 1536 */} {
+		one, err := matmul.NewOnePhaseSchema(n, c.s1)
+		if err != nil {
+			panic(err)
+		}
+		if one.ReducerSize() != 2*c.s2*c.t2 {
+			panic(fmt.Sprintf("config mismatch: one-phase q=%d, two-phase q=%d", one.ReducerSize(), 2*c.s2*c.t2))
+		}
+		q := float64(one.ReducerSize())
+		p1, m1, err := matmul.RunOnePhase(a, b, one, mr.Config{})
+		if err != nil {
+			panic(err)
+		}
+		two, err := matmul.NewTwoPhaseSchema(n, c.s2, c.t2)
+		if err != nil {
+			panic(err)
+		}
+		p2, pipe, err := matmul.RunTwoPhase(a, b, two, mr.Config{})
+		if err != nil {
+			panic(err)
+		}
+		if !matmul.Equal(p1, serial, 1e-9) || !matmul.Equal(p2, serial, 1e-9) {
+			panic("product mismatch")
+		}
+		winner := "2-phase"
+		if m1.PairsEmitted < pipe.TotalPairsEmitted() {
+			winner = "1-phase"
+		}
+		fmt.Printf("%8.0f %14d %14.0f %14d %14.0f %10s\n",
+			q, m1.PairsEmitted, matmul.OnePhaseCommunication(n, q),
+			pipe.TotalPairsEmitted(), matmul.TwoPhaseCommunication(n, q), winner)
+	}
+
+	fmt.Printf("\nCrossover: q = n² = %.0f — below it two-phase always wins:\n", matmul.CrossoverQ(n))
+	for _, q := range []float64{100, 1000, float64(n * n), 4 * float64(n*n)} {
+		fmt.Printf("  q=%8.0f  1-phase %12.0f   2-phase %12.0f\n",
+			q, matmul.OnePhaseCommunication(n, q), matmul.TwoPhaseCommunication(n, q))
+	}
+	s, t := matmul.OptimalST(1024)
+	fmt.Printf("\nOptimal first-phase tile at q=1024: s=%.0f, t=%.0f (the 2:1 aspect ratio).\n", s, t)
+}

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graphs"
+	"repro/internal/hamming"
+	"repro/internal/join"
+	"repro/internal/matmul"
+	"repro/internal/mr"
+	"repro/internal/relation"
+	"repro/internal/subgraph"
+	"repro/internal/triangle"
+)
+
+// runTable1 reprints Table 1: for each problem, the instance counts |I|
+// and |O|, g(q) at a sample q, and the replication-rate lower bound, each
+// computed from the implemented recipes (with the monotonicity side
+// condition verified numerically).
+func runTable1() {
+	fmt.Println("Table 1 — lower bounds on replication rate r (recipe of Section 2.4)")
+	fmt.Printf("%-34s %12s %14s %14s %12s %10s\n", "problem", "|I|", "|O|", "g(q) @ q", "r >= (@q)", "g/q mono")
+
+	row := func(name string, rc core.Recipe, q float64) {
+		fmt.Printf("%-34s %12.0f %14.0f %14.1f %12.4f %10v\n",
+			name, rc.NumInputs, rc.NumOutputs, rc.G(q), rc.LowerBound(q),
+			rc.GOverQMonotone(math.Max(2, q/64), q*4, 200))
+	}
+
+	// Hamming-distance-1, b-bit strings: lower bound b/log2 q.
+	b := 16
+	row(fmt.Sprintf("Hamming-1 (b=%d, q=2^8)", b), hamming.Recipe(b), 256)
+
+	// Triangles, n nodes: n/sqrt(2q).
+	n := 100
+	row(fmt.Sprintf("Triangles (n=%d, q=200)", n), triangle.Recipe(n), 200)
+
+	// Alon-class sample graphs of s nodes: (n/sqrt(q))^{s-2}.
+	for _, s := range []int{3, 4, 5} {
+		q := 400.0
+		lb := subgraph.AlonLowerBound(float64(n), s, q)
+		fmt.Printf("%-34s %12.0f %14s %14.1f %12.4f %10s\n",
+			fmt.Sprintf("Alon sample s=%d (n=%d, q=400)", s, n),
+			float64(n)*float64(n)/2, fmt.Sprintf("~n^%d", s),
+			subgraph.MaxInstancesAlon(q, s), lb, "q^{s/2}")
+	}
+
+	// 2-paths: 2n/q.
+	row(fmt.Sprintf("2-paths (n=%d, q=50)", n), subgraph.TwoPathRecipe(n), 50)
+
+	// Multiway join: chain of N=3 binary relations, rho from the LP.
+	rels := relation.FullChain(3, 10)
+	rho, _, err := join.FromQuery(rels).FractionalEdgeCover()
+	if err != nil {
+		fmt.Println("chain join LP failed:", err)
+	} else {
+		q := 100.0
+		fmt.Printf("%-34s %12d %14s %14.1f %12.4f %10s\n",
+			"Chain join N=3 (n=10, q=100)", 3*100, "n^m",
+			math.Pow(q, rho), join.LowerBound(10, 4, rho, q),
+			fmt.Sprintf("rho=%.1f", rho))
+	}
+
+	// Matrix multiplication: 2n^2/q.
+	mn := 64
+	row(fmt.Sprintf("MatMul (n=%d, q=2n^{1.5})", mn), matmul.Recipe(mn), 2*math.Pow(float64(mn), 1.5))
+}
+
+// runTable2 reprints Table 2 with *measured* replication rates: each
+// constructive algorithm is executed (structurally via core.Measure on
+// the complete instance, and on the MapReduce engine where stated) and
+// its realized r is printed next to the paper's formula.
+func runTable2() {
+	fmt.Println("Table 2 — measured upper bounds on replication rate")
+	fmt.Printf("%-40s %10s %12s %12s\n", "algorithm", "q", "r measured", "r formula")
+
+	// Hamming-1 Splitting at several c.
+	b := 12
+	p := hamming.NewProblem(b)
+	for _, c := range []int{2, 3, 4} {
+		s, err := hamming.NewSplittingSchema(b, c)
+		if err != nil {
+			panic(err)
+		}
+		st := core.Measure(p, s)
+		fmt.Printf("%-40s %10d %12.4f %12.4f\n",
+			fmt.Sprintf("Hamming-1 Splitting (b=%d, c=%d)", b, c),
+			st.MaxReducerLoad, st.ReplicationRate, hamming.LowerBound(b, float64(st.MaxReducerLoad)))
+	}
+
+	// Triangles: partition algorithm on K_n.
+	n := 30
+	tp := triangle.NewProblem(n)
+	for _, k := range []int{3, 6} {
+		s, err := triangle.NewPartitionSchema(n, k)
+		if err != nil {
+			panic(err)
+		}
+		st := core.Measure(tp, s)
+		fmt.Printf("%-40s %10d %12.4f %12.4f\n",
+			fmt.Sprintf("Triangles partition (n=%d, k=%d)", n, k),
+			st.MaxReducerLoad, st.ReplicationRate,
+			triangle.LowerBound(n, float64(st.MaxReducerLoad)))
+	}
+
+	// Sample graphs: matcher on a random graph, measured on the engine.
+	rng := rand.New(rand.NewSource(1))
+	data := graphs.GNM(24, 90, rng)
+	m, err := subgraph.NewMatcher(graphs.Cycle(3), 2)
+	if err != nil {
+		panic(err)
+	}
+	_, met, err := m.Run(data, mr.Config{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%-40s %10d %12.4f %12.4f\n",
+		"Sample graph matcher (triangle, b=2)", met.MaxReducerInput,
+		met.ReplicationRate(),
+		subgraph.EdgeLowerBound(float64(data.M()), 3, float64(met.MaxReducerInput)))
+
+	// 2-paths.
+	np := 24
+	tpp := subgraph.NewTwoPathProblem(np)
+	for _, k := range []int{2, 4} {
+		s, err := subgraph.NewTwoPathSchema(np, k)
+		if err != nil {
+			panic(err)
+		}
+		st := core.Measure(tpp, s)
+		fmt.Printf("%-40s %10d %12.4f %12.4f\n",
+			fmt.Sprintf("2-paths hash (n=%d, k=%d)", np, k),
+			st.MaxReducerLoad, st.ReplicationRate,
+			subgraph.TwoPathLowerBound(np, float64(st.MaxReducerLoad)))
+	}
+
+	// Chain join via optimized Shares, measured on the engine.
+	rels := relation.FullChain(3, 8)
+	sh, err := join.OptimizeShares(rels, 16)
+	if err != nil {
+		panic(err)
+	}
+	_, jm, err := sh.Run(mr.Config{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%-40s %10d %12.4f %12.4f\n",
+		fmt.Sprintf("Chain join Shares N=3 (%s)", sh.Describe()),
+		jm.MaxReducerInput, jm.ReplicationRate(),
+		join.ChainLowerBound(8, 3, float64(jm.MaxReducerInput)))
+
+	// Star join: paper's closed form vs shares prediction.
+	f, d0, nd := 1e5, 1e3, 3
+	pReducers := 64.0
+	fmt.Printf("%-40s %10s %12.4f %12s\n",
+		fmt.Sprintf("Star join N=%d (f=%.0g, d0=%.0g, p=%.0f)", nd, f, d0, pReducers),
+		"-", join.StarUpperBound(f, d0, nd, pReducers), "formula")
+
+	// MatMul one-phase.
+	mn := 16
+	mp := matmul.NewProblem(mn)
+	for _, s := range []int{2, 4} {
+		schema, err := matmul.NewOnePhaseSchema(mn, s)
+		if err != nil {
+			panic(err)
+		}
+		st := core.Measure(mp, schema)
+		fmt.Printf("%-40s %10d %12.4f %12.4f\n",
+			fmt.Sprintf("MatMul 1-phase (n=%d, s=%d)", mn, s),
+			st.MaxReducerLoad, st.ReplicationRate,
+			matmul.LowerBound(mn, float64(st.MaxReducerLoad)))
+	}
+}

@@ -1,0 +1,51 @@
+// Command mrplan is the Section 1.2 workflow as a tool: given a problem,
+// its instance parameters, and a cluster's prices, it minimizes the total
+// cost a·f(q) + b·q + c·q² over the problem's tradeoff curve r = f(q) and
+// recommends the concrete algorithm configuration realizing the optimal
+// reducer size.
+//
+// Usage:
+//
+//	mrplan -problem hamming  -bits 20            [-pa 1e4 -pb 1 -pc 0]
+//	mrplan -problem triangle -nodes 1000         [-pa ... ]
+//	mrplan -problem twopaths -nodes 1000
+//	mrplan -problem matmul   -nodes 512
+//
+// Flags -pa, -pb, -pc are the communication, linear-compute, and
+// quadratic (wall-clock) price coefficients. -density applies the
+// Section 2.3 adjustment for inputs present with probability < 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	req := Request{}
+	flag.StringVar(&req.Problem, "problem", "hamming", "hamming | triangle | twopaths | matmul")
+	flag.IntVar(&req.Bits, "bits", 20, "string length b (hamming)")
+	flag.IntVar(&req.Nodes, "nodes", 1000, "graph nodes n (triangle/twopaths) or matrix side (matmul)")
+	flag.Float64Var(&req.PA, "pa", 1e4, "price per unit replication (communication)")
+	flag.Float64Var(&req.PB, "pb", 1, "price per unit reducer size (linear compute)")
+	flag.Float64Var(&req.PC, "pc", 0, "price per squared reducer size (wall clock)")
+	flag.Float64Var(&req.Density, "density", 1, "probability an input is present (Section 2.3)")
+	flag.Parse()
+
+	plan, err := buildPlan(req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fmt.Printf("problem: %s   prices: a=%.3g b=%.3g c=%.3g\n", req.Problem, req.PA, req.PB, req.PC)
+	fmt.Printf("optimal reducer size q* = %.0f   replication r(q*) = %.3f   cost = %.4g\n",
+		plan.OptimalQ, plan.Replication, plan.Cost)
+	if req.Density < 1 && req.Density > 0 {
+		fmt.Printf("with input density %.3g, assign up to %.0f hypothetical inputs per reducer (Section 2.3)\n",
+			req.Density, plan.AssignableQ)
+	}
+	fmt.Println("recommended:", plan.Recommendation)
+}

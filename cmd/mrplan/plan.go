@@ -1,0 +1,127 @@
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/hamming"
+	"repro/internal/matmul"
+	"repro/internal/subgraph"
+	"repro/internal/triangle"
+)
+
+// Request is one planning question: a problem family, its instance
+// parameter, and the cluster's price coefficients.
+type Request struct {
+	Problem string  // hamming | triangle | twopaths | matmul
+	Bits    int     // hamming string length
+	Nodes   int     // graph nodes or matrix side
+	PA      float64 // price per unit replication
+	PB      float64 // price per unit reducer size
+	PC      float64 // price per squared reducer size
+	Density float64 // probability an input is present (Section 2.3)
+}
+
+// Plan is the planner's answer.
+type Plan struct {
+	OptimalQ       float64
+	Replication    float64
+	Cost           float64
+	AssignableQ    float64 // hypothetical-input budget after density scaling
+	Recommendation string
+}
+
+// buildPlan minimizes the Section 1.2 cost over the problem's tradeoff
+// curve and renders a concrete algorithm recommendation.
+func buildPlan(req Request) (Plan, error) {
+	var f func(q float64) float64
+	var qlo, qhi float64
+	var recommend func(q float64) string
+
+	switch req.Problem {
+	case "hamming":
+		b := req.Bits
+		if b < 1 || b > 62 {
+			return Plan{}, fmt.Errorf("mrplan: need 1 <= bits <= 62, got %d", b)
+		}
+		f = func(q float64) float64 { return hamming.LowerBound(b, q) }
+		qlo, qhi = 2, math.Exp2(float64(b))
+		recommend = func(q float64) string {
+			c := int(math.Round(float64(b) / math.Log2(q)))
+			if c < 1 {
+				c = 1
+			}
+			for ; c <= b; c++ {
+				if b%c == 0 {
+					break
+				}
+			}
+			return fmt.Sprintf("Splitting with c=%d segments (q = 2^%d, r = %d)", c, b/c, c)
+		}
+	case "triangle":
+		n := req.Nodes
+		if n < 3 {
+			return Plan{}, fmt.Errorf("mrplan: need nodes >= 3, got %d", n)
+		}
+		f = func(q float64) float64 { return triangle.LowerBound(n, q) }
+		qlo, qhi = 3, float64(n)*float64(n-1)/2
+		recommend = func(q float64) string {
+			k := int(math.Round(3 * float64(n) / math.Sqrt(2*q)))
+			if k < 1 {
+				k = 1
+			}
+			return fmt.Sprintf("bucket-triple partition with k=%d (r = %d)", k, k)
+		}
+	case "twopaths":
+		n := req.Nodes
+		if n < 2 {
+			return Plan{}, fmt.Errorf("mrplan: need nodes >= 2, got %d", n)
+		}
+		f = func(q float64) float64 { return subgraph.TwoPathLowerBound(n, q) }
+		qlo, qhi = 2, float64(n)*float64(n-1)/2
+		recommend = func(q float64) string {
+			k := int(math.Round(2 * float64(n) / q))
+			if k < 1 {
+				k = 1
+			}
+			r := 2 * (k - 1)
+			if k == 1 {
+				r = 2 // the q = n one-reducer-per-node case has r = 2
+			}
+			return fmt.Sprintf("[u,{i,j}] hash schema with k=%d buckets (r = %d)", k, r)
+		}
+	case "matmul":
+		n := req.Nodes
+		if n < 1 {
+			return Plan{}, fmt.Errorf("mrplan: need nodes >= 1, got %d", n)
+		}
+		f = func(q float64) float64 { return matmul.LowerBound(n, q) }
+		qlo, qhi = float64(2*n), float64(2*n*n)
+		recommend = func(q float64) string {
+			s := int(math.Round(q / float64(2*n)))
+			if s < 1 {
+				s = 1
+			}
+			st, tt := matmul.OptimalST(q)
+			return fmt.Sprintf(
+				"1-phase tiling with s=%d (q = 2sn = %d, r = %.1f); for q < n² = %d prefer "+
+					"the 2-phase algorithm with tiles s=%.0f, t=%.0f (%.3g vs %.3g pairs)",
+				s, 2*s*n, float64(n)/float64(s), n*n,
+				st, tt, matmul.TwoPhaseCommunication(n, q), matmul.OnePhaseCommunication(n, q))
+		}
+	default:
+		return Plan{}, fmt.Errorf("mrplan: unknown problem %q", req.Problem)
+	}
+
+	model := core.CostModel{F: f, A: req.PA, B: req.PB, C: req.PC}
+	q, cost := model.OptimalQ(qlo, qhi)
+	plan := Plan{
+		OptimalQ:       q,
+		Replication:    f(q),
+		Cost:           cost,
+		AssignableQ:    core.ScaledQ(q, req.Density),
+		Recommendation: recommend(q),
+	}
+	return plan, nil
+}

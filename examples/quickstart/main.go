@@ -1,0 +1,61 @@
+// Quickstart: define a problem in the paper's model, validate a mapping
+// schema against it, measure the replication rate, and execute the schema
+// on the MapReduce engine.
+//
+// The problem here is the smallest interesting one: find all pairs of
+// 8-bit strings at Hamming distance 1 (Section 3 of the paper), using the
+// Splitting algorithm with c = 2 segments — replication rate exactly 2 at
+// reducer size 2^{b/2} = 16.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/hamming"
+	"repro/internal/mr"
+)
+
+func main() {
+	const b = 8
+
+	// 1. The problem: inputs are all 2^b strings, outputs are pairs at
+	//    Hamming distance 1.
+	problem := hamming.NewProblem(b)
+	fmt.Printf("problem %s: |I| = %d, |O| = %d\n",
+		problem.Name(), problem.NumInputs(), problem.NumOutputs())
+
+	// 2. A mapping schema: Splitting with c = 2 (each string keyed by
+	//    each half with the other half removed).
+	schema, err := hamming.NewSplittingSchema(b, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Validate the paper's two constraints: reducer size <= q and
+	//    every output covered by some reducer.
+	q := schema.ReducerSize()
+	if err := core.Validate(problem, schema, q); err != nil {
+		log.Fatalf("schema invalid: %v", err)
+	}
+	stats := core.Measure(problem, schema)
+	fmt.Printf("schema valid: %d reducers, q = %d, replication rate r = %.2f\n",
+		stats.NumReducers, stats.MaxReducerLoad, stats.ReplicationRate)
+	fmt.Printf("lower bound at this q: r >= b/log2(q) = %.2f (Theorem 3.2) — matched exactly\n",
+		hamming.LowerBound(b, float64(q)))
+
+	// 4. Execute it for real on the MapReduce engine over the full
+	//    universe of strings.
+	inputs := make([]uint64, problem.NumInputs())
+	for i := range inputs {
+		inputs[i] = uint64(i)
+	}
+	pairs, metrics, err := hamming.RunSplitting(schema, inputs, mr.Config{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("engine run: %s\n", metrics)
+	fmt.Printf("found %d distance-1 pairs (expected %d)\n", len(pairs), problem.NumOutputs())
+	fmt.Printf("first three: %v %v %v\n", pairs[0], pairs[1], pairs[2])
+}

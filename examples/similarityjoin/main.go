@@ -1,0 +1,93 @@
+// Similarity join: the fuzzy-join workload that motivates Section 3 of
+// the paper (and its reference [3]). A corpus of documents is reduced to
+// 16-bit signatures; near-duplicates are pairs of signatures within
+// Hamming distance 2. The example runs both distance-2 algorithms from
+// Section 3.6 — Ball-2 and generalized Splitting — on the same corpus and
+// compares their communication profiles, then cross-checks against the
+// brute-force join.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/hamming"
+	"repro/internal/mr"
+)
+
+const (
+	bits       = 16
+	corpusSize = 3000
+	clusters   = 120 // near-duplicate families in the corpus
+)
+
+// corpus synthesizes signatures with planted near-duplicates: cluster
+// centers plus 1-2 bit perturbations, the typical shape of a fuzzy-join
+// input.
+func corpus(rng *rand.Rand) []uint64 {
+	seen := make(map[uint64]bool)
+	var sigs []uint64
+	add := func(x uint64) {
+		if !seen[x] {
+			seen[x] = true
+			sigs = append(sigs, x)
+		}
+	}
+	for c := 0; c < clusters; c++ {
+		center := uint64(rng.Intn(1 << bits))
+		add(center)
+		for v := 0; v < 4; v++ {
+			perturbed := center
+			flips := 1 + rng.Intn(2)
+			for f := 0; f < flips; f++ {
+				perturbed ^= 1 << uint(rng.Intn(bits))
+			}
+			add(perturbed)
+		}
+	}
+	for len(sigs) < corpusSize {
+		add(uint64(rng.Intn(1 << bits)))
+	}
+	return sigs
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(99))
+	sigs := corpus(rng)
+	fmt.Printf("corpus: %d distinct %d-bit signatures (%d planted clusters)\n",
+		len(sigs), bits, clusters)
+
+	want := hamming.BruteForcePairs(sigs, 2)
+	fmt.Printf("brute force: %d near-duplicate pairs (distance <= 2)\n\n", len(want))
+
+	// Algorithm 1: Ball-2 — one reducer per string, q = b+1, r = b+1.
+	ball := hamming.NewBallSchema(bits)
+	pairsBall, metBall, err := hamming.RunBall(ball, sigs, mr.Config{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Ball-2:        r = %5.1f   pairs shuffled = %7d   max reducer = %3d   found %d pairs\n",
+		metBall.ReplicationRate(), metBall.PairsShuffled, metBall.MaxReducerInput, len(pairsBall))
+
+	// Algorithm 2: generalized Splitting with c = 8 segments, d = 2:
+	// r = C(8,2) = 28 but far fewer, larger reducers.
+	schema, err := hamming.NewSplittingDSchema(bits, 8, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pairsSplit, metSplit, err := hamming.RunSplittingD(schema, sigs, mr.Config{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Splitting-2:   r = %5.1f   pairs shuffled = %7d   max reducer = %3d   found %d pairs\n",
+		metSplit.ReplicationRate(), metSplit.PairsShuffled, metSplit.MaxReducerInput, len(pairsSplit))
+
+	if len(pairsBall) != len(want) || len(pairsSplit) != len(want) {
+		log.Fatalf("result mismatch: ball=%d split=%d want=%d", len(pairsBall), len(pairsSplit), len(want))
+	}
+	fmt.Println("\nboth algorithms agree with the brute-force join.")
+	fmt.Println("tradeoff: Ball-2 pays less communication per input here but needs a reducer")
+	fmt.Println("per string; Splitting-2 uses far fewer reducers at higher replication —")
+	fmt.Println("exactly the parallelism/communication tradeoff the paper quantifies.")
+}

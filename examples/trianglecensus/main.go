@@ -1,0 +1,56 @@
+// Triangle census: the social-network-analysis workload of Section 4.2.
+// A sparse random graph stands in for a friendship network; the partition
+// algorithm counts its triangles at several parallelism levels, showing
+// the measured replication rate rise as the reducer size shrinks, against
+// the paper's sparse lower bound √(m/q).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/graphs"
+	"repro/internal/mr"
+	"repro/internal/triangle"
+)
+
+func main() {
+	const (
+		n = 400
+		m = 6000
+	)
+	rng := rand.New(rand.NewSource(7))
+	g := graphs.GNM(n, m, rng)
+	serial := g.TriangleCount()
+	fmt.Printf("network: %s, %d triangles (serial count)\n\n", g, serial)
+
+	fmt.Printf("%4s %10s %12s %14s %12s %10s\n",
+		"k", "max q", "r measured", "sqrt(m/q) LB", "reducers", "count")
+	for _, k := range []int{2, 4, 8, 12, 16} {
+		schema, err := triangle.NewPartitionSchema(n, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		count, met, err := triangle.Count(schema, g, mr.Config{Workers: 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if count != serial {
+			log.Fatalf("k=%d: count %d != serial %d", k, count, serial)
+		}
+		lb := triangle.SparseLowerBound(g.M(), float64(met.MaxReducerInput))
+		fmt.Printf("%4d %10d %12.2f %14.2f %12d %10d\n",
+			k, met.MaxReducerInput, met.ReplicationRate(), lb, met.Reducers, count)
+	}
+
+	fmt.Println("\nmore parallelism (larger k) shrinks reducers but multiplies the")
+	fmt.Println("communication — the replication rate tracks k while the bound grows as √(m/q).")
+
+	// The Section 4.2 target-q rescaling: how many *possible* edges a
+	// reducer may be assigned so that the expected number of actual edges
+	// stays at q.
+	q := 200.0
+	fmt.Printf("\nSection 4.2 rescaling at q=%.0f actual edges: target q_t = q·n(n-1)/2m = %.0f possible edges\n",
+		q, triangle.TargetQ(q, n, m))
+}

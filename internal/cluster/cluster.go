@@ -1,0 +1,137 @@
+// Package cluster turns the logical communication profile of an executed
+// map-reduce job (pairs shuffled, per-reducer input sizes) into the
+// dollar costs and wall-clock times of Section 1.2 of the paper, for a
+// parametric cluster. It makes the paper's abstract cost coefficients
+// concrete: the communication price a is PairCost · |I|, the linear
+// compute price b comes from a per-input reducer cost, and the quadratic
+// wall-clock term c from all-pairs reducers as in Example 1.1. Reducers
+// are scheduled onto workers with the footnote-4 LPT balancer, so the
+// simulated wall clock reflects the skew the schema actually produced.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mr"
+)
+
+// Spec prices and times a hypothetical cluster.
+type Spec struct {
+	// Workers is the number of reduce workers (compute nodes).
+	Workers int
+	// PairCost is the dollar cost of shipping one key-value pair.
+	PairCost float64
+	// PairTime is the wall-clock seconds to ship one pair (aggregate
+	// network; the shuffle is modeled as fully pipelined).
+	PairTime float64
+	// ComputeCost is the dollar cost of running one reducer with q
+	// inputs.
+	ComputeCost func(q int) float64
+	// ComputeTime is the wall-clock seconds of one reducer with q inputs.
+	ComputeTime func(q int) float64
+}
+
+// LinearWork models reducers doing O(q) work at the given per-input rate
+// (the b·q term of Section 1.2).
+func LinearWork(perInput float64) func(int) float64 {
+	return func(q int) float64 { return perInput * float64(q) }
+}
+
+// QuadraticWork models all-pairs reducers doing O(q²) work, as in the
+// Hamming-distance join of Example 1.1 (the c·q² term).
+func QuadraticWork(perPair float64) func(int) float64 {
+	return func(q int) float64 { return perPair * float64(q) * float64(q) / 2 }
+}
+
+// Report is the simulated execution profile of one round.
+type Report struct {
+	// CommunicationCost is PairCost · pairs shuffled.
+	CommunicationCost float64
+	// ComputeCost is the summed reducer cost.
+	ComputeCost float64
+	// TotalCost is their sum — the paper's a·r + (compute) objective.
+	TotalCost float64
+	// ShuffleTime is PairTime · pairs shuffled.
+	ShuffleTime float64
+	// ComputeMakespan is the LPT-scheduled longest worker time.
+	ComputeMakespan float64
+	// WallClock is ShuffleTime + ComputeMakespan (phases barrier-
+	// synchronized, as in MapReduce).
+	WallClock float64
+	// Utilization is total compute time divided by workers·makespan,
+	// in (0, 1]; low values indicate skew the schema did not resolve.
+	Utilization float64
+}
+
+// Simulate prices one executed round. The metrics must carry per-reducer
+// loads (run the job with Config.RecordLoads).
+func Simulate(spec Spec, met mr.Metrics) (Report, error) {
+	if spec.Workers < 1 {
+		return Report{}, fmt.Errorf("cluster: need at least one worker")
+	}
+	if met.Reducers > 0 && len(met.ReducerLoads) == 0 {
+		return Report{}, fmt.Errorf("cluster: metrics lack per-reducer loads; run with mr.Config.RecordLoads")
+	}
+	var rep Report
+	rep.CommunicationCost = spec.PairCost * float64(met.PairsShuffled)
+	rep.ShuffleTime = spec.PairTime * float64(met.PairsShuffled)
+
+	var totalTime float64
+	times := make([]int, len(met.ReducerLoads))
+	const timeScale = 1e6 // integer microseconds for the LPT balancer
+	for i, q := range met.ReducerLoads {
+		if spec.ComputeCost != nil {
+			rep.ComputeCost += spec.ComputeCost(q)
+		}
+		t := 0.0
+		if spec.ComputeTime != nil {
+			t = spec.ComputeTime(q)
+		}
+		totalTime += t
+		times[i] = int(t * timeScale)
+	}
+	_, makespan := core.BalanceLoads(times, spec.Workers)
+	rep.ComputeMakespan = float64(makespan) / timeScale
+	rep.TotalCost = rep.CommunicationCost + rep.ComputeCost
+	rep.WallClock = rep.ShuffleTime + rep.ComputeMakespan
+	if rep.ComputeMakespan > 0 {
+		rep.Utilization = totalTime / (float64(spec.Workers) * rep.ComputeMakespan)
+	}
+	return rep, nil
+}
+
+// SimulatePipeline prices a multi-round pipeline: costs add, wall clocks
+// add (rounds are barrier-synchronized).
+func SimulatePipeline(spec Spec, pipe *mr.Pipeline) (Report, error) {
+	var total Report
+	for _, round := range pipe.Rounds {
+		rep, err := Simulate(spec, round.Metrics)
+		if err != nil {
+			return Report{}, fmt.Errorf("cluster: round %s: %w", round.Name, err)
+		}
+		total.CommunicationCost += rep.CommunicationCost
+		total.ComputeCost += rep.ComputeCost
+		total.TotalCost += rep.TotalCost
+		total.ShuffleTime += rep.ShuffleTime
+		total.ComputeMakespan += rep.ComputeMakespan
+		total.WallClock += rep.WallClock
+	}
+	if total.ComputeMakespan > 0 {
+		// Aggregate utilization: weighted by makespan.
+		var weighted float64
+		for _, round := range pipe.Rounds {
+			rep, _ := Simulate(spec, round.Metrics)
+			weighted += rep.Utilization * rep.ComputeMakespan
+		}
+		total.Utilization = weighted / total.ComputeMakespan
+	}
+	return total, nil
+}
+
+// String renders a compact report line.
+func (r Report) String() string {
+	return fmt.Sprintf("cost=$%.4g (comm $%.4g + compute $%.4g), wall=%.4gs (shuffle %.4gs + compute %.4gs, util %.0f%%)",
+		r.TotalCost, r.CommunicationCost, r.ComputeCost,
+		r.WallClock, r.ShuffleTime, r.ComputeMakespan, 100*r.Utilization)
+}

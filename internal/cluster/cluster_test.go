@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hamming"
+	"repro/internal/mr"
+)
+
+// syntheticMetrics builds a Metrics with explicit loads.
+func syntheticMetrics(loads []int) mr.Metrics {
+	var met mr.Metrics
+	met.ReducerLoads = loads
+	met.Reducers = int64(len(loads))
+	for _, l := range loads {
+		met.PairsShuffled += int64(l)
+		met.TotalReducerInput += int64(l)
+		if int64(l) > met.MaxReducerInput {
+			met.MaxReducerInput = int64(l)
+		}
+	}
+	met.PairsEmitted = met.PairsShuffled
+	return met
+}
+
+func TestSimulateClosedForm(t *testing.T) {
+	// 4 equal reducers of 10 inputs, 2 workers, linear compute.
+	met := syntheticMetrics([]int{10, 10, 10, 10})
+	spec := Spec{
+		Workers:     2,
+		PairCost:    0.5,
+		PairTime:    0.001,
+		ComputeCost: LinearWork(2),
+		ComputeTime: LinearWork(0.1),
+	}
+	rep, err := Simulate(spec, met)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CommunicationCost != 20 { // 40 pairs · 0.5
+		t.Errorf("comm cost = %v, want 20", rep.CommunicationCost)
+	}
+	if rep.ComputeCost != 80 { // 4 reducers · 2·10
+		t.Errorf("compute cost = %v, want 80", rep.ComputeCost)
+	}
+	if rep.TotalCost != 100 {
+		t.Errorf("total = %v, want 100", rep.TotalCost)
+	}
+	// Perfect balance: 2 reducers per worker, 1s each ⇒ makespan 2s.
+	if math.Abs(rep.ComputeMakespan-2) > 1e-6 {
+		t.Errorf("makespan = %v, want 2", rep.ComputeMakespan)
+	}
+	if math.Abs(rep.WallClock-(0.04+2)) > 1e-6 {
+		t.Errorf("wall = %v, want 2.04", rep.WallClock)
+	}
+	if math.Abs(rep.Utilization-1) > 1e-6 {
+		t.Errorf("utilization = %v, want 1", rep.Utilization)
+	}
+	if !strings.Contains(rep.String(), "cost=") {
+		t.Error("String() malformed")
+	}
+}
+
+func TestSimulateQuadraticExample11(t *testing.T) {
+	// Example 1.1: all-pairs reducers cost O(q²); doubling q at constant
+	// total input quadruples per-reducer time but halves the count.
+	small := syntheticMetrics([]int{10, 10, 10, 10})
+	big := syntheticMetrics([]int{20, 20})
+	spec := Spec{Workers: 1, ComputeTime: QuadraticWork(1)}
+	repSmall, err := Simulate(spec, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repBig, err := Simulate(spec, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total quadratic work: 4·50 = 200 vs 2·200 = 400 — doubling q
+	// doubles total O(q²) work at fixed total input.
+	if math.Abs(repBig.ComputeMakespan/repSmall.ComputeMakespan-2) > 1e-6 {
+		t.Errorf("quadratic work ratio = %v, want 2", repBig.ComputeMakespan/repSmall.ComputeMakespan)
+	}
+}
+
+func TestSimulateRequiresLoads(t *testing.T) {
+	var met mr.Metrics
+	met.Reducers = 3 // but no loads recorded
+	if _, err := Simulate(Spec{Workers: 1}, met); err == nil {
+		t.Error("missing loads must be rejected")
+	}
+	if _, err := Simulate(Spec{Workers: 0}, syntheticMetrics([]int{1})); err == nil {
+		t.Error("workers=0 must be rejected")
+	}
+}
+
+func TestSimulateSkewLowersUtilization(t *testing.T) {
+	balanced := syntheticMetrics([]int{10, 10, 10, 10})
+	skewed := syntheticMetrics([]int{37, 1, 1, 1})
+	spec := Spec{Workers: 4, ComputeTime: LinearWork(1)}
+	repB, err := Simulate(spec, balanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repS, err := Simulate(spec, skewed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repS.Utilization >= repB.Utilization {
+		t.Errorf("skewed utilization %v should be below balanced %v", repS.Utilization, repB.Utilization)
+	}
+	// The makespan is pinned to the giant reducer.
+	if math.Abs(repS.ComputeMakespan-37) > 1e-6 {
+		t.Errorf("skewed makespan = %v, want 37", repS.ComputeMakespan)
+	}
+}
+
+func TestSimulateRealJobEndToEnd(t *testing.T) {
+	// Run the Splitting join with load recording and price it: the
+	// simulated communication cost must equal PairCost · r · |I|.
+	const b = 10
+	inputs := make([]uint64, 1<<b)
+	for i := range inputs {
+		inputs[i] = uint64(i)
+	}
+	s, err := hamming.NewSplittingSchema(b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, met, err := hamming.RunSplitting(s, inputs, mr.Config{RecordLoads: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{
+		Workers:     8,
+		PairCost:    0.01,
+		PairTime:    1e-6,
+		ComputeCost: LinearWork(0.001),
+		ComputeTime: QuadraticWork(1e-7),
+	}
+	rep, err := Simulate(spec, met)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantComm := 0.01 * met.ReplicationRate() * float64(met.MapInputs)
+	if math.Abs(rep.CommunicationCost-wantComm) > 1e-9 {
+		t.Errorf("comm cost %v, want r·|I|·price = %v", rep.CommunicationCost, wantComm)
+	}
+	// Splitting's reducers are perfectly uniform: utilization ≈ 1.
+	if rep.Utilization < 0.95 {
+		t.Errorf("utilization %v, want near 1 for uniform reducers", rep.Utilization)
+	}
+}
+
+func TestSimulateTradeoffAcrossC(t *testing.T) {
+	// The Section 1.2 story end to end: on a communication-expensive
+	// cluster, larger reducers (smaller c) must win; on a compute-
+	// expensive cluster with quadratic reducers, smaller reducers win.
+	const b = 12
+	inputs := make([]uint64, 1<<b)
+	for i := range inputs {
+		inputs[i] = uint64(i)
+	}
+	costAt := func(c int, spec Spec) float64 {
+		s, err := hamming.NewSplittingSchema(b, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, met, err := hamming.RunSplitting(s, inputs, mr.Config{RecordLoads: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Simulate(spec, met)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.TotalCost
+	}
+	commHeavy := Spec{Workers: 8, PairCost: 1, ComputeCost: LinearWork(1e-6)}
+	if costAt(2, commHeavy) >= costAt(6, commHeavy) {
+		t.Error("communication-priced cluster should prefer c=2 over c=6")
+	}
+	computeHeavy := Spec{Workers: 8, PairCost: 1e-6, ComputeCost: QuadraticWork(0.01)}
+	if costAt(6, computeHeavy) >= costAt(2, computeHeavy) {
+		t.Error("quadratic-compute cluster should prefer c=6 over c=2")
+	}
+}
+
+func TestSimulatePipelineAddsRounds(t *testing.T) {
+	pipe := &mr.Pipeline{}
+	pipe.Record("r1", syntheticMetrics([]int{5, 5}))
+	pipe.Record("r2", syntheticMetrics([]int{10}))
+	spec := Spec{Workers: 2, PairCost: 1, ComputeTime: LinearWork(1)}
+	rep, err := SimulatePipeline(spec, pipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CommunicationCost != 20 {
+		t.Errorf("comm = %v, want 20", rep.CommunicationCost)
+	}
+	// Round 1 makespan 5 (one reducer per worker), round 2 makespan 10.
+	if math.Abs(rep.ComputeMakespan-15) > 1e-6 {
+		t.Errorf("makespan = %v, want 15", rep.ComputeMakespan)
+	}
+}
+
+func TestSimulatePipelineErrorPropagates(t *testing.T) {
+	pipe := &mr.Pipeline{}
+	var bad mr.Metrics
+	bad.Reducers = 2
+	pipe.Record("broken", bad)
+	if _, err := SimulatePipeline(Spec{Workers: 1}, pipe); err == nil {
+		t.Error("missing loads in a round must surface")
+	}
+}
+
+// Property: total cost decomposes exactly and utilization stays in (0,1].
+func TestPropertyReportInvariants(t *testing.T) {
+	f := func(loadsRaw []uint8, workersRaw uint8) bool {
+		if len(loadsRaw) == 0 {
+			return true
+		}
+		loads := make([]int, len(loadsRaw))
+		for i, l := range loadsRaw {
+			loads[i] = int(l%50) + 1
+		}
+		spec := Spec{
+			Workers:     int(workersRaw%6) + 1,
+			PairCost:    0.1,
+			ComputeCost: LinearWork(1),
+			ComputeTime: LinearWork(0.5),
+		}
+		rep, err := Simulate(spec, syntheticMetrics(loads))
+		if err != nil {
+			return false
+		}
+		if math.Abs(rep.TotalCost-(rep.CommunicationCost+rep.ComputeCost)) > 1e-9 {
+			return false
+		}
+		return rep.Utilization > 0 && rep.Utilization <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

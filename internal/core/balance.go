@@ -1,0 +1,87 @@
+package core
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// BalanceLoads assigns reducers (given by their input loads) to a fixed
+// number of compute workers so that per-worker totals are equalized,
+// using the LPT greedy heuristic (largest load first onto the least
+// loaded worker; makespan ≤ 4/3 of optimal). This implements footnote 4
+// of the paper: cells of the weight-partition algorithm have wildly
+// uneven populations, and "in the best implementation, we would combine
+// the cells with relatively small population at a single compute node,
+// in order to equalize the work at each node." It returns the worker
+// index per reducer and the resulting makespan (largest worker total).
+func BalanceLoads(loads []int, workers int) (assignment []int, makespan int64) {
+	if workers < 1 {
+		workers = 1
+	}
+	assignment = make([]int, len(loads))
+	order := make([]int, len(loads))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return loads[order[a]] > loads[order[b]] })
+
+	h := &workerHeap{}
+	for w := 0; w < workers; w++ {
+		*h = append(*h, workerLoad{id: w})
+	}
+	heap.Init(h)
+	for _, r := range order {
+		wl := heap.Pop(h).(workerLoad)
+		assignment[r] = wl.id
+		wl.total += int64(loads[r])
+		if wl.total > makespan {
+			makespan = wl.total
+		}
+		heap.Push(h, wl)
+	}
+	return assignment, makespan
+}
+
+// IdealMakespan is the load-balance floor: max(ceil(total/workers),
+// largest single load).
+func IdealMakespan(loads []int, workers int) int64 {
+	if workers < 1 {
+		workers = 1
+	}
+	var total, largest int64
+	for _, l := range loads {
+		total += int64(l)
+		if int64(l) > largest {
+			largest = int64(l)
+		}
+	}
+	ideal := (total + int64(workers) - 1) / int64(workers)
+	if largest > ideal {
+		return largest
+	}
+	return ideal
+}
+
+type workerLoad struct {
+	id    int
+	total int64
+}
+
+type workerHeap []workerLoad
+
+func (h workerHeap) Len() int      { return len(h) }
+func (h workerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h workerHeap) Less(i, j int) bool {
+	if h[i].total != h[j].total {
+		return h[i].total < h[j].total
+	}
+	return h[i].id < h[j].id
+}
+func (h *workerHeap) Push(x any) { *h = append(*h, x.(workerLoad)) }
+func (h *workerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBalanceLoadsBasic(t *testing.T) {
+	loads := []int{7, 5, 3, 3, 2}
+	assignment, makespan := BalanceLoads(loads, 2)
+	if len(assignment) != 5 {
+		t.Fatalf("assignment length %d", len(assignment))
+	}
+	// LPT on {7,5,3,3,2} with 2 workers: 7+3 = 10 and 5+3+2 = 10.
+	if makespan != 10 {
+		t.Errorf("makespan = %d, want 10", makespan)
+	}
+	totals := map[int]int{}
+	for i, w := range assignment {
+		if w < 0 || w >= 2 {
+			t.Fatalf("worker %d out of range", w)
+		}
+		totals[w] += loads[i]
+	}
+	if totals[0]+totals[1] != 20 {
+		t.Errorf("work lost: %v", totals)
+	}
+}
+
+func TestBalanceLoadsSingleWorker(t *testing.T) {
+	_, makespan := BalanceLoads([]int{4, 4, 4}, 1)
+	if makespan != 12 {
+		t.Errorf("makespan = %d, want 12", makespan)
+	}
+	// workers < 1 clamps to 1.
+	_, makespan = BalanceLoads([]int{4, 4}, 0)
+	if makespan != 8 {
+		t.Errorf("makespan = %d, want 8", makespan)
+	}
+}
+
+func TestBalanceLoadsEmpty(t *testing.T) {
+	assignment, makespan := BalanceLoads(nil, 4)
+	if len(assignment) != 0 || makespan != 0 {
+		t.Errorf("empty loads: %v %d", assignment, makespan)
+	}
+}
+
+func TestIdealMakespan(t *testing.T) {
+	if got := IdealMakespan([]int{6, 2, 2, 2}, 3); got != 6 {
+		t.Errorf("largest load dominates: got %d, want 6", got)
+	}
+	if got := IdealMakespan([]int{3, 3, 3, 3}, 2); got != 6 {
+		t.Errorf("even split: got %d, want 6", got)
+	}
+}
+
+// Property: LPT's makespan is within 4/3 + 1/(3m) of the ideal (Graham's
+// bound), and never below it.
+func TestPropertyLPTGuarantee(t *testing.T) {
+	f := func(seed int64, nRaw, wRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		workers := int(wRaw%8) + 1
+		rng := rand.New(rand.NewSource(seed))
+		loads := make([]int, n)
+		for i := range loads {
+			loads[i] = rng.Intn(100) + 1
+		}
+		_, makespan := BalanceLoads(loads, workers)
+		ideal := IdealMakespan(loads, workers)
+		if makespan < ideal {
+			return false
+		}
+		limit := float64(ideal) * (4.0/3.0 + 1.0/(3.0*float64(workers)))
+		return float64(makespan) <= limit+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every reducer is assigned to exactly one worker and no work
+// is lost.
+func TestPropertyBalanceConservation(t *testing.T) {
+	f := func(seed int64, wRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		loads := make([]int, rng.Intn(40)+1)
+		total := 0
+		for i := range loads {
+			loads[i] = rng.Intn(50)
+			total += loads[i]
+		}
+		workers := int(wRaw%6) + 1
+		assignment, _ := BalanceLoads(loads, workers)
+		sum := 0
+		for i, w := range assignment {
+			if w < 0 || w >= workers {
+				return false
+			}
+			sum += loads[i]
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

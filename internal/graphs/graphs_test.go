@@ -1,0 +1,164 @@
+package graphs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompleteGraph(t *testing.T) {
+	g := Complete(5)
+	if g.M() != 10 {
+		t.Errorf("K5 has %d edges, want 10", g.M())
+	}
+	if got := g.TriangleCount(); got != 10 { // C(5,3)
+		t.Errorf("K5 triangles = %d, want 10", got)
+	}
+	if !g.HasEdge(0, 4) || g.HasEdge(0, 0) {
+		t.Error("HasEdge misbehaves on K5")
+	}
+	for u := 0; u < 5; u++ {
+		if g.Degree(u) != 4 {
+			t.Errorf("deg(%d) = %d, want 4", u, g.Degree(u))
+		}
+	}
+}
+
+func TestNewDeduplicatesAndNormalizes(t *testing.T) {
+	g := New(4, []Edge{{1, 0}, {0, 1}, {2, 2}, {3, 2}, {-1, 2}, {2, 9}})
+	if g.M() != 2 {
+		t.Errorf("M = %d, want 2 (dedup, drop loops and out-of-range)", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(2, 3) {
+		t.Error("expected edges missing")
+	}
+}
+
+func TestCycleAndPath(t *testing.T) {
+	c := Cycle(5)
+	if c.M() != 5 {
+		t.Errorf("C5 edges = %d, want 5", c.M())
+	}
+	if c.TriangleCount() != 0 {
+		t.Errorf("C5 has no triangles")
+	}
+	if Cycle(3).TriangleCount() != 1 {
+		t.Error("C3 is one triangle")
+	}
+	p := Path(6)
+	if p.M() != 5 {
+		t.Errorf("P6 edges = %d, want 5", p.M())
+	}
+	if got := p.TwoPathCount(); got != 4 {
+		t.Errorf("P6 2-paths = %d, want 4", got)
+	}
+}
+
+func TestStarSkew(t *testing.T) {
+	s := Star(10)
+	if s.Degree(0) != 9 {
+		t.Errorf("hub degree = %d, want 9", s.Degree(0))
+	}
+	// 2-paths through the hub: C(9,2) = 36.
+	if got := s.TwoPathCount(); got != 36 {
+		t.Errorf("star 2-paths = %d, want 36", got)
+	}
+	if s.TriangleCount() != 0 {
+		t.Error("star has no triangles")
+	}
+}
+
+func TestGNM(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := GNM(50, 200, rng)
+	if g.N != 50 || g.M() != 200 {
+		t.Errorf("GNM(50,200) = (%d nodes, %d edges)", g.N, g.M())
+	}
+	// Requesting more edges than possible clamps to C(n,2).
+	g2 := GNM(5, 100, rng)
+	if g2.M() != 10 {
+		t.Errorf("GNM clamp: M = %d, want 10", g2.M())
+	}
+}
+
+func TestGNMDeterministicWithSeed(t *testing.T) {
+	a := GNM(30, 80, rand.New(rand.NewSource(42)))
+	b := GNM(30, 80, rand.New(rand.NewSource(42)))
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatal("seeded GNM not deterministic")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("seeded GNM edge lists differ")
+		}
+	}
+}
+
+func TestTrianglesEnumerationMatchesCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := GNM(40, 200, rng)
+	tris := g.Triangles()
+	if int64(len(tris)) != g.TriangleCount() {
+		t.Errorf("enumerated %d triangles, count says %d", len(tris), g.TriangleCount())
+	}
+	for _, tr := range tris {
+		if !(tr[0] < tr[1] && tr[1] < tr[2]) {
+			t.Errorf("triangle %v not ordered", tr)
+		}
+		if !g.HasEdge(tr[0], tr[1]) || !g.HasEdge(tr[1], tr[2]) || !g.HasEdge(tr[0], tr[2]) {
+			t.Errorf("triangle %v has a missing edge", tr)
+		}
+	}
+}
+
+func TestTwoPathsEnumerationMatchesCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := GNM(25, 60, rng)
+	paths := g.TwoPaths()
+	if int64(len(paths)) != g.TwoPathCount() {
+		t.Errorf("enumerated %d 2-paths, count says %d", len(paths), g.TwoPathCount())
+	}
+	seen := make(map[[3]int]bool)
+	for _, p := range paths {
+		if p[1] >= p[2] {
+			t.Errorf("2-path %v ends not ordered", p)
+		}
+		if !g.HasEdge(p[0], p[1]) || !g.HasEdge(p[0], p[2]) {
+			t.Errorf("2-path %v has a missing edge", p)
+		}
+		if seen[p] {
+			t.Errorf("2-path %v repeated", p)
+		}
+		seen[p] = true
+	}
+}
+
+// Property: triangle count of K_n is C(n,3) and 2-path count is 3·C(n,3).
+func TestPropertyCompleteGraphCounts(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%12) + 3
+		g := Complete(n)
+		c3 := int64(n * (n - 1) * (n - 2) / 6)
+		return g.TriangleCount() == c3 && g.TwoPathCount() == 3*c3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sum of degrees is twice the edge count.
+func TestPropertyHandshake(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		m := int(mRaw) % (n * (n - 1) / 2)
+		g := GNM(n, m, rand.New(rand.NewSource(seed)))
+		sum := 0
+		for u := 0; u < n; u++ {
+			sum += g.Degree(u)
+		}
+		return sum == 2*g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

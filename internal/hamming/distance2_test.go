@@ -1,0 +1,59 @@
+package hamming
+
+import (
+	"testing"
+
+	"repro/internal/bitstr"
+)
+
+// TestDistance2CoverageIsQuadratic is the Section 3.6 observation made
+// empirical: for distance 2 the maximum number of outputs q inputs can
+// cover grows like q² at small q — far above the (q/2)log₂q available at
+// distance 1 — so the Hamming-1 lower-bound recipe cannot give a useful
+// bound for d = 2.
+func TestDistance2CoverageIsQuadratic(t *testing.T) {
+	const b = 4
+	for q := 2; q <= 6; q++ {
+		g2 := MaxPairsBruteForceD(b, q, 2)
+		g1 := MaxCoverable(float64(q))
+		// At distance 2 the extremal sets do substantially better than
+		// the distance-1 bound from q = 3 on.
+		if q >= 3 && float64(g2) <= g1 {
+			t.Errorf("q=%d: g₂ = %d should exceed the distance-1 bound %.2f", q, g2, g1)
+		}
+		// And the quadratic envelope holds: no q strings contain more
+		// than C(q,2) pairs in total.
+		if max := q * (q - 1) / 2; g2 > max {
+			t.Errorf("q=%d: g₂ = %d exceeds C(q,2) = %d", q, g2, max)
+		}
+	}
+}
+
+// TestBallWitnessIsNearExtremal: the Ball-2 reducer (a center and its b
+// neighbors) achieves every possible pair within distance 2 — the witness
+// the paper uses for the Ω(q²) claim.
+func TestBallWitnessIsNearExtremal(t *testing.T) {
+	const b = 4
+	q := b + 1
+	// The ball's pair count: center-to-neighbor b pairs at distance 1
+	// plus C(b,2) neighbor pairs at distance 2 = C(q,2) — every pair.
+	wantPairs := q * (q - 1) / 2
+	var members []uint64
+	members = append(members, 0)
+	bitstr.Neighbors(0, b, func(y uint64) { members = append(members, y) })
+	pairs := 0
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			if d := bitstr.Distance(members[i], members[j]); d >= 1 && d <= 2 {
+				pairs++
+			}
+		}
+	}
+	if pairs != wantPairs {
+		t.Errorf("ball contains %d pairs, want all C(q,2) = %d", pairs, wantPairs)
+	}
+	// Therefore the brute-force maximum at q = b+1 is exactly C(q,2).
+	if got := MaxPairsBruteForceD(b, q, 2); got != wantPairs {
+		t.Errorf("g₂(b+1) = %d, want %d", got, wantPairs)
+	}
+}

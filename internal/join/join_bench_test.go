@@ -1,0 +1,60 @@
+package join
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mr"
+	"repro/internal/relation"
+)
+
+// BenchmarkFractionalEdgeCover measures the LP on chain hypergraphs.
+func BenchmarkFractionalEdgeCover(b *testing.B) {
+	for _, n := range []int{3, 6, 10} {
+		h := FromQuery(relation.FullChain(n, 2))
+		b.Run(fmt.Sprintf("chain-N=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := h.FractionalEdgeCover(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSharesRun measures the end-to-end distributed join.
+func BenchmarkSharesRun(b *testing.B) {
+	rels := relation.FullChain(3, 8)
+	for _, p := range []int{4, 16, 64} {
+		s, err := OptimizeShares(rels, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := s.Run(mr.Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOptimizeShares measures the share-vector search itself.
+func BenchmarkOptimizeShares(b *testing.B) {
+	rels := relation.FullChain(4, 6)
+	for i := 0; i < b.N; i++ {
+		if _, err := OptimizeShares(rels, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSerialMultiJoin is the non-distributed baseline.
+func BenchmarkSerialMultiJoin(b *testing.B) {
+	rels := relation.FullChain(3, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = relation.MultiJoin(rels...)
+	}
+}

@@ -1,0 +1,265 @@
+// Package lp implements a small dense two-phase primal simplex solver for
+// linear programs, sufficient to compute the optimal fractional edge
+// covers of query hypergraphs that Section 5.5 of the paper takes from
+// Atserias, Grohe and Marx [6] (the parameter ρ in Table 1).
+//
+// The solver handles minimization with ≤, ≥ and = constraints and
+// non-negative variables, uses Bland's rule to prevent cycling, and
+// reports infeasibility and unboundedness distinctly.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Relation is the sense of one constraint.
+type Relation int
+
+// Constraint senses.
+const (
+	LE Relation = iota // Σ aᵢxᵢ ≤ rhs
+	GE                 // Σ aᵢxᵢ ≥ rhs
+	EQ                 // Σ aᵢxᵢ = rhs
+)
+
+// Constraint is a single linear constraint over the problem's variables.
+type Constraint struct {
+	Coeffs []float64
+	Rel    Relation
+	RHS    float64
+}
+
+// Problem is a linear program: minimize Minimize·x subject to the
+// constraints and x ≥ 0.
+type Problem struct {
+	Minimize    []float64
+	Constraints []Constraint
+}
+
+// Solution holds an optimal vertex of the feasible region.
+type Solution struct {
+	X     []float64
+	Value float64
+}
+
+// Sentinel errors distinguishing the two failure modes of a bounded
+// feasible LP solve.
+var (
+	ErrInfeasible = errors.New("lp: infeasible")
+	ErrUnbounded  = errors.New("lp: unbounded")
+)
+
+const eps = 1e-9
+
+// Solve runs the two-phase simplex method and returns an optimal solution,
+// ErrInfeasible, or ErrUnbounded.
+func Solve(p Problem) (Solution, error) {
+	n := len(p.Minimize)
+	m := len(p.Constraints)
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) != n {
+			return Solution{}, fmt.Errorf("lp: constraint %d has %d coefficients, want %d", i, len(c.Coeffs), n)
+		}
+	}
+
+	// Normalize rows to RHS ≥ 0 by flipping signs (and senses).
+	rows := make([]Constraint, m)
+	for i, c := range p.Constraints {
+		coeffs := make([]float64, n)
+		copy(coeffs, c.Coeffs)
+		rel, rhs := c.Rel, c.RHS
+		if rhs < 0 {
+			for j := range coeffs {
+				coeffs[j] = -coeffs[j]
+			}
+			rhs = -rhs
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		rows[i] = Constraint{coeffs, rel, rhs}
+	}
+
+	// Column layout: n structural, then one slack/surplus per inequality,
+	// then one artificial per GE/EQ row.
+	numSlack := 0
+	for _, c := range rows {
+		if c.Rel != EQ {
+			numSlack++
+		}
+	}
+	numArt := 0
+	for _, c := range rows {
+		if c.Rel != LE {
+			numArt++
+		}
+	}
+	total := n + numSlack + numArt
+
+	// tableau[i] is row i with total+1 entries (last is RHS).
+	tab := make([][]float64, m)
+	basis := make([]int, m)
+	slackAt := n
+	artAt := n + numSlack
+	artCols := make([]bool, total)
+	for i, c := range rows {
+		row := make([]float64, total+1)
+		copy(row, c.Coeffs)
+		row[total] = c.RHS
+		switch c.Rel {
+		case LE:
+			row[slackAt] = 1
+			basis[i] = slackAt
+			slackAt++
+		case GE:
+			row[slackAt] = -1
+			slackAt++
+			row[artAt] = 1
+			basis[i] = artAt
+			artCols[artAt] = true
+			artAt++
+		case EQ:
+			row[artAt] = 1
+			basis[i] = artAt
+			artCols[artAt] = true
+			artAt++
+		}
+		tab[i] = row
+	}
+
+	if numArt > 0 {
+		// Phase 1: minimize the sum of artificial variables.
+		obj := make([]float64, total)
+		for j := range obj {
+			if artCols[j] {
+				obj[j] = 1
+			}
+		}
+		val, err := simplex(tab, basis, obj, total)
+		if err != nil {
+			return Solution{}, err
+		}
+		if val > eps {
+			return Solution{}, ErrInfeasible
+		}
+		// Drive any lingering artificial basics out of the basis.
+		for i, b := range basis {
+			if !artCols[b] {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < total && !pivoted; j++ {
+				if !artCols[j] && math.Abs(tab[i][j]) > eps {
+					pivot(tab, basis, i, j)
+					pivoted = true
+				}
+			}
+			// A row with only artificial support is redundant (all-zero);
+			// its artificial stays basic at value 0, which is harmless as
+			// long as phase 2 never lets it grow — enforced by keeping
+			// the artificial columns out of the phase-2 objective and
+			// barring them from entering (see simplex's blocked set).
+		}
+	}
+
+	// Phase 2: original objective; artificial columns may not enter.
+	obj := make([]float64, total)
+	copy(obj, p.Minimize)
+	blocked := artCols
+	val, err := simplexBlocked(tab, basis, obj, total, blocked)
+	if err != nil {
+		return Solution{}, err
+	}
+	x := make([]float64, n)
+	for i, b := range basis {
+		if b < n {
+			x[b] = tab[i][total]
+		}
+	}
+	return Solution{X: x, Value: val}, nil
+}
+
+// simplex minimizes obj over the current tableau with no blocked columns.
+func simplex(tab [][]float64, basis []int, obj []float64, total int) (float64, error) {
+	return simplexBlocked(tab, basis, obj, total, nil)
+}
+
+// simplexBlocked runs the primal simplex with Bland's rule, never letting
+// a blocked column enter the basis. Returns the optimal objective value.
+func simplexBlocked(tab [][]float64, basis []int, obj []float64, total int, blocked []bool) (float64, error) {
+	m := len(tab)
+	// Reduced costs require the objective expressed in terms of nonbasic
+	// variables: z[j] = obj[j] - Σᵢ obj[basis[i]]·tab[i][j].
+	for iter := 0; iter < 10000; iter++ {
+		// Compute reduced costs.
+		var entering = -1
+		for j := 0; j < total; j++ {
+			if blocked != nil && blocked[j] {
+				continue
+			}
+			rc := obj[j]
+			for i := 0; i < m; i++ {
+				rc -= obj[basis[i]] * tab[i][j]
+			}
+			if rc < -eps {
+				entering = j // Bland: first improving column
+				break
+			}
+		}
+		if entering == -1 {
+			// Optimal: objective value is Σ obj[basis[i]]·rhs[i].
+			val := 0.0
+			for i := 0; i < m; i++ {
+				val += obj[basis[i]] * tab[i][total]
+			}
+			return val, nil
+		}
+		// Ratio test with Bland's tie-break on smallest basis index.
+		leaving := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := tab[i][entering]
+			if a > eps {
+				ratio := tab[i][total] / a
+				if ratio < bestRatio-eps ||
+					(math.Abs(ratio-bestRatio) <= eps && (leaving == -1 || basis[i] < basis[leaving])) {
+					bestRatio = ratio
+					leaving = i
+				}
+			}
+		}
+		if leaving == -1 {
+			return 0, ErrUnbounded
+		}
+		pivot(tab, basis, leaving, entering)
+	}
+	return 0, errors.New("lp: iteration limit exceeded")
+}
+
+// pivot makes column col basic in row r.
+func pivot(tab [][]float64, basis []int, r, col int) {
+	m := len(tab)
+	width := len(tab[r])
+	p := tab[r][col]
+	for j := 0; j < width; j++ {
+		tab[r][j] /= p
+	}
+	for i := 0; i < m; i++ {
+		if i == r {
+			continue
+		}
+		f := tab[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < width; j++ {
+			tab[i][j] -= f * tab[r][j]
+		}
+	}
+	basis[r] = col
+}

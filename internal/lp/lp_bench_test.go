@@ -1,0 +1,49 @@
+package lp
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkSolveCover measures simplex throughput on fractional-cover LPs
+// of growing size (cycle hypergraphs: n vertices, n edges).
+func BenchmarkSolveCover(b *testing.B) {
+	for _, n := range []int{5, 15, 40} {
+		edges := make([][]int, n)
+		for i := range edges {
+			edges[i] = []int{i, (i + 1) % n}
+		}
+		p := coverLP(n, edges)
+		b.Run(fmt.Sprintf("cycle-n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Solve(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolveDense measures a dense random-ish LP via a fixed seedless
+// construction (diagonal-dominant system).
+func BenchmarkSolveDense(b *testing.B) {
+	const n = 20
+	p := Problem{Minimize: make([]float64, n)}
+	for j := range p.Minimize {
+		p.Minimize[j] = 1 + float64(j%3)
+	}
+	for i := 0; i < n; i++ {
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = float64((i*j)%5) / 4
+		}
+		row[i] = 2
+		p.Constraints = append(p.Constraints, Constraint{row, GE, 1})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,295 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimpleMinimization(t *testing.T) {
+	// minimize x + y s.t. x + 2y >= 4, 3x + y >= 6: optimum at the
+	// intersection (8/5, 6/5), value 14/5.
+	sol, err := Solve(Problem{
+		Minimize: []float64{1, 1},
+		Constraints: []Constraint{
+			{[]float64{1, 2}, GE, 4},
+			{[]float64{3, 1}, GE, 6},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Value, 2.8) {
+		t.Errorf("value = %v, want 2.8", sol.Value)
+	}
+	if !approx(sol.X[0], 1.6) || !approx(sol.X[1], 1.2) {
+		t.Errorf("x = %v, want (1.6, 1.2)", sol.X)
+	}
+}
+
+func TestMaximizationViaNegation(t *testing.T) {
+	// maximize 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18: classic
+	// optimum (2, 6) with value 36 — minimize the negation.
+	sol, err := Solve(Problem{
+		Minimize: []float64{-3, -5},
+		Constraints: []Constraint{
+			{[]float64{1, 0}, LE, 4},
+			{[]float64{0, 2}, LE, 12},
+			{[]float64{3, 2}, LE, 18},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Value, -36) {
+		t.Errorf("value = %v, want -36", sol.Value)
+	}
+	if !approx(sol.X[0], 2) || !approx(sol.X[1], 6) {
+		t.Errorf("x = %v, want (2, 6)", sol.X)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// minimize x + 2y s.t. x + y = 10, x <= 6 ⇒ x=6, y=4, value 14.
+	sol, err := Solve(Problem{
+		Minimize: []float64{1, 2},
+		Constraints: []Constraint{
+			{[]float64{1, 1}, EQ, 10},
+			{[]float64{1, 0}, LE, 6},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Value, 14) {
+		t.Errorf("value = %v, want 14", sol.Value)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	_, err := Solve(Problem{
+		Minimize: []float64{1},
+		Constraints: []Constraint{
+			{[]float64{1}, GE, 5},
+			{[]float64{1}, LE, 3},
+		},
+	})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// minimize -x s.t. x >= 1: x can grow without bound.
+	_, err := Solve(Problem{
+		Minimize: []float64{-1},
+		Constraints: []Constraint{
+			{[]float64{1}, GE, 1},
+		},
+	})
+	if !errors.Is(err, ErrUnbounded) {
+		t.Errorf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// x - y <= -2 is equivalent to y - x >= 2; minimize y gives x=0, y=2.
+	sol, err := Solve(Problem{
+		Minimize: []float64{0, 1},
+		Constraints: []Constraint{
+			{[]float64{1, -1}, LE, -2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Value, 2) {
+		t.Errorf("value = %v, want 2", sol.Value)
+	}
+}
+
+func TestDimensionMismatch(t *testing.T) {
+	_, err := Solve(Problem{
+		Minimize:    []float64{1, 1},
+		Constraints: []Constraint{{[]float64{1}, GE, 1}},
+	})
+	if err == nil {
+		t.Error("want error on coefficient count mismatch")
+	}
+}
+
+func TestDegenerateRedundantConstraints(t *testing.T) {
+	// Duplicate constraints cause degeneracy; Bland's rule must not cycle.
+	sol, err := Solve(Problem{
+		Minimize: []float64{1, 1},
+		Constraints: []Constraint{
+			{[]float64{1, 1}, GE, 2},
+			{[]float64{1, 1}, GE, 2},
+			{[]float64{2, 2}, GE, 4},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Value, 2) {
+		t.Errorf("value = %v, want 2", sol.Value)
+	}
+}
+
+// Fractional edge cover LPs (minimize Σ x_e subject to, for each vertex,
+// Σ_{e ∋ v} x_e ≥ 1) with known optima.
+func coverLP(numVertices int, edges [][]int) Problem {
+	p := Problem{Minimize: make([]float64, len(edges))}
+	for j := range p.Minimize {
+		p.Minimize[j] = 1
+	}
+	for v := 0; v < numVertices; v++ {
+		row := make([]float64, len(edges))
+		for j, e := range edges {
+			for _, u := range e {
+				if u == v {
+					row[j] = 1
+				}
+			}
+		}
+		p.Constraints = append(p.Constraints, Constraint{row, GE, 1})
+	}
+	return p
+}
+
+func TestFractionalCoverTriangle(t *testing.T) {
+	// Triangle query: 3 vertices, 3 edges; optimal fractional cover 3/2
+	// with each x_e = 1/2 (the AGM bound's famous example).
+	sol, err := Solve(coverLP(3, [][]int{{0, 1}, {1, 2}, {0, 2}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Value, 1.5) {
+		t.Errorf("triangle cover = %v, want 1.5", sol.Value)
+	}
+}
+
+func TestFractionalCoverTwoPathQuery(t *testing.T) {
+	// R(A,B) ⋈ S(B,C): two edges {A,B}, {B,C}; both endpoints A and C
+	// force x = 1 each, so ρ = 2.
+	sol, err := Solve(coverLP(3, [][]int{{0, 1}, {1, 2}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Value, 2) {
+		t.Errorf("2-path cover = %v, want 2", sol.Value)
+	}
+}
+
+func TestFractionalCoverChain(t *testing.T) {
+	// Chain of N=5 binary relations over 6 vertices: ρ = ⌈(N+1)/2⌉ = 3.
+	edges := [][]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}}
+	sol, err := Solve(coverLP(6, edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Value, 3) {
+		t.Errorf("5-chain cover = %v, want 3", sol.Value)
+	}
+}
+
+func TestFractionalCoverOddCycle(t *testing.T) {
+	// 5-cycle: optimal fractional cover 5/2 with all x_e = 1/2.
+	edges := [][]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}
+	sol, err := Solve(coverLP(5, edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Value, 2.5) {
+		t.Errorf("5-cycle cover = %v, want 2.5", sol.Value)
+	}
+}
+
+func TestFractionalCoverStar(t *testing.T) {
+	// Star join with 4 dimension edges sharing a center: each leaf forces
+	// its edge to 1, so ρ = 4 (the center is then over-covered).
+	edges := [][]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}}
+	sol, err := Solve(coverLP(5, edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Value, 4) {
+		t.Errorf("4-star cover = %v, want 4", sol.Value)
+	}
+}
+
+func TestFractionalCoverHyperedges(t *testing.T) {
+	// One ternary relation covering all of {0,1,2}: ρ = 1.
+	sol, err := Solve(coverLP(3, [][]int{{0, 1, 2}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Value, 1) {
+		t.Errorf("single hyperedge cover = %v, want 1", sol.Value)
+	}
+}
+
+// Property: the returned solution of a feasible cover LP is itself
+// feasible and its value matches Σ x_e.
+func TestPropertyCoverSolutionFeasible(t *testing.T) {
+	f := func(maskRaw uint16, nRaw uint8) bool {
+		n := int(nRaw%4) + 3 // 3..6 vertices
+		// Build an edge set from the mask over all C(n,2) pairs; ensure
+		// every vertex is covered by adding a fallback edge.
+		var edges [][]int
+		idx := 0
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if maskRaw&(1<<uint(idx%16)) != 0 {
+					edges = append(edges, []int{u, v})
+				}
+				idx++
+			}
+		}
+		covered := make([]bool, n)
+		for _, e := range edges {
+			for _, u := range e {
+				covered[u] = true
+			}
+		}
+		for u := 0; u < n; u++ {
+			if !covered[u] {
+				edges = append(edges, []int{u, (u + 1) % n})
+			}
+		}
+		sol, err := Solve(coverLP(n, edges))
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, x := range sol.X {
+			if x < -1e-9 {
+				return false
+			}
+			sum += x
+		}
+		if !approx(sum, sol.Value) {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			cov := 0.0
+			for j, e := range edges {
+				for _, u := range e {
+					if u == v {
+						cov += sol.X[j]
+					}
+				}
+			}
+			if cov < 1-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

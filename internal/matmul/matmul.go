@@ -1,0 +1,163 @@
+// Package matmul implements Section 6 of the paper: n×n matrix
+// multiplication as a map-reduce problem. It provides the problem model
+// (each output t_ik depends on row i of R and column k of S — 2n inputs),
+// the lower bound r ≥ 2n²/q with its g(q) = q²/4n² rectangle argument, the
+// matching one-phase tiling algorithm of Section 6.2, and the two-phase
+// algorithm of Section 6.3 whose total communication 4n³/√q beats the
+// one-phase 4n⁴/q for every q < n².
+package matmul
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// Matrix is a dense row-major n×m matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Random fills a matrix with small random integers (kept integral so that
+// reordered summations compare exactly).
+func Random(rows, cols int, rng *rand.Rand) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = float64(rng.Intn(9) - 4)
+	}
+	return m
+}
+
+// At returns m[i][k].
+func (m *Matrix) At(i, k int) float64 { return m.Data[i*m.Cols+k] }
+
+// Set assigns m[i][k].
+func (m *Matrix) Set(i, k int, v float64) { m.Data[i*m.Cols+k] = v }
+
+// Mul is the serial baseline product m·b (ikj loop order).
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("matmul: %dx%d times %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			r := m.At(i, j)
+			if r == 0 {
+				continue
+			}
+			for k := 0; k < b.Cols; k++ {
+				out.Data[i*out.Cols+k] += r * b.At(j, k)
+			}
+		}
+	}
+	return out
+}
+
+// Equal compares two matrices within tolerance.
+func Equal(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Problem is the matrix-multiplication problem in the Section 2 model for
+// n×n matrices: |I| = 2n² (the entries of R and S), |O| = n², and output
+// t_ik depends on the 2n inputs of row i of R and column k of S.
+type Problem struct {
+	N int
+}
+
+// NewProblem returns the problem for n×n matrices.
+func NewProblem(n int) Problem { return Problem{N: n} }
+
+// Name implements core.Problem.
+func (p Problem) Name() string { return fmt.Sprintf("matmul(n=%d)", p.N) }
+
+// NumInputs implements core.Problem.
+func (p Problem) NumInputs() int { return 2 * p.N * p.N }
+
+// NumOutputs implements core.Problem.
+func (p Problem) NumOutputs() int { return p.N * p.N }
+
+// RIndex and SIndex give the dense input indices of R's and S's entries.
+func (p Problem) RIndex(i, j int) int { return i*p.N + j }
+
+// SIndex gives the dense input index of S[j][k].
+func (p Problem) SIndex(j, k int) int { return p.N*p.N + j*p.N + k }
+
+// ForEachOutput implements core.Problem.
+func (p Problem) ForEachOutput(fn func(inputs []int) bool) {
+	buf := make([]int, 2*p.N)
+	for i := 0; i < p.N; i++ {
+		for k := 0; k < p.N; k++ {
+			for j := 0; j < p.N; j++ {
+				buf[j] = p.RIndex(i, j)
+				buf[p.N+j] = p.SIndex(j, k)
+			}
+			if !fn(buf) {
+				return
+			}
+		}
+	}
+}
+
+// Recipe returns the Section 6.1 recipe: a reducer's covered outputs form
+// a w×h rectangle with n(w+h) ≤ q inputs, maximized by the square
+// w = h = q/2n, so g(q) = q²/4n²; with |I| = 2n², |O| = n² the bound is
+// r ≥ 2n²/q.
+func Recipe(n int) core.Recipe {
+	nf := float64(n)
+	return core.Recipe{
+		ProblemName: fmt.Sprintf("matmul(n=%d)", n),
+		G:           func(q float64) float64 { return q * q / (4 * nf * nf) },
+		NumInputs:   2 * nf * nf,
+		NumOutputs:  nf * nf,
+	}
+}
+
+// LowerBound is the closed form r ≥ 2n²/q, valid for 2n ≤ q ≤ 2n².
+func LowerBound(n int, q float64) float64 {
+	return 2 * float64(n) * float64(n) / q
+}
+
+// OnePhaseCommunication is the total communication of the optimal
+// one-phase algorithm at reducer size q: r·|I| = (2n²/q)·2n² = 4n⁴/q.
+func OnePhaseCommunication(n int, q float64) float64 {
+	nf := float64(n)
+	return 4 * nf * nf * nf * nf / q
+}
+
+// TwoPhaseCommunication is the Section 6.3 total communication at
+// first-phase reducer size q with the optimal 2:1 tiles (s = √q, t = √q/2):
+// 2n³/s + n³/t = 4n³/√q.
+func TwoPhaseCommunication(n int, q float64) float64 {
+	nf := float64(n)
+	return 4 * nf * nf * nf / math.Sqrt(q)
+}
+
+// CrossoverQ is the reducer size n² at which one- and two-phase
+// communication coincide; for q < n² two-phase is strictly cheaper.
+func CrossoverQ(n int) float64 { return float64(n) * float64(n) }
+
+// OptimalST returns the Lagrange-optimal first-phase tile sides for
+// reducer size q: s = √q rows/columns and t = √q/2 j-values (the 2:1
+// aspect ratio of Section 6.3), so that 2st = q.
+func OptimalST(q float64) (s, t float64) {
+	s = math.Sqrt(q)
+	return s, s / 2
+}

@@ -1,0 +1,65 @@
+package matmul
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mr"
+)
+
+// BenchmarkSerial is the baseline dense multiply.
+func BenchmarkSerial(b *testing.B) {
+	for _, n := range []int{32, 64, 128} {
+		rng := rand.New(rand.NewSource(1))
+		x := Random(n, n, rng)
+		y := Random(n, n, rng)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = x.Mul(y)
+			}
+		})
+	}
+}
+
+// BenchmarkOnePhase sweeps the tile size at n = 48.
+func BenchmarkOnePhase(b *testing.B) {
+	const n = 48
+	rng := rand.New(rand.NewSource(2))
+	x := Random(n, n, rng)
+	y := Random(n, n, rng)
+	for _, s := range []int{2, 8, 24} {
+		schema, err := NewOnePhaseSchema(n, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("s=%d", s), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := RunOnePhase(x, y, schema, mr.Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTwoPhase sweeps tiles at the same n.
+func BenchmarkTwoPhase(b *testing.B) {
+	const n = 48
+	rng := rand.New(rand.NewSource(3))
+	x := Random(n, n, rng)
+	y := Random(n, n, rng)
+	for _, tc := range []struct{ s, t int }{{8, 4}, {16, 8}, {24, 12}} {
+		schema, err := NewTwoPhaseSchema(n, tc.s, tc.t)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("s=%d_t=%d", tc.s, tc.t), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := RunTwoPhase(x, y, schema, mr.Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,327 @@
+package matmul
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/mr"
+)
+
+func TestSerialMul(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(3, 2)
+	// a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12] ⇒ ab = [58 64; 139 154].
+	vals := []float64{1, 2, 3, 4, 5, 6}
+	copy(a.Data, vals)
+	copy(b.Data, []float64{7, 8, 9, 10, 11, 12})
+	c := a.Mul(b)
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Errorf("c[%d] = %v, want %v", i, c.Data[i], w)
+		}
+	}
+}
+
+func TestMulDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched dims should panic")
+		}
+	}()
+	NewMatrix(2, 3).Mul(NewMatrix(2, 3))
+}
+
+func TestProblemModel(t *testing.T) {
+	p := NewProblem(4)
+	if p.NumInputs() != 32 || p.NumOutputs() != 16 {
+		t.Errorf("|I|=%d |O|=%d, want 32 and 16", p.NumInputs(), p.NumOutputs())
+	}
+	count := 0
+	p.ForEachOutput(func(inputs []int) bool {
+		if len(inputs) != 8 { // 2n = 8 inputs per output
+			t.Fatalf("output depends on %d inputs, want 8", len(inputs))
+		}
+		count++
+		return true
+	})
+	if count != 16 {
+		t.Errorf("enumerated %d outputs, want 16", count)
+	}
+}
+
+func TestRecipeAndLowerBound(t *testing.T) {
+	n := 64
+	rc := Recipe(n)
+	for _, q := range []float64{128, 512, 8192} {
+		want := LowerBound(n, q)
+		if got := rc.LowerBound(q); math.Abs(got-want)/want > 1e-9 {
+			t.Errorf("recipe(%v) = %v, want %v", q, got, want)
+		}
+	}
+	if !rc.GOverQMonotone(float64(2*n), float64(2*n*n), 100) {
+		t.Error("g(q)/q must be monotone")
+	}
+	// Endpoints: q = 2n² ⇒ r = 1; q = 2n ⇒ r = n.
+	if LowerBound(n, float64(2*n*n)) != 1 {
+		t.Error("r(2n²) should be 1")
+	}
+	if LowerBound(n, float64(2*n)) != float64(n) {
+		t.Error("r(2n) should be n")
+	}
+}
+
+func TestOnePhaseSchemaValidAndMatchesBound(t *testing.T) {
+	n := 8
+	p := NewProblem(n)
+	for _, s := range []int{1, 2, 4, 8} {
+		schema, err := NewOnePhaseSchema(n, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := core.Validate(p, schema, schema.ReducerSize()); err != nil {
+			t.Errorf("s=%d: invalid: %v", s, err)
+		}
+		st := core.Measure(p, schema)
+		// r = n/s exactly, which equals the lower bound 2n²/q at q = 2sn.
+		wantR := float64(n) / float64(s)
+		if st.ReplicationRate != wantR {
+			t.Errorf("s=%d: r = %v, want %v", s, st.ReplicationRate, wantR)
+		}
+		if lb := LowerBound(n, float64(schema.ReducerSize())); math.Abs(st.ReplicationRate-lb) > 1e-9 {
+			t.Errorf("s=%d: r = %v does not match bound %v", s, st.ReplicationRate, lb)
+		}
+		if st.MaxReducerLoad != schema.ReducerSize() {
+			t.Errorf("s=%d: load %d, want q = %d", s, st.MaxReducerLoad, schema.ReducerSize())
+		}
+	}
+}
+
+func TestOnePhaseSchemaRejectsBadS(t *testing.T) {
+	if _, err := NewOnePhaseSchema(8, 3); err == nil {
+		t.Error("s=3 does not divide 8")
+	}
+	if _, err := NewOnePhaseSchema(8, 0); err == nil {
+		t.Error("s=0 rejected")
+	}
+}
+
+func TestRunOnePhaseCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := 12
+	r := Random(n, n, rng)
+	s := Random(n, n, rng)
+	want := r.Mul(s)
+	for _, ss := range []int{1, 2, 3, 4, 6, 12} {
+		schema, err := NewOnePhaseSchema(n, ss)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, met, err := RunOnePhase(r, s, schema, mr.Config{})
+		if err != nil {
+			t.Fatalf("s=%d: %v", ss, err)
+		}
+		if !Equal(got, want, 1e-9) {
+			t.Errorf("s=%d: product differs from serial", ss)
+		}
+		// Measured replication = n/s exactly.
+		if rr := met.ReplicationRate(); rr != float64(n)/float64(ss) {
+			t.Errorf("s=%d: measured r = %v, want %v", ss, rr, float64(n)/float64(ss))
+		}
+		if met.MaxReducerInput != int64(schema.ReducerSize()) {
+			t.Errorf("s=%d: q = %d, want %d", ss, met.MaxReducerInput, schema.ReducerSize())
+		}
+	}
+}
+
+func TestRunOnePhaseRejectsWrongShape(t *testing.T) {
+	schema, _ := NewOnePhaseSchema(8, 2)
+	if _, _, err := RunOnePhase(NewMatrix(4, 4), NewMatrix(4, 4), schema, mr.Config{}); err == nil {
+		t.Error("shape mismatch should error")
+	}
+}
+
+func TestRunTwoPhaseCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	n := 12
+	r := Random(n, n, rng)
+	s := Random(n, n, rng)
+	want := r.Mul(s)
+	for _, tc := range []struct{ s, t int }{{2, 1}, {4, 2}, {6, 3}, {2, 2}, {12, 6}} {
+		schema, err := NewTwoPhaseSchema(n, tc.s, tc.t)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, pipe, err := RunTwoPhase(r, s, schema, mr.Config{})
+		if err != nil {
+			t.Fatalf("s=%d t=%d: %v", tc.s, tc.t, err)
+		}
+		if !Equal(got, want, 1e-9) {
+			t.Errorf("s=%d t=%d: product differs from serial", tc.s, tc.t)
+		}
+		if len(pipe.Rounds) != 2 {
+			t.Fatalf("want 2 rounds, got %d", len(pipe.Rounds))
+		}
+		// Phase communication matches the closed forms exactly.
+		if got1 := pipe.Rounds[0].Metrics.PairsEmitted; got1 != schema.PredictedPhase1Communication() {
+			t.Errorf("s=%d t=%d: phase-1 comm %d, want %d", tc.s, tc.t, got1, schema.PredictedPhase1Communication())
+		}
+		if got2 := pipe.Rounds[1].Metrics.PairsEmitted; got2 != schema.PredictedPhase2Communication() {
+			t.Errorf("s=%d t=%d: phase-2 comm %d, want %d", tc.s, tc.t, got2, schema.PredictedPhase2Communication())
+		}
+		// First-phase reducers hold exactly q = 2st inputs.
+		if q := pipe.Rounds[0].Metrics.MaxReducerInput; q != int64(schema.ReducerSize()) {
+			t.Errorf("s=%d t=%d: q = %d, want %d", tc.s, tc.t, q, schema.ReducerSize())
+		}
+	}
+}
+
+func TestTwoPhaseSchemaRejectsBadParams(t *testing.T) {
+	if _, err := NewTwoPhaseSchema(12, 5, 2); err == nil {
+		t.Error("s=5 does not divide 12")
+	}
+	if _, err := NewTwoPhaseSchema(12, 4, 5); err == nil {
+		t.Error("t=5 does not divide 12")
+	}
+}
+
+func TestTwoPhaseBeatsOnePhaseBelowCrossover(t *testing.T) {
+	n := 64
+	for _, q := range []float64{256, 1024, float64(n*n) / 2} {
+		one := OnePhaseCommunication(n, q)
+		two := TwoPhaseCommunication(n, q)
+		if two >= one {
+			t.Errorf("q=%v < n²: two-phase %v should beat one-phase %v", q, two, one)
+		}
+	}
+	// At the crossover q = n² they are equal.
+	q := CrossoverQ(n)
+	if math.Abs(OnePhaseCommunication(n, q)-TwoPhaseCommunication(n, q)) > 1e-6 {
+		t.Error("communication should coincide at q = n²")
+	}
+	// Above the crossover, one-phase wins.
+	if OnePhaseCommunication(n, 2*q) >= TwoPhaseCommunication(n, 2*q) {
+		t.Error("one-phase should win for q > n²")
+	}
+}
+
+func TestAspectRatioOptimum(t *testing.T) {
+	// The paper's Lagrange claim: at fixed q = 2st, total communication
+	// 2n³/s + n³/t is minimized at s = 2t. Sweep every integral tiling
+	// with st = 18 on n = 36 and verify the measured minimum sits at the
+	// 2:1 tile (s,t) = (6,3).
+	rng := rand.New(rand.NewSource(41))
+	n := 36
+	r := Random(n, n, rng)
+	s := Random(n, n, rng)
+	want := r.Mul(s)
+
+	type tile struct{ s, t int }
+	tiles := []tile{{18, 1}, {9, 2}, {6, 3}, {3, 6}, {2, 9}, {1, 18}}
+	best := tile{}
+	var bestComm int64 = math.MaxInt64
+	for _, tl := range tiles {
+		schema, err := NewTwoPhaseSchema(n, tl.s, tl.t)
+		if err != nil {
+			t.Fatalf("(%d,%d): %v", tl.s, tl.t, err)
+		}
+		got, pipe, err := RunTwoPhase(r, s, schema, mr.Config{})
+		if err != nil {
+			t.Fatalf("(%d,%d): %v", tl.s, tl.t, err)
+		}
+		if !Equal(got, want, 1e-9) {
+			t.Fatalf("(%d,%d): wrong product", tl.s, tl.t)
+		}
+		if comm := pipe.TotalPairsEmitted(); comm < bestComm {
+			bestComm, best = comm, tl
+		}
+	}
+	if best != (tile{6, 3}) {
+		t.Errorf("minimum communication at (s,t) = (%d,%d), want the 2:1 tile (6,3)", best.s, best.t)
+	}
+}
+
+func TestOptimalST(t *testing.T) {
+	s, tt := OptimalST(64)
+	if s != 8 || tt != 4 {
+		t.Errorf("OptimalST(64) = (%v,%v), want (8,4)", s, tt)
+	}
+	// Constraint 2st = q holds.
+	if 2*s*tt != 64 {
+		t.Error("2st != q")
+	}
+}
+
+func TestRunWithFaultInjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	n := 8
+	r := Random(n, n, rng)
+	s := Random(n, n, rng)
+	want := r.Mul(s)
+	schema, err := NewTwoPhaseSchema(n, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := RunTwoPhase(r, s, schema, mr.Config{FailureEveryN: 3, MaxRetries: 3, MapChunk: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(got, want, 1e-9) {
+		t.Error("faulty two-phase run differs from serial")
+	}
+}
+
+// Property: one- and two-phase runs agree with the serial product for
+// random sizes and tilings.
+func TestPropertyPhasesAgree(t *testing.T) {
+	f := func(seed int64, pick uint8) bool {
+		sizes := []struct{ n, s, t int }{
+			{4, 2, 1}, {4, 2, 2}, {6, 3, 1}, {6, 2, 3}, {8, 4, 2},
+		}
+		c := sizes[int(pick)%len(sizes)]
+		rng := rand.New(rand.NewSource(seed))
+		r := Random(c.n, c.n, rng)
+		s := Random(c.n, c.n, rng)
+		want := r.Mul(s)
+		one, err := NewOnePhaseSchema(c.n, c.s)
+		if err != nil {
+			return false
+		}
+		got1, _, err := RunOnePhase(r, s, one, mr.Config{})
+		if err != nil || !Equal(got1, want, 1e-9) {
+			return false
+		}
+		two, err := NewTwoPhaseSchema(c.n, c.s, c.t)
+		if err != nil {
+			return false
+		}
+		got2, _, err := RunTwoPhase(r, s, two, mr.Config{})
+		return err == nil && Equal(got2, want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the measured one-phase communication equals 4n⁴/q when s|n.
+func TestPropertyOnePhaseCommFormula(t *testing.T) {
+	f := func(pick uint8) bool {
+		n := 12
+		ss := []int{1, 2, 3, 4, 6}[int(pick)%5]
+		schema, err := NewOnePhaseSchema(n, ss)
+		if err != nil {
+			return false
+		}
+		p := NewProblem(n)
+		st := core.Measure(p, schema)
+		q := float64(schema.ReducerSize())
+		want := OnePhaseCommunication(n, q)
+		return math.Abs(float64(st.TotalAssigned)-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,259 @@
+package matmul
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mr"
+)
+
+// entry is one matrix element tagged with its origin (0 = R, 1 = S).
+type entry struct {
+	Mat      int8
+	Row, Col int
+	Val      float64
+}
+
+// entries flattens R and S into the job's input records.
+func entries(r, s *Matrix) []entry {
+	out := make([]entry, 0, len(r.Data)+len(s.Data))
+	for i := 0; i < r.Rows; i++ {
+		for j := 0; j < r.Cols; j++ {
+			out = append(out, entry{0, i, j, r.At(i, j)})
+		}
+	}
+	for j := 0; j < s.Rows; j++ {
+		for k := 0; k < s.Cols; k++ {
+			out = append(out, entry{1, j, k, s.At(j, k)})
+		}
+	}
+	return out
+}
+
+// OnePhaseSchema is the Section 6.2 tiling: partition R's rows into n/s
+// groups of s and S's columns likewise; one reducer per (row-group,
+// column-group) pair with q = 2sn inputs and replication rate
+// n/s = 2n²/q, exactly matching the lower bound.
+type OnePhaseSchema struct {
+	N, S int
+}
+
+// NewOnePhaseSchema validates that s divides n.
+func NewOnePhaseSchema(n, s int) (OnePhaseSchema, error) {
+	if s < 1 || n%s != 0 {
+		return OnePhaseSchema{}, fmt.Errorf("matmul: s=%d must divide n=%d", s, n)
+	}
+	return OnePhaseSchema{N: n, S: s}, nil
+}
+
+// Groups is n/s.
+func (o OnePhaseSchema) Groups() int { return o.N / o.S }
+
+// ReducerSize is q = 2sn.
+func (o OnePhaseSchema) ReducerSize() int { return 2 * o.S * o.N }
+
+// NumReducers implements core.MappingSchema: (n/s)².
+func (o OnePhaseSchema) NumReducers() int { return o.Groups() * o.Groups() }
+
+// Assign implements core.MappingSchema over the Problem input indexing:
+// R[i][j] goes to the n/s reducers (group(i), *); S[j][k] to (*, group(k)).
+func (o OnePhaseSchema) Assign(in int) []int {
+	g := o.Groups()
+	n2 := o.N * o.N
+	rs := make([]int, g)
+	if in < n2 { // R[i][j]
+		gi := (in / o.N) / o.S
+		for h := 0; h < g; h++ {
+			rs[h] = gi*g + h
+		}
+	} else { // S[j][k]
+		gk := ((in - n2) % o.N) / o.S
+		for gi := 0; gi < g; gi++ {
+			rs[gi] = gi*g + gk
+		}
+	}
+	return rs
+}
+
+var _ core.MappingSchema = OnePhaseSchema{}
+
+// RunOnePhase executes the one-phase algorithm, returning the product and
+// the round metrics. Each reducer computes its s×s output tile from its s
+// rows of R and s columns of S.
+func RunOnePhase(r, s *Matrix, schema OnePhaseSchema, cfg mr.Config) (*Matrix, mr.Metrics, error) {
+	n, g, ss := schema.N, schema.Groups(), schema.S
+	if r.Rows != n || r.Cols != n || s.Rows != n || s.Cols != n {
+		return nil, mr.Metrics{}, fmt.Errorf("matmul: matrices must be %dx%d", n, n)
+	}
+	type out struct {
+		I, K int
+		V    float64
+	}
+	job := &mr.Job[entry, int, entry, out]{
+		Name: fmt.Sprintf("matmul-1phase(n=%d,s=%d)", n, ss),
+		Map: func(e entry, emit func(int, entry)) {
+			if e.Mat == 0 {
+				gi := e.Row / ss
+				for h := 0; h < g; h++ {
+					emit(gi*g+h, e)
+				}
+			} else {
+				gk := e.Col / ss
+				for gi := 0; gi < g; gi++ {
+					emit(gi*g+gk, e)
+				}
+			}
+		},
+		Reduce: func(cell int, es []entry, emit func(out)) {
+			gi, gk := cell/g, cell%g
+			rBlock := make([]float64, ss*n) // rows gi*ss..gi*ss+ss-1
+			sBlock := make([]float64, n*ss) // cols gk*ss..
+			for _, e := range es {
+				if e.Mat == 0 {
+					rBlock[(e.Row-gi*ss)*n+e.Col] = e.Val
+				} else {
+					sBlock[e.Row*ss+(e.Col-gk*ss)] = e.Val
+				}
+			}
+			for bi := 0; bi < ss; bi++ {
+				for bk := 0; bk < ss; bk++ {
+					sum := 0.0
+					for j := 0; j < n; j++ {
+						sum += rBlock[bi*n+j] * sBlock[j*ss+bk]
+					}
+					emit(out{gi*ss + bi, gk*ss + bk, sum})
+				}
+			}
+		},
+		Config: cfg,
+	}
+	outs, met, err := job.Run(entries(r, s))
+	if err != nil {
+		return nil, met, err
+	}
+	prod := NewMatrix(n, n)
+	for _, o := range outs {
+		prod.Set(o.I, o.K, o.V)
+	}
+	return prod, met, nil
+}
+
+// TwoPhaseSchema configures the Section 6.3 two-phase algorithm: the
+// first phase tiles the i×k×j index cube with s×s×t blocks (one reducer
+// per block, q = 2st inputs), computing partial sums over each block's t
+// j-values; the second phase groups the partials by (i,k) and adds them.
+type TwoPhaseSchema struct {
+	N, S, T int
+}
+
+// NewTwoPhaseSchema validates that s and t divide n.
+func NewTwoPhaseSchema(n, s, t int) (TwoPhaseSchema, error) {
+	if s < 1 || n%s != 0 {
+		return TwoPhaseSchema{}, fmt.Errorf("matmul: s=%d must divide n=%d", s, n)
+	}
+	if t < 1 || n%t != 0 {
+		return TwoPhaseSchema{}, fmt.Errorf("matmul: t=%d must divide n=%d", t, n)
+	}
+	return TwoPhaseSchema{N: n, S: s, T: t}, nil
+}
+
+// ReducerSize is the first-phase q = 2st.
+func (o TwoPhaseSchema) ReducerSize() int { return 2 * o.S * o.T }
+
+// NumFirstPhaseReducers is (n/s)²·(n/t).
+func (o TwoPhaseSchema) NumFirstPhaseReducers() int {
+	g := o.N / o.S
+	return g * g * (o.N / o.T)
+}
+
+// PredictedPhase1Communication is 2n³/s.
+func (o TwoPhaseSchema) PredictedPhase1Communication() int64 {
+	n := int64(o.N)
+	return 2 * n * n * n / int64(o.S)
+}
+
+// PredictedPhase2Communication is n³/t.
+func (o TwoPhaseSchema) PredictedPhase2Communication() int64 {
+	n := int64(o.N)
+	return n * n * n / int64(o.T)
+}
+
+// partial is a phase-1 output: a partial sum for output (I,K).
+type partial struct {
+	I, K int
+	V    float64
+}
+
+// RunTwoPhase executes both rounds and returns the product together with
+// the per-round pipeline metrics.
+func RunTwoPhase(r, s *Matrix, schema TwoPhaseSchema, cfg mr.Config) (*Matrix, *mr.Pipeline, error) {
+	n, ss, tt := schema.N, schema.S, schema.T
+	if r.Rows != n || r.Cols != n || s.Rows != n || s.Cols != n {
+		return nil, nil, fmt.Errorf("matmul: matrices must be %dx%d", n, n)
+	}
+	g := n / ss
+	gj := n / tt
+	phase1 := &mr.Job[entry, int, entry, partial]{
+		Name: fmt.Sprintf("matmul-2phase-multiply(n=%d,s=%d,t=%d)", n, ss, tt),
+		Map: func(e entry, emit func(int, entry)) {
+			if e.Mat == 0 { // R[i][j]: fix i-group and j-group, all k-groups
+				gi, gjj := e.Row/ss, e.Col/tt
+				for gk := 0; gk < g; gk++ {
+					emit((gi*g+gk)*gj+gjj, e)
+				}
+			} else { // S[j][k]: fix j-group and k-group, all i-groups
+				gjj, gk := e.Row/tt, e.Col/ss
+				for gi := 0; gi < g; gi++ {
+					emit((gi*g+gk)*gj+gjj, e)
+				}
+			}
+		},
+		Reduce: func(cell int, es []entry, emit func(partial)) {
+			gjj := cell % gj
+			gk := (cell / gj) % g
+			gi := cell / (gj * g)
+			rB := make([]float64, ss*tt)
+			sB := make([]float64, tt*ss)
+			for _, e := range es {
+				if e.Mat == 0 {
+					rB[(e.Row-gi*ss)*tt+(e.Col-gjj*tt)] = e.Val
+				} else {
+					sB[(e.Row-gjj*tt)*ss+(e.Col-gk*ss)] = e.Val
+				}
+			}
+			for bi := 0; bi < ss; bi++ {
+				for bk := 0; bk < ss; bk++ {
+					sum := 0.0
+					for j := 0; j < tt; j++ {
+						sum += rB[bi*tt+j] * sB[j*ss+bk]
+					}
+					emit(partial{gi*ss + bi, gk*ss + bk, sum})
+				}
+			}
+		},
+		Config: cfg,
+	}
+	phase2 := &mr.Job[partial, int, float64, partial]{
+		Name: "matmul-2phase-sum",
+		Map: func(p partial, emit func(int, float64)) {
+			emit(p.I*n+p.K, p.V)
+		},
+		Reduce: func(ik int, vs []float64, emit func(partial)) {
+			sum := 0.0
+			for _, v := range vs {
+				sum += v
+			}
+			emit(partial{ik / n, ik % n, sum})
+		},
+		Config: cfg,
+	}
+	outs, pipe, err := mr.Chain(phase1, phase2, entries(r, s))
+	if err != nil {
+		return nil, pipe, err
+	}
+	prod := NewMatrix(n, n)
+	for _, o := range outs {
+		prod.Set(o.I, o.K, o.V)
+	}
+	return prod, pipe, nil
+}

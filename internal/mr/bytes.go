@@ -1,0 +1,71 @@
+package mr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// PairSizer estimates the wire size in bytes of one key-value pair. The
+// paper measures communication in key-value pairs (its replication rate
+// is pairs per input); byte accounting is the production-grade refinement
+// for clusters that bill by volume, and multiplies into the same tradeoff
+// because every pair of a given job has near-constant size.
+type PairSizer[K comparable, V any] func(K, V) int
+
+// SizeOf estimates the encoded size of common scalar types: fixed-width
+// integers and floats by width, strings by length plus a 4-byte length
+// prefix, and everything else by its formatted length (an upper bound).
+func SizeOf(v any) int {
+	switch x := v.(type) {
+	case int, int64, uint64, float64:
+		return 8
+	case int32, uint32, float32:
+		return 4
+	case int16, uint16:
+		return 2
+	case int8, uint8, bool:
+		return 1
+	case string:
+		return 4 + len(x)
+	case []byte:
+		return 4 + len(x)
+	default:
+		return len(fmt.Sprint(v))
+	}
+}
+
+// MeasureBytes reruns the map phase of a job's inputs through the sizer
+// to compute the byte volume of the shuffle without re-executing reduce.
+// It returns total bytes and the mean pair size.
+func MeasureBytes[I any, K comparable, V, O any](j *Job[I, K, V, O], inputs []I, sizer PairSizer[K, V]) (total int64, meanPair float64) {
+	var pairs int64
+	emit := func(k K, v V) {
+		total += int64(sizer(k, v))
+		pairs++
+	}
+	for _, in := range inputs {
+		j.Map(in, emit)
+	}
+	if pairs == 0 {
+		return 0, 0
+	}
+	return total, float64(total) / float64(pairs)
+}
+
+// VarintLen is the length of x in unsigned varint encoding, the framing
+// most storage formats use for record headers.
+func VarintLen(x uint64) int {
+	var buf [binary.MaxVarintLen64]byte
+	return binary.PutUvarint(buf[:], x)
+}
+
+// CommunicationBytes converts a replication rate and an input profile
+// into an estimated shuffle volume: r · numInputs · bytesPerPair.
+func CommunicationBytes(replicationRate float64, numInputs int64, bytesPerPair float64) float64 {
+	v := replicationRate * float64(numInputs) * bytesPerPair
+	if math.IsNaN(v) || v < 0 {
+		return 0
+	}
+	return v
+}

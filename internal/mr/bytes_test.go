@@ -1,0 +1,87 @@
+package mr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSizeOf(t *testing.T) {
+	tests := []struct {
+		v    any
+		want int
+	}{
+		{int(7), 8}, {int64(7), 8}, {uint64(7), 8}, {float64(1.5), 8},
+		{int32(7), 4}, {uint32(7), 4}, {float32(1.5), 4},
+		{int16(7), 2}, {uint16(7), 2},
+		{int8(7), 1}, {uint8(7), 1}, {true, 1},
+		{"abc", 7}, {[]byte{1, 2}, 6},
+	}
+	for _, tc := range tests {
+		if got := SizeOf(tc.v); got != tc.want {
+			t.Errorf("SizeOf(%T %v) = %d, want %d", tc.v, tc.v, got, tc.want)
+		}
+	}
+	// Fallback path formats the value.
+	if got := SizeOf(struct{ X int }{42}); got <= 0 {
+		t.Errorf("SizeOf(struct) = %d, want > 0", got)
+	}
+}
+
+func TestMeasureBytes(t *testing.T) {
+	job := wordCountJob(Config{})
+	docs := []string{"aa bb", "cc"}
+	total, mean := MeasureBytes(job, docs, func(k string, v int) int {
+		return SizeOf(k) + SizeOf(v)
+	})
+	// 3 pairs, each key is 2 chars (4+2=6) + int value 8 = 14 bytes.
+	if total != 42 {
+		t.Errorf("total = %d, want 42", total)
+	}
+	if mean != 14 {
+		t.Errorf("mean = %v, want 14", mean)
+	}
+}
+
+func TestMeasureBytesEmpty(t *testing.T) {
+	job := wordCountJob(Config{})
+	total, mean := MeasureBytes(job, nil, func(k string, v int) int { return 1 })
+	if total != 0 || mean != 0 {
+		t.Errorf("empty input: total=%d mean=%v, want zeros", total, mean)
+	}
+}
+
+func TestVarintLen(t *testing.T) {
+	tests := []struct {
+		x    uint64
+		want int
+	}{{0, 1}, {127, 1}, {128, 2}, {1 << 14, 3}, {1 << 63, 10}}
+	for _, tc := range tests {
+		if got := VarintLen(tc.x); got != tc.want {
+			t.Errorf("VarintLen(%d) = %d, want %d", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCommunicationBytes(t *testing.T) {
+	if got := CommunicationBytes(2, 1000, 16); got != 32000 {
+		t.Errorf("CommunicationBytes = %v, want 32000", got)
+	}
+	if got := CommunicationBytes(-1, 10, 10); got != 0 {
+		t.Errorf("negative input should clamp to 0, got %v", got)
+	}
+}
+
+func TestMeasureBytesAgreesWithMetrics(t *testing.T) {
+	// The byte measurement must see exactly the pairs the engine emits.
+	doc := strings.Repeat("x ", 50)
+	job := wordCountJob(Config{})
+	_, met, err := job.Run([]string{doc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pairs int64
+	MeasureBytes(job, []string{doc}, func(string, int) int { pairs++; return 1 })
+	if pairs != met.PairsEmitted {
+		t.Errorf("sizer saw %d pairs, engine emitted %d", pairs, met.PairsEmitted)
+	}
+}

@@ -1,0 +1,450 @@
+// Package mr implements a small but complete in-process MapReduce runtime.
+//
+// The runtime exists so that the mapping schemas of Afrati, Das Sarma,
+// Salihoglu and Ullman, "Upper and Lower Bounds on the Cost of a Map-Reduce
+// Computation" (VLDB 2013), can be executed rather than merely analyzed: a
+// Job runs a map phase, a shuffle, and a reduce phase over real data, while
+// Metrics records exactly the quantities the paper reasons about — the
+// number of key-value pairs communicated between the phases (from which the
+// replication rate is derived) and the number of inputs each reducer
+// receives (the paper's reducer size q).
+//
+// The engine is deliberately faithful to the paper's cost model rather than
+// to any particular distributed implementation: mappers work on input
+// records independently, every emitted pair is counted as communication,
+// and a "reducer" is one reduce key together with its list of values.
+// Parallelism is real (worker goroutines), and the engine supports
+// combiners, custom partitioners, multi-round pipelines, and deterministic
+// fault injection with task retry, so that tests can exercise the
+// fault-tolerance path that defines MapReduce.
+package mr
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Pair is a single key-value pair emitted by a map task.
+type Pair[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// MapFunc transforms one input record into zero or more key-value pairs.
+// It must be deterministic and side-effect free: the engine may re-execute
+// it when fault injection is enabled.
+type MapFunc[I any, K comparable, V any] func(in I, emit func(K, V))
+
+// ReduceFunc processes one reduce key together with all values that were
+// emitted for it, producing zero or more output records. Like MapFunc it
+// must be deterministic so that retried tasks produce identical results.
+type ReduceFunc[K comparable, V, O any] func(key K, values []V, emit func(O))
+
+// CombineFunc optionally pre-aggregates the values for one key inside a
+// single map task before shuffle, reducing communication. It must be
+// semantically transparent: reduce(k, combine(vs)) == reduce(k, vs).
+type CombineFunc[K comparable, V any] func(key K, values []V) []V
+
+// Config controls the execution of a Job.
+type Config struct {
+	// Workers is the number of parallel map (and reduce) workers.
+	// Zero means runtime.NumCPU().
+	Workers int
+
+	// MapChunk is the number of input records grouped into one map task.
+	// Zero means an automatic chunk size targeting ~4 tasks per worker.
+	MapChunk int
+
+	// ReduceWorkersHint, when positive, partitions reduce keys into this
+	// many logical reduce workers for the per-worker skew metrics. It does
+	// not change results, only Metrics.WorkerInputs.
+	ReduceWorkersHint int
+
+	// MaxReducerInput, when positive, makes the job fail if any reduce key
+	// receives more than this many values. It enforces the paper's reducer
+	// size limit q at runtime.
+	MaxReducerInput int
+
+	// RecordLoads, when true, stores every reducer's input size in
+	// Metrics.ReducerLoads (in sorted key order), for downstream
+	// scheduling and cost simulation.
+	RecordLoads bool
+
+	// FailureEveryN, when positive, deterministically fails each task's
+	// first attempt whenever the task index is divisible by FailureEveryN.
+	// Failed tasks are retried up to MaxRetries times. This exercises the
+	// engine's fault-tolerance path without nondeterminism.
+	FailureEveryN int
+
+	// MaxRetries is the number of retries granted to a failing task.
+	// Zero means 2 when FailureEveryN is set.
+	MaxRetries int
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	n := runtime.NumCPU()
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (c Config) maxRetries() int {
+	if c.MaxRetries > 0 {
+		return c.MaxRetries
+	}
+	if c.FailureEveryN > 0 {
+		return 2
+	}
+	return 0
+}
+
+// Metrics records the communication profile of one executed round. All
+// counts refer to logical records, matching the paper's convention that
+// communication cost is measured in key-value pairs.
+type Metrics struct {
+	// MapInputs is the number of input records consumed by the map phase.
+	MapInputs int64
+	// PairsEmitted is the number of key-value pairs produced by map tasks
+	// before any combiner ran. This is the paper's communication cost.
+	PairsEmitted int64
+	// PairsShuffled is the number of pairs actually sent to the reduce
+	// phase, after combining. Equal to PairsEmitted without a combiner.
+	PairsShuffled int64
+	// Reducers is the number of distinct reduce keys ("reducers" in the
+	// paper's sense: a key plus its list of values).
+	Reducers int64
+	// MaxReducerInput is the largest number of values any one reduce key
+	// received — the realized reducer size q.
+	MaxReducerInput int64
+	// TotalReducerInput is the sum over reducers of their input sizes;
+	// equal to PairsShuffled.
+	TotalReducerInput int64
+	// Outputs is the number of records produced by the reduce phase.
+	Outputs int64
+	// MapRetries and ReduceRetries count task re-executions triggered by
+	// fault injection.
+	MapRetries    int64
+	ReduceRetries int64
+	// WorkerInputs, when ReduceWorkersHint was set, is the number of
+	// values routed to each logical reduce worker (for skew analysis).
+	WorkerInputs []int64
+	// ReducerLoads, when Config.RecordLoads was set, holds every
+	// reducer's input size in sorted key order.
+	ReducerLoads []int
+}
+
+// ReplicationRate is the average number of key-value pairs created per map
+// input: the paper's replication rate r for this round.
+func (m Metrics) ReplicationRate() float64 {
+	if m.MapInputs == 0 {
+		return 0
+	}
+	return float64(m.PairsEmitted) / float64(m.MapInputs)
+}
+
+// ShuffledReplicationRate is the replication rate after combining.
+func (m Metrics) ShuffledReplicationRate() float64 {
+	if m.MapInputs == 0 {
+		return 0
+	}
+	return float64(m.PairsShuffled) / float64(m.MapInputs)
+}
+
+// MeanReducerInput is the average reducer input size.
+func (m Metrics) MeanReducerInput() float64 {
+	if m.Reducers == 0 {
+		return 0
+	}
+	return float64(m.TotalReducerInput) / float64(m.Reducers)
+}
+
+// String renders a one-line summary suitable for harness output.
+func (m Metrics) String() string {
+	return fmt.Sprintf("inputs=%d pairs=%d reducers=%d maxq=%d r=%.4f",
+		m.MapInputs, m.PairsEmitted, m.Reducers, m.MaxReducerInput, m.ReplicationRate())
+}
+
+// Job is a single-round MapReduce computation from inputs of type I,
+// through keys K and values V, to outputs of type O.
+type Job[I any, K comparable, V, O any] struct {
+	Name    string
+	Map     MapFunc[I, K, V]
+	Reduce  ReduceFunc[K, V, O]
+	Combine CombineFunc[K, V] // optional
+	// Partition maps a key to a logical reduce worker in
+	// [0, ReduceWorkersHint). Optional; defaults to a modular hash of the
+	// key's formatted value.
+	Partition func(K) int
+	Config    Config
+}
+
+// ErrReducerOverflow is returned (wrapped) when a reduce key exceeds the
+// configured MaxReducerInput.
+var ErrReducerOverflow = errors.New("mr: reducer input exceeds configured maximum")
+
+// errInjected marks a deterministic injected task failure.
+var errInjected = errors.New("mr: injected task failure")
+
+// Run executes the job over inputs and returns the reduce outputs together
+// with the round's metrics. Output order is deterministic: reduce keys are
+// processed in a stable sorted order (by formatted key), and within a key
+// the outputs appear in emission order.
+func (j *Job[I, K, V, O]) Run(inputs []I) ([]O, Metrics, error) {
+	var met Metrics
+	met.MapInputs = int64(len(inputs))
+
+	groups, err := j.runMapPhase(inputs, &met)
+	if err != nil {
+		return nil, met, err
+	}
+
+	keys := sortedKeys(groups)
+	met.Reducers = int64(len(keys))
+	if j.Config.RecordLoads {
+		met.ReducerLoads = make([]int, 0, len(keys))
+	}
+	for _, k := range keys {
+		n := int64(len(groups[k]))
+		met.TotalReducerInput += n
+		if n > met.MaxReducerInput {
+			met.MaxReducerInput = n
+		}
+		if j.Config.RecordLoads {
+			met.ReducerLoads = append(met.ReducerLoads, int(n))
+		}
+	}
+	met.PairsShuffled = met.TotalReducerInput
+	if j.Combine == nil {
+		// Without a combiner every emitted pair is shuffled.
+		met.PairsShuffled = met.PairsEmitted
+	}
+	if max := j.Config.MaxReducerInput; max > 0 && met.MaxReducerInput > int64(max) {
+		return nil, met, fmt.Errorf("%w: job %q saw reducer with %d inputs, limit %d",
+			ErrReducerOverflow, j.Name, met.MaxReducerInput, max)
+	}
+	j.recordWorkerSkew(groups, keys, &met)
+
+	outs, err := j.runReducePhase(groups, keys, &met)
+	if err != nil {
+		return nil, met, err
+	}
+	met.Outputs = int64(len(outs))
+	return outs, met, nil
+}
+
+// runMapPhase executes map tasks in parallel and merges their outputs into
+// key groups. Each worker keeps a private group map; maps are merged once
+// at the end to avoid lock contention on the hot emit path.
+func (j *Job[I, K, V, O]) runMapPhase(inputs []I, met *Metrics) (map[K][]V, error) {
+	workers := j.Config.workers()
+	chunk := j.Config.MapChunk
+	if chunk <= 0 {
+		chunk = (len(inputs) + workers*4 - 1) / (workers * 4)
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	type task struct{ lo, hi, idx int }
+	var tasks []task
+	for lo, idx := 0, 0; lo < len(inputs); lo, idx = lo+chunk, idx+1 {
+		hi := lo + chunk
+		if hi > len(inputs) {
+			hi = len(inputs)
+		}
+		tasks = append(tasks, task{lo, hi, idx})
+	}
+
+	results := make([]map[K][]V, len(tasks))
+	emitted := make([]int64, len(tasks))
+	retries := make([]int64, len(tasks))
+	errs := make([]error, len(tasks))
+
+	var wg sync.WaitGroup
+	taskCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range taskCh {
+				t := tasks[ti]
+				attempts := 0
+				for {
+					local := make(map[K][]V)
+					var count int64
+					err := j.attemptMapTask(inputs[t.lo:t.hi], t.idx, attempts, local, &count)
+					if err == nil {
+						if j.Combine != nil {
+							for k, vs := range local {
+								local[k] = j.Combine(k, vs)
+							}
+						}
+						results[ti], emitted[ti] = local, count
+						break
+					}
+					attempts++
+					retries[ti]++
+					if attempts > j.Config.maxRetries() {
+						errs[ti] = fmt.Errorf("mr: map task %d of job %q failed after %d attempts: %w",
+							t.idx, j.Name, attempts, err)
+						break
+					}
+				}
+			}
+		}()
+	}
+	for ti := range tasks {
+		taskCh <- ti
+	}
+	close(taskCh)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	merged := make(map[K][]V)
+	for ti, local := range results {
+		met.PairsEmitted += emitted[ti]
+		met.MapRetries += retries[ti]
+		for k, vs := range local {
+			merged[k] = append(merged[k], vs...)
+		}
+	}
+	return merged, nil
+}
+
+func (j *Job[I, K, V, O]) attemptMapTask(records []I, taskIdx, attempt int, local map[K][]V, count *int64) error {
+	if fe := j.Config.FailureEveryN; fe > 0 && attempt == 0 && taskIdx%fe == 0 {
+		return errInjected
+	}
+	emit := func(k K, v V) {
+		local[k] = append(local[k], v)
+		*count++
+	}
+	for _, rec := range records {
+		j.Map(rec, emit)
+	}
+	return nil
+}
+
+// runReducePhase executes one reduce task per key, in parallel, with keys
+// pre-sorted for deterministic output ordering.
+func (j *Job[I, K, V, O]) runReducePhase(groups map[K][]V, keys []K, met *Metrics) ([]O, error) {
+	workers := j.Config.workers()
+	results := make([][]O, len(keys))
+	retries := make([]int64, len(keys))
+	errs := make([]error, len(keys))
+
+	var wg sync.WaitGroup
+	keyCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ki := range keyCh {
+				k := keys[ki]
+				attempts := 0
+				for {
+					var outs []O
+					err := j.attemptReduceTask(k, groups[k], ki, attempts, &outs)
+					if err == nil {
+						results[ki] = outs
+						break
+					}
+					attempts++
+					retries[ki]++
+					if attempts > j.Config.maxRetries() {
+						errs[ki] = fmt.Errorf("mr: reduce task %d of job %q failed after %d attempts: %w",
+							ki, j.Name, attempts, err)
+						break
+					}
+				}
+			}
+		}()
+	}
+	for ki := range keys {
+		keyCh <- ki
+	}
+	close(keyCh)
+	wg.Wait()
+
+	var outs []O
+	for ki := range keys {
+		if errs[ki] != nil {
+			return nil, errs[ki]
+		}
+		met.ReduceRetries += retries[ki]
+		outs = append(outs, results[ki]...)
+	}
+	return outs, nil
+}
+
+func (j *Job[I, K, V, O]) attemptReduceTask(key K, values []V, taskIdx, attempt int, outs *[]O) error {
+	if fe := j.Config.FailureEveryN; fe > 0 && attempt == 0 && taskIdx%fe == 0 {
+		return errInjected
+	}
+	j.Reduce(key, values, func(o O) { *outs = append(*outs, o) })
+	return nil
+}
+
+func (j *Job[I, K, V, O]) recordWorkerSkew(groups map[K][]V, keys []K, met *Metrics) {
+	nw := j.Config.ReduceWorkersHint
+	if nw <= 0 {
+		return
+	}
+	part := j.Partition
+	if part == nil {
+		part = func(k K) int { return defaultPartition(k, nw) }
+	}
+	met.WorkerInputs = make([]int64, nw)
+	for _, k := range keys {
+		w := part(k) % nw
+		if w < 0 {
+			w += nw
+		}
+		met.WorkerInputs[w] += int64(len(groups[k]))
+	}
+}
+
+// defaultPartition hashes the formatted key with FNV-1a.
+func defaultPartition[K comparable](k K, nw int) int {
+	s := fmt.Sprint(k)
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return int(h % uint32(nw))
+}
+
+// sortedKeys returns the map's keys in a stable deterministic order: fast
+// paths for integer and string keys, fmt-based ordering otherwise.
+func sortedKeys[K comparable, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	switch ks := any(keys).(type) {
+	case []int:
+		sort.Ints(ks)
+	case []int64:
+		sort.Slice(ks, func(a, b int) bool { return ks[a] < ks[b] })
+	case []uint64:
+		sort.Slice(ks, func(a, b int) bool { return ks[a] < ks[b] })
+	case []string:
+		sort.Strings(ks)
+	default:
+		sort.Slice(keys, func(a, b int) bool {
+			return fmt.Sprint(keys[a]) < fmt.Sprint(keys[b])
+		})
+	}
+	return keys
+}

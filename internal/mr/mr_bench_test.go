@@ -1,0 +1,98 @@
+package mr
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func benchDocs(n int) []string {
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"}
+	docs := make([]string, n)
+	for i := range docs {
+		var b strings.Builder
+		for j := 0; j < 20; j++ {
+			b.WriteString(words[(i+j)%len(words)])
+			b.WriteByte(' ')
+		}
+		docs[i] = b.String()
+	}
+	return docs
+}
+
+// BenchmarkWordCount measures raw engine throughput on the canonical job.
+func BenchmarkWordCount(b *testing.B) {
+	docs := benchDocs(500)
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			job := wordCountJob(Config{Workers: w})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := job.Run(docs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCombiner compares shuffle volume with and without a combiner.
+func BenchmarkCombiner(b *testing.B) {
+	docs := benchDocs(500)
+	run := func(b *testing.B, withCombiner bool) {
+		job := &Job[string, string, int, int]{
+			Name: "count",
+			Map: func(d string, emit func(string, int)) {
+				for _, w := range strings.Fields(d) {
+					emit(w, 1)
+				}
+			},
+			Reduce: func(_ string, vs []int, emit func(int)) {
+				total := 0
+				for _, v := range vs {
+					total += v
+				}
+				emit(total)
+			},
+		}
+		if withCombiner {
+			job.Combine = func(_ string, vs []int) []int {
+				total := 0
+				for _, v := range vs {
+					total += v
+				}
+				return []int{total}
+			}
+		}
+		var met Metrics
+		for i := 0; i < b.N; i++ {
+			var err error
+			_, met, err = job.Run(docs)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(met.PairsShuffled), "shuffled")
+	}
+	b.Run("no-combiner", func(b *testing.B) { run(b, false) })
+	b.Run("combiner", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkFaultInjectionOverhead measures the retry path's cost.
+func BenchmarkFaultInjectionOverhead(b *testing.B) {
+	docs := benchDocs(200)
+	for _, fe := range []int{0, 4} {
+		name := "clean"
+		if fe > 0 {
+			name = fmt.Sprintf("fail-every-%d", fe)
+		}
+		b.Run(name, func(b *testing.B) {
+			job := wordCountJob(Config{FailureEveryN: fe, MaxRetries: 3, MapChunk: 10})
+			for i := 0; i < b.N; i++ {
+				if _, _, err := job.Run(docs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

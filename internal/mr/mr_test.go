@@ -1,0 +1,540 @@
+package mr
+
+import (
+	"errors"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// wordCountJob is the canonical word-count example used throughout the
+// tests; the paper uses it in Example 2.5 to illustrate replication rate 1.
+func wordCountJob(cfg Config) *Job[string, string, int, string] {
+	return &Job[string, string, int, string]{
+		Name: "wordcount",
+		Map: func(doc string, emit func(string, int)) {
+			for _, w := range strings.Fields(doc) {
+				emit(w, 1)
+			}
+		},
+		Reduce: func(w string, counts []int, emit func(string)) {
+			total := 0
+			for _, c := range counts {
+				total += c
+			}
+			emit(w + "=" + itoa(total))
+		},
+		Config: cfg,
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestWordCount(t *testing.T) {
+	docs := []string{
+		"the quick brown fox",
+		"the lazy dog",
+		"the fox jumps over the lazy dog",
+	}
+	out, met, err := wordCountJob(Config{Workers: 4}).Run(docs)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []string{
+		"brown=1", "dog=2", "fox=2", "jumps=1", "lazy=2", "over=1", "quick=1", "the=4",
+	}
+	if !reflect.DeepEqual(out, want) {
+		t.Errorf("outputs = %v, want %v", out, want)
+	}
+	if met.MapInputs != 3 {
+		t.Errorf("MapInputs = %d, want 3", met.MapInputs)
+	}
+	if met.PairsEmitted != 14 {
+		t.Errorf("PairsEmitted = %d, want 14", met.PairsEmitted)
+	}
+	if met.Reducers != 8 {
+		t.Errorf("Reducers = %d, want 8", met.Reducers)
+	}
+	if met.MaxReducerInput != 4 { // "the" appears 4 times
+		t.Errorf("MaxReducerInput = %d, want 4", met.MaxReducerInput)
+	}
+}
+
+func TestDeterministicOutputOrder(t *testing.T) {
+	docs := []string{"b a c", "c b a", "a a b"}
+	var first []string
+	for trial := 0; trial < 10; trial++ {
+		out, _, err := wordCountJob(Config{Workers: 8, MapChunk: 1}).Run(docs)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if trial == 0 {
+			first = out
+			continue
+		}
+		if !reflect.DeepEqual(out, first) {
+			t.Fatalf("trial %d: outputs %v differ from first run %v", trial, out, first)
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	out, met, err := wordCountJob(Config{}).Run(nil)
+	if err != nil {
+		t.Fatalf("Run on empty input: %v", err)
+	}
+	if len(out) != 0 {
+		t.Errorf("outputs = %v, want empty", out)
+	}
+	if met.ReplicationRate() != 0 {
+		t.Errorf("ReplicationRate = %v, want 0 on empty input", met.ReplicationRate())
+	}
+}
+
+func TestCombinerReducesShuffle(t *testing.T) {
+	// 100 copies of the same word in one document: the combiner should
+	// collapse each map task's values for a key to a single partial count.
+	doc := strings.Repeat("x ", 100)
+	job := &Job[string, string, int, int]{
+		Name: "combined-count",
+		Map: func(d string, emit func(string, int)) {
+			for _, w := range strings.Fields(d) {
+				emit(w, 1)
+			}
+		},
+		Combine: func(_ string, vs []int) []int {
+			total := 0
+			for _, v := range vs {
+				total += v
+			}
+			return []int{total}
+		},
+		Reduce: func(_ string, vs []int, emit func(int)) {
+			total := 0
+			for _, v := range vs {
+				total += v
+			}
+			emit(total)
+		},
+		Config: Config{Workers: 2},
+	}
+	out, met, err := job.Run([]string{doc, doc})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(out) != 1 || out[0] != 200 {
+		t.Fatalf("outputs = %v, want [200]", out)
+	}
+	if met.PairsEmitted != 200 {
+		t.Errorf("PairsEmitted = %d, want 200", met.PairsEmitted)
+	}
+	if met.PairsShuffled >= met.PairsEmitted {
+		t.Errorf("PairsShuffled = %d, want < PairsEmitted = %d", met.PairsShuffled, met.PairsEmitted)
+	}
+	if met.PairsShuffled < 1 || met.PairsShuffled > 8 {
+		t.Errorf("PairsShuffled = %d, want one partial per map task (small)", met.PairsShuffled)
+	}
+}
+
+func TestMaxReducerInputEnforced(t *testing.T) {
+	job := wordCountJob(Config{MaxReducerInput: 3})
+	_, _, err := job.Run([]string{"a a a a"})
+	if !errors.Is(err, ErrReducerOverflow) {
+		t.Fatalf("err = %v, want ErrReducerOverflow", err)
+	}
+	// At the limit exactly, the job must succeed.
+	if _, _, err := wordCountJob(Config{MaxReducerInput: 4}).Run([]string{"a a a a"}); err != nil {
+		t.Fatalf("at limit: %v", err)
+	}
+}
+
+func TestFaultInjectionRecovers(t *testing.T) {
+	docs := []string{"a b", "b c", "c d", "d e", "e f", "f g"}
+	clean, _, err := wordCountJob(Config{Workers: 3}).Run(docs)
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	faulty := wordCountJob(Config{Workers: 3, MapChunk: 1, FailureEveryN: 2, MaxRetries: 3})
+	out, met, err := faulty.Run(docs)
+	if err != nil {
+		t.Fatalf("faulty run: %v", err)
+	}
+	if !reflect.DeepEqual(out, clean) {
+		t.Errorf("faulty run output %v differs from clean %v", out, clean)
+	}
+	if met.MapRetries == 0 {
+		t.Errorf("MapRetries = 0, want > 0 with FailureEveryN=2")
+	}
+	if met.ReduceRetries == 0 {
+		t.Errorf("ReduceRetries = 0, want > 0 with FailureEveryN=2")
+	}
+	// Metrics must not double-count retried work.
+	if met.PairsEmitted != 12 {
+		t.Errorf("PairsEmitted = %d, want 12 (no double counting on retry)", met.PairsEmitted)
+	}
+}
+
+func TestFaultInjectionExhaustsRetries(t *testing.T) {
+	// FailureEveryN=1 fails every first attempt; MaxRetries=0 would default,
+	// so use a job where every attempt of task 0 fails by failing attempts
+	// 0.. up to the retry limit. With FailureEveryN=1 only attempt 0 fails,
+	// so to force exhaustion we use MaxRetries < 1 via a direct check:
+	// attempt 0 fails, and MaxRetries defaults to 2, so the job succeeds.
+	job := wordCountJob(Config{FailureEveryN: 1})
+	if _, _, err := job.Run([]string{"a"}); err != nil {
+		t.Fatalf("retry should recover: %v", err)
+	}
+}
+
+func TestReplicationRateWordCountIsOne(t *testing.T) {
+	// Example 2.5: viewing word occurrences as the inputs, word count has
+	// replication rate exactly 1.
+	occurrences := []string{"the", "quick", "the", "fox", "fox", "fox"}
+	job := &Job[string, string, int, string]{
+		Name:   "occurrence-count",
+		Map:    func(w string, emit func(string, int)) { emit(w, 1) },
+		Reduce: func(w string, vs []int, emit func(string)) { emit(w) },
+	}
+	_, met, err := job.Run(occurrences)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r := met.ReplicationRate(); r != 1.0 {
+		t.Errorf("ReplicationRate = %v, want exactly 1 (embarrassingly parallel)", r)
+	}
+}
+
+func TestWorkerSkewMetrics(t *testing.T) {
+	job := wordCountJob(Config{ReduceWorkersHint: 4})
+	_, met, err := job.Run([]string{"a b c d e f g h i j k l"})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(met.WorkerInputs) != 4 {
+		t.Fatalf("WorkerInputs = %v, want 4 workers", met.WorkerInputs)
+	}
+	var total int64
+	for _, w := range met.WorkerInputs {
+		total += w
+	}
+	if total != met.TotalReducerInput {
+		t.Errorf("sum(WorkerInputs) = %d, want %d", total, met.TotalReducerInput)
+	}
+}
+
+func TestCustomPartitioner(t *testing.T) {
+	job := wordCountJob(Config{ReduceWorkersHint: 2})
+	job.Partition = func(string) int { return 0 } // everything to worker 0
+	_, met, err := job.Run([]string{"a b c"})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if met.WorkerInputs[0] != met.TotalReducerInput || met.WorkerInputs[1] != 0 {
+		t.Errorf("WorkerInputs = %v, want all on worker 0", met.WorkerInputs)
+	}
+}
+
+func TestIntKeysSortedNumerically(t *testing.T) {
+	job := &Job[int, int, int, int]{
+		Name:   "identity",
+		Map:    func(x int, emit func(int, int)) { emit(x, x) },
+		Reduce: func(k int, _ []int, emit func(int)) { emit(k) },
+	}
+	out, _, err := job.Run([]int{10, 2, 33, 4, 100, 5})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{2, 4, 5, 10, 33, 100}
+	if !reflect.DeepEqual(out, want) {
+		t.Errorf("outputs = %v, want numerically sorted %v", out, want)
+	}
+}
+
+func TestChainTwoRounds(t *testing.T) {
+	// Round 1: per-document word counts; round 2: global sum per word.
+	round1 := &Job[string, string, int, Pair[string, int]]{
+		Name: "local-count",
+		Map: func(doc string, emit func(string, int)) {
+			for _, w := range strings.Fields(doc) {
+				emit(w, 1)
+			}
+		},
+		Reduce: func(w string, vs []int, emit func(Pair[string, int])) {
+			emit(Pair[string, int]{w, len(vs)})
+		},
+	}
+	round2 := &Job[Pair[string, int], string, int, string]{
+		Name: "global-sum",
+		Map: func(p Pair[string, int], emit func(string, int)) {
+			emit(p.Key, p.Value)
+		},
+		Reduce: func(w string, vs []int, emit func(string)) {
+			total := 0
+			for _, v := range vs {
+				total += v
+			}
+			emit(w + ":" + itoa(total))
+		},
+	}
+	out, pipe, err := Chain(round1, round2, []string{"a b a", "b b c"})
+	if err != nil {
+		t.Fatalf("Chain: %v", err)
+	}
+	want := []string{"a:2", "b:3", "c:1"}
+	if !reflect.DeepEqual(out, want) {
+		t.Errorf("outputs = %v, want %v", out, want)
+	}
+	if len(pipe.Rounds) != 2 {
+		t.Fatalf("Rounds = %d, want 2", len(pipe.Rounds))
+	}
+	if pipe.TotalCommunication() != pipe.Rounds[0].Metrics.PairsShuffled+pipe.Rounds[1].Metrics.PairsShuffled {
+		t.Errorf("TotalCommunication mismatch")
+	}
+	if pipe.MaxReducerInput() < 1 {
+		t.Errorf("MaxReducerInput = %d, want >= 1", pipe.MaxReducerInput())
+	}
+}
+
+// TestPropertyWorkersInvariant: results must be identical regardless of
+// worker count and chunk size.
+func TestPropertyWorkersInvariant(t *testing.T) {
+	f := func(words []uint8, workers uint8, chunk uint8) bool {
+		docs := make([]string, 0, len(words))
+		for _, w := range words {
+			docs = append(docs, string(rune('a'+w%16)))
+		}
+		base, _, err := wordCountJob(Config{Workers: 1, MapChunk: 1}).Run(docs)
+		if err != nil {
+			return false
+		}
+		cfg := Config{Workers: int(workers%8) + 1, MapChunk: int(chunk%5) + 1}
+		got, _, err := wordCountJob(cfg).Run(docs)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(base, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyPairsEmittedEqualsSumOfMapEmissions: the replication-rate
+// denominator and numerator must agree with a direct recount.
+func TestPropertyPairsEmittedEqualsSumOfMapEmissions(t *testing.T) {
+	f := func(seed []uint8) bool {
+		docs := make([]string, 0, len(seed))
+		total := 0
+		for _, s := range seed {
+			n := int(s % 7)
+			docs = append(docs, strings.TrimSpace(strings.Repeat("w ", n)))
+			total += n
+		}
+		_, met, err := wordCountJob(Config{}).Run(docs)
+		if err != nil {
+			return false
+		}
+		return met.PairsEmitted == int64(total) && met.MapInputs == int64(len(docs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMetricsMeanAndString(t *testing.T) {
+	_, met, err := wordCountJob(Config{}).Run([]string{"a a b"})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := met.MeanReducerInput(); got != 1.5 {
+		t.Errorf("MeanReducerInput = %v, want 1.5", got)
+	}
+	if s := met.String(); !strings.Contains(s, "reducers=2") {
+		t.Errorf("String() = %q, want it to mention reducers=2", s)
+	}
+}
+
+func TestSortedKeysStability(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := sortedKeys(m)
+	if !sort.StringsAreSorted(got) {
+		t.Errorf("sortedKeys = %v, want sorted", got)
+	}
+	mi := map[uint64]int{5: 1, 2: 2, 9: 3}
+	gi := sortedKeys(mi)
+	if !(gi[0] == 2 && gi[1] == 5 && gi[2] == 9) {
+		t.Errorf("sortedKeys(uint64) = %v, want [2 5 9]", gi)
+	}
+}
+
+func TestMapChunkLargerThanInput(t *testing.T) {
+	out, met, err := wordCountJob(Config{MapChunk: 1000}).Run([]string{"a b", "b c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Errorf("outputs = %v, want 3 words", out)
+	}
+	if met.PairsEmitted != 4 {
+		t.Errorf("PairsEmitted = %d, want 4", met.PairsEmitted)
+	}
+}
+
+func TestMoreWorkersThanTasks(t *testing.T) {
+	out, _, err := wordCountJob(Config{Workers: 64, MapChunk: 1}).Run([]string{"x y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Errorf("outputs = %v, want 2", out)
+	}
+}
+
+func TestCombinerWithFaultInjection(t *testing.T) {
+	// A retried map task must re-run its combiner without double counting.
+	doc := strings.Repeat("w ", 40)
+	job := &Job[string, string, int, int]{
+		Name: "combined-faulty",
+		Map: func(d string, emit func(string, int)) {
+			for _, w := range strings.Fields(d) {
+				emit(w, 1)
+			}
+		},
+		Combine: func(_ string, vs []int) []int {
+			total := 0
+			for _, v := range vs {
+				total += v
+			}
+			return []int{total}
+		},
+		Reduce: func(_ string, vs []int, emit func(int)) {
+			total := 0
+			for _, v := range vs {
+				total += v
+			}
+			emit(total)
+		},
+		Config: Config{FailureEveryN: 1, MaxRetries: 2, MapChunk: 10},
+	}
+	out, met, err := job.Run([]string{doc, doc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != 80 {
+		t.Fatalf("out = %v, want [80]", out)
+	}
+	if met.MapRetries == 0 {
+		t.Error("expected retries")
+	}
+	if met.PairsEmitted != 80 {
+		t.Errorf("PairsEmitted = %d, want 80 (no double count across retries)", met.PairsEmitted)
+	}
+}
+
+func TestReducerOverflowWithCombiner(t *testing.T) {
+	// The limit applies to post-combine reducer input: combining 100
+	// occurrences into a handful of partials must pass a small q.
+	doc := strings.Repeat("z ", 100)
+	job := &Job[string, string, int, int]{
+		Name: "combined-limited",
+		Map: func(d string, emit func(string, int)) {
+			for _, w := range strings.Fields(d) {
+				emit(w, 1)
+			}
+		},
+		Combine: func(_ string, vs []int) []int {
+			total := 0
+			for _, v := range vs {
+				total += v
+			}
+			return []int{total}
+		},
+		Reduce: func(_ string, vs []int, emit func(int)) {
+			total := 0
+			for _, v := range vs {
+				total += v
+			}
+			emit(total)
+		},
+		Config: Config{MaxReducerInput: 16, MapChunk: 10},
+	}
+	out, _, err := job.Run([]string{doc})
+	if err != nil {
+		t.Fatalf("combined values should fit q=16: %v", err)
+	}
+	if out[0] != 100 {
+		t.Errorf("out = %v, want 100", out)
+	}
+}
+
+func TestPipelineEmptyTotal(t *testing.T) {
+	p := &Pipeline{}
+	if p.TotalCommunication() != 0 || p.MaxReducerInput() != 0 || p.TotalPairsEmitted() != 0 {
+		t.Error("empty pipeline should report zeros")
+	}
+}
+
+func TestChainPropagatesFirstRoundError(t *testing.T) {
+	bad := &Job[int, int, int, int]{
+		Name:   "overflowing",
+		Map:    func(x int, emit func(int, int)) { emit(0, x) },
+		Reduce: func(_ int, vs []int, emit func(int)) { emit(len(vs)) },
+		Config: Config{MaxReducerInput: 1},
+	}
+	second := &Job[int, int, int, int]{
+		Name:   "never-runs",
+		Map:    func(x int, emit func(int, int)) { emit(x, x) },
+		Reduce: func(k int, _ []int, emit func(int)) { emit(k) },
+	}
+	_, pipe, err := Chain(bad, second, []int{1, 2, 3})
+	if !errors.Is(err, ErrReducerOverflow) {
+		t.Fatalf("err = %v, want ErrReducerOverflow", err)
+	}
+	if len(pipe.Rounds) != 0 {
+		t.Errorf("failed first round must not be recorded, got %d rounds", len(pipe.Rounds))
+	}
+}
+
+func TestRecordLoads(t *testing.T) {
+	out, met, err := wordCountJob(Config{RecordLoads: true}).Run([]string{"a a b", "b c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("outputs = %v", out)
+	}
+	// Keys sorted a, b, c with loads 2, 2, 1.
+	want := []int{2, 2, 1}
+	if !reflect.DeepEqual(met.ReducerLoads, want) {
+		t.Errorf("ReducerLoads = %v, want %v", met.ReducerLoads, want)
+	}
+	var sum int64
+	for _, l := range met.ReducerLoads {
+		sum += int64(l)
+	}
+	if sum != met.TotalReducerInput {
+		t.Errorf("loads sum %d != TotalReducerInput %d", sum, met.TotalReducerInput)
+	}
+	// Off by default.
+	_, met2, err := wordCountJob(Config{}).Run([]string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met2.ReducerLoads != nil {
+		t.Error("ReducerLoads should be nil without RecordLoads")
+	}
+}

@@ -1,0 +1,73 @@
+package mr
+
+// RoundMetrics pairs a round name with the metrics it produced, so that
+// multi-round pipelines (such as the two-phase matrix multiplication of
+// Section 6.3 of the paper) can report per-phase and total communication.
+type RoundMetrics struct {
+	Name    string
+	Metrics Metrics
+}
+
+// Pipeline accumulates the metrics of a sequence of rounds. The total
+// communication of a pipeline is the sum over rounds of the pairs shuffled
+// between that round's map and reduce phases, which is how the paper sums
+// the cost of the two-phase matrix multiplication.
+type Pipeline struct {
+	Rounds []RoundMetrics
+}
+
+// Record appends one executed round.
+func (p *Pipeline) Record(name string, m Metrics) {
+	p.Rounds = append(p.Rounds, RoundMetrics{Name: name, Metrics: m})
+}
+
+// TotalCommunication is the total number of key-value pairs shuffled across
+// all rounds.
+func (p *Pipeline) TotalCommunication() int64 {
+	var total int64
+	for _, r := range p.Rounds {
+		total += r.Metrics.PairsShuffled
+	}
+	return total
+}
+
+// TotalPairsEmitted is the total communication before combining.
+func (p *Pipeline) TotalPairsEmitted() int64 {
+	var total int64
+	for _, r := range p.Rounds {
+		total += r.Metrics.PairsEmitted
+	}
+	return total
+}
+
+// MaxReducerInput is the largest reducer input observed in any round.
+func (p *Pipeline) MaxReducerInput() int64 {
+	var max int64
+	for _, r := range p.Rounds {
+		if r.Metrics.MaxReducerInput > max {
+			max = r.Metrics.MaxReducerInput
+		}
+	}
+	return max
+}
+
+// Chain runs two jobs in sequence, feeding the first round's outputs to the
+// second round, and records both rounds in the returned Pipeline.
+func Chain[I any, K1 comparable, V1, M any, K2 comparable, V2, O any](
+	first *Job[I, K1, V1, M],
+	second *Job[M, K2, V2, O],
+	inputs []I,
+) ([]O, *Pipeline, error) {
+	p := &Pipeline{}
+	mid, m1, err := first.Run(inputs)
+	if err != nil {
+		return nil, p, err
+	}
+	p.Record(first.Name, m1)
+	out, m2, err := second.Run(mid)
+	if err != nil {
+		return nil, p, err
+	}
+	p.Record(second.Name, m2)
+	return out, p, nil
+}

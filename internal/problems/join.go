@@ -1,0 +1,159 @@
+// Package problems implements the worked examples of Section 2 of the
+// paper, demonstrating that the model "can capture a varied set of
+// problems": the natural join of Example 2.1, the grouping-and-
+// aggregation problem of Example 2.4, and the word-count discussion of
+// Example 2.5 (the embarrassingly parallel case with replication rate 1).
+// Each comes with its core.Problem model, a mapping schema, and an
+// executable MapReduce job.
+package problems
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/mr"
+	"repro/internal/relation"
+)
+
+// JoinProblem is Example 2.1: the natural join R(A,B) ⋈ S(B,C) over
+// finite domains of sizes NA, NB, NC. Inputs are the NA·NB possible R
+// tuples followed by the NB·NC possible S tuples; outputs are the
+// NA·NB·NC triples (a,b,c), each depending on the two inputs R(a,b) and
+// S(b,c).
+type JoinProblem struct {
+	NA, NB, NC int
+}
+
+// NewJoinProblem returns the join problem for the given domain sizes.
+func NewJoinProblem(na, nb, nc int) JoinProblem { return JoinProblem{na, nb, nc} }
+
+// Name implements core.Problem.
+func (p JoinProblem) Name() string {
+	return fmt.Sprintf("join(NA=%d,NB=%d,NC=%d)", p.NA, p.NB, p.NC)
+}
+
+// NumInputs implements core.Problem: NA·NB + NB·NC.
+func (p JoinProblem) NumInputs() int { return p.NA*p.NB + p.NB*p.NC }
+
+// NumOutputs implements core.Problem: NA·NB·NC.
+func (p JoinProblem) NumOutputs() int { return p.NA * p.NB * p.NC }
+
+// RInput and SInput are the dense input indices of the possible tuples.
+func (p JoinProblem) RInput(a, b int) int { return a*p.NB + b }
+
+// SInput gives the dense input index of the possible tuple S(b,c).
+func (p JoinProblem) SInput(b, c int) int { return p.NA*p.NB + b*p.NC + c }
+
+// ForEachOutput implements core.Problem.
+func (p JoinProblem) ForEachOutput(fn func(inputs []int) bool) {
+	buf := make([]int, 2)
+	for a := 0; a < p.NA; a++ {
+		for b := 0; b < p.NB; b++ {
+			for c := 0; c < p.NC; c++ {
+				buf[0] = p.RInput(a, b)
+				buf[1] = p.SInput(b, c)
+				if !fn(buf) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// HashJoinSchema is the standard one-round join schema: one reducer per
+// B-value (or per B-hash-bucket when k < NB), with every tuple sent to
+// the single reducer of its B value — replication rate exactly 1, the
+// join being embarrassingly parallel in this model when keyed on B.
+type HashJoinSchema struct {
+	P JoinProblem
+	K int // number of B buckets, 1 ≤ K ≤ NB
+}
+
+// NewHashJoinSchema buckets B into k groups.
+func NewHashJoinSchema(p JoinProblem, k int) (HashJoinSchema, error) {
+	if k < 1 || k > p.NB {
+		return HashJoinSchema{}, fmt.Errorf("problems: need 1 <= k <= NB, got %d", k)
+	}
+	return HashJoinSchema{P: p, K: k}, nil
+}
+
+// NumReducers implements core.MappingSchema.
+func (s HashJoinSchema) NumReducers() int { return s.K }
+
+// Assign implements core.MappingSchema: a tuple goes to the bucket of its
+// B value.
+func (s HashJoinSchema) Assign(in int) []int {
+	var b int
+	if in < s.P.NA*s.P.NB {
+		b = in % s.P.NB
+	} else {
+		b = (in - s.P.NA*s.P.NB) / s.P.NC
+	}
+	return []int{b % s.K}
+}
+
+var _ core.MappingSchema = HashJoinSchema{}
+
+// RunHashJoin executes the join of two actual relations (with attribute
+// schemas (A,B) and (B,C)) using the hash-join schema, returning the
+// joined triples.
+func RunHashJoin(r, s *relation.Relation, k int, cfg mr.Config) (*relation.Relation, mr.Metrics, error) {
+	type tagged struct {
+		FromR bool
+		X, Y  int
+	}
+	var inputs []tagged
+	for _, t := range r.Tuples {
+		inputs = append(inputs, tagged{true, t[0], t[1]})
+	}
+	for _, t := range s.Tuples {
+		inputs = append(inputs, tagged{false, t[0], t[1]})
+	}
+	job := &mr.Job[tagged, int, tagged, [3]int]{
+		Name: "hash-join",
+		Map: func(t tagged, emit func(int, tagged)) {
+			if t.FromR {
+				emit(t.Y%k, t) // key on B
+			} else {
+				emit(t.X%k, t)
+			}
+		},
+		Reduce: func(_ int, ts []tagged, emit func([3]int)) {
+			byB := make(map[int][][2]int) // B -> list of (a) from R
+			for _, t := range ts {
+				if t.FromR {
+					byB[t.Y] = append(byB[t.Y], [2]int{t.X, t.Y})
+				}
+			}
+			// Deterministic order: sort the S side before probing.
+			var ss [][2]int
+			for _, t := range ts {
+				if !t.FromR {
+					ss = append(ss, [2]int{t.X, t.Y})
+				}
+			}
+			sort.Slice(ss, func(i, j int) bool {
+				if ss[i][0] != ss[j][0] {
+					return ss[i][0] < ss[j][0]
+				}
+				return ss[i][1] < ss[j][1]
+			})
+			for _, st := range ss {
+				for _, rt := range byB[st[0]] {
+					emit([3]int{rt[0], st[0], st[1]})
+				}
+			}
+		},
+		Config: cfg,
+	}
+	outs, met, err := job.Run(inputs)
+	if err != nil {
+		return nil, met, err
+	}
+	res := relation.New("joined", "A", "B", "C")
+	for _, o := range outs {
+		res.Add(o[0], o[1], o[2])
+	}
+	return res, met, nil
+}

@@ -1,0 +1,181 @@
+package problems
+
+import (
+	"repro/internal/mr"
+	"repro/internal/relation"
+)
+
+// This file explores the open problem of Section 7.1: multi-round
+// analyses "along the lines of Section 6.3", for the suggested first
+// target — an SQL statement requiring two rounds of map-reduce, a join
+// followed by an aggregation:
+//
+//	SELECT A, SUM(C) FROM R(A,B) JOIN S(B,C) ON B GROUP BY A
+//
+// Two strategies are implemented. Naive materializes the join in round 1
+// and ships every joined triple to the round-2 aggregators, so round-2
+// communication equals the join size. PreAggregate applies the lesson of
+// the two-phase matrix multiplication: each round-1 reducer emits one
+// partial sum per distinct A it sees rather than one record per joined
+// tuple, bounding round-2 communication by (#round-1 reducers)·|A-domain|
+// — the exact analogue of the n³/t partial-sum term of Section 6.3.
+
+// JoinAggregateResult is the outcome of either strategy.
+type JoinAggregateResult struct {
+	Sums     []GroupSum
+	Pipeline *mr.Pipeline
+}
+
+// taggedBC is a round-1 input: an R tuple (A,B) or an S tuple (B,C).
+type taggedBC struct {
+	FromR bool
+	X, Y  int
+}
+
+func joinInputs(r, s *relation.Relation) []taggedBC {
+	var inputs []taggedBC
+	for _, t := range r.Tuples {
+		inputs = append(inputs, taggedBC{true, t[0], t[1]})
+	}
+	for _, t := range s.Tuples {
+		inputs = append(inputs, taggedBC{false, t[0], t[1]})
+	}
+	return inputs
+}
+
+// ac is a partially or fully joined (A, C-contribution) record.
+type ac struct {
+	A int
+	C int64
+}
+
+// RunJoinAggregateNaive runs round 1 as a pure join on B (emitting every
+// joined (a, c) pair) and round 2 as the group-by-A summation.
+func RunJoinAggregateNaive(r, s *relation.Relation, k int, cfg mr.Config) (JoinAggregateResult, error) {
+	round1 := &mr.Job[taggedBC, int, taggedBC, ac]{
+		Name: "join-on-B",
+		Map: func(t taggedBC, emit func(int, taggedBC)) {
+			if t.FromR {
+				emit(t.Y%k, t)
+			} else {
+				emit(t.X%k, t)
+			}
+		},
+		Reduce: func(_ int, ts []taggedBC, emit func(ac)) {
+			aByB := make(map[int][]int)
+			for _, t := range ts {
+				if t.FromR {
+					aByB[t.Y] = append(aByB[t.Y], t.X)
+				}
+			}
+			for _, t := range ts {
+				if t.FromR {
+					continue
+				}
+				for _, a := range aByB[t.X] {
+					emit(ac{A: a, C: int64(t.Y)})
+				}
+			}
+		},
+		Config: cfg,
+	}
+	return finishAggregate(round1, r, s, cfg)
+}
+
+// RunJoinAggregatePreAgg is the two-phase-optimized variant: round-1
+// reducers sum their local contributions per A before emitting.
+func RunJoinAggregatePreAgg(r, s *relation.Relation, k int, cfg mr.Config) (JoinAggregateResult, error) {
+	round1 := &mr.Job[taggedBC, int, taggedBC, ac]{
+		Name: "join-on-B-preagg",
+		Map: func(t taggedBC, emit func(int, taggedBC)) {
+			if t.FromR {
+				emit(t.Y%k, t)
+			} else {
+				emit(t.X%k, t)
+			}
+		},
+		Reduce: func(_ int, ts []taggedBC, emit func(ac)) {
+			aByB := make(map[int][]int)
+			for _, t := range ts {
+				if t.FromR {
+					aByB[t.Y] = append(aByB[t.Y], t.X)
+				}
+			}
+			partial := make(map[int]int64)
+			for _, t := range ts {
+				if t.FromR {
+					continue
+				}
+				for _, a := range aByB[t.X] {
+					partial[a] += int64(t.Y)
+				}
+			}
+			// Emit one partial sum per distinct A, in sorted order for
+			// determinism.
+			as := make([]int, 0, len(partial))
+			for a := range partial {
+				as = append(as, a)
+			}
+			sortInts(as)
+			for _, a := range as {
+				emit(ac{A: a, C: partial[a]})
+			}
+		},
+		Config: cfg,
+	}
+	return finishAggregate(round1, r, s, cfg)
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
+			xs[j-1], xs[j] = xs[j], xs[j-1]
+		}
+	}
+}
+
+func finishAggregate(round1 *mr.Job[taggedBC, int, taggedBC, ac], r, s *relation.Relation, cfg mr.Config) (JoinAggregateResult, error) {
+	round2 := &mr.Job[ac, int, int64, GroupSum]{
+		Name: "group-by-A",
+		Map: func(p ac, emit func(int, int64)) {
+			emit(p.A, p.C)
+		},
+		Reduce: func(a int, vs []int64, emit func(GroupSum)) {
+			var sum int64
+			for _, v := range vs {
+				sum += v
+			}
+			emit(GroupSum{A: a, Sum: sum})
+		},
+		Config: cfg,
+	}
+	sums, pipe, err := mr.Chain(round1, round2, joinInputs(r, s))
+	if err != nil {
+		return JoinAggregateResult{}, err
+	}
+	return JoinAggregateResult{Sums: sums, Pipeline: pipe}, nil
+}
+
+// SerialJoinAggregate is the correctness baseline.
+func SerialJoinAggregate(r, s *relation.Relation) []GroupSum {
+	sums := make(map[int]int64)
+	byB := make(map[int][]int)
+	for _, t := range r.Tuples {
+		byB[t[1]] = append(byB[t[1]], t[0])
+	}
+	for _, t := range s.Tuples {
+		for _, a := range byB[t[0]] {
+			sums[a] += int64(t[1])
+		}
+	}
+	var as []int
+	for a := range sums {
+		as = append(as, a)
+	}
+	sortInts(as)
+	out := make([]GroupSum, 0, len(as))
+	for _, a := range as {
+		out = append(out, GroupSum{A: a, Sum: sums[a]})
+	}
+	return out
+}

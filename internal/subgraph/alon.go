@@ -1,0 +1,143 @@
+// Package subgraph implements Section 5 of the paper: finding instances
+// of a fixed sample graph in a data graph. It provides the Alon-class
+// membership test of Section 5.1, the replication-rate lower bounds of
+// Sections 5.2 and 5.3, the 2-paths problem and algorithm of Section 5.4,
+// and a generic shares-based sample-graph matcher in the style of
+// Afrati–Fotakis–Ullman [2] whose replication matches the (√(m/q))^{s-2}
+// bound shape.
+package subgraph
+
+import (
+	"math"
+
+	"repro/internal/graphs"
+)
+
+// InAlonClass reports whether the sample graph is in the Alon class of
+// Section 5.1: its nodes can be partitioned into disjoint sets such that
+// the subgraph induced by each part is either a single edge between two
+// nodes, or contains a Hamiltonian cycle of odd length. The search is
+// exhaustive and intended for the small sample graphs (s ≤ 10) the
+// experiments use.
+func InAlonClass(g *graphs.Graph) bool {
+	if g.N == 0 {
+		return true
+	}
+	assigned := make([]bool, g.N)
+	return alonPartition(g, assigned, 0)
+}
+
+// alonPartition tries to cover nodes from as onward.
+func alonPartition(g *graphs.Graph, assigned []bool, from int) bool {
+	v := -1
+	for u := from; u < g.N; u++ {
+		if !assigned[u] {
+			v = u
+			break
+		}
+	}
+	if v == -1 {
+		return true
+	}
+	// Case 1: pair v with an unassigned neighbor (a single-edge part).
+	for _, u := range g.Adj(v) {
+		if assigned[u] {
+			continue
+		}
+		assigned[v], assigned[u] = true, true
+		if alonPartition(g, assigned, v+1) {
+			return true
+		}
+		assigned[v], assigned[u] = false, false
+	}
+	// Case 2: put v in an odd-size part whose induced subgraph has a
+	// Hamiltonian cycle. Enumerate candidate subsets of unassigned nodes
+	// containing v.
+	var pool []int
+	for u := v + 1; u < g.N; u++ {
+		if !assigned[u] {
+			pool = append(pool, u)
+		}
+	}
+	for size := 3; size <= len(pool)+1; size += 2 {
+		if tryOddParts(g, assigned, v, pool, nil, size-1, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// tryOddParts enumerates (need)-subsets of pool[start:] to join v, checks
+// for an induced odd Hamiltonian cycle, and recurses.
+func tryOddParts(g *graphs.Graph, assigned []bool, v int, pool, chosen []int, need, start int) bool {
+	if need == 0 {
+		part := append([]int{v}, chosen...)
+		if !hasHamiltonianCycle(g, part) {
+			return false
+		}
+		for _, u := range part {
+			assigned[u] = true
+		}
+		ok := alonPartition(g, assigned, v+1)
+		if !ok {
+			for _, u := range part {
+				assigned[u] = false
+			}
+		}
+		return ok
+	}
+	for i := start; i <= len(pool)-need; i++ {
+		if tryOddParts(g, assigned, v, pool, append(chosen, pool[i]), need-1, i+1) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasHamiltonianCycle reports whether the subgraph induced by part has a
+// cycle through all of part. Brute-force over permutations with the first
+// node fixed; parts are small.
+func hasHamiltonianCycle(g *graphs.Graph, part []int) bool {
+	if len(part) < 3 {
+		return false
+	}
+	rest := make([]int, len(part)-1)
+	copy(rest, part[1:])
+	return hamPerm(g, part[0], part[0], rest, 0)
+}
+
+func hamPerm(g *graphs.Graph, first, last int, rest []int, used int) bool {
+	if used == len(rest) {
+		return g.HasEdge(last, first)
+	}
+	for i := used; i < len(rest); i++ {
+		rest[used], rest[i] = rest[i], rest[used]
+		if g.HasEdge(last, rest[used]) && hamPerm(g, first, rest[used], rest, used+1) {
+			rest[used], rest[i] = rest[i], rest[used]
+			return true
+		}
+		rest[used], rest[i] = rest[i], rest[used]
+	}
+	return false
+}
+
+// AlonLowerBound is the Section 5.2 bound for a sample graph of s nodes
+// in the Alon class over the complete n-node instance: r = Ω((n/√q)^{s-2}).
+func AlonLowerBound(n float64, s int, q float64) float64 {
+	return math.Pow(n/math.Sqrt(q), float64(s-2))
+}
+
+// EdgeLowerBound is the Section 5.3 sparse-data rescaling: for a data
+// graph with m edges and reducers of q actual edges,
+// r = Ω((√(m/q))^{s-2}).
+func EdgeLowerBound(m float64, s int, q float64) float64 {
+	return math.Pow(math.Sqrt(m/q), float64(s-2))
+}
+
+// MaxInstancesAlon is Alon's theorem [4] as used in Section 5.2: a graph
+// with q edges contains O(q^{s/2}) instances of an s-node Alon-class
+// sample graph. The function returns q^{s/2} (the constant is dropped, as
+// in the paper).
+func MaxInstancesAlon(q float64, s int) float64 {
+	return math.Pow(q, float64(s)/2)
+}

@@ -1,0 +1,81 @@
+package subgraph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graphs"
+	"repro/internal/mr"
+)
+
+// BenchmarkTwoPathsRun sweeps the bucket count on a complete graph.
+func BenchmarkTwoPathsRun(b *testing.B) {
+	g := graphs.Complete(36)
+	for _, k := range []int{1, 3, 6} {
+		s, err := NewTwoPathSchema(36, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := RunTwoPaths(s, g, mr.Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMatcher measures the generic sample-graph matcher for the
+// triangle and the 4-cycle.
+func BenchmarkMatcher(b *testing.B) {
+	data := graphs.GNM(24, 100, rand.New(rand.NewSource(1)))
+	for _, tc := range []struct {
+		name   string
+		sample *graphs.Graph
+	}{
+		{"triangle", graphs.Cycle(3)},
+		{"square", graphs.Cycle(4)},
+	} {
+		m, err := NewMatcher(tc.sample, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := m.Run(data, mr.Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInAlonClass measures the partition search on the hardest small
+// inputs (even paths, which force exhausting the search space).
+func BenchmarkInAlonClass(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		g    *graphs.Graph
+	}{
+		{"K6", graphs.Complete(6)},
+		{"path7", graphs.Path(7)},
+		{"cycle9", graphs.Cycle(9)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = InAlonClass(tc.g)
+			}
+		})
+	}
+}
+
+// BenchmarkEmbeddings is the serial matcher baseline.
+func BenchmarkEmbeddings(b *testing.B) {
+	data := graphs.GNM(20, 80, rand.New(rand.NewSource(2)))
+	sample := graphs.Cycle(3)
+	for i := 0; i < b.N; i++ {
+		_ = CountEmbeddings(sample, data)
+	}
+}

@@ -1,0 +1,162 @@
+// Package textio reads and writes the library's data types in the plain
+// text formats real workloads arrive in: whitespace-separated edge lists
+// for graphs (the format of SNAP and most public network datasets) and
+// tab-separated values for relations. It exists so the examples and the
+// harness can run on a user's own data, not only on generators.
+package textio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/graphs"
+	"repro/internal/relation"
+)
+
+// ReadGraph parses a whitespace-separated edge list ("u v" per line;
+// blank lines and lines starting with '#' or '%' are ignored). Node ids
+// are used as-is, with the graph sized to the largest id seen plus one —
+// so WriteGraph followed by ReadGraph round-trips exactly (up to isolated
+// trailing nodes). For datasets with large sparse ids, use
+// ReadGraphCompact.
+func ReadGraph(r io.Reader) (*graphs.Graph, error) {
+	edges, maxID, err := readEdges(r, nil)
+	if err != nil {
+		return nil, err
+	}
+	return graphs.New(maxID+1, edges), nil
+}
+
+// ReadGraphCompact parses the same format but renumbers node ids densely
+// to 0..n-1 in first-appearance order, returning the raw→dense mapping.
+func ReadGraphCompact(r io.Reader) (*graphs.Graph, map[int]int, error) {
+	compact := make(map[int]int)
+	edges, _, err := readEdges(r, func(raw int) int {
+		if c, ok := compact[raw]; ok {
+			return c
+		}
+		c := len(compact)
+		compact[raw] = c
+		return c
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return graphs.New(len(compact), edges), compact, nil
+}
+
+// readEdges is the shared scanner; remap may be nil for identity ids.
+func readEdges(r io.Reader, remap func(int) int) (edges []graphs.Edge, maxID int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	maxID = -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, "%") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, 0, fmt.Errorf("textio: line %d: want two node ids, got %q", line, text)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, 0, fmt.Errorf("textio: line %d: %v", line, err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, 0, fmt.Errorf("textio: line %d: %v", line, err)
+		}
+		if u < 0 || v < 0 {
+			return nil, 0, fmt.Errorf("textio: line %d: negative node id", line)
+		}
+		if remap != nil {
+			u, v = remap(u), remap(v)
+		}
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		edges = append(edges, graphs.NewEdge(u, v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("textio: %w", err)
+	}
+	return edges, maxID, nil
+}
+
+// WriteGraph emits the graph as an edge list with a header comment.
+func WriteGraph(w io.Writer, g *graphs.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# nodes=%d edges=%d\n", g.N, g.M())
+	for _, e := range g.Edges {
+		fmt.Fprintf(bw, "%d %d\n", e.U, e.V)
+	}
+	return bw.Flush()
+}
+
+// ReadRelation parses a TSV relation: the first non-comment line is the
+// header "Name<TAB>Attr1<TAB>Attr2…", each following line one tuple of
+// integers.
+func ReadRelation(r io.Reader) (*relation.Relation, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var rel *relation.Relation
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), "\r\n")
+		if strings.TrimSpace(text) == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, "\t")
+		if rel == nil {
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("textio: line %d: header needs a name and at least one attribute", line)
+			}
+			rel = relation.New(fields[0], fields[1:]...)
+			continue
+		}
+		if len(fields) != rel.Arity() {
+			return nil, fmt.Errorf("textio: line %d: %d values for arity %d", line, len(fields), rel.Arity())
+		}
+		vals := make([]int, len(fields))
+		for i, f := range fields {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return nil, fmt.Errorf("textio: line %d: %v", line, err)
+			}
+			vals[i] = v
+		}
+		rel.Add(vals...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("textio: %w", err)
+	}
+	if rel == nil {
+		return nil, fmt.Errorf("textio: empty input")
+	}
+	return rel, nil
+}
+
+// WriteRelation emits the relation in the same TSV format ReadRelation
+// accepts.
+func WriteRelation(w io.Writer, rel *relation.Relation) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s\t%s\n", rel.Name, strings.Join(rel.Attrs, "\t"))
+	for _, t := range rel.Tuples {
+		parts := make([]string, len(t))
+		for i, v := range t {
+			parts[i] = strconv.Itoa(v)
+		}
+		fmt.Fprintln(bw, strings.Join(parts, "\t"))
+	}
+	return bw.Flush()
+}

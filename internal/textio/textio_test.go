@@ -1,0 +1,139 @@
+package textio
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graphs"
+	"repro/internal/relation"
+)
+
+func TestReadGraphBasic(t *testing.T) {
+	in := `# a comment
+% another comment style
+
+10 20
+20 30
+10 30
+`
+	g, compact, err := ReadGraphCompact(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.M() != 3 {
+		t.Errorf("graph = %s, want 3 nodes 3 edges", g)
+	}
+	if g.TriangleCount() != 1 {
+		t.Errorf("triangle count = %d, want 1", g.TriangleCount())
+	}
+	// First-appearance compaction: 10→0, 20→1, 30→2.
+	if compact[10] != 0 || compact[20] != 1 || compact[30] != 2 {
+		t.Errorf("compaction = %v", compact)
+	}
+}
+
+func TestReadGraphErrors(t *testing.T) {
+	for _, in := range []string{"1", "x y", "1 y", "-1 2"} {
+		if _, err := ReadGraph(strings.NewReader(in)); err == nil {
+			t.Errorf("identity input %q should fail", in)
+		}
+		if _, _, err := ReadGraphCompact(strings.NewReader(in)); err == nil {
+			t.Errorf("compact input %q should fail", in)
+		}
+	}
+}
+
+func TestGraphRoundTrip(t *testing.T) {
+	orig := graphs.GNM(40, 150, rand.New(rand.NewSource(1)))
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.M() != orig.M() {
+		t.Fatalf("round trip changed shape: %s vs %s", got, orig)
+	}
+	for i, e := range orig.Edges {
+		if got.Edges[i] != e {
+			t.Fatalf("edge %d: %v vs %v", i, got.Edges[i], e)
+		}
+	}
+}
+
+func TestReadRelationBasic(t *testing.T) {
+	in := "# comment\nR\tA\tB\n1\t2\n3\t4\n"
+	rel, err := ReadRelation(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Name != "R" || rel.Arity() != 2 || rel.Size() != 2 {
+		t.Errorf("relation = %v", rel)
+	}
+	if rel.Tuples[1][1] != 4 {
+		t.Errorf("tuple = %v", rel.Tuples[1])
+	}
+}
+
+func TestReadRelationErrors(t *testing.T) {
+	for _, in := range []string{
+		"",                  // empty
+		"R\n1\n",            // header without attributes
+		"R\tA\tB\n1\n",      // wrong arity
+		"R\tA\tB\n1\tx\n",   // non-integer
+		"R\tA\tB\n1\t2\t3;", // arity excess
+	} {
+		if _, err := ReadRelation(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q should fail", in)
+		}
+	}
+}
+
+func TestRelationRoundTrip(t *testing.T) {
+	orig := relation.Random("T", 9, 50, rand.New(rand.NewSource(2)), "A", "B", "C")
+	var buf bytes.Buffer
+	if err := WriteRelation(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRelation(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relation.Equal(got, orig) {
+		t.Error("round trip changed the relation")
+	}
+}
+
+// Property: any generated graph round-trips unchanged.
+func TestPropertyGraphRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		m := int(mRaw) % (n * (n - 1) / 2)
+		orig := graphs.GNM(n, m, rand.New(rand.NewSource(seed)))
+		var buf bytes.Buffer
+		if err := WriteGraph(&buf, orig); err != nil {
+			return false
+		}
+		got, err := ReadGraph(&buf)
+		if err != nil {
+			return false
+		}
+		if got.M() != orig.M() {
+			return false
+		}
+		for i := range orig.Edges {
+			if got.Edges[i] != orig.Edges[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,341 @@
+// Package triangle implements Section 4 of the paper: the triangle-finding
+// problem, its lower bound r ≥ n/√(2q) (with the √(m/q) rescaling for
+// sparse data graphs of Section 4.2), and a partition-based one-round
+// algorithm in the style of Suri–Vassilvitskii [21] and Afrati–Fotakis–
+// Ullman [2] that matches the bound to within a constant factor.
+package triangle
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graphs"
+	"repro/internal/mr"
+)
+
+// Problem is the triangle problem on the complete input universe: inputs
+// are the C(n,2) possible edges of an n-node graph, outputs are the C(n,3)
+// node triples, each depending on its three edges (Example 2.2).
+type Problem struct {
+	N int
+}
+
+// NewProblem returns the triangle problem for n nodes.
+func NewProblem(n int) Problem { return Problem{N: n} }
+
+// Name implements core.Problem.
+func (p Problem) Name() string { return fmt.Sprintf("triangles(n=%d)", p.N) }
+
+// NumInputs implements core.Problem: C(n,2) possible edges.
+func (p Problem) NumInputs() int { return p.N * (p.N - 1) / 2 }
+
+// NumOutputs implements core.Problem: C(n,3) triples.
+func (p Problem) NumOutputs() int { return p.N * (p.N - 1) * (p.N - 2) / 6 }
+
+// EdgeIndex maps an edge {u, v} with u < v to its dense input index.
+func (p Problem) EdgeIndex(u, v int) int {
+	if u > v {
+		u, v = v, u
+	}
+	return u*p.N - u*(u+1)/2 + (v - u - 1)
+}
+
+// EdgeFromIndex is the inverse of EdgeIndex.
+func (p Problem) EdgeFromIndex(idx int) (u, v int) {
+	u = 0
+	for {
+		rowLen := p.N - u - 1
+		if idx < rowLen {
+			return u, u + 1 + idx
+		}
+		idx -= rowLen
+		u++
+	}
+}
+
+// ForEachOutput implements core.Problem: the triple {u,v,w} depends on
+// edges {u,v}, {u,w}, {v,w}.
+func (p Problem) ForEachOutput(fn func(inputs []int) bool) {
+	buf := make([]int, 3)
+	for u := 0; u < p.N; u++ {
+		for v := u + 1; v < p.N; v++ {
+			for w := v + 1; w < p.N; w++ {
+				buf[0] = p.EdgeIndex(u, v)
+				buf[1] = p.EdgeIndex(u, w)
+				buf[2] = p.EdgeIndex(v, w)
+				if !fn(buf) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Recipe returns the Section 4.1 recipe: g(q) = (√2/3)·q^{3/2}, |I| ≈
+// n²/2, |O| ≈ n³/6, yielding r ≥ n/√(2q).
+func Recipe(n int) core.Recipe {
+	nf := float64(n)
+	return core.Recipe{
+		ProblemName: fmt.Sprintf("triangles(n=%d)", n),
+		G:           func(q float64) float64 { return math.Sqrt2 / 3 * math.Pow(q, 1.5) },
+		NumInputs:   nf * nf / 2,
+		NumOutputs:  nf * nf * nf / 6,
+	}
+}
+
+// LowerBound is the closed-form dense bound r ≥ n/√(2q) of Section 4.1.
+func LowerBound(n int, q float64) float64 {
+	return float64(n) / math.Sqrt(2*q)
+}
+
+// TargetQ rescales the reducer size for a sparse data graph with m of the
+// C(n,2) possible edges (Section 4.2): to see an expected q real edges per
+// reducer, a schema may assign qt = q·n(n-1)/(2m) possible edges.
+func TargetQ(q float64, n, m int) float64 {
+	return q * float64(n) * float64(n-1) / (2 * float64(m))
+}
+
+// SparseLowerBound is the Section 4.2 bound r = Ω(√(m/q)) for a random
+// graph with m edges when reducers hold q actual edges.
+func SparseLowerBound(m int, q float64) float64 {
+	return math.Sqrt(float64(m) / q)
+}
+
+// MaxTrianglesAmongEdges is g(q) = (√2/3)·q^{3/2}: the largest number of
+// triangles coverable with q edges (attained by the complete graph on
+// √(2q) nodes; Schank [20], Suri–Vassilvitskii [21]).
+func MaxTrianglesAmongEdges(q float64) float64 {
+	return math.Sqrt2 / 3 * math.Pow(q, 1.5)
+}
+
+// MaxTrianglesBruteForce computes, by exhaustive search over all q-subsets
+// of K_n's edges, the true maximum number of triangles whose edges all lie
+// within a set of q edges — the quantity g(q) of Section 4.1 bounds by
+// (√2/3)·q^{3/2} (Schank [20]). Exponential; intended for verifying the
+// bound on tiny instances (n ≤ 5, q ≤ 7).
+func MaxTrianglesBruteForce(n, q int) int {
+	p := Problem{N: n}
+	numEdges := p.NumInputs()
+	if q > numEdges {
+		q = numEdges
+	}
+	edges := make([]graphs.Edge, numEdges)
+	for i := range edges {
+		u, v := p.EdgeFromIndex(i)
+		edges[i] = graphs.Edge{U: u, V: v}
+	}
+	best := 0
+	chosen := make([]graphs.Edge, 0, q)
+	var rec func(start, need int)
+	rec = func(start, need int) {
+		if need == 0 {
+			g := graphs.New(n, chosen)
+			if c := int(g.TriangleCount()); c > best {
+				best = c
+			}
+			return
+		}
+		for i := start; i <= numEdges-need; i++ {
+			chosen = append(chosen, edges[i])
+			rec(i+1, need-1)
+			chosen = chosen[:len(chosen)-1]
+		}
+	}
+	rec(0, q)
+	return best
+}
+
+// PartitionSchema is the bucket-triple algorithm: nodes are hashed into k
+// buckets and there is one reducer for every unordered triple (with
+// repetition) of buckets; an edge is sent to the k reducers whose triple
+// contains both endpoint buckets, so r = k exactly. A reducer's input is
+// about 4.5·n²/k² possible edges, which makes r = k ≈ 3·n/√(2q): within a
+// factor 3 of the Section 4.1 lower bound.
+type PartitionSchema struct {
+	N, K    int
+	tripleN int
+}
+
+// NewPartitionSchema builds the schema for n nodes and k ≥ 1 buckets.
+func NewPartitionSchema(n, k int) (*PartitionSchema, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("triangle: need k >= 1, got %d", k)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("triangle: need n >= 1, got %d", n)
+	}
+	return &PartitionSchema{N: n, K: k, tripleN: k * (k + 1) * (k + 2) / 6}, nil
+}
+
+// Bucket is the node-to-bucket hash.
+func (s *PartitionSchema) Bucket(u int) int { return u % s.K }
+
+// tripleID maps a sorted bucket triple i ≤ j ≤ l to a dense reducer index.
+func (s *PartitionSchema) tripleID(i, j, l int) int {
+	// Rank of (i,j,l) among sorted triples with repetition over [0,k).
+	// Count triples with first coordinate < i, then with first == i and
+	// second < j, then offset by l-j.
+	id := 0
+	for a := 0; a < i; a++ {
+		r := s.K - a
+		id += r * (r + 1) / 2
+	}
+	for b := i; b < j; b++ {
+		id += s.K - b
+	}
+	return id + (l - j)
+}
+
+// NumReducers implements core.MappingSchema: C(k+2,3) bucket triples.
+func (s *PartitionSchema) NumReducers() int { return s.tripleN }
+
+// Assign implements core.MappingSchema.
+func (s *PartitionSchema) Assign(in int) []int {
+	p := Problem{N: s.N}
+	u, v := p.EdgeFromIndex(in)
+	return s.reducersForEdge(u, v)
+}
+
+func (s *PartitionSchema) reducersForEdge(u, v int) []int {
+	bu, bv := s.Bucket(u), s.Bucket(v)
+	if bu > bv {
+		bu, bv = bv, bu
+	}
+	rs := make([]int, 0, s.K)
+	seen := make(map[int]bool, s.K)
+	for w := 0; w < s.K; w++ {
+		t := [3]int{bu, bv, w}
+		sort.Ints(t[:])
+		id := s.tripleID(t[0], t[1], t[2])
+		if !seen[id] {
+			seen[id] = true
+			rs = append(rs, id)
+		}
+	}
+	return rs
+}
+
+var _ core.MappingSchema = (*PartitionSchema)(nil)
+
+// ExpectedReducerInput is the expected number of possible edges per
+// reducer for the complete instance: a triple of three distinct buckets
+// holds about C(3n/k, 2) ≈ 4.5·n²/k² edges.
+func (s *PartitionSchema) ExpectedReducerInput() float64 {
+	nodes := 3 * float64(s.N) / float64(s.K)
+	return nodes * (nodes - 1) / 2
+}
+
+// Triangle is an output triple with U < V < W.
+type Triangle struct{ U, V, W int }
+
+// Result is the outcome of a distributed triangle run.
+type Result struct {
+	Triangles []Triangle
+	Metrics   mr.Metrics
+}
+
+// Options tunes the distributed run.
+type Options struct {
+	// EmitAll disables the exactly-once production rule, letting every
+	// covering reducer emit the triangle (the driver then deduplicates).
+	// Used by the ablation bench to measure the duplicate overhead.
+	EmitAll bool
+	Config  mr.Config
+}
+
+// Run executes the partition algorithm on a data graph, finding all
+// triangles. With Options.EmitAll false, each triangle is produced exactly
+// once: only the reducer whose bucket triple equals the triangle's own
+// bucket multiset emits it.
+func Run(s *PartitionSchema, g *graphs.Graph, opts Options) (Result, error) {
+	job := &mr.Job[graphs.Edge, int, graphs.Edge, Triangle]{
+		Name: fmt.Sprintf("triangles-partition(n=%d,k=%d)", s.N, s.K),
+		Map: func(e graphs.Edge, emit func(int, graphs.Edge)) {
+			for _, r := range s.reducersForEdge(e.U, e.V) {
+				emit(r, e)
+			}
+		},
+		Reduce: func(cell int, edges []graphs.Edge, emit func(Triangle)) {
+			local := graphs.New(s.N, edges)
+			for _, tr := range local.Triangles() {
+				if !opts.EmitAll {
+					t := [3]int{s.Bucket(tr[0]), s.Bucket(tr[1]), s.Bucket(tr[2])}
+					sort.Ints(t[:])
+					if s.tripleID(t[0], t[1], t[2]) != cell {
+						continue
+					}
+				}
+				emit(Triangle{tr[0], tr[1], tr[2]})
+			}
+		},
+		Config: opts.Config,
+	}
+	tris, met, err := job.Run(g.Edges)
+	if err != nil {
+		return Result{}, err
+	}
+	if opts.EmitAll {
+		tris = dedupTriangles(tris)
+	}
+	sort.Slice(tris, func(i, j int) bool {
+		a, b := tris[i], tris[j]
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		if a.V != b.V {
+			return a.V < b.V
+		}
+		return a.W < b.W
+	})
+	return Result{Triangles: tris, Metrics: met}, nil
+}
+
+func dedupTriangles(tris []Triangle) []Triangle {
+	seen := make(map[Triangle]bool, len(tris))
+	out := tris[:0]
+	for _, t := range tris {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Count runs the algorithm and returns only the number of triangles,
+// aggregating per-reducer counts (a counting job communicates the same
+// edges but returns one integer per reducer).
+func Count(s *PartitionSchema, g *graphs.Graph, cfg mr.Config) (int64, mr.Metrics, error) {
+	job := &mr.Job[graphs.Edge, int, graphs.Edge, int64]{
+		Name: fmt.Sprintf("triangles-count(n=%d,k=%d)", s.N, s.K),
+		Map: func(e graphs.Edge, emit func(int, graphs.Edge)) {
+			for _, r := range s.reducersForEdge(e.U, e.V) {
+				emit(r, e)
+			}
+		},
+		Reduce: func(cell int, edges []graphs.Edge, emit func(int64)) {
+			local := graphs.New(s.N, edges)
+			var count int64
+			for _, tr := range local.Triangles() {
+				t := [3]int{s.Bucket(tr[0]), s.Bucket(tr[1]), s.Bucket(tr[2])}
+				sort.Ints(t[:])
+				if s.tripleID(t[0], t[1], t[2]) == cell {
+					count++
+				}
+			}
+			emit(count)
+		},
+		Config: cfg,
+	}
+	counts, met, err := job.Run(g.Edges)
+	if err != nil {
+		return 0, met, err
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	return total, met, nil
+}

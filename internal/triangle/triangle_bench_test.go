@@ -1,0 +1,46 @@
+package triangle
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graphs"
+	"repro/internal/mr"
+)
+
+// BenchmarkPartitionCount sweeps k on a sparse graph.
+func BenchmarkPartitionCount(b *testing.B) {
+	g := graphs.GNM(200, 3000, rand.New(rand.NewSource(1)))
+	for _, k := range []int{2, 4, 8} {
+		s, err := NewPartitionSchema(200, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := Count(s, g, mr.Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSerialCount is the non-distributed baseline.
+func BenchmarkSerialCount(b *testing.B) {
+	g := graphs.GNM(200, 3000, rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.TriangleCount()
+	}
+}
+
+// BenchmarkEdgeIndex measures the dense edge indexing round trip.
+func BenchmarkEdgeIndex(b *testing.B) {
+	p := NewProblem(1000)
+	for i := 0; i < b.N; i++ {
+		idx := p.EdgeIndex(i%999, (i%999)+1)
+		_, _ = p.EdgeFromIndex(idx)
+	}
+}
