@@ -62,4 +62,24 @@ func main() {
 	saved := naive.Pipeline.TotalPairsEmitted() - pre.Pipeline.TotalPairsEmitted()
 	fmt.Printf("both plans agree with the serial result; pre-aggregation saved %d pairs (%.0f%% of round 2)\n",
 		saved, 100*float64(saved)/float64(naive.Pipeline.Rounds[1].Metrics.PairsEmitted))
+
+	// One round further on the engine's multi-round API: ORDER BY SUM(C)
+	// DESC LIMIT 5 as a third round, whose combiner caps each map task's
+	// contribution at the top 5 candidates.
+	const topN = 5
+	top, pipe, err := problems.RunJoinAggregateTopK(r, s, k, topN, mr.Config{Workers: 4, MapChunk: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wantTop := problems.SerialTopK(r, s, topN)
+	if fmt.Sprint(top) != fmt.Sprint(wantTop) {
+		log.Fatal("top-k disagrees with the serial result")
+	}
+	fmt.Printf("\nthree-round plan (... ORDER BY SUM(C) DESC LIMIT %d):\n", topN)
+	for _, round := range pipe.Rounds {
+		fmt.Printf("  %-22s %s\n", round.Name+":", round.Metrics.String())
+	}
+	for i, g := range top {
+		fmt.Printf("  #%d  A=%-3d SUM(C)=%d\n", i+1, g.A, g.Sum)
+	}
 }

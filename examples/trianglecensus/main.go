@@ -53,4 +53,30 @@ func main() {
 	q := 200.0
 	fmt.Printf("\nSection 4.2 rescaling at q=%.0f actual edges: target q_t = q·n(n-1)/2m = %.0f possible edges\n",
 		q, triangle.TargetQ(q, n, m))
+
+	// The full three-round census on the engine's multi-round API:
+	// find triangles, count per node, histogram the counts — with the
+	// per-round communication meters coming from the real exchange.
+	schema, err := triangle.NewPartitionSchema(n, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	census, err := triangle.Census(schema, g, mr.Config{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nthree-round census (find -> per-node counts -> histogram):")
+	for _, round := range census.Pipeline.Rounds {
+		fmt.Printf("  %-28s %s\n", round.Name+":", round.Metrics.String())
+	}
+	fmt.Printf("  nodes in >=1 triangle: %d; distribution of per-node triangle counts:\n", len(census.PerNode))
+	shown := 0
+	for _, b := range census.Bins {
+		if shown == 6 {
+			fmt.Printf("    ... %d more bins\n", len(census.Bins)-shown)
+			break
+		}
+		fmt.Printf("    %3d triangles x %4d nodes\n", b.Triangles, b.Nodes)
+		shown++
+	}
 }

@@ -1,0 +1,511 @@
+// Package engine is the partitioned execution driver under the mr
+// runtime: it runs one map-reduce round as a map phase fanning out to P
+// shuffle partitions (internal/shuffle), schedules reduce *partitions*
+// — not single keys — onto workers with the LPT balancer the paper's
+// footnote 4 describes (core.BalanceLoads), and reports per-partition
+// metrics, so the skew and replication-rate numbers the paper reasons
+// about are measured on the real data path rather than reconstructed
+// afterwards.
+//
+// The package is deliberately independent of internal/mr: mr's typed
+// Job API is a thin veneer over Run, and multi-round pipelines (the
+// paper's Section 6.3 two-phase matrix multiplication, the Section 7.1
+// join-then-aggregate workloads) execute as a DAG of rounds through
+// Graph.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/shuffle"
+)
+
+// MapFunc transforms one input record into zero or more key-value
+// pairs. It must be deterministic and side-effect free: the engine
+// re-executes it when fault injection is enabled.
+type MapFunc[I any, K comparable, V any] func(in I, emit func(K, V))
+
+// ReduceFunc processes one reduce key with all its values.
+type ReduceFunc[K comparable, V, O any] func(key K, values []V, emit func(O))
+
+// CombineFunc optionally pre-aggregates one key's values inside a map
+// task before shuffle.
+type CombineFunc[K comparable, V any] func(key K, values []V) []V
+
+// Config controls the execution of one round.
+type Config struct {
+	// Workers is the number of parallel map (and reduce) workers.
+	// Zero means runtime.NumCPU().
+	Workers int
+
+	// MapChunk is the number of input records per map task. Zero means
+	// an automatic chunk targeting ~4 tasks per worker.
+	MapChunk int
+
+	// Partitions is the shuffle partition count P; <= 0 selects
+	// shuffle.DefaultPartitions().
+	Partitions int
+
+	// MaxBufferedPairs enables the shuffle's bounded-memory mode.
+	MaxBufferedPairs int
+
+	// MaxReducerInput, when positive, fails the round before the reduce
+	// phase if any key group exceeds it (the paper's reducer size limit
+	// q enforced at runtime).
+	MaxReducerInput int
+
+	// RecordLoads asks for per-reducer input sizes in global sorted key
+	// order; RecordKeys additionally exports the keys themselves.
+	RecordLoads bool
+	RecordKeys  bool
+
+	// FailureEveryN deterministically fails each task's first attempt
+	// whenever the task ordinal is divisible by FailureEveryN; failed
+	// tasks retry up to MaxRetries times (default 2 when injection is
+	// on). Reduce tasks are partitions; their ordinal counts non-empty
+	// partitions in ascending order, so injection always hits at least
+	// one reduce task regardless of how keys hashed.
+	FailureEveryN int
+	MaxRetries    int
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	n := runtime.NumCPU()
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (c Config) maxRetries() int {
+	if c.MaxRetries > 0 {
+		return c.MaxRetries
+	}
+	if c.FailureEveryN > 0 {
+		return 2
+	}
+	return 0
+}
+
+// Round is one typed map-reduce round.
+type Round[I any, K comparable, V, O any] struct {
+	Name    string
+	Map     MapFunc[I, K, V]
+	Reduce  ReduceFunc[K, V, O]
+	Combine CombineFunc[K, V] // optional
+
+	// Partitioner, when set, overrides hash placement of keys onto
+	// shuffle partitions (reduced modulo the effective power-of-two
+	// partition count). Schemas with an explicit reducer layout, and
+	// tests that need to corner a key in its own partition, use this.
+	Partitioner func(K) int
+
+	Config Config
+}
+
+// PartitionStat is the realized profile of one shuffle partition.
+type PartitionStat struct {
+	// Pairs and Keys are the partition's share of the shuffle.
+	Pairs int64
+	Keys  int64
+	// MaxGroup is the partition's largest key group (its local q).
+	MaxGroup int64
+	// Worker is the reduce worker the LPT scheduler placed the
+	// partition on (-1 when the round failed before scheduling).
+	Worker int
+}
+
+// Metrics is the communication profile of one executed round. The
+// scalar fields mirror the paper's quantities; Partitions carries the
+// per-partition breakdown from the real exchange.
+type Metrics struct {
+	MapInputs         int64
+	PairsEmitted      int64 // pre-combine: the paper's communication cost
+	PairsShuffled     int64 // post-combine pairs crossing the exchange
+	Reducers          int64 // distinct keys
+	MaxReducerInput   int64 // realized q
+	TotalReducerInput int64
+	Outputs           int64
+	MapRetries        int64
+	ReduceRetries     int64
+
+	// Partitions is the per-partition profile (length P).
+	Partitions []PartitionStat
+	// Makespan is the LPT-scheduled heaviest worker load, in pairs;
+	// IdealMakespan is the load-balance floor. Their ratio is the
+	// residual skew the partitioning did not resolve.
+	Makespan      int64
+	IdealMakespan int64
+	// SpillEvents and SpilledPairs report bounded-memory pressure.
+	SpillEvents  int64
+	SpilledPairs int64
+}
+
+// PartitionSkew is max/mean partition pairs (1 = perfectly even).
+func (m Metrics) PartitionSkew() float64 {
+	if len(m.Partitions) == 0 || m.PairsShuffled == 0 {
+		return 0
+	}
+	var max int64
+	for _, p := range m.Partitions {
+		if p.Pairs > max {
+			max = p.Pairs
+		}
+	}
+	return float64(max) / (float64(m.PairsShuffled) / float64(len(m.Partitions)))
+}
+
+// Result is the outcome of one round.
+type Result[K comparable, O any] struct {
+	// Outputs are the reduce outputs in global deterministic order:
+	// keys ascending (shuffle.SortKeys order), emission order within a
+	// key.
+	Outputs []O
+	// Keys and Loads, when Config.RecordKeys / RecordLoads were set,
+	// are the reduce keys in that same global order and their input
+	// sizes.
+	Keys    []K
+	Loads   []int
+	Metrics Metrics
+}
+
+// ErrReducerOverflow is returned (wrapped) when a key group exceeds
+// Config.MaxReducerInput.
+var ErrReducerOverflow = errors.New("engine: reducer input exceeds configured maximum")
+
+// errInjected marks a deterministic injected task failure.
+var errInjected = errors.New("engine: injected task failure")
+
+// Run executes one round over inputs. On error the returned Result
+// still carries the metrics accumulated up to the failure point.
+func Run[I any, K comparable, V, O any](r Round[I, K, V, O], inputs []I) (Result[K, O], error) {
+	var res Result[K, O]
+	res.Metrics.MapInputs = int64(len(inputs))
+	cfg := r.Config
+
+	sh := shuffle.New[K, V](shuffle.Options{
+		Partitions:       cfg.Partitions,
+		MaxBufferedPairs: cfg.MaxBufferedPairs,
+	})
+	if r.Partitioner != nil {
+		sh.SetPartitioner(r.Partitioner)
+	}
+
+	if err := runMapPhase(r, inputs, sh, &res.Metrics); err != nil {
+		return res, err
+	}
+
+	st := sh.Stats()
+	res.Metrics.PairsShuffled = st.Pairs
+	res.Metrics.Reducers = st.Keys
+	res.Metrics.MaxReducerInput = st.MaxGroup
+	res.Metrics.TotalReducerInput = st.Pairs
+	res.Metrics.SpillEvents = st.SpillEvents
+	res.Metrics.SpilledPairs = st.SpilledPairs
+	res.Metrics.Partitions = make([]PartitionStat, st.Partitions)
+	for p := range res.Metrics.Partitions {
+		res.Metrics.Partitions[p] = PartitionStat{
+			Pairs:    st.PartitionPairs[p],
+			Keys:     st.PartitionKeys[p],
+			MaxGroup: st.PartitionMaxGroup[p],
+			Worker:   -1,
+		}
+	}
+
+	if max := cfg.MaxReducerInput; max > 0 && st.MaxGroup > int64(max) {
+		// The reduce phase never runs, but callers diagnosing which
+		// reducers blew the q limit still get keys and loads.
+		if cfg.RecordLoads || cfg.RecordKeys {
+			keys, loads := collectKeyLoads(sh, int(st.Keys))
+			res.Loads = loads
+			if cfg.RecordKeys {
+				res.Keys = keys
+			}
+		}
+		return res, fmt.Errorf("%w: round %q saw reducer with %d inputs, limit %d",
+			ErrReducerOverflow, r.Name, st.MaxGroup, max)
+	}
+
+	return runReducePhase(r, sh, st, res)
+}
+
+// runMapPhase executes map tasks in parallel, each pre-bucketing its
+// output by shuffle partition, then merges all task buffers with the
+// shuffle's per-partition goroutines.
+func runMapPhase[I any, K comparable, V, O any](r Round[I, K, V, O], inputs []I, sh *shuffle.Shuffle[K, V], met *Metrics) error {
+	cfg := r.Config
+	workers := cfg.workers()
+	chunk := cfg.MapChunk
+	if chunk <= 0 {
+		chunk = (len(inputs) + workers*4 - 1) / (workers * 4)
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	type task struct{ lo, hi, idx int }
+	var tasks []task
+	for lo, idx := 0, 0; lo < len(inputs); lo, idx = lo+chunk, idx+1 {
+		hi := lo + chunk
+		if hi > len(inputs) {
+			hi = len(inputs)
+		}
+		tasks = append(tasks, task{lo, hi, idx})
+	}
+
+	buffers := make([]*shuffle.TaskBuffer[K, V], len(tasks))
+	emitted := make([]int64, len(tasks))
+	retries := make([]int64, len(tasks))
+	errs := make([]error, len(tasks))
+
+	var wg sync.WaitGroup
+	taskCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range taskCh {
+				t := tasks[ti]
+				attempts := 0
+				for {
+					buf, count, err := attemptMapTask(r, inputs[t.lo:t.hi], sh, t.idx, attempts)
+					if err == nil {
+						buffers[ti], emitted[ti] = buf, count
+						break
+					}
+					attempts++
+					retries[ti]++
+					if attempts > cfg.maxRetries() {
+						errs[ti] = fmt.Errorf("engine: map task %d of round %q failed after %d attempts: %w",
+							t.idx, r.Name, attempts, err)
+						break
+					}
+				}
+			}
+		}()
+	}
+	for ti := range tasks {
+		taskCh <- ti
+	}
+	close(taskCh)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for ti := range tasks {
+		met.PairsEmitted += emitted[ti]
+		met.MapRetries += retries[ti]
+	}
+	sh.Merge(buffers)
+	return nil
+}
+
+// attemptMapTask runs one attempt of a map task, returning the task's
+// shuffle buffer and its pre-combine emission count.
+func attemptMapTask[I any, K comparable, V, O any](r Round[I, K, V, O], records []I, sh *shuffle.Shuffle[K, V], taskIdx, attempt int) (*shuffle.TaskBuffer[K, V], int64, error) {
+	if fe := r.Config.FailureEveryN; fe > 0 && attempt == 0 && taskIdx%fe == 0 {
+		return nil, 0, errInjected
+	}
+	buf := sh.NewTaskBuffer()
+	var count int64
+	if r.Combine == nil {
+		emit := func(k K, v V) {
+			buf.Emit(k, v)
+			count++
+		}
+		for _, rec := range records {
+			r.Map(rec, emit)
+		}
+		return buf, count, nil
+	}
+	// With a combiner the task groups locally first, combines each key's
+	// values, and only then buffers the (smaller) combined output.
+	local := make(map[K][]V)
+	emit := func(k K, v V) {
+		local[k] = append(local[k], v)
+		count++
+	}
+	for _, rec := range records {
+		r.Map(rec, emit)
+	}
+	for k, vs := range local {
+		for _, v := range r.Combine(k, vs) {
+			buf.Emit(k, v)
+		}
+	}
+	return buf, count, nil
+}
+
+// partResult is one reduced partition, keys in sorted order.
+type partResult[K comparable, O any] struct {
+	keys  []K
+	outs  [][]O
+	loads []int
+}
+
+// runReducePhase schedules non-empty partitions onto workers with the
+// LPT balancer, reduces each partition's keys in sorted order, and
+// assembles the outputs in global key order.
+func runReducePhase[I any, K comparable, V, O any](r Round[I, K, V, O], sh *shuffle.Shuffle[K, V], st shuffle.Stats, res Result[K, O]) (Result[K, O], error) {
+	cfg := r.Config
+	workers := cfg.workers()
+	P := sh.NumPartitions()
+
+	// LPT assignment of partitions to reduce workers by pair load.
+	loads := make([]int, P)
+	for p := 0; p < P; p++ {
+		loads[p] = int(st.PartitionPairs[p])
+	}
+	assignment, makespan := core.BalanceLoads(loads, workers)
+	res.Metrics.Makespan = makespan
+	res.Metrics.IdealMakespan = core.IdealMakespan(loads, workers)
+	perWorker := make([][]int, workers)
+	for p := 0; p < P; p++ {
+		res.Metrics.Partitions[p].Worker = assignment[p]
+		perWorker[assignment[p]] = append(perWorker[assignment[p]], p)
+	}
+
+	// Reduce-task ordinals: non-empty partitions in ascending order, so
+	// fault injection is independent of key placement.
+	ordinal := make([]int, P)
+	next := 0
+	for p := 0; p < P; p++ {
+		if st.PartitionKeys[p] > 0 {
+			ordinal[p] = next
+			next++
+		} else {
+			ordinal[p] = -1
+		}
+	}
+
+	results := make([]partResult[K, O], P)
+	retries := make([]int64, P)
+	errs := make([]error, P)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		if len(perWorker[w]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(parts []int) {
+			defer wg.Done()
+			for _, p := range parts {
+				if ordinal[p] < 0 {
+					continue
+				}
+				part := sh.Partition(p)
+				attempts := 0
+				for {
+					pr, err := attemptReducePartition(r, part, ordinal[p], attempts)
+					if err == nil {
+						results[p] = pr
+						break
+					}
+					attempts++
+					retries[p]++
+					if attempts > cfg.maxRetries() {
+						errs[p] = fmt.Errorf("engine: reduce partition %d of round %q failed after %d attempts: %w",
+							p, r.Name, attempts, err)
+						break
+					}
+				}
+			}
+		}(perWorker[w])
+	}
+	wg.Wait()
+
+	for p := 0; p < P; p++ {
+		if errs[p] != nil {
+			return res, errs[p]
+		}
+		res.Metrics.ReduceRetries += retries[p]
+	}
+
+	// Global assembly: all keys sorted once, outputs concatenated in
+	// that order — the runtime's deterministic output contract.
+	totalKeys := int(st.Keys)
+	allKeys := make([]K, 0, totalKeys)
+	type ref struct{ p, i int }
+	refs := make(map[K]ref, totalKeys)
+	for p := 0; p < P; p++ {
+		for i, k := range results[p].keys {
+			allKeys = append(allKeys, k)
+			refs[k] = ref{p, i}
+		}
+	}
+	shuffle.SortKeys(allKeys)
+
+	var outs []O
+	for _, k := range allKeys {
+		rf := refs[k]
+		outs = append(outs, results[rf.p].outs[rf.i]...)
+	}
+	res.Outputs = outs
+	res.Metrics.Outputs = int64(len(outs))
+	if cfg.RecordLoads || cfg.RecordKeys {
+		res.Loads = make([]int, len(allKeys))
+		for i, k := range allKeys {
+			rf := refs[k]
+			res.Loads[i] = results[rf.p].loads[rf.i]
+		}
+	}
+	if cfg.RecordKeys {
+		res.Keys = allKeys
+	}
+	return res, nil
+}
+
+// collectKeyLoads gathers every key's input size in global sorted key
+// order directly from the shuffle, for failure paths that never reach
+// the reduce phase.
+func collectKeyLoads[K comparable, V any](sh *shuffle.Shuffle[K, V], totalKeys int) ([]K, []int) {
+	allKeys := make([]K, 0, totalKeys)
+	sizes := make(map[K]int, totalKeys)
+	for p := 0; p < sh.NumPartitions(); p++ {
+		sh.Partition(p).ForEachSorted(func(k K, vs []V) {
+			allKeys = append(allKeys, k)
+			sizes[k] = len(vs)
+		})
+	}
+	shuffle.SortKeys(allKeys)
+	loads := make([]int, len(allKeys))
+	for i, k := range allKeys {
+		loads[i] = sizes[k]
+	}
+	return allKeys, loads
+}
+
+// attemptReducePartition runs one attempt of a partition's reduce task:
+// every key in the partition, in sorted order.
+func attemptReducePartition[I any, K comparable, V, O any](r Round[I, K, V, O], part shuffle.Partition[K, V], taskOrdinal, attempt int) (partResult[K, O], error) {
+	if fe := r.Config.FailureEveryN; fe > 0 && attempt == 0 && taskOrdinal%fe == 0 {
+		return partResult[K, O]{}, errInjected
+	}
+	keys := part.SortedKeys()
+	pr := partResult[K, O]{
+		keys:  keys,
+		outs:  make([][]O, len(keys)),
+		loads: make([]int, len(keys)),
+	}
+	for i, k := range keys {
+		vs := part.Values(k)
+		pr.loads[i] = len(vs)
+		var outs []O
+		r.Reduce(k, vs, func(o O) { outs = append(outs, o) })
+		pr.outs[i] = outs
+	}
+	return pr, nil
+}
+
+// SortKeys re-exports the shuffle's canonical key ordering for callers
+// assembling their own output.
+func SortKeys[K comparable](keys []K) { shuffle.SortKeys(keys) }

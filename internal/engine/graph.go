@@ -1,0 +1,205 @@
+package engine
+
+import (
+	"fmt"
+)
+
+// StageFunc is one node of a multi-round DAG: it receives the values
+// produced by its dependencies (in declaration order; source nodes
+// receive the pipeline's source value as the single element) and
+// returns its own value plus the round's metrics.
+type StageFunc func(ins []any) (out any, m Metrics, err error)
+
+// NamedMetrics pairs a stage name with its metrics.
+type NamedMetrics struct {
+	Name    string
+	Metrics Metrics
+}
+
+// Graph is a DAG of rounds. Stages whose dependencies are all complete
+// run concurrently — the round-level parallelism that a linear chain
+// cannot express (e.g. joining two independently-prepared relations).
+type Graph struct {
+	nodes []*gnode
+}
+
+type gnode struct {
+	name string
+	deps []string
+	fn   StageFunc
+}
+
+// NewGraph returns an empty DAG.
+func NewGraph() *Graph { return &Graph{} }
+
+// Add registers a stage with its dependencies and returns the graph for
+// chaining. Validation (unknown deps, duplicates, cycles) happens in
+// Run.
+func (g *Graph) Add(name string, fn StageFunc, deps ...string) *Graph {
+	g.nodes = append(g.nodes, &gnode{name: name, deps: deps, fn: fn})
+	return g
+}
+
+// GraphResult holds every stage's value and the metrics of every round
+// in declaration order.
+type GraphResult struct {
+	values map[string]any
+	sinks  []string
+	// Rounds are the executed rounds' metrics, in declaration order.
+	Rounds []NamedMetrics
+}
+
+// Value returns the named stage's output.
+func (r *GraphResult) Value(name string) (any, bool) {
+	v, ok := r.values[name]
+	return v, ok
+}
+
+// Sinks lists the stages nothing depends on, in declaration order.
+func (r *GraphResult) Sinks() []string { return r.sinks }
+
+// Output returns the single sink's value; it errors when the DAG has
+// more than one sink (use Value then).
+func (r *GraphResult) Output() (any, error) {
+	if len(r.sinks) != 1 {
+		return nil, fmt.Errorf("engine: graph has %d sinks %v, want exactly 1", len(r.sinks), r.sinks)
+	}
+	return r.values[r.sinks[0]], nil
+}
+
+// TotalPairsShuffled sums the communication of all executed rounds.
+func (r *GraphResult) TotalPairsShuffled() int64 {
+	var total int64
+	for _, rm := range r.Rounds {
+		total += rm.Metrics.PairsShuffled
+	}
+	return total
+}
+
+// Run validates and executes the DAG: stages run as soon as all their
+// dependencies have completed, concurrently where the shape allows.
+// Source stages (no dependencies) receive []any{source}. On the first
+// stage error execution stops and the error is returned, wrapped with
+// the stage name; already-running stages are awaited first.
+func (g *Graph) Run(source any) (*GraphResult, error) {
+	byName := make(map[string]*gnode, len(g.nodes))
+	for _, n := range g.nodes {
+		if _, dup := byName[n.name]; dup {
+			return nil, fmt.Errorf("engine: duplicate stage %q", n.name)
+		}
+		byName[n.name] = n
+	}
+	indeg := make(map[string]int, len(g.nodes))
+	dependents := make(map[string][]*gnode)
+	for _, n := range g.nodes {
+		indeg[n.name] = len(n.deps)
+		for _, d := range n.deps {
+			if _, ok := byName[d]; !ok {
+				return nil, fmt.Errorf("engine: stage %q depends on unknown stage %q", n.name, d)
+			}
+			dependents[d] = append(dependents[d], n)
+		}
+	}
+
+	res := &GraphResult{values: make(map[string]any, len(g.nodes))}
+	metrics := make(map[string]Metrics, len(g.nodes))
+
+	type outcome struct {
+		node *gnode
+		val  any
+		m    Metrics
+		err  error
+	}
+	done := make(chan outcome)
+	running := 0
+	launch := func(n *gnode) {
+		running++
+		ins := make([]any, 0, len(n.deps))
+		if len(n.deps) == 0 {
+			ins = append(ins, source)
+		} else {
+			for _, d := range n.deps {
+				ins = append(ins, res.values[d])
+			}
+		}
+		go func() {
+			val, m, err := n.fn(ins)
+			done <- outcome{node: n, val: val, m: m, err: err}
+		}()
+	}
+
+	completed := 0
+	for _, n := range g.nodes {
+		if indeg[n.name] == 0 {
+			launch(n)
+		}
+	}
+	var firstErr error
+	for running > 0 {
+		oc := <-done
+		running--
+		if oc.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("engine: stage %q: %w", oc.node.name, oc.err)
+			}
+			continue
+		}
+		if firstErr != nil {
+			continue // draining; don't launch further work
+		}
+		res.values[oc.node.name] = oc.val
+		metrics[oc.node.name] = oc.m
+		completed++
+		for _, dep := range dependents[oc.node.name] {
+			indeg[dep.name]--
+			if indeg[dep.name] == 0 {
+				launch(dep)
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if completed != len(g.nodes) {
+		var stuck []string
+		for _, n := range g.nodes {
+			if _, ok := res.values[n.name]; !ok {
+				stuck = append(stuck, n.name)
+			}
+		}
+		return nil, fmt.Errorf("engine: graph has a dependency cycle through %v", stuck)
+	}
+	for _, n := range g.nodes {
+		res.Rounds = append(res.Rounds, NamedMetrics{Name: n.name, Metrics: metrics[n.name]})
+		if len(dependents[n.name]) == 0 {
+			res.sinks = append(res.sinks, n.name)
+		}
+	}
+	return res, nil
+}
+
+// Stage adapts a typed Round into a DAG stage. Dependency values must
+// each be a []I; multiple dependencies are concatenated in declaration
+// order.
+func Stage[I any, K comparable, V, O any](r Round[I, K, V, O]) StageFunc {
+	return func(ins []any) (any, Metrics, error) {
+		var inputs []I
+		for i, in := range ins {
+			if in == nil {
+				continue
+			}
+			xs, ok := in.([]I)
+			if !ok {
+				var want []I
+				return nil, Metrics{}, fmt.Errorf("engine: round %q input %d is %T, want %T", r.Name, i, in, want)
+			}
+			if inputs == nil {
+				inputs = xs
+			} else {
+				inputs = append(inputs[:len(inputs):len(inputs)], xs...)
+			}
+		}
+		res, err := Run(r, inputs)
+		return res.Outputs, res.Metrics, err
+	}
+}

@@ -247,12 +247,13 @@ func RunTwoPhase(r, s *Matrix, schema TwoPhaseSchema, cfg mr.Config) (*Matrix, *
 		},
 		Config: cfg,
 	}
-	outs, pipe, err := mr.Chain(phase1, phase2, entries(r, s))
+	// The two rounds run as a pipeline through the partitioned executor.
+	outAny, pipe, err := mr.RunPipeline(entries(r, s), mr.RoundOf(phase1), mr.RoundOf(phase2))
 	if err != nil {
 		return nil, pipe, err
 	}
 	prod := NewMatrix(n, n)
-	for _, o := range outs {
+	for _, o := range outAny.([]partial) {
 		prod.Set(o.I, o.K, o.V)
 	}
 	return prod, pipe, nil

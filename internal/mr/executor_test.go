@@ -1,0 +1,237 @@
+package mr
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// These tests exercise the paper-facing Job API specifically through
+// the partitioned shuffle executor: partition-pinned overflow, fault
+// injection across partition boundaries, per-partition metrics, and the
+// bounded-memory mode.
+
+func TestOverflowWhenKeyIsAloneInItsPartition(t *testing.T) {
+	// The partition-boundary case: the overflowing key is the only key
+	// in its partition, so the limit must be enforced from that
+	// partition's own stats.
+	job := &Job[int, int, int, int]{
+		Name:             "boundary",
+		Map:              func(x int, emit func(int, int)) { emit(x, x) },
+		Reduce:           func(k int, vs []int, emit func(int)) { emit(len(vs)) },
+		ShufflePartition: func(k int) int { return k }, // key k -> partition k
+		Config:           Config{Partitions: 2, MaxReducerInput: 3},
+	}
+	inputs := []int{0, 0, 0, 0, 1} // key 0: 4 values in partition 0, alone
+	_, met, err := job.Run(inputs)
+	if !errors.Is(err, ErrReducerOverflow) {
+		t.Fatalf("err = %v, want ErrReducerOverflow", err)
+	}
+	if !strings.Contains(err.Error(), `job "boundary" saw reducer with 4 inputs, limit 3`) {
+		t.Errorf("error text = %q", err)
+	}
+	if met.MaxReducerInput != 4 || met.Reducers != 2 {
+		t.Errorf("metrics at failure: %+v", met)
+	}
+
+	// RecordLoads survives the overflow path (the seed runtime also
+	// reported per-reducer loads on a failed run).
+	job.Config.RecordLoads = true
+	_, met, err = job.Run(inputs)
+	if !errors.Is(err, ErrReducerOverflow) {
+		t.Fatalf("err = %v", err)
+	}
+	if !reflect.DeepEqual(met.ReducerLoads, []int{4, 1}) {
+		t.Errorf("ReducerLoads at failure = %v, want [4 1]", met.ReducerLoads)
+	}
+	job.Config.RecordLoads = false
+
+	// At the limit exactly the run succeeds and outputs stay sorted.
+	job.Config.MaxReducerInput = 4
+	out, _, err := job.Run(inputs)
+	if err != nil {
+		t.Fatalf("at limit: %v", err)
+	}
+	if !reflect.DeepEqual(out, []int{4, 1}) {
+		t.Errorf("outputs = %v, want [4 1] (keys 0 then 1)", out)
+	}
+}
+
+func TestFaultInjectionAcrossPartitions(t *testing.T) {
+	docs := []string{"a b", "b c", "c d", "d e", "e f", "f g"}
+	clean, _, err := wordCountJob(Config{Workers: 3}).Run(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parts := range []int{1, 2, 8, 64} {
+		faulty := wordCountJob(Config{
+			Workers: 3, MapChunk: 1, Partitions: parts,
+			FailureEveryN: 2, MaxRetries: 3,
+		})
+		out, met, err := faulty.Run(docs)
+		if err != nil {
+			t.Fatalf("P=%d: %v", parts, err)
+		}
+		if !reflect.DeepEqual(out, clean) {
+			t.Errorf("P=%d: outputs diverge under injection", parts)
+		}
+		if met.MapRetries == 0 || met.ReduceRetries == 0 {
+			t.Errorf("P=%d: retries = map %d, reduce %d; want both > 0",
+				parts, met.MapRetries, met.ReduceRetries)
+		}
+		if met.PairsEmitted != 12 {
+			t.Errorf("P=%d: PairsEmitted = %d, want 12 (no double count)", parts, met.PairsEmitted)
+		}
+	}
+}
+
+func TestFaultInjectionWithOverflowStillDetected(t *testing.T) {
+	// Retries and the q limit interact: the retried map tasks must not
+	// inflate group sizes past the limit, and a genuine overflow must
+	// still surface after recovery.
+	ok := wordCountJob(Config{MaxReducerInput: 4, FailureEveryN: 2, MaxRetries: 3, MapChunk: 1})
+	if _, _, err := ok.Run([]string{"a a", "a a"}); err != nil {
+		t.Fatalf("4 inputs at limit 4 should pass despite retries: %v", err)
+	}
+	bad := wordCountJob(Config{MaxReducerInput: 3, FailureEveryN: 2, MaxRetries: 3, MapChunk: 1})
+	if _, _, err := bad.Run([]string{"a a", "a a"}); !errors.Is(err, ErrReducerOverflow) {
+		t.Fatalf("err = %v, want ErrReducerOverflow", err)
+	}
+}
+
+func TestPartitionMetricsExposed(t *testing.T) {
+	job := wordCountJob(Config{Partitions: 4, Workers: 2})
+	_, met, err := job.Run([]string{"a b c d e f g h i j"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(met.Partitions) != 4 {
+		t.Fatalf("Partitions = %d entries, want 4", len(met.Partitions))
+	}
+	var pairs, keys int64
+	for _, ps := range met.Partitions {
+		pairs += ps.Pairs
+		keys += ps.Keys
+	}
+	if pairs != met.PairsShuffled || keys != met.Reducers {
+		t.Errorf("partition sums (%d, %d) != totals (%d, %d)", pairs, keys, met.PairsShuffled, met.Reducers)
+	}
+	if met.Makespan < met.IdealMakespan || met.IdealMakespan <= 0 {
+		t.Errorf("makespan %d, ideal %d", met.Makespan, met.IdealMakespan)
+	}
+	if met.PartitionSkew() < 1 {
+		t.Errorf("PartitionSkew = %v, want >= 1", met.PartitionSkew())
+	}
+}
+
+func TestBoundedMemoryModeThroughJob(t *testing.T) {
+	docs := make([]string, 64)
+	for i := range docs {
+		docs[i] = "x y"
+	}
+	job := wordCountJob(Config{Partitions: 2, MaxBufferedPairs: 8})
+	out, met, err := job.Run(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.SpillEvents == 0 || met.SpilledPairs == 0 {
+		t.Errorf("no spill pressure reported: %+v", met)
+	}
+	want := []string{"x=64", "y=64"}
+	if !reflect.DeepEqual(out, want) {
+		t.Errorf("outputs = %v, want %v (grouping must survive sealed runs)", out, want)
+	}
+}
+
+func TestShufflePartitionDoesNotChangeResults(t *testing.T) {
+	docs := []string{"b a c a", "c b a"}
+	base, baseMet, err := wordCountJob(Config{}).Run(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := wordCountJob(Config{Partitions: 4})
+	pinned.ShufflePartition = func(w string) int { return int(w[0]) }
+	out, met, err := pinned.Run(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, base) {
+		t.Errorf("pinned layout changed outputs: %v vs %v", out, base)
+	}
+	if met.Reducers != baseMet.Reducers || met.PairsShuffled != baseMet.PairsShuffled {
+		t.Errorf("pinned layout changed logical metrics: %+v vs %+v", met, baseMet)
+	}
+}
+
+func TestRunPipelineThreeRounds(t *testing.T) {
+	// Tokenize -> count -> histogram: an N=3 pipeline through the
+	// generalized Chain.
+	tokenize := &Job[string, string, int, string]{
+		Name: "tokenize",
+		Map: func(doc string, emit func(string, int)) {
+			for _, w := range strings.Fields(doc) {
+				emit(w, 1)
+			}
+		},
+		Reduce: func(w string, counts []int, emit func(string)) {
+			for range counts {
+				emit(w)
+			}
+		},
+	}
+	count := &Job[string, string, int, Pair[string, int]]{
+		Name: "count",
+		Map:  func(w string, emit func(string, int)) { emit(w, 1) },
+		Reduce: func(w string, counts []int, emit func(Pair[string, int])) {
+			emit(Pair[string, int]{w, len(counts)})
+		},
+	}
+	histogram := &Job[Pair[string, int], int, int, Pair[int, int]]{
+		Name: "histogram",
+		Map:  func(p Pair[string, int], emit func(int, int)) { emit(p.Value, 1) },
+		Reduce: func(n int, ones []int, emit func(Pair[int, int])) {
+			emit(Pair[int, int]{n, len(ones)})
+		},
+	}
+	out, pipe, err := RunPipeline([]string{"a b a", "b b c"},
+		RoundOf(tokenize), RoundOf(count), RoundOf(histogram))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Counts a=2 b=3 c=1: one word each of count 1, 2, 3.
+	want := []Pair[int, int]{{1, 1}, {2, 1}, {3, 1}}
+	if !reflect.DeepEqual(out.([]Pair[int, int]), want) {
+		t.Errorf("outputs = %v, want %v", out, want)
+	}
+	if len(pipe.Rounds) != 3 {
+		t.Fatalf("recorded %d rounds, want 3", len(pipe.Rounds))
+	}
+	if pipe.Rounds[1].Name != "count" {
+		t.Errorf("round order: %v", pipe.Rounds)
+	}
+	if pipe.TotalCommunication() != pipe.Rounds[0].Metrics.PairsShuffled+
+		pipe.Rounds[1].Metrics.PairsShuffled+pipe.Rounds[2].Metrics.PairsShuffled {
+		t.Error("TotalCommunication does not sum all three rounds")
+	}
+}
+
+func TestRunPipelineTypeMismatch(t *testing.T) {
+	ints := &Job[int, int, int, int]{
+		Name:   "ints",
+		Map:    func(x int, emit func(int, int)) { emit(x, x) },
+		Reduce: func(k int, _ []int, emit func(int)) { emit(k) },
+	}
+	strs := &Job[string, string, int, string]{
+		Name:   "strings",
+		Map:    func(s string, emit func(string, int)) { emit(s, 1) },
+		Reduce: func(k string, _ []int, emit func(string)) { emit(k) },
+	}
+	_, pipe, err := RunPipeline([]int{1, 2}, RoundOf(ints), RoundOf(strs))
+	if err == nil || !strings.Contains(err.Error(), "expects []string") {
+		t.Fatalf("err = %v, want type mismatch naming []string", err)
+	}
+	if len(pipe.Rounds) != 1 {
+		t.Errorf("recorded %d rounds, want 1 (the successful first)", len(pipe.Rounds))
+	}
+}

@@ -1,0 +1,98 @@
+package mr
+
+import (
+	"fmt"
+	"testing"
+)
+
+// fnvSprintPartition is the seed runtime's defaultPartition, kept here
+// as the benchmark baseline: format the key with fmt, then FNV-1a the
+// resulting string.
+func fnvSprintPartition[K comparable](k K, nw int) int {
+	s := fmt.Sprint(k)
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return int(h % uint32(nw))
+}
+
+// cellKey stands in for the composite reducer-cell keys the schemas use
+// (e.g. the (i-group, k-group, j-group) cells of two-phase matmul).
+type cellKey struct {
+	I, J, Round int
+}
+
+// BenchmarkDefaultPartition is the before/after for the satellite task:
+// the seed's fmt.Sprint+FNV key hashing against the maphash-based typed
+// fast path, on string and struct keys.
+func BenchmarkDefaultPartition(b *testing.B) {
+	const nw = 64
+
+	strKeys := make([]string, 1024)
+	for i := range strKeys {
+		strKeys[i] = fmt.Sprintf("reducer-key-%d", i)
+	}
+	b.Run("string/seed-fmt-fnv", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink int
+		for i := 0; i < b.N; i++ {
+			sink += fnvSprintPartition(strKeys[i%len(strKeys)], nw)
+		}
+		_ = sink
+	})
+	b.Run("string/maphash", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink int
+		for i := 0; i < b.N; i++ {
+			sink += defaultPartition(strKeys[i%len(strKeys)], nw)
+		}
+		_ = sink
+	})
+
+	structKeys := make([]cellKey, 1024)
+	for i := range structKeys {
+		structKeys[i] = cellKey{I: i % 32, J: i / 32, Round: i % 3}
+	}
+	b.Run("struct/seed-fmt-fnv", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink int
+		for i := 0; i < b.N; i++ {
+			sink += fnvSprintPartition(structKeys[i%len(structKeys)], nw)
+		}
+		_ = sink
+	})
+	b.Run("struct/maphash", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink int
+		for i := 0; i < b.N; i++ {
+			sink += defaultPartition(structKeys[i%len(structKeys)], nw)
+		}
+		_ = sink
+	})
+}
+
+// TestDefaultPartitionAgreesWithItself pins the properties the runtime
+// needs from the new hash: stable within a process and in range.
+func TestDefaultPartitionProperties(t *testing.T) {
+	for _, nw := range []int{1, 2, 7, 64} {
+		for i := 0; i < 100; i++ {
+			k := fmt.Sprintf("k%d", i)
+			p := defaultPartition(k, nw)
+			if p < 0 || p >= nw {
+				t.Fatalf("defaultPartition(%q, %d) = %d out of range", k, nw, p)
+			}
+			if q := defaultPartition(k, nw); q != p {
+				t.Fatalf("defaultPartition not stable: %d then %d", p, q)
+			}
+		}
+	}
+	spread := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		spread[defaultPartition(cellKey{i, i * 7, i % 5}, 64)] = true
+	}
+	if len(spread) < 48 {
+		t.Errorf("struct keys hit only %d/64 partitions", len(spread))
+	}
+}

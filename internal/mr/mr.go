@@ -17,14 +17,32 @@
 // combiners, custom partitioners, multi-round pipelines, and deterministic
 // fault injection with task retry, so that tests can exercise the
 // fault-tolerance path that defines MapReduce.
+//
+// Execution happens on the partitioned shuffle executor (internal/engine
+// over internal/shuffle): map tasks pre-bucket their output into P hash
+// partitions, the exchange merges one goroutine per partition, and reduce
+// partitions — not single keys — are scheduled onto workers with the LPT
+// balancer of the paper's footnote 4. Job is the stable typed veneer over
+// that subsystem; its outputs remain in global deterministic key order and
+// its Metrics additionally expose the per-partition profile of the real
+// exchange.
+//
+// Reproducibility contract: outputs and the paper's logical quantities
+// (pairs emitted/shuffled, reducers, max q, replication rate, reducer
+// loads) are identical across runs. The *physical* profile — which key
+// lands in which partition, and therefore Metrics.Partitions, Makespan,
+// WorkerInputs under the default partitioner, and retry counts under
+// fault injection — depends on the shuffle's per-process hash seed, as
+// in a real cluster. Pin ShufflePartition (and Partition) for a fully
+// reproducible exchange.
 package mr
 
 import (
 	"errors"
 	"fmt"
-	"runtime"
-	"sort"
-	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/shuffle"
 )
 
 // Pair is a single key-value pair emitted by a map task.
@@ -58,6 +76,19 @@ type Config struct {
 	// Zero means an automatic chunk size targeting ~4 tasks per worker.
 	MapChunk int
 
+	// Partitions is the number of shuffle partitions the executor fans
+	// the key space into; reduce partitions are the unit of scheduling.
+	// The effective count is rounded up to a power of two (so Metrics
+	// may report more partitions than requested). Zero or negative
+	// selects shuffle.DefaultPartitions().
+	Partitions int
+
+	// MaxBufferedPairs, when positive, enables the shuffle's bounded-
+	// memory mode: a partition buffering more than this many pairs seals
+	// its live run (the in-memory analogue of a spill) and the Metrics
+	// report the resulting spill pressure.
+	MaxBufferedPairs int
+
 	// ReduceWorkersHint, when positive, partitions reduce keys into this
 	// many logical reduce workers for the per-worker skew metrics. It does
 	// not change results, only Metrics.WorkerInputs.
@@ -76,33 +107,14 @@ type Config struct {
 	// FailureEveryN, when positive, deterministically fails each task's
 	// first attempt whenever the task index is divisible by FailureEveryN.
 	// Failed tasks are retried up to MaxRetries times. This exercises the
-	// engine's fault-tolerance path without nondeterminism.
+	// engine's fault-tolerance path without nondeterminism. Reduce tasks
+	// are shuffle partitions; their index counts non-empty partitions in
+	// ascending order.
 	FailureEveryN int
 
 	// MaxRetries is the number of retries granted to a failing task.
 	// Zero means 2 when FailureEveryN is set.
 	MaxRetries int
-}
-
-func (c Config) workers() int {
-	if c.Workers > 0 {
-		return c.Workers
-	}
-	n := runtime.NumCPU()
-	if n < 1 {
-		n = 1
-	}
-	return n
-}
-
-func (c Config) maxRetries() int {
-	if c.MaxRetries > 0 {
-		return c.MaxRetries
-	}
-	if c.FailureEveryN > 0 {
-		return 2
-	}
-	return 0
 }
 
 // Metrics records the communication profile of one executed round. All
@@ -138,6 +150,21 @@ type Metrics struct {
 	// ReducerLoads, when Config.RecordLoads was set, holds every
 	// reducer's input size in sorted key order.
 	ReducerLoads []int
+
+	// Partitions is the per-partition profile of the real exchange: the
+	// pairs, distinct keys, largest key group, and assigned reduce
+	// worker of every shuffle partition. Under the default hash
+	// placement the profile varies with the per-process seed (see the
+	// package's reproducibility contract).
+	Partitions []engine.PartitionStat
+	// Makespan is the heaviest reduce worker's pair load under the LPT
+	// partition schedule; IdealMakespan is the load-balance floor.
+	Makespan      int64
+	IdealMakespan int64
+	// SpillEvents and SpilledPairs report bounded-memory pressure when
+	// Config.MaxBufferedPairs was set.
+	SpillEvents  int64
+	SpilledPairs int64
 }
 
 // ReplicationRate is the average number of key-value pairs created per map
@@ -165,6 +192,12 @@ func (m Metrics) MeanReducerInput() float64 {
 	return float64(m.TotalReducerInput) / float64(m.Reducers)
 }
 
+// PartitionSkew is the heaviest partition's pair count over the mean
+// (1 = perfectly even exchange, 0 = empty).
+func (m Metrics) PartitionSkew() float64 {
+	return engine.Metrics{Partitions: m.Partitions, PairsShuffled: m.PairsShuffled}.PartitionSkew()
+}
+
 // String renders a one-line summary suitable for harness output.
 func (m Metrics) String() string {
 	return fmt.Sprintf("inputs=%d pairs=%d reducers=%d maxq=%d r=%.4f",
@@ -179,223 +212,85 @@ type Job[I any, K comparable, V, O any] struct {
 	Reduce  ReduceFunc[K, V, O]
 	Combine CombineFunc[K, V] // optional
 	// Partition maps a key to a logical reduce worker in
-	// [0, ReduceWorkersHint). Optional; defaults to a modular hash of the
-	// key's formatted value.
+	// [0, ReduceWorkersHint). Optional; defaults to a modular maphash of
+	// the key. It affects only Metrics.WorkerInputs.
 	Partition func(K) int
-	Config    Config
+	// ShufflePartition, when set, overrides hash placement of keys onto
+	// the executor's shuffle partitions, reduced modulo the effective
+	// partition count (Config.Partitions rounded up to a power of two).
+	// Schemas with an explicit reducer layout, and tests that need to
+	// pin a key to a partition, use this. It does not change outputs,
+	// only the physical exchange.
+	ShufflePartition func(K) int
+	Config           Config
 }
 
 // ErrReducerOverflow is returned (wrapped) when a reduce key exceeds the
 // configured MaxReducerInput.
 var ErrReducerOverflow = errors.New("mr: reducer input exceeds configured maximum")
 
-// errInjected marks a deterministic injected task failure.
-var errInjected = errors.New("mr: injected task failure")
-
 // Run executes the job over inputs and returns the reduce outputs together
 // with the round's metrics. Output order is deterministic: reduce keys are
-// processed in a stable sorted order (by formatted key), and within a key
-// the outputs appear in emission order.
+// processed in a stable sorted order (numeric for the number kinds, byte
+// order for strings, formatted order otherwise), and within a key the
+// outputs appear in emission order. Execution happens on the partitioned
+// shuffle executor; the returned Metrics carry its per-partition profile.
 func (j *Job[I, K, V, O]) Run(inputs []I) ([]O, Metrics, error) {
-	var met Metrics
-	met.MapInputs = int64(len(inputs))
-
-	groups, err := j.runMapPhase(inputs, &met)
-	if err != nil {
-		return nil, met, err
+	round := engine.Round[I, K, V, O]{
+		Name:        j.Name,
+		Map:         engine.MapFunc[I, K, V](j.Map),
+		Reduce:      engine.ReduceFunc[K, V, O](j.Reduce),
+		Partitioner: j.ShufflePartition,
+		Config: engine.Config{
+			Workers:          j.Config.Workers,
+			MapChunk:         j.Config.MapChunk,
+			Partitions:       j.Config.Partitions,
+			MaxBufferedPairs: j.Config.MaxBufferedPairs,
+			MaxReducerInput:  j.Config.MaxReducerInput,
+			RecordLoads:      j.Config.RecordLoads,
+			RecordKeys:       j.Config.ReduceWorkersHint > 0,
+			FailureEveryN:    j.Config.FailureEveryN,
+			MaxRetries:       j.Config.MaxRetries,
+		},
+	}
+	if j.Combine != nil {
+		round.Combine = engine.CombineFunc[K, V](j.Combine)
 	}
 
-	keys := sortedKeys(groups)
-	met.Reducers = int64(len(keys))
+	res, err := engine.Run(round, inputs)
+	met := Metrics{
+		MapInputs:         res.Metrics.MapInputs,
+		PairsEmitted:      res.Metrics.PairsEmitted,
+		PairsShuffled:     res.Metrics.PairsShuffled,
+		Reducers:          res.Metrics.Reducers,
+		MaxReducerInput:   res.Metrics.MaxReducerInput,
+		TotalReducerInput: res.Metrics.TotalReducerInput,
+		Outputs:           res.Metrics.Outputs,
+		MapRetries:        res.Metrics.MapRetries,
+		ReduceRetries:     res.Metrics.ReduceRetries,
+		Partitions:        res.Metrics.Partitions,
+		Makespan:          res.Metrics.Makespan,
+		IdealMakespan:     res.Metrics.IdealMakespan,
+		SpillEvents:       res.Metrics.SpillEvents,
+		SpilledPairs:      res.Metrics.SpilledPairs,
+	}
 	if j.Config.RecordLoads {
-		met.ReducerLoads = make([]int, 0, len(keys))
+		met.ReducerLoads = res.Loads
 	}
-	for _, k := range keys {
-		n := int64(len(groups[k]))
-		met.TotalReducerInput += n
-		if n > met.MaxReducerInput {
-			met.MaxReducerInput = n
-		}
-		if j.Config.RecordLoads {
-			met.ReducerLoads = append(met.ReducerLoads, int(n))
-		}
-	}
-	met.PairsShuffled = met.TotalReducerInput
-	if j.Combine == nil {
-		// Without a combiner every emitted pair is shuffled.
-		met.PairsShuffled = met.PairsEmitted
-	}
-	if max := j.Config.MaxReducerInput; max > 0 && met.MaxReducerInput > int64(max) {
-		return nil, met, fmt.Errorf("%w: job %q saw reducer with %d inputs, limit %d",
-			ErrReducerOverflow, j.Name, met.MaxReducerInput, max)
-	}
-	j.recordWorkerSkew(groups, keys, &met)
-
-	outs, err := j.runReducePhase(groups, keys, &met)
 	if err != nil {
+		if errors.Is(err, engine.ErrReducerOverflow) {
+			return nil, met, fmt.Errorf("%w: job %q saw reducer with %d inputs, limit %d",
+				ErrReducerOverflow, j.Name, met.MaxReducerInput, j.Config.MaxReducerInput)
+		}
 		return nil, met, err
 	}
-	met.Outputs = int64(len(outs))
-	return outs, met, nil
+	j.recordWorkerSkew(res.Keys, res.Loads, &met)
+	return res.Outputs, met, nil
 }
 
-// runMapPhase executes map tasks in parallel and merges their outputs into
-// key groups. Each worker keeps a private group map; maps are merged once
-// at the end to avoid lock contention on the hot emit path.
-func (j *Job[I, K, V, O]) runMapPhase(inputs []I, met *Metrics) (map[K][]V, error) {
-	workers := j.Config.workers()
-	chunk := j.Config.MapChunk
-	if chunk <= 0 {
-		chunk = (len(inputs) + workers*4 - 1) / (workers * 4)
-		if chunk < 1 {
-			chunk = 1
-		}
-	}
-	type task struct{ lo, hi, idx int }
-	var tasks []task
-	for lo, idx := 0, 0; lo < len(inputs); lo, idx = lo+chunk, idx+1 {
-		hi := lo + chunk
-		if hi > len(inputs) {
-			hi = len(inputs)
-		}
-		tasks = append(tasks, task{lo, hi, idx})
-	}
-
-	results := make([]map[K][]V, len(tasks))
-	emitted := make([]int64, len(tasks))
-	retries := make([]int64, len(tasks))
-	errs := make([]error, len(tasks))
-
-	var wg sync.WaitGroup
-	taskCh := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for ti := range taskCh {
-				t := tasks[ti]
-				attempts := 0
-				for {
-					local := make(map[K][]V)
-					var count int64
-					err := j.attemptMapTask(inputs[t.lo:t.hi], t.idx, attempts, local, &count)
-					if err == nil {
-						if j.Combine != nil {
-							for k, vs := range local {
-								local[k] = j.Combine(k, vs)
-							}
-						}
-						results[ti], emitted[ti] = local, count
-						break
-					}
-					attempts++
-					retries[ti]++
-					if attempts > j.Config.maxRetries() {
-						errs[ti] = fmt.Errorf("mr: map task %d of job %q failed after %d attempts: %w",
-							t.idx, j.Name, attempts, err)
-						break
-					}
-				}
-			}
-		}()
-	}
-	for ti := range tasks {
-		taskCh <- ti
-	}
-	close(taskCh)
-	wg.Wait()
-
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	merged := make(map[K][]V)
-	for ti, local := range results {
-		met.PairsEmitted += emitted[ti]
-		met.MapRetries += retries[ti]
-		for k, vs := range local {
-			merged[k] = append(merged[k], vs...)
-		}
-	}
-	return merged, nil
-}
-
-func (j *Job[I, K, V, O]) attemptMapTask(records []I, taskIdx, attempt int, local map[K][]V, count *int64) error {
-	if fe := j.Config.FailureEveryN; fe > 0 && attempt == 0 && taskIdx%fe == 0 {
-		return errInjected
-	}
-	emit := func(k K, v V) {
-		local[k] = append(local[k], v)
-		*count++
-	}
-	for _, rec := range records {
-		j.Map(rec, emit)
-	}
-	return nil
-}
-
-// runReducePhase executes one reduce task per key, in parallel, with keys
-// pre-sorted for deterministic output ordering.
-func (j *Job[I, K, V, O]) runReducePhase(groups map[K][]V, keys []K, met *Metrics) ([]O, error) {
-	workers := j.Config.workers()
-	results := make([][]O, len(keys))
-	retries := make([]int64, len(keys))
-	errs := make([]error, len(keys))
-
-	var wg sync.WaitGroup
-	keyCh := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for ki := range keyCh {
-				k := keys[ki]
-				attempts := 0
-				for {
-					var outs []O
-					err := j.attemptReduceTask(k, groups[k], ki, attempts, &outs)
-					if err == nil {
-						results[ki] = outs
-						break
-					}
-					attempts++
-					retries[ki]++
-					if attempts > j.Config.maxRetries() {
-						errs[ki] = fmt.Errorf("mr: reduce task %d of job %q failed after %d attempts: %w",
-							ki, j.Name, attempts, err)
-						break
-					}
-				}
-			}
-		}()
-	}
-	for ki := range keys {
-		keyCh <- ki
-	}
-	close(keyCh)
-	wg.Wait()
-
-	var outs []O
-	for ki := range keys {
-		if errs[ki] != nil {
-			return nil, errs[ki]
-		}
-		met.ReduceRetries += retries[ki]
-		outs = append(outs, results[ki]...)
-	}
-	return outs, nil
-}
-
-func (j *Job[I, K, V, O]) attemptReduceTask(key K, values []V, taskIdx, attempt int, outs *[]O) error {
-	if fe := j.Config.FailureEveryN; fe > 0 && attempt == 0 && taskIdx%fe == 0 {
-		return errInjected
-	}
-	j.Reduce(key, values, func(o O) { *outs = append(*outs, o) })
-	return nil
-}
-
-func (j *Job[I, K, V, O]) recordWorkerSkew(groups map[K][]V, keys []K, met *Metrics) {
+// recordWorkerSkew routes each reducer's load to its logical reduce
+// worker for the Metrics.WorkerInputs skew profile.
+func (j *Job[I, K, V, O]) recordWorkerSkew(keys []K, loads []int, met *Metrics) {
 	nw := j.Config.ReduceWorkersHint
 	if nw <= 0 {
 		return
@@ -405,46 +300,30 @@ func (j *Job[I, K, V, O]) recordWorkerSkew(groups map[K][]V, keys []K, met *Metr
 		part = func(k K) int { return defaultPartition(k, nw) }
 	}
 	met.WorkerInputs = make([]int64, nw)
-	for _, k := range keys {
+	for i, k := range keys {
 		w := part(k) % nw
 		if w < 0 {
 			w += nw
 		}
-		met.WorkerInputs[w] += int64(len(groups[k]))
+		met.WorkerInputs[w] += int64(loads[i])
 	}
 }
 
-// defaultPartition hashes the formatted key with FNV-1a.
+// defaultPartition hashes the key with the runtime's typed maphash fast
+// path (no formatting, boxing, or reflection — unlike the seed's
+// fmt.Sprint + FNV-1a of the formatted key).
 func defaultPartition[K comparable](k K, nw int) int {
-	s := fmt.Sprint(k)
-	var h uint32 = 2166136261
-	for i := 0; i < len(s); i++ {
-		h ^= uint32(s[i])
-		h *= 16777619
-	}
-	return int(h % uint32(nw))
+	return int(shuffle.NewHasher[K]().Hash(k) % uint64(nw))
 }
 
-// sortedKeys returns the map's keys in a stable deterministic order: fast
-// paths for integer and string keys, fmt-based ordering otherwise.
+// sortedKeys returns the map's keys in the runtime's canonical
+// deterministic order: typed fast paths for the number kinds and
+// strings, format-once ordering otherwise (see shuffle.SortKeys).
 func sortedKeys[K comparable, V any](m map[K]V) []K {
 	keys := make([]K, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)
 	}
-	switch ks := any(keys).(type) {
-	case []int:
-		sort.Ints(ks)
-	case []int64:
-		sort.Slice(ks, func(a, b int) bool { return ks[a] < ks[b] })
-	case []uint64:
-		sort.Slice(ks, func(a, b int) bool { return ks[a] < ks[b] })
-	case []string:
-		sort.Strings(ks)
-	default:
-		sort.Slice(keys, func(a, b int) bool {
-			return fmt.Sprint(keys[a]) < fmt.Sprint(keys[b])
-		})
-	}
+	shuffle.SortKeys(keys)
 	return keys
 }

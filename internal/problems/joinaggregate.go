@@ -85,7 +85,13 @@ func RunJoinAggregateNaive(r, s *relation.Relation, k int, cfg mr.Config) (JoinA
 // RunJoinAggregatePreAgg is the two-phase-optimized variant: round-1
 // reducers sum their local contributions per A before emitting.
 func RunJoinAggregatePreAgg(r, s *relation.Relation, k int, cfg mr.Config) (JoinAggregateResult, error) {
-	round1 := &mr.Job[taggedBC, int, taggedBC, ac]{
+	return finishAggregate(preAggJoinRound(k, cfg), r, s, cfg)
+}
+
+// preAggJoinRound is the round-1 join on B with per-reducer partial
+// sums per A — the Section 6.3 partial-sum trick applied to the join.
+func preAggJoinRound(k int, cfg mr.Config) *mr.Job[taggedBC, int, taggedBC, ac] {
+	return &mr.Job[taggedBC, int, taggedBC, ac]{
 		Name: "join-on-B-preagg",
 		Map: func(t taggedBC, emit func(int, taggedBC)) {
 			if t.FromR {
@@ -123,7 +129,6 @@ func RunJoinAggregatePreAgg(r, s *relation.Relation, k int, cfg mr.Config) (Join
 		},
 		Config: cfg,
 	}
-	return finishAggregate(round1, r, s, cfg)
 }
 
 func sortInts(xs []int) {
@@ -134,8 +139,8 @@ func sortInts(xs []int) {
 	}
 }
 
-func finishAggregate(round1 *mr.Job[taggedBC, int, taggedBC, ac], r, s *relation.Relation, cfg mr.Config) (JoinAggregateResult, error) {
-	round2 := &mr.Job[ac, int, int64, GroupSum]{
+func aggregateRound(cfg mr.Config) *mr.Job[ac, int, int64, GroupSum] {
+	return &mr.Job[ac, int, int64, GroupSum]{
 		Name: "group-by-A",
 		Map: func(p ac, emit func(int, int64)) {
 			emit(p.A, p.C)
@@ -149,11 +154,15 @@ func finishAggregate(round1 *mr.Job[taggedBC, int, taggedBC, ac], r, s *relation
 		},
 		Config: cfg,
 	}
-	sums, pipe, err := mr.Chain(round1, round2, joinInputs(r, s))
+}
+
+func finishAggregate(round1 *mr.Job[taggedBC, int, taggedBC, ac], r, s *relation.Relation, cfg mr.Config) (JoinAggregateResult, error) {
+	outAny, pipe, err := mr.RunPipeline(joinInputs(r, s),
+		mr.RoundOf(round1), mr.RoundOf(aggregateRound(cfg)))
 	if err != nil {
 		return JoinAggregateResult{}, err
 	}
-	return JoinAggregateResult{Sums: sums, Pipeline: pipe}, nil
+	return JoinAggregateResult{Sums: outAny.([]GroupSum), Pipeline: pipe}, nil
 }
 
 // SerialJoinAggregate is the correctness baseline.

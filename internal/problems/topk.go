@@ -1,0 +1,73 @@
+package problems
+
+import (
+	"sort"
+
+	"repro/internal/mr"
+	"repro/internal/relation"
+)
+
+// This file extends the Section 7.1 exploration one round further: the
+// analytics staple
+//
+//	SELECT A, SUM(C) FROM R(A,B) JOIN S(B,C) ON B
+//	GROUP BY A ORDER BY SUM(C) DESC LIMIT topN
+//
+// as a three-round pipeline — join (with the Section 6.3 partial-sum
+// trick), aggregate, then a global top-N selection. Round 3 shows the
+// same communication lever the paper pulls everywhere else: a combiner
+// keeps each map task's candidate list at topN, so the single final
+// reducer receives O(tasks · topN) records instead of one per group.
+
+// RunJoinAggregateTopK executes the three rounds through the
+// partitioned executor and returns the topN groups by descending sum
+// (ties broken by ascending A), along with the per-round pipeline
+// metrics.
+func RunJoinAggregateTopK(r, s *relation.Relation, k, topN int, cfg mr.Config) ([]GroupSum, *mr.Pipeline, error) {
+	round3 := &mr.Job[GroupSum, int, GroupSum, GroupSum]{
+		Name: "top-k",
+		Map: func(g GroupSum, emit func(int, GroupSum)) {
+			emit(0, g) // a single logical reducer performs the global selection
+		},
+		Combine: func(_ int, gs []GroupSum) []GroupSum {
+			return topGroups(gs, topN)
+		},
+		Reduce: func(_ int, gs []GroupSum, emit func(GroupSum)) {
+			for _, g := range topGroups(gs, topN) {
+				emit(g)
+			}
+		},
+		Config: cfg,
+	}
+	outAny, pipe, err := mr.RunPipeline(joinInputs(r, s),
+		mr.RoundOf(preAggJoinRound(k, cfg)),
+		mr.RoundOf(aggregateRound(cfg)),
+		mr.RoundOf(round3))
+	if err != nil {
+		return nil, pipe, err
+	}
+	return outAny.([]GroupSum), pipe, nil
+}
+
+// topGroups returns the n best groups by descending sum, ties by
+// ascending A. It copies before sorting: reduce inputs are shared with
+// the shuffle.
+func topGroups(gs []GroupSum, n int) []GroupSum {
+	out := make([]GroupSum, len(gs))
+	copy(out, gs)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sum != out[j].Sum {
+			return out[i].Sum > out[j].Sum
+		}
+		return out[i].A < out[j].A
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// SerialTopK is the correctness baseline for RunJoinAggregateTopK.
+func SerialTopK(r, s *relation.Relation, topN int) []GroupSum {
+	return topGroups(SerialJoinAggregate(r, s), topN)
+}

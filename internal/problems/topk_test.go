@@ -1,0 +1,70 @@
+package problems
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/mr"
+	"repro/internal/relation"
+)
+
+func topkRelations(t *testing.T) (*relation.Relation, *relation.Relation) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	r := relation.New("R", "A", "B")
+	for i := 0; i < 600; i++ {
+		r.Add(rng.Intn(25), rng.Intn(40))
+	}
+	s := relation.New("S", "B", "C")
+	for i := 0; i < 600; i++ {
+		s.Add(rng.Intn(40), rng.Intn(50))
+	}
+	return r, s
+}
+
+func TestJoinAggregateTopKThreeRounds(t *testing.T) {
+	r, s := topkRelations(t)
+	const topN = 5
+	// MapChunk 10 keeps round-3 map tasks larger than topN so the
+	// combiner has something to cut.
+	got, pipe, err := RunJoinAggregateTopK(r, s, 8, topN, mr.Config{Workers: 4, MapChunk: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SerialTopK(r, s, topN)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("top-%d = %v, want %v", topN, got, want)
+	}
+	if len(pipe.Rounds) != 3 {
+		t.Fatalf("pipeline recorded %d rounds, want 3", len(pipe.Rounds))
+	}
+	names := []string{pipe.Rounds[0].Name, pipe.Rounds[1].Name, pipe.Rounds[2].Name}
+	wantNames := []string{"join-on-B-preagg", "group-by-A", "top-k"}
+	if !reflect.DeepEqual(names, wantNames) {
+		t.Errorf("round names = %v, want %v", names, wantNames)
+	}
+	// The top-k combiner must bound round-3 communication: at most topN
+	// candidates survive each map task.
+	r3 := pipe.Rounds[2].Metrics
+	if r3.PairsShuffled >= r3.PairsEmitted {
+		t.Errorf("round 3 combiner did not shrink the shuffle: %d >= %d",
+			r3.PairsShuffled, r3.PairsEmitted)
+	}
+	if r3.Reducers != 1 {
+		t.Errorf("round 3 reducers = %d, want 1 (global selection)", r3.Reducers)
+	}
+}
+
+func TestTopKSmallerThanGroups(t *testing.T) {
+	r, s := topkRelations(t)
+	// topN larger than the number of groups degrades to a full sort.
+	got, _, err := RunJoinAggregateTopK(r, s, 4, 1000, mr.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SerialTopK(r, s, 1000)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("full ordering mismatch: %v vs %v", got[:3], want[:3])
+	}
+}

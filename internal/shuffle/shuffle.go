@@ -1,0 +1,485 @@
+// Package shuffle implements the partitioned grouped shuffle that sits
+// between the map and reduce phases of the mr runtime.
+//
+// The paper's whole subject is the data volume crossing this boundary
+// (the communication cost, from which the replication rate r is derived)
+// and how it is divided among reducers (the reducer size q). The seed
+// runtime modeled the boundary as a single global map merged under one
+// goroutine; this package replaces it with a real partitioned exchange:
+// keys are hashed into P partitions, each map task pre-buckets its
+// output by partition, and the merge runs one goroutine per partition
+// with exclusive ownership — no locks on the merge path at all. The
+// per-partition pair counts, key counts and largest key group that the
+// package reports are therefore properties of an actual execution, not
+// post-hoc accounting.
+//
+// Keys are hashed with hash/maphash's typed fast path
+// (maphash.Comparable compiles down to the runtime's native memhash for
+// fixed-size keys and strhash for strings) rather than by formatting
+// the key with fmt and hashing the string, which the seed did.
+//
+// An optional bounded-memory mode caps the number of pairs a partition
+// buffers in its live run: when the cap is exceeded the run is sealed —
+// the in-memory analogue of a spill to disk — and the shuffle reports
+// the resulting spill pressure, so that callers can observe when a
+// workload outgrows memory long before a disk-backed backend exists.
+package shuffle
+
+import (
+	"fmt"
+	"hash/maphash"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// sharedSeed makes every Hasher in the process agree on key placement,
+// so that independently created hashers (for example one per job round)
+// route the same key to the same partition.
+var sharedSeed = maphash.MakeSeed()
+
+// Hasher hashes comparable keys with the runtime's typed hash.
+type Hasher[K comparable] struct {
+	seed maphash.Seed
+}
+
+// NewHasher returns a Hasher using the process-wide seed.
+func NewHasher[K comparable]() Hasher[K] {
+	return Hasher[K]{seed: sharedSeed}
+}
+
+// Hash returns a 64-bit hash of the key. This is the typed fast path:
+// maphash.Comparable dispatches to the runtime's native hash for K's
+// memory layout (memhash for fixed-size keys such as ints and structs,
+// strhash for strings) with no formatting, boxing, or reflection.
+func (h Hasher[K]) Hash(k K) uint64 {
+	return maphash.Comparable(h.seed, k)
+}
+
+// Options configures a Shuffle.
+type Options struct {
+	// Partitions is the number of shuffle partitions P. Values <= 0
+	// select DefaultPartitions(). The effective count is rounded up to
+	// a power of two so partition selection is a mask, not a modulo.
+	Partitions int
+
+	// MaxBufferedPairs, when positive, enables bounded-memory mode: a
+	// partition whose live run exceeds this many buffered pairs seals
+	// the run (the in-memory analogue of spilling a sorted segment to
+	// disk) and starts a new one. Stats reports the spill pressure.
+	MaxBufferedPairs int
+}
+
+// DefaultPartitions is the partition count used when Options.Partitions
+// is unset: enough to keep every core busy during the merge and to give
+// the LPT partition scheduler room to balance, rounded to a power of
+// two and clamped to [8, 256].
+func DefaultPartitions() int {
+	p := runtime.GOMAXPROCS(0) * 4
+	if p < 8 {
+		p = 8
+	}
+	if p > 256 {
+		p = 256
+	}
+	return ceilPow2(p)
+}
+
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Pair is one key-value pair buffered by a map task.
+type Pair[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// Shuffle is a P-way partitioned grouped exchange from map tasks to
+// reduce partitions.
+type Shuffle[K comparable, V any] struct {
+	hasher      Hasher[K]
+	partitioner func(K) int // optional override; used by tests and schemas
+	opts        Options
+	nparts      int
+	mask        uint64
+	parts       []partitionState[K, V]
+	mergeMu     sync.Mutex
+}
+
+// partitionState is owned by exactly one goroutine during Merge, so it
+// needs no lock.
+type partitionState[K comparable, V any] struct {
+	runs         []map[K][]V // sealed runs, in seal order (bounded-memory mode)
+	live         map[K][]V
+	livePairs    int
+	pairs        int64
+	spillEvents  int64
+	spilledPairs int64
+}
+
+// New creates a shuffle with the given options.
+func New[K comparable, V any](opts Options) *Shuffle[K, V] {
+	n := opts.Partitions
+	if n <= 0 {
+		n = DefaultPartitions()
+	}
+	n = ceilPow2(n)
+	s := &Shuffle[K, V]{
+		hasher: NewHasher[K](),
+		opts:   opts,
+		nparts: n,
+		mask:   uint64(n - 1),
+		parts:  make([]partitionState[K, V], n),
+	}
+	for i := range s.parts {
+		s.parts[i].live = make(map[K][]V)
+	}
+	return s
+}
+
+// SetPartitioner overrides hash placement with an explicit key-to-
+// partition function (reduced modulo the partition count). It must be
+// called before any TaskBuffer is created.
+func (s *Shuffle[K, V]) SetPartitioner(fn func(K) int) {
+	s.partitioner = fn
+}
+
+// NumPartitions returns the effective partition count P.
+func (s *Shuffle[K, V]) NumPartitions() int { return s.nparts }
+
+// PartitionOf returns the partition a key routes to.
+func (s *Shuffle[K, V]) PartitionOf(k K) int {
+	if s.partitioner != nil {
+		p := s.partitioner(k) % s.nparts
+		if p < 0 {
+			p += s.nparts
+		}
+		return p
+	}
+	return int(s.hasher.Hash(k) & s.mask)
+}
+
+// TaskBuffer collects one map task's output, pre-bucketed by partition,
+// so the merge never rehashes a key. A TaskBuffer belongs to a single
+// map task and is not safe for concurrent use.
+type TaskBuffer[K comparable, V any] struct {
+	s       *Shuffle[K, V]
+	buckets [][]Pair[K, V]
+	pairs   int64
+}
+
+// NewTaskBuffer creates an empty buffer bound to this shuffle's
+// partitioning.
+func (s *Shuffle[K, V]) NewTaskBuffer() *TaskBuffer[K, V] {
+	return &TaskBuffer[K, V]{s: s, buckets: make([][]Pair[K, V], s.nparts)}
+}
+
+// Emit buffers one pair into its partition's bucket.
+func (b *TaskBuffer[K, V]) Emit(k K, v V) {
+	p := b.s.PartitionOf(k)
+	b.buckets[p] = append(b.buckets[p], Pair[K, V]{k, v})
+	b.pairs++
+}
+
+// Pairs returns the number of pairs buffered so far.
+func (b *TaskBuffer[K, V]) Pairs() int64 { return b.pairs }
+
+// Merge folds the buffers into the shuffle's partitions, one goroutine
+// per partition with exclusive ownership of its state (lock-free on the
+// merge path). Buffers are processed in slice order, so the values of a
+// key preserve task order and, within a task, emission order — the
+// property the runtime's deterministic output contract rests on. Merge
+// may be called more than once; calls are serialized.
+func (s *Shuffle[K, V]) Merge(buffers []*TaskBuffer[K, V]) {
+	s.mergeMu.Lock()
+	defer s.mergeMu.Unlock()
+	var wg sync.WaitGroup
+	for p := 0; p < s.nparts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			st := &s.parts[p]
+			for _, b := range buffers {
+				if b == nil {
+					continue
+				}
+				for _, pr := range b.buckets[p] {
+					st.live[pr.Key] = append(st.live[pr.Key], pr.Value)
+					st.livePairs++
+					st.pairs++
+					if cap := s.opts.MaxBufferedPairs; cap > 0 && st.livePairs > cap {
+						st.seal()
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+}
+
+// seal closes the live run, recording spill pressure.
+func (st *partitionState[K, V]) seal() {
+	if st.livePairs == 0 {
+		return
+	}
+	st.runs = append(st.runs, st.live)
+	st.spillEvents++
+	st.spilledPairs += int64(st.livePairs)
+	st.live = make(map[K][]V)
+	st.livePairs = 0
+}
+
+// Partition is a read view of one shuffle partition.
+type Partition[K comparable, V any] struct {
+	s   *Shuffle[K, V]
+	idx int
+}
+
+// Partition returns the view of partition p.
+func (s *Shuffle[K, V]) Partition(p int) Partition[K, V] {
+	return Partition[K, V]{s: s, idx: p}
+}
+
+// Pairs is the number of pairs the partition holds.
+func (p Partition[K, V]) Pairs() int64 { return p.s.parts[p.idx].pairs }
+
+// NumKeys is the number of distinct keys in the partition.
+func (p Partition[K, V]) NumKeys() int {
+	st := &p.s.parts[p.idx]
+	if len(st.runs) == 0 {
+		return len(st.live)
+	}
+	seen := make(map[K]struct{}, len(st.live))
+	for _, run := range st.runs {
+		for k := range run {
+			seen[k] = struct{}{}
+		}
+	}
+	for k := range st.live {
+		seen[k] = struct{}{}
+	}
+	return len(seen)
+}
+
+// SortedKeys returns the partition's distinct keys in the package's
+// canonical deterministic order (see SortKeys).
+func (p Partition[K, V]) SortedKeys() []K {
+	st := &p.s.parts[p.idx]
+	var keys []K
+	if len(st.runs) == 0 {
+		keys = make([]K, 0, len(st.live))
+		for k := range st.live {
+			keys = append(keys, k)
+		}
+	} else {
+		seen := make(map[K]struct{})
+		for _, run := range st.runs {
+			for k := range run {
+				seen[k] = struct{}{}
+			}
+		}
+		for k := range st.live {
+			seen[k] = struct{}{}
+		}
+		keys = make([]K, 0, len(seen))
+		for k := range seen {
+			keys = append(keys, k)
+		}
+	}
+	SortKeys(keys)
+	return keys
+}
+
+// Values returns all values for a key, concatenated across sealed runs
+// in seal order and then the live run — which preserves the original
+// task-emission order.
+func (p Partition[K, V]) Values(k K) []V {
+	st := &p.s.parts[p.idx]
+	if len(st.runs) == 0 {
+		return st.live[k]
+	}
+	var vs []V
+	for _, run := range st.runs {
+		vs = append(vs, run[k]...)
+	}
+	vs = append(vs, st.live[k]...)
+	return vs
+}
+
+// ForEachSorted visits the partition's groups in sorted key order.
+func (p Partition[K, V]) ForEachSorted(fn func(k K, vs []V)) {
+	for _, k := range p.SortedKeys() {
+		fn(k, p.Values(k))
+	}
+}
+
+// Stats is the realized communication profile of the shuffle.
+type Stats struct {
+	// Partitions is the effective partition count P.
+	Partitions int
+	// Pairs is the total number of pairs shuffled (post-combine when the
+	// caller combined before buffering).
+	Pairs int64
+	// Keys is the total number of distinct keys across partitions —
+	// the number of reducers in the paper's sense.
+	Keys int64
+	// PartitionPairs, PartitionKeys and PartitionMaxGroup are the
+	// per-partition profiles (pairs held, distinct keys, largest single
+	// key group).
+	PartitionPairs    []int64
+	PartitionKeys     []int64
+	PartitionMaxGroup []int64
+	// MaxPartitionPairs is the heaviest partition's pair count; with
+	// MeanPartitionPairs it quantifies partition skew.
+	MaxPartitionPairs int64
+	// MaxGroup is the largest single key group — the realized reducer
+	// size q.
+	MaxGroup int64
+	// SpillEvents and SpilledPairs report bounded-memory pressure: how
+	// many runs were sealed and how many pairs they held.
+	SpillEvents  int64
+	SpilledPairs int64
+}
+
+// Skew is max/mean partition load, 1 for a perfectly even exchange and
+// 0 for an empty one.
+func (st Stats) Skew() float64 {
+	if st.Pairs == 0 || st.Partitions == 0 {
+		return 0
+	}
+	mean := float64(st.Pairs) / float64(st.Partitions)
+	return float64(st.MaxPartitionPairs) / mean
+}
+
+// String renders a one-line summary.
+func (st Stats) String() string {
+	return fmt.Sprintf("P=%d pairs=%d keys=%d maxq=%d skew=%.2f spills=%d",
+		st.Partitions, st.Pairs, st.Keys, st.MaxGroup, st.Skew(), st.SpillEvents)
+}
+
+// Stats computes the shuffle's realized profile. It walks every group,
+// so call it once per phase, not per key.
+func (s *Shuffle[K, V]) Stats() Stats {
+	st := Stats{
+		Partitions:        s.nparts,
+		PartitionPairs:    make([]int64, s.nparts),
+		PartitionKeys:     make([]int64, s.nparts),
+		PartitionMaxGroup: make([]int64, s.nparts),
+	}
+	type partProfile struct {
+		keys     int64
+		maxGroup int64
+	}
+	profiles := make([]partProfile, s.nparts)
+	var wg sync.WaitGroup
+	for p := 0; p < s.nparts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			ps := &s.parts[p]
+			if len(ps.runs) == 0 {
+				profiles[p].keys = int64(len(ps.live))
+				for _, vs := range ps.live {
+					if g := int64(len(vs)); g > profiles[p].maxGroup {
+						profiles[p].maxGroup = g
+					}
+				}
+				return
+			}
+			sizes := make(map[K]int64, len(ps.live))
+			for _, run := range ps.runs {
+				for k, vs := range run {
+					sizes[k] += int64(len(vs))
+				}
+			}
+			for k, vs := range ps.live {
+				sizes[k] += int64(len(vs))
+			}
+			profiles[p].keys = int64(len(sizes))
+			for _, g := range sizes {
+				if g > profiles[p].maxGroup {
+					profiles[p].maxGroup = g
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	for p := 0; p < s.nparts; p++ {
+		ps := &s.parts[p]
+		st.PartitionPairs[p] = ps.pairs
+		st.PartitionKeys[p] = profiles[p].keys
+		st.PartitionMaxGroup[p] = profiles[p].maxGroup
+		st.Pairs += ps.pairs
+		st.Keys += profiles[p].keys
+		if ps.pairs > st.MaxPartitionPairs {
+			st.MaxPartitionPairs = ps.pairs
+		}
+		if profiles[p].maxGroup > st.MaxGroup {
+			st.MaxGroup = profiles[p].maxGroup
+		}
+		st.SpillEvents += ps.spillEvents
+		st.SpilledPairs += ps.spilledPairs
+	}
+	return st
+}
+
+// SortKeys sorts keys in the package's canonical deterministic order:
+// numeric order for the integer and float kinds, byte order for strings
+// and, for every other comparable type, order of the formatted value —
+// computed once per key rather than once per comparison, unlike the
+// seed's fmt-per-comparison fallback.
+func SortKeys[K comparable](keys []K) {
+	switch ks := any(keys).(type) {
+	case []int:
+		sort.Ints(ks)
+	case []int8:
+		sort.Slice(ks, func(a, b int) bool { return ks[a] < ks[b] })
+	case []int16:
+		sort.Slice(ks, func(a, b int) bool { return ks[a] < ks[b] })
+	case []int32:
+		sort.Slice(ks, func(a, b int) bool { return ks[a] < ks[b] })
+	case []int64:
+		sort.Slice(ks, func(a, b int) bool { return ks[a] < ks[b] })
+	case []uint:
+		sort.Slice(ks, func(a, b int) bool { return ks[a] < ks[b] })
+	case []uint8:
+		sort.Slice(ks, func(a, b int) bool { return ks[a] < ks[b] })
+	case []uint16:
+		sort.Slice(ks, func(a, b int) bool { return ks[a] < ks[b] })
+	case []uint32:
+		sort.Slice(ks, func(a, b int) bool { return ks[a] < ks[b] })
+	case []uint64:
+		sort.Slice(ks, func(a, b int) bool { return ks[a] < ks[b] })
+	case []uintptr:
+		sort.Slice(ks, func(a, b int) bool { return ks[a] < ks[b] })
+	case []float32:
+		sort.Slice(ks, func(a, b int) bool { return ks[a] < ks[b] })
+	case []float64:
+		sort.Slice(ks, func(a, b int) bool { return ks[a] < ks[b] })
+	case []string:
+		sort.Strings(ks)
+	default:
+		formatted := make([]string, len(keys))
+		for i, k := range keys {
+			formatted[i] = fmt.Sprint(k)
+		}
+		sort.Sort(&byFormatted[K]{keys: keys, formatted: formatted})
+	}
+}
+
+type byFormatted[K comparable] struct {
+	keys      []K
+	formatted []string
+}
+
+func (b *byFormatted[K]) Len() int           { return len(b.keys) }
+func (b *byFormatted[K]) Less(i, j int) bool { return b.formatted[i] < b.formatted[j] }
+func (b *byFormatted[K]) Swap(i, j int) {
+	b.keys[i], b.keys[j] = b.keys[j], b.keys[i]
+	b.formatted[i], b.formatted[j] = b.formatted[j], b.formatted[i]
+}

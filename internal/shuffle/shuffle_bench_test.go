@@ -1,0 +1,137 @@
+package shuffle
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// benchPairs builds nTasks task outputs totalling ~total pairs over
+// nKeys distinct string keys, mimicking a map phase's pre-bucketed
+// output. The same pair slices feed both merge strategies.
+func benchPairs(total, nTasks, nKeys int) [][]Pair[string, int] {
+	perTask := total / nTasks
+	tasks := make([][]Pair[string, int], nTasks)
+	for t := range tasks {
+		ps := make([]Pair[string, int], perTask)
+		for i := range ps {
+			ps[i] = Pair[string, int]{fmt.Sprintf("key-%08d", (t*perTask+i)%nKeys), i}
+		}
+		tasks[t] = ps
+	}
+	return tasks
+}
+
+// BenchmarkMerge1MPairs compares the seed runtime's shuffle (every map
+// task's output folded into one global map under a single goroutine,
+// then all keys sorted) against the partitioned shuffle (P per-
+// partition merges running in parallel, then per-partition sorted keys)
+// on one million emitted pairs. This is the acceptance benchmark for
+// the partitioned executor: the partitioned exchange must win.
+func BenchmarkMerge1MPairs(b *testing.B) {
+	const (
+		total  = 1 << 20 // ~1.05M pairs
+		nTasks = 64
+		nKeys  = 50000
+	)
+	tasks := benchPairs(total, nTasks, nKeys)
+
+	b.Run("seed-global-map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			merged := make(map[string][]int)
+			for _, ps := range tasks {
+				for _, p := range ps {
+					merged[p.Key] = append(merged[p.Key], p.Value)
+				}
+			}
+			keys := make([]string, 0, len(merged))
+			for k := range merged {
+				keys = append(keys, k)
+			}
+			SortKeys(keys)
+			if len(keys) != nKeys {
+				b.Fatalf("got %d keys", len(keys))
+			}
+		}
+	})
+
+	b.Run(fmt.Sprintf("partitioned-P=%d", DefaultPartitions()), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			s := New[string, int](Options{})
+			bufs := make([]*TaskBuffer[string, int], len(tasks))
+			for t, ps := range tasks {
+				buf := s.NewTaskBuffer()
+				for _, p := range ps {
+					buf.Emit(p.Key, p.Value)
+				}
+				bufs[t] = buf
+			}
+			b.StartTimer()
+			s.Merge(bufs)
+			var keys int
+			for p := 0; p < s.NumPartitions(); p++ {
+				keys += len(s.Partition(p).SortedKeys())
+			}
+			if keys != nKeys {
+				b.Fatalf("got %d keys", keys)
+			}
+		}
+	})
+
+	// The end-to-end comparison including the pre-bucketing the map side
+	// pays for: bucket + merge vs. the single global map.
+	b.Run("partitioned-incl-bucketing", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := New[string, int](Options{})
+			bufs := make([]*TaskBuffer[string, int], len(tasks))
+			for t, ps := range tasks {
+				buf := s.NewTaskBuffer()
+				for _, p := range ps {
+					buf.Emit(p.Key, p.Value)
+				}
+				bufs[t] = buf
+			}
+			s.Merge(bufs)
+			var keys int
+			for p := 0; p < s.NumPartitions(); p++ {
+				keys += len(s.Partition(p).SortedKeys())
+			}
+			if keys != nKeys {
+				b.Fatalf("got %d keys", keys)
+			}
+		}
+	})
+}
+
+// BenchmarkMergeScaling shows merge throughput as partitions scale from
+// 1 (the seed's effective layout) to 4x cores.
+func BenchmarkMergeScaling(b *testing.B) {
+	const (
+		total  = 1 << 19
+		nTasks = 32
+		nKeys  = 20000
+	)
+	tasks := benchPairs(total, nTasks, nKeys)
+	for _, p := range []int{1, 4, runtime.GOMAXPROCS(0), DefaultPartitions()} {
+		b.Run(fmt.Sprintf("P=%d", ceilPow2(p)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s := New[string, int](Options{Partitions: p})
+				bufs := make([]*TaskBuffer[string, int], len(tasks))
+				for t, ps := range tasks {
+					buf := s.NewTaskBuffer()
+					for _, pr := range ps {
+						buf.Emit(pr.Key, pr.Value)
+					}
+					bufs[t] = buf
+				}
+				b.StartTimer()
+				s.Merge(bufs)
+			}
+		})
+	}
+}

@@ -1,0 +1,246 @@
+package shuffle
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// buildBuffers distributes pairs across nTasks buffers round-robin,
+// preserving emission order within each task.
+func buildBuffers[K comparable, V any](s *Shuffle[K, V], nTasks int, pairs []Pair[K, V]) []*TaskBuffer[K, V] {
+	bufs := make([]*TaskBuffer[K, V], nTasks)
+	for i := range bufs {
+		bufs[i] = s.NewTaskBuffer()
+	}
+	for i, p := range pairs {
+		bufs[i%nTasks].Emit(p.Key, p.Value)
+	}
+	return bufs
+}
+
+func TestGroupingMatchesNaiveMerge(t *testing.T) {
+	var pairs []Pair[string, int]
+	for i := 0; i < 500; i++ {
+		pairs = append(pairs, Pair[string, int]{fmt.Sprintf("k%d", i%37), i})
+	}
+	s := New[string, int](Options{Partitions: 8})
+	bufs := buildBuffers(s, 4, pairs)
+	s.Merge(bufs)
+
+	// Naive reference grouping in the same task-then-emission order the
+	// shuffle guarantees: task 0's pairs first, then task 1's, ...
+	want := make(map[string][]int)
+	for task := 0; task < 4; task++ {
+		for i := task; i < len(pairs); i += 4 {
+			want[pairs[i].Key] = append(want[pairs[i].Key], pairs[i].Value)
+		}
+	}
+
+	got := make(map[string][]int)
+	var totalPairs int64
+	for p := 0; p < s.NumPartitions(); p++ {
+		part := s.Partition(p)
+		totalPairs += part.Pairs()
+		part.ForEachSorted(func(k string, vs []int) {
+			if _, dup := got[k]; dup {
+				t.Fatalf("key %q appears in more than one partition", k)
+			}
+			got[k] = vs
+		})
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("grouped values differ from naive merge")
+	}
+	if totalPairs != int64(len(pairs)) {
+		t.Fatalf("partition pairs sum to %d, want %d", totalPairs, len(pairs))
+	}
+	st := s.Stats()
+	if st.Pairs != int64(len(pairs)) || st.Keys != 37 {
+		t.Fatalf("stats = %+v, want pairs=%d keys=37", st, len(pairs))
+	}
+	if st.MaxGroup < int64(len(pairs))/37 {
+		t.Fatalf("MaxGroup = %d, too small", st.MaxGroup)
+	}
+}
+
+func TestPartitionCountRoundsToPowerOfTwo(t *testing.T) {
+	s := New[int, int](Options{Partitions: 5})
+	if s.NumPartitions() != 8 {
+		t.Fatalf("NumPartitions = %d, want 8", s.NumPartitions())
+	}
+	if d := DefaultPartitions(); d&(d-1) != 0 || d < 8 {
+		t.Fatalf("DefaultPartitions = %d, want a power of two >= 8", d)
+	}
+}
+
+func TestHasherIsStableAndSpreads(t *testing.T) {
+	h1 := NewHasher[string]()
+	h2 := NewHasher[string]()
+	if h1.Hash("afrati") != h2.Hash("afrati") {
+		t.Fatal("hashers disagree within one process")
+	}
+	// A hash that collapses to few values would starve partitions.
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		seen[h1.Hash(fmt.Sprintf("key-%d", i))] = true
+	}
+	if len(seen) < 990 {
+		t.Fatalf("only %d distinct hashes over 1000 keys", len(seen))
+	}
+}
+
+func TestStructKeysHashAndSort(t *testing.T) {
+	type cell struct{ I, J int }
+	s := New[cell, int](Options{Partitions: 4})
+	buf := s.NewTaskBuffer()
+	for i := 0; i < 10; i++ {
+		buf.Emit(cell{i % 3, i % 2}, i)
+	}
+	s.Merge([]*TaskBuffer[cell, int]{buf})
+	st := s.Stats()
+	if st.Keys != 6 {
+		t.Fatalf("Keys = %d, want 6 distinct cells", st.Keys)
+	}
+	keys := []cell{{2, 0}, {0, 1}, {1, 0}, {0, 0}}
+	SortKeys(keys)
+	want := []cell{{0, 0}, {0, 1}, {1, 0}, {2, 0}}
+	if !reflect.DeepEqual(keys, want) {
+		t.Fatalf("SortKeys(struct) = %v, want %v", keys, want)
+	}
+}
+
+func TestSortKeysTypedPaths(t *testing.T) {
+	ints := []int{5, 1, 3}
+	SortKeys(ints)
+	if !sort.IntsAreSorted(ints) {
+		t.Errorf("ints not sorted: %v", ints)
+	}
+	u64 := []uint64{9, 2, 7}
+	SortKeys(u64)
+	if !(u64[0] == 2 && u64[1] == 7 && u64[2] == 9) {
+		t.Errorf("uint64 not sorted: %v", u64)
+	}
+	f := []float64{2.5, -1, 0}
+	SortKeys(f)
+	if !sort.Float64sAreSorted(f) {
+		t.Errorf("float64 not sorted: %v", f)
+	}
+	strs := []string{"b", "a", "c"}
+	SortKeys(strs)
+	if !sort.StringsAreSorted(strs) {
+		t.Errorf("strings not sorted: %v", strs)
+	}
+}
+
+func TestBoundedMemorySpillPressure(t *testing.T) {
+	s := New[int, int](Options{Partitions: 2, MaxBufferedPairs: 10})
+	s.SetPartitioner(func(k int) int { return 0 }) // everything in partition 0
+	buf := s.NewTaskBuffer()
+	const n = 95
+	for i := 0; i < n; i++ {
+		buf.Emit(i%7, i)
+	}
+	s.Merge([]*TaskBuffer[int, int]{buf})
+
+	st := s.Stats()
+	if st.SpillEvents == 0 {
+		t.Fatal("expected spill pressure with a 10-pair cap and 95 pairs")
+	}
+	if st.SpillEvents < 8 || st.SpillEvents > 9 {
+		t.Errorf("SpillEvents = %d, want 8-9 runs of 11", st.SpillEvents)
+	}
+	if st.SpilledPairs+int64(s.parts[0].livePairs) != n {
+		t.Errorf("spilled %d + live %d != %d", st.SpilledPairs, s.parts[0].livePairs, n)
+	}
+	if st.Pairs != n || st.Keys != 7 {
+		t.Errorf("stats = %+v, want pairs=%d keys=7", st, n)
+	}
+
+	// Grouping must be unaffected by sealing: values concatenate across
+	// runs in emission order.
+	part := s.Partition(0)
+	if got := part.NumKeys(); got != 7 {
+		t.Fatalf("NumKeys = %d, want 7", got)
+	}
+	for _, k := range part.SortedKeys() {
+		vs := part.Values(k)
+		var want []int
+		for i := k; i < n; i += 7 {
+			want = append(want, i)
+		}
+		if !reflect.DeepEqual(vs, want) {
+			t.Fatalf("key %d values = %v, want %v", k, vs, want)
+		}
+	}
+	if got := s.Partition(1).Pairs(); got != 0 {
+		t.Errorf("partition 1 has %d pairs, want 0", got)
+	}
+}
+
+func TestSetPartitionerRouting(t *testing.T) {
+	s := New[string, int](Options{Partitions: 4})
+	s.SetPartitioner(func(k string) int { return len(k) })
+	buf := s.NewTaskBuffer()
+	buf.Emit("a", 1)     // len 1 -> partition 1
+	buf.Emit("bb", 2)    // len 2 -> partition 2
+	buf.Emit("ccccc", 3) // len 5 % 4 -> partition 1
+	s.Merge([]*TaskBuffer[string, int]{buf})
+	if got := s.Partition(1).NumKeys(); got != 2 {
+		t.Errorf("partition 1 keys = %d, want 2", got)
+	}
+	if got := s.Partition(2).NumKeys(); got != 1 {
+		t.Errorf("partition 2 keys = %d, want 1", got)
+	}
+	if got := s.Partition(0).Pairs() + s.Partition(3).Pairs(); got != 0 {
+		t.Errorf("partitions 0,3 hold %d pairs, want 0", got)
+	}
+}
+
+func TestMergeAccumulatesAcrossCalls(t *testing.T) {
+	s := New[int, int](Options{Partitions: 2})
+	b1 := s.NewTaskBuffer()
+	b1.Emit(1, 10)
+	s.Merge([]*TaskBuffer[int, int]{b1})
+	b2 := s.NewTaskBuffer()
+	b2.Emit(1, 20)
+	s.Merge([]*TaskBuffer[int, int]{b2})
+	p := s.Partition(s.PartitionOf(1))
+	if got := p.Values(1); !reflect.DeepEqual(got, []int{10, 20}) {
+		t.Fatalf("Values(1) = %v, want [10 20]", got)
+	}
+}
+
+func TestStatsSkewAndString(t *testing.T) {
+	s := New[int, int](Options{Partitions: 2})
+	s.SetPartitioner(func(k int) int { return k % 2 })
+	buf := s.NewTaskBuffer()
+	for i := 0; i < 9; i++ {
+		buf.Emit(0, i) // all on partition 0
+	}
+	buf.Emit(1, 1)
+	s.Merge([]*TaskBuffer[int, int]{buf})
+	st := s.Stats()
+	if st.Skew() <= 1 {
+		t.Errorf("Skew = %v, want > 1 for a lopsided exchange", st.Skew())
+	}
+	if s := st.String(); s == "" {
+		t.Error("empty Stats.String()")
+	}
+	if (Stats{}).Skew() != 0 {
+		t.Error("empty stats should have zero skew")
+	}
+}
+
+func TestEmptyShuffle(t *testing.T) {
+	s := New[string, int](Options{})
+	s.Merge(nil)
+	st := s.Stats()
+	if st.Pairs != 0 || st.Keys != 0 || st.MaxGroup != 0 {
+		t.Fatalf("empty shuffle stats = %+v", st)
+	}
+	if got := s.Partition(0).SortedKeys(); len(got) != 0 {
+		t.Fatalf("SortedKeys on empty partition = %v", got)
+	}
+}

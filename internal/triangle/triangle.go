@@ -219,6 +219,15 @@ func (s *PartitionSchema) reducersForEdge(u, v int) []int {
 
 var _ core.MappingSchema = (*PartitionSchema)(nil)
 
+// ownsTriangle reports whether cell is the unique reducer that produces
+// the triangle: the one whose bucket triple equals the triangle's own
+// bucket multiset (the exactly-once production rule).
+func (s *PartitionSchema) ownsTriangle(cell int, tr [3]int) bool {
+	t := [3]int{s.Bucket(tr[0]), s.Bucket(tr[1]), s.Bucket(tr[2])}
+	sort.Ints(t[:])
+	return s.tripleID(t[0], t[1], t[2]) == cell
+}
+
 // ExpectedReducerInput is the expected number of possible edges per
 // reducer for the complete instance: a triple of three distinct buckets
 // holds about C(3n/k, 2) ≈ 4.5·n²/k² edges.
@@ -250,28 +259,7 @@ type Options struct {
 // once: only the reducer whose bucket triple equals the triangle's own
 // bucket multiset emits it.
 func Run(s *PartitionSchema, g *graphs.Graph, opts Options) (Result, error) {
-	job := &mr.Job[graphs.Edge, int, graphs.Edge, Triangle]{
-		Name: fmt.Sprintf("triangles-partition(n=%d,k=%d)", s.N, s.K),
-		Map: func(e graphs.Edge, emit func(int, graphs.Edge)) {
-			for _, r := range s.reducersForEdge(e.U, e.V) {
-				emit(r, e)
-			}
-		},
-		Reduce: func(cell int, edges []graphs.Edge, emit func(Triangle)) {
-			local := graphs.New(s.N, edges)
-			for _, tr := range local.Triangles() {
-				if !opts.EmitAll {
-					t := [3]int{s.Bucket(tr[0]), s.Bucket(tr[1]), s.Bucket(tr[2])}
-					sort.Ints(t[:])
-					if s.tripleID(t[0], t[1], t[2]) != cell {
-						continue
-					}
-				}
-				emit(Triangle{tr[0], tr[1], tr[2]})
-			}
-		},
-		Config: opts.Config,
-	}
+	job := findTrianglesJob(s, opts.Config, opts.EmitAll)
 	tris, met, err := job.Run(g.Edges)
 	if err != nil {
 		return Result{}, err
@@ -319,9 +307,7 @@ func Count(s *PartitionSchema, g *graphs.Graph, cfg mr.Config) (int64, mr.Metric
 			local := graphs.New(s.N, edges)
 			var count int64
 			for _, tr := range local.Triangles() {
-				t := [3]int{s.Bucket(tr[0]), s.Bucket(tr[1]), s.Bucket(tr[2])}
-				sort.Ints(t[:])
-				if s.tripleID(t[0], t[1], t[2]) == cell {
+				if s.ownsTriangle(cell, tr) {
 					count++
 				}
 			}
