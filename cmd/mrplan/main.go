@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 )
 
@@ -33,19 +34,27 @@ func main() {
 	flag.Float64Var(&req.Density, "density", 1, "probability an input is present (Section 2.3)")
 	flag.Parse()
 
-	plan, err := buildPlan(req)
-	if err != nil {
+	if err := writePlan(req, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		flag.Usage()
 		os.Exit(2)
 	}
+}
 
-	fmt.Printf("problem: %s   prices: a=%.3g b=%.3g c=%.3g\n", req.Problem, req.PA, req.PB, req.PC)
-	fmt.Printf("optimal reducer size q* = %.0f   replication r(q*) = %.3f   cost = %.4g\n",
+// writePlan renders the planner's full answer for req onto w — the
+// exact text the command prints, which the golden tests pin.
+func writePlan(req Request, w io.Writer) error {
+	plan, err := buildPlan(req)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "problem: %s   prices: a=%.3g b=%.3g c=%.3g\n", req.Problem, req.PA, req.PB, req.PC)
+	fmt.Fprintf(w, "optimal reducer size q* = %.0f   replication r(q*) = %.3f   cost = %.4g\n",
 		plan.OptimalQ, plan.Replication, plan.Cost)
 	if req.Density < 1 && req.Density > 0 {
-		fmt.Printf("with input density %.3g, assign up to %.0f hypothetical inputs per reducer (Section 2.3)\n",
+		fmt.Fprintf(w, "with input density %.3g, assign up to %.0f hypothetical inputs per reducer (Section 2.3)\n",
 			req.Density, plan.AssignableQ)
 	}
-	fmt.Println("recommended:", plan.Recommendation)
+	fmt.Fprintln(w, "recommended:", plan.Recommendation)
+	return nil
 }

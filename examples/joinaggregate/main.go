@@ -11,9 +11,12 @@
 package main
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"os"
 
 	"repro/internal/mr"
 	"repro/internal/problems"
@@ -21,6 +24,12 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	rng := rand.New(rand.NewSource(12))
 	// A fact-style R joining a wide S: small A-domain, heavy join fan-out,
 	// the regime where pre-aggregation matters most.
@@ -33,34 +42,34 @@ func main() {
 		s.Add(rng.Intn(50), rng.Intn(100))
 	}
 	want := problems.SerialJoinAggregate(r, s)
-	fmt.Printf("query: SELECT A, SUM(C) FROM R JOIN S ON B GROUP BY A\n")
-	fmt.Printf("R: %d tuples, S: %d tuples, %d result groups\n\n", r.Size(), s.Size(), len(want))
+	fmt.Fprintf(w, "query: SELECT A, SUM(C) FROM R JOIN S ON B GROUP BY A\n")
+	fmt.Fprintf(w, "R: %d tuples, S: %d tuples, %d result groups\n\n", r.Size(), s.Size(), len(want))
 
 	const k = 8 // join buckets
 	naive, err := problems.RunJoinAggregateNaive(r, s, k, mr.Config{Workers: 4})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	pre, err := problems.RunJoinAggregatePreAgg(r, s, k, mr.Config{Workers: 4})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	show := func(name string, res problems.JoinAggregateResult) {
-		fmt.Printf("%s:\n", name)
+		fmt.Fprintf(w, "%s:\n", name)
 		for _, round := range res.Pipeline.Rounds {
-			fmt.Printf("  %-22s %s\n", round.Name+":", round.Metrics.String())
+			fmt.Fprintf(w, "  %-22s %s\n", round.Name+":", round.Metrics.String())
 		}
-		fmt.Printf("  total communication: %d pairs\n\n", res.Pipeline.TotalPairsEmitted())
+		fmt.Fprintf(w, "  total communication: %d pairs\n\n", res.Pipeline.TotalPairsEmitted())
 	}
 	show("naive (join, then aggregate everything)", naive)
 	show("pre-aggregated (Section 6.3's partial-sum trick)", pre)
 
 	if fmt.Sprint(naive.Sums) != fmt.Sprint(want) || fmt.Sprint(pre.Sums) != fmt.Sprint(want) {
-		log.Fatal("strategies disagree with the serial result")
+		return errors.New("strategies disagree with the serial result")
 	}
 	saved := naive.Pipeline.TotalPairsEmitted() - pre.Pipeline.TotalPairsEmitted()
-	fmt.Printf("both plans agree with the serial result; pre-aggregation saved %d pairs (%.0f%% of round 2)\n",
+	fmt.Fprintf(w, "both plans agree with the serial result; pre-aggregation saved %d pairs (%.0f%% of round 2)\n",
 		saved, 100*float64(saved)/float64(naive.Pipeline.Rounds[1].Metrics.PairsEmitted))
 
 	// One round further on the engine's multi-round API: ORDER BY SUM(C)
@@ -69,17 +78,18 @@ func main() {
 	const topN = 5
 	top, pipe, err := problems.RunJoinAggregateTopK(r, s, k, topN, mr.Config{Workers: 4, MapChunk: 4})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	wantTop := problems.SerialTopK(r, s, topN)
 	if fmt.Sprint(top) != fmt.Sprint(wantTop) {
-		log.Fatal("top-k disagrees with the serial result")
+		return errors.New("top-k disagrees with the serial result")
 	}
-	fmt.Printf("\nthree-round plan (... ORDER BY SUM(C) DESC LIMIT %d):\n", topN)
+	fmt.Fprintf(w, "\nthree-round plan (... ORDER BY SUM(C) DESC LIMIT %d):\n", topN)
 	for _, round := range pipe.Rounds {
-		fmt.Printf("  %-22s %s\n", round.Name+":", round.Metrics.String())
+		fmt.Fprintf(w, "  %-22s %s\n", round.Name+":", round.Metrics.String())
 	}
 	for i, g := range top {
-		fmt.Printf("  #%d  A=%-3d SUM(C)=%d\n", i+1, g.A, g.Sum)
+		fmt.Fprintf(w, "  #%d  A=%-3d SUM(C)=%d\n", i+1, g.A, g.Sum)
 	}
+	return nil
 }

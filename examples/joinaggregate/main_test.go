@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke compiles and executes the example end to end, asserting
+// it succeeds and prints the golden result lines.
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"query: SELECT A, SUM(C) FROM R JOIN S ON B GROUP BY A",
+		"both plans agree with the serial result",
+		"three-round plan (... ORDER BY SUM(C) DESC LIMIT 5):",
+		"#1  A=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

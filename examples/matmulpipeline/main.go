@@ -6,15 +6,24 @@
 package main
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"os"
 
 	"repro/internal/matmul"
 	"repro/internal/mr"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	const n = 60
 	rng := rand.New(rand.NewSource(8))
 	a := matmul.Random(n, n, rng)
@@ -24,45 +33,46 @@ func main() {
 	// Reducer budget q = 2·s·n for the one-phase algorithm with s = 2.
 	one, err := matmul.NewOnePhaseSchema(n, 2)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	q := one.ReducerSize()
-	fmt.Printf("multiplying %dx%d matrices with reducer budget q = %d\n\n", n, n, q)
+	fmt.Fprintf(w, "multiplying %dx%d matrices with reducer budget q = %d\n\n", n, n, q)
 
 	p1, met1, err := matmul.RunOnePhase(a, b, one, mr.Config{Workers: 4})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if !matmul.Equal(p1, want, 1e-9) {
-		log.Fatal("one-phase product wrong")
+		return errors.New("one-phase product wrong")
 	}
-	fmt.Printf("one-phase  (s=%d):          %s\n", one.S, met1)
+	fmt.Fprintf(w, "one-phase  (s=%d):          %s\n", one.S, met1)
 
 	// Two-phase with the Lagrange-optimal 2:1 tiles: 2·s·t = q,
 	// s = 2t ⇒ t = √(q/4). q = 240 ⇒ t ≈ 7.75; use the divisors of n
 	// closest to the optimum: s = 12, t = 10 (q = 240).
 	two, err := matmul.NewTwoPhaseSchema(n, 12, 10)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if two.ReducerSize() != q {
-		log.Fatalf("tile mismatch: q = %d", two.ReducerSize())
+		return fmt.Errorf("tile mismatch: q = %d", two.ReducerSize())
 	}
 	p2, pipe, err := matmul.RunTwoPhase(a, b, two, mr.Config{Workers: 4})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if !matmul.Equal(p2, want, 1e-9) {
-		log.Fatal("two-phase product wrong")
+		return errors.New("two-phase product wrong")
 	}
 	for _, r := range pipe.Rounds {
-		fmt.Printf("two-phase  %-16s %s\n", r.Name+":", r.Metrics.String())
+		fmt.Fprintf(w, "two-phase  %-16s %s\n", r.Name+":", r.Metrics.String())
 	}
 
-	fmt.Printf("\ntotal communication: one-phase %d pairs, two-phase %d pairs\n",
+	fmt.Fprintf(w, "\ntotal communication: one-phase %d pairs, two-phase %d pairs\n",
 		met1.PairsEmitted, pipe.TotalPairsEmitted())
-	fmt.Printf("closed forms:        4n^4/q = %.0f,   4n^3/sqrt(q) = %.0f\n",
+	fmt.Fprintf(w, "closed forms:        4n^4/q = %.0f,   4n^3/sqrt(q) = %.0f\n",
 		matmul.OnePhaseCommunication(n, float64(q)), matmul.TwoPhaseCommunication(n, float64(q)))
-	fmt.Printf("crossover at q = n^2 = %.0f: with q = %d << n^2, two-phase wins, as Section 6.3 proves.\n",
+	fmt.Fprintf(w, "crossover at q = n^2 = %.0f: with q = %d << n^2, two-phase wins, as Section 6.3 proves.\n",
 		matmul.CrossoverQ(n), q)
+	return nil
 }

@@ -10,7 +10,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/hamming"
@@ -18,31 +20,37 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	const b = 8
 
 	// 1. The problem: inputs are all 2^b strings, outputs are pairs at
 	//    Hamming distance 1.
 	problem := hamming.NewProblem(b)
-	fmt.Printf("problem %s: |I| = %d, |O| = %d\n",
+	fmt.Fprintf(w, "problem %s: |I| = %d, |O| = %d\n",
 		problem.Name(), problem.NumInputs(), problem.NumOutputs())
 
 	// 2. A mapping schema: Splitting with c = 2 (each string keyed by
 	//    each half with the other half removed).
 	schema, err := hamming.NewSplittingSchema(b, 2)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// 3. Validate the paper's two constraints: reducer size <= q and
 	//    every output covered by some reducer.
 	q := schema.ReducerSize()
 	if err := core.Validate(problem, schema, q); err != nil {
-		log.Fatalf("schema invalid: %v", err)
+		return fmt.Errorf("schema invalid: %w", err)
 	}
 	stats := core.Measure(problem, schema)
-	fmt.Printf("schema valid: %d reducers, q = %d, replication rate r = %.2f\n",
+	fmt.Fprintf(w, "schema valid: %d reducers, q = %d, replication rate r = %.2f\n",
 		stats.NumReducers, stats.MaxReducerLoad, stats.ReplicationRate)
-	fmt.Printf("lower bound at this q: r >= b/log2(q) = %.2f (Theorem 3.2) — matched exactly\n",
+	fmt.Fprintf(w, "lower bound at this q: r >= b/log2(q) = %.2f (Theorem 3.2) — matched exactly\n",
 		hamming.LowerBound(b, float64(q)))
 
 	// 4. Execute it for real on the MapReduce engine over the full
@@ -53,9 +61,10 @@ func main() {
 	}
 	pairs, metrics, err := hamming.RunSplitting(schema, inputs, mr.Config{Workers: 4})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("engine run: %s\n", metrics)
-	fmt.Printf("found %d distance-1 pairs (expected %d)\n", len(pairs), problem.NumOutputs())
-	fmt.Printf("first three: %v %v %v\n", pairs[0], pairs[1], pairs[2])
+	fmt.Fprintf(w, "engine run: %s\n", metrics)
+	fmt.Fprintf(w, "found %d distance-1 pairs (expected %d)\n", len(pairs), problem.NumOutputs())
+	fmt.Fprintf(w, "first three: %v %v %v\n", pairs[0], pairs[1], pairs[2])
+	return nil
 }

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke compiles and executes the example end to end, asserting
+// it succeeds and prints the golden result lines.
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"problem hamming(b=8,d=1): |I| = 256, |O| = 1024",
+		"replication rate r = 2.00",
+		"found 1024 distance-1 pairs (expected 1024)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -9,8 +9,10 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"os"
 
 	"repro/internal/hamming"
 	"repro/internal/mr"
@@ -53,41 +55,48 @@ func corpus(rng *rand.Rand) []uint64 {
 }
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	rng := rand.New(rand.NewSource(99))
 	sigs := corpus(rng)
-	fmt.Printf("corpus: %d distinct %d-bit signatures (%d planted clusters)\n",
+	fmt.Fprintf(w, "corpus: %d distinct %d-bit signatures (%d planted clusters)\n",
 		len(sigs), bits, clusters)
 
 	want := hamming.BruteForcePairs(sigs, 2)
-	fmt.Printf("brute force: %d near-duplicate pairs (distance <= 2)\n\n", len(want))
+	fmt.Fprintf(w, "brute force: %d near-duplicate pairs (distance <= 2)\n\n", len(want))
 
 	// Algorithm 1: Ball-2 — one reducer per string, q = b+1, r = b+1.
 	ball := hamming.NewBallSchema(bits)
 	pairsBall, metBall, err := hamming.RunBall(ball, sigs, mr.Config{Workers: 4})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("Ball-2:        r = %5.1f   pairs shuffled = %7d   max reducer = %3d   found %d pairs\n",
+	fmt.Fprintf(w, "Ball-2:        r = %5.1f   pairs shuffled = %7d   max reducer = %3d   found %d pairs\n",
 		metBall.ReplicationRate(), metBall.PairsShuffled, metBall.MaxReducerInput, len(pairsBall))
 
 	// Algorithm 2: generalized Splitting with c = 8 segments, d = 2:
 	// r = C(8,2) = 28 but far fewer, larger reducers.
 	schema, err := hamming.NewSplittingDSchema(bits, 8, 2)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	pairsSplit, metSplit, err := hamming.RunSplittingD(schema, sigs, mr.Config{Workers: 4})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("Splitting-2:   r = %5.1f   pairs shuffled = %7d   max reducer = %3d   found %d pairs\n",
+	fmt.Fprintf(w, "Splitting-2:   r = %5.1f   pairs shuffled = %7d   max reducer = %3d   found %d pairs\n",
 		metSplit.ReplicationRate(), metSplit.PairsShuffled, metSplit.MaxReducerInput, len(pairsSplit))
 
 	if len(pairsBall) != len(want) || len(pairsSplit) != len(want) {
-		log.Fatalf("result mismatch: ball=%d split=%d want=%d", len(pairsBall), len(pairsSplit), len(want))
+		return fmt.Errorf("result mismatch: ball=%d split=%d want=%d", len(pairsBall), len(pairsSplit), len(want))
 	}
-	fmt.Println("\nboth algorithms agree with the brute-force join.")
-	fmt.Println("tradeoff: Ball-2 pays less communication per input here but needs a reducer")
-	fmt.Println("per string; Splitting-2 uses far fewer reducers at higher replication —")
-	fmt.Println("exactly the parallelism/communication tradeoff the paper quantifies.")
+	fmt.Fprintln(w, "\nboth algorithms agree with the brute-force join.")
+	fmt.Fprintln(w, "tradeoff: Ball-2 pays less communication per input here but needs a reducer")
+	fmt.Fprintln(w, "per string; Splitting-2 uses far fewer reducers at higher replication —")
+	fmt.Fprintln(w, "exactly the parallelism/communication tradeoff the paper quantifies.")
+	return nil
 }

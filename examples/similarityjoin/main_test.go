@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke compiles and executes the example end to end, asserting
+// it succeeds and prints the golden result lines.
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"corpus: 3000 distinct 16-bit signatures (120 planted clusters)",
+		"Ball-2:",
+		"Splitting-2:",
+		"both algorithms agree with the brute-force join.",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -7,8 +7,10 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"os"
 
 	"repro/internal/graphs"
 	"repro/internal/mr"
@@ -16,6 +18,12 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	const (
 		n = 400
 		m = 6000
@@ -23,35 +31,35 @@ func main() {
 	rng := rand.New(rand.NewSource(7))
 	g := graphs.GNM(n, m, rng)
 	serial := g.TriangleCount()
-	fmt.Printf("network: %s, %d triangles (serial count)\n\n", g, serial)
+	fmt.Fprintf(w, "network: %s, %d triangles (serial count)\n\n", g, serial)
 
-	fmt.Printf("%4s %10s %12s %14s %12s %10s\n",
+	fmt.Fprintf(w, "%4s %10s %12s %14s %12s %10s\n",
 		"k", "max q", "r measured", "sqrt(m/q) LB", "reducers", "count")
 	for _, k := range []int{2, 4, 8, 12, 16} {
 		schema, err := triangle.NewPartitionSchema(n, k)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		count, met, err := triangle.Count(schema, g, mr.Config{Workers: 4})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if count != serial {
-			log.Fatalf("k=%d: count %d != serial %d", k, count, serial)
+			return fmt.Errorf("k=%d: count %d != serial %d", k, count, serial)
 		}
 		lb := triangle.SparseLowerBound(g.M(), float64(met.MaxReducerInput))
-		fmt.Printf("%4d %10d %12.2f %14.2f %12d %10d\n",
+		fmt.Fprintf(w, "%4d %10d %12.2f %14.2f %12d %10d\n",
 			k, met.MaxReducerInput, met.ReplicationRate(), lb, met.Reducers, count)
 	}
 
-	fmt.Println("\nmore parallelism (larger k) shrinks reducers but multiplies the")
-	fmt.Println("communication — the replication rate tracks k while the bound grows as √(m/q).")
+	fmt.Fprintln(w, "\nmore parallelism (larger k) shrinks reducers but multiplies the")
+	fmt.Fprintln(w, "communication — the replication rate tracks k while the bound grows as √(m/q).")
 
 	// The Section 4.2 target-q rescaling: how many *possible* edges a
 	// reducer may be assigned so that the expected number of actual edges
 	// stays at q.
 	q := 200.0
-	fmt.Printf("\nSection 4.2 rescaling at q=%.0f actual edges: target q_t = q·n(n-1)/2m = %.0f possible edges\n",
+	fmt.Fprintf(w, "\nSection 4.2 rescaling at q=%.0f actual edges: target q_t = q·n(n-1)/2m = %.0f possible edges\n",
 		q, triangle.TargetQ(q, n, m))
 
 	// The full three-round census on the engine's multi-round API:
@@ -59,24 +67,25 @@ func main() {
 	// per-round communication meters coming from the real exchange.
 	schema, err := triangle.NewPartitionSchema(n, 8)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	census, err := triangle.Census(schema, g, mr.Config{Workers: 4})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("\nthree-round census (find -> per-node counts -> histogram):")
+	fmt.Fprintln(w, "\nthree-round census (find -> per-node counts -> histogram):")
 	for _, round := range census.Pipeline.Rounds {
-		fmt.Printf("  %-28s %s\n", round.Name+":", round.Metrics.String())
+		fmt.Fprintf(w, "  %-28s %s\n", round.Name+":", round.Metrics.String())
 	}
-	fmt.Printf("  nodes in >=1 triangle: %d; distribution of per-node triangle counts:\n", len(census.PerNode))
+	fmt.Fprintf(w, "  nodes in >=1 triangle: %d; distribution of per-node triangle counts:\n", len(census.PerNode))
 	shown := 0
 	for _, b := range census.Bins {
 		if shown == 6 {
-			fmt.Printf("    ... %d more bins\n", len(census.Bins)-shown)
+			fmt.Fprintf(w, "    ... %d more bins\n", len(census.Bins)-shown)
 			break
 		}
-		fmt.Printf("    %3d triangles x %4d nodes\n", b.Triangles, b.Nodes)
+		fmt.Fprintf(w, "    %3d triangles x %4d nodes\n", b.Triangles, b.Nodes)
 		shown++
 	}
+	return nil
 }

@@ -50,8 +50,19 @@ type Config struct {
 	// shuffle.DefaultPartitions().
 	Partitions int
 
-	// MaxBufferedPairs enables the shuffle's bounded-memory mode.
+	// MemoryBudget is the per-partition memory budget in buffered
+	// pairs: a shuffle partition whose live buffer reaches the budget
+	// seals its run. With SpillDir set, sealed runs are encoded to
+	// disk and reduce partitions stream a k-way merge over them;
+	// without it sealed runs stay in memory and only spill pressure is
+	// reported. MaxBufferedPairs is the older alias, honored when
+	// MemoryBudget is zero.
+	MemoryBudget     int
 	MaxBufferedPairs int
+
+	// SpillDir is the directory for spill run files (temp files,
+	// deleted when the round finishes). Empty means no disk spill.
+	SpillDir string
 
 	// MaxReducerInput, when positive, fails the round before the reduce
 	// phase if any key group exceeds it (the paper's reducer size limit
@@ -82,6 +93,13 @@ func (c Config) workers() int {
 		n = 1
 	}
 	return n
+}
+
+func (c Config) memoryBudget() int {
+	if c.MemoryBudget > 0 {
+		return c.MemoryBudget
+	}
+	return c.MaxBufferedPairs
 }
 
 func (c Config) maxRetries() int {
@@ -143,9 +161,16 @@ type Metrics struct {
 	// residual skew the partitioning did not resolve.
 	Makespan      int64
 	IdealMakespan int64
-	// SpillEvents and SpilledPairs report bounded-memory pressure.
+	// SpillEvents and SpilledPairs report bounded-memory pressure;
+	// BytesSpilled and RunsMerged report the realized disk traffic and
+	// reduce-time merge width when a SpillDir made the spills real.
 	SpillEvents  int64
 	SpilledPairs int64
+	BytesSpilled int64
+	RunsMerged   int64
+	// MaxLivePairs is the high-water mark of any shuffle partition's
+	// live buffer; under a memory budget it never exceeds the budget.
+	MaxLivePairs int
 }
 
 // PartitionSkew is max/mean partition pairs (1 = perfectly even).
@@ -185,15 +210,25 @@ var errInjected = errors.New("engine: injected task failure")
 
 // Run executes one round over inputs. On error the returned Result
 // still carries the metrics accumulated up to the failure point.
-func Run[I any, K comparable, V, O any](r Round[I, K, V, O], inputs []I) (Result[K, O], error) {
-	var res Result[K, O]
+func Run[I any, K comparable, V, O any](r Round[I, K, V, O], inputs []I) (res Result[K, O], retErr error) {
 	res.Metrics.MapInputs = int64(len(inputs))
 	cfg := r.Config
+	if cfg.SpillDir != "" && cfg.memoryBudget() <= 0 {
+		return res, fmt.Errorf(
+			"engine: round %q sets SpillDir without a memory budget; set Config.MemoryBudget (pairs per partition) to enable spilling",
+			r.Name)
+	}
 
 	sh := shuffle.New[K, V](shuffle.Options{
 		Partitions:       cfg.Partitions,
-		MaxBufferedPairs: cfg.MaxBufferedPairs,
+		MaxBufferedPairs: cfg.memoryBudget(),
+		SpillDir:         cfg.SpillDir,
 	})
+	defer func() {
+		if err := sh.Close(); err != nil && retErr == nil {
+			retErr = fmt.Errorf("engine: removing spill files of round %q: %w", r.Name, err)
+		}
+	}()
 	if r.Partitioner != nil {
 		sh.SetPartitioner(r.Partitioner)
 	}
@@ -202,13 +237,19 @@ func Run[I any, K comparable, V, O any](r Round[I, K, V, O], inputs []I) (Result
 		return res, err
 	}
 
-	st := sh.Stats()
+	st, err := sh.Stats()
+	if err != nil {
+		return res, fmt.Errorf("engine: profiling shuffle of round %q: %w", r.Name, err)
+	}
 	res.Metrics.PairsShuffled = st.Pairs
 	res.Metrics.Reducers = st.Keys
 	res.Metrics.MaxReducerInput = st.MaxGroup
 	res.Metrics.TotalReducerInput = st.Pairs
 	res.Metrics.SpillEvents = st.SpillEvents
 	res.Metrics.SpilledPairs = st.SpilledPairs
+	res.Metrics.BytesSpilled = st.BytesSpilled
+	res.Metrics.RunsMerged = st.RunsMerged
+	res.Metrics.MaxLivePairs = st.MaxLivePairs
 	res.Metrics.Partitions = make([]PartitionStat, st.Partitions)
 	for p := range res.Metrics.Partitions {
 		res.Metrics.Partitions[p] = PartitionStat{
@@ -223,7 +264,10 @@ func Run[I any, K comparable, V, O any](r Round[I, K, V, O], inputs []I) (Result
 		// The reduce phase never runs, but callers diagnosing which
 		// reducers blew the q limit still get keys and loads.
 		if cfg.RecordLoads || cfg.RecordKeys {
-			keys, loads := collectKeyLoads(sh, int(st.Keys))
+			keys, loads, err := collectKeyLoads(sh, int(st.Keys))
+			if err != nil {
+				return res, err
+			}
 			res.Loads = loads
 			if cfg.RecordKeys {
 				res.Keys = keys
@@ -305,7 +349,9 @@ func runMapPhase[I any, K comparable, V, O any](r Round[I, K, V, O], inputs []I,
 		met.PairsEmitted += emitted[ti]
 		met.MapRetries += retries[ti]
 	}
-	sh.Merge(buffers)
+	if err := sh.Merge(buffers); err != nil {
+		return fmt.Errorf("engine: shuffle merge of round %q: %w", r.Name, err)
+	}
 	return nil
 }
 
@@ -466,42 +512,48 @@ func runReducePhase[I any, K comparable, V, O any](r Round[I, K, V, O], sh *shuf
 
 // collectKeyLoads gathers every key's input size in global sorted key
 // order directly from the shuffle, for failure paths that never reach
-// the reduce phase.
-func collectKeyLoads[K comparable, V any](sh *shuffle.Shuffle[K, V], totalKeys int) ([]K, []int) {
+// the reduce phase. It uses the counting pass, so spilled values are
+// skipped on disk rather than decoded.
+func collectKeyLoads[K comparable, V any](sh *shuffle.Shuffle[K, V], totalKeys int) ([]K, []int, error) {
 	allKeys := make([]K, 0, totalKeys)
 	sizes := make(map[K]int, totalKeys)
 	for p := 0; p < sh.NumPartitions(); p++ {
-		sh.Partition(p).ForEachSorted(func(k K, vs []V) {
+		err := sh.Partition(p).ForEachGroupCount(func(k K, count int) error {
 			allKeys = append(allKeys, k)
-			sizes[k] = len(vs)
+			sizes[k] = count
+			return nil
 		})
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	shuffle.SortKeys(allKeys)
 	loads := make([]int, len(allKeys))
 	for i, k := range allKeys {
 		loads[i] = sizes[k]
 	}
-	return allKeys, loads
+	return allKeys, loads, nil
 }
 
-// attemptReducePartition runs one attempt of a partition's reduce task:
-// every key in the partition, in sorted order.
+// attemptReducePartition runs one attempt of a partition's reduce task,
+// streaming the partition's key groups in sorted order through the
+// shuffle's k-way merge: only one group's values are resident per run
+// at a time, so a spilled partition reduces within the memory budget.
 func attemptReducePartition[I any, K comparable, V, O any](r Round[I, K, V, O], part shuffle.Partition[K, V], taskOrdinal, attempt int) (partResult[K, O], error) {
 	if fe := r.Config.FailureEveryN; fe > 0 && attempt == 0 && taskOrdinal%fe == 0 {
 		return partResult[K, O]{}, errInjected
 	}
-	keys := part.SortedKeys()
-	pr := partResult[K, O]{
-		keys:  keys,
-		outs:  make([][]O, len(keys)),
-		loads: make([]int, len(keys)),
-	}
-	for i, k := range keys {
-		vs := part.Values(k)
-		pr.loads[i] = len(vs)
+	var pr partResult[K, O]
+	err := part.ForEachGroup(func(k K, vs []V) error {
+		pr.keys = append(pr.keys, k)
+		pr.loads = append(pr.loads, len(vs))
 		var outs []O
 		r.Reduce(k, vs, func(o O) { outs = append(outs, o) })
-		pr.outs[i] = outs
+		pr.outs = append(pr.outs, outs)
+		return nil
+	})
+	if err != nil {
+		return partResult[K, O]{}, err
 	}
 	return pr, nil
 }

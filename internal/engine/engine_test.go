@@ -278,14 +278,107 @@ func TestBoundedMemorySurfacesInMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Metrics.SpillEvents == 0 || res.Metrics.SpilledPairs == 0 {
-		t.Errorf("spill pressure not reported: %+v", res.Metrics)
+	// A single key means a single partition regardless of the hash
+	// seed, so the spill profile is exact: 200 pairs against a 16-pair
+	// budget seal 12 runs of 16, leaving 8 live.
+	if res.Metrics.SpillEvents != 12 || res.Metrics.SpilledPairs != 192 {
+		t.Errorf("spill profile = %d events, %d pairs; want 12 and 192: %+v",
+			res.Metrics.SpillEvents, res.Metrics.SpilledPairs, res.Metrics)
+	}
+	if res.Metrics.MaxLivePairs != 16 {
+		t.Errorf("MaxLivePairs = %d, want exactly the 16-pair budget", res.Metrics.MaxLivePairs)
+	}
+	if res.Metrics.BytesSpilled != 0 {
+		t.Errorf("BytesSpilled = %d without a SpillDir, want 0", res.Metrics.BytesSpilled)
 	}
 	if res.Metrics.Reducers != 1 || res.Metrics.MaxReducerInput != 200 {
 		t.Errorf("grouping wrong under spills: %+v", res.Metrics)
 	}
 	if len(res.Outputs) != 1 || res.Outputs[0] != "w=200" {
 		t.Errorf("outputs = %v, want [w=200]", res.Outputs)
+	}
+}
+
+func TestDiskSpillThroughEngine(t *testing.T) {
+	// The same workload with a SpillDir must produce identical outputs
+	// and additionally report real disk traffic; fault injection on top
+	// exercises re-reading spilled runs on reduce retry.
+	docs := make([]string, 64)
+	for i := range docs {
+		docs[i] = "a b c d"
+	}
+	clean, err := Run(wordCountRound(Config{Partitions: 4, Workers: 2}), docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spill, err := Run(wordCountRound(Config{
+		Partitions: 4, Workers: 2,
+		MemoryBudget: 8, SpillDir: t.TempDir(),
+		FailureEveryN: 2, MaxRetries: 3, MapChunk: 4,
+	}), docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spill.Outputs, clean.Outputs) {
+		t.Errorf("spilled outputs %v != clean %v", spill.Outputs, clean.Outputs)
+	}
+	if spill.Metrics.BytesSpilled == 0 {
+		t.Error("BytesSpilled = 0, want real disk spill traffic")
+	}
+	if spill.Metrics.RunsMerged == 0 {
+		t.Error("RunsMerged = 0, want k-way merges at reduce time")
+	}
+	if spill.Metrics.MaxLivePairs > 8 {
+		t.Errorf("MaxLivePairs = %d exceeds the 8-pair budget", spill.Metrics.MaxLivePairs)
+	}
+	if spill.Metrics.ReduceRetries == 0 {
+		t.Error("ReduceRetries = 0: injection should have retried a streamed reduce")
+	}
+	if spill.Metrics.MaxReducerInput != clean.Metrics.MaxReducerInput ||
+		spill.Metrics.Reducers != clean.Metrics.Reducers ||
+		spill.Metrics.PairsShuffled != clean.Metrics.PairsShuffled {
+		t.Errorf("logical metrics diverge under spill:\nclean %+v\nspill %+v",
+			clean.Metrics, spill.Metrics)
+	}
+}
+
+func TestSpillDirWithoutBudgetRejected(t *testing.T) {
+	// SpillDir alone cannot spill anything (no budget means no seals);
+	// silently running fully in memory would defeat the point, so the
+	// misconfiguration is an error.
+	_, err := Run(wordCountRound(Config{SpillDir: t.TempDir()}), []string{"a b"})
+	if err == nil || !strings.Contains(err.Error(), "SpillDir without a memory budget") {
+		t.Fatalf("err = %v, want the SpillDir-without-budget rejection", err)
+	}
+}
+
+func TestDiskSpillOverflowPathRecordsLoads(t *testing.T) {
+	// MaxReducerInput enforcement reads group sizes from the counting
+	// pass over spilled runs; RecordLoads must survive that path.
+	r := Round[int, int, int, int]{
+		Name:        "spill-overflow",
+		Map:         func(x int, emit func(int, int)) { emit(x%3, x) },
+		Reduce:      func(k int, vs []int, emit func(int)) { emit(len(vs)) },
+		Partitioner: func(k int) int { return k },
+		Config: Config{
+			Partitions: 4, MaxReducerInput: 10,
+			MemoryBudget: 4, SpillDir: t.TempDir(),
+			RecordLoads: true, RecordKeys: true,
+		},
+	}
+	inputs := make([]int, 36) // keys 0,1,2 get 12 values each, limit 10
+	for i := range inputs {
+		inputs[i] = i
+	}
+	res, err := Run(r, inputs)
+	if !errors.Is(err, ErrReducerOverflow) {
+		t.Fatalf("err = %v, want ErrReducerOverflow", err)
+	}
+	if !reflect.DeepEqual(res.Keys, []int{0, 1, 2}) || !reflect.DeepEqual(res.Loads, []int{12, 12, 12}) {
+		t.Errorf("keys/loads at failure = %v / %v, want [0 1 2] / [12 12 12]", res.Keys, res.Loads)
+	}
+	if res.Metrics.BytesSpilled == 0 {
+		t.Error("expected disk spills before the overflow was detected")
 	}
 }
 

@@ -1,0 +1,265 @@
+package mr
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// Differential testing of the whole data path: for randomized
+// workloads — random key/value types, partition counts, memory
+// budgets, worker counts, chunk sizes, combiner on or off — the
+// executor's outputs and logical metrics must be identical to a naive
+// single-map reference executor, and identical with disk spill forced
+// on versus off. The physical profile (partition placement, makespan)
+// is allowed to vary; the paper's quantities are not.
+
+// refResult is what the naive reference executor produces: every map
+// ran in input order under one goroutine, groups reduced in canonical
+// key order.
+type refResult[O any] struct {
+	outputs      []O
+	pairsEmitted int64
+	reducers     int64
+	maxQ         int64
+}
+
+func referenceRun[I any, K comparable, V, O any](j *Job[I, K, V, O], inputs []I) refResult[O] {
+	groups := make(map[K][]V)
+	var res refResult[O]
+	for _, in := range inputs {
+		j.Map(in, func(k K, v V) {
+			groups[k] = append(groups[k], v)
+			res.pairsEmitted++
+		})
+	}
+	res.reducers = int64(len(groups))
+	for _, k := range sortedKeys(groups) {
+		vs := groups[k]
+		if q := int64(len(vs)); q > res.maxQ {
+			res.maxQ = q
+		}
+		j.Reduce(k, vs, func(o O) { res.outputs = append(res.outputs, o) })
+	}
+	return res
+}
+
+// randomConfig draws execution parameters that must not change results.
+func randomConfig(rng *rand.Rand) Config {
+	partitions := []int{0, 1, 2, 4, 8, 32}[rng.Intn(6)]
+	return Config{
+		Workers:    1 + rng.Intn(4),
+		MapChunk:   rng.Intn(6), // 0 = automatic
+		Partitions: partitions,
+	}
+}
+
+// checkDifferential runs one job family through the three-way
+// comparison: reference vs executor, and spill-off vs spill-on.
+// It returns the bytes spilled so callers can assert the spill path
+// was genuinely exercised across trials.
+func checkDifferential[I any, K comparable, V, O any](
+	t *testing.T, trial string,
+	mk func(cfg Config) *Job[I, K, V, O],
+	inputs []I, combiner bool, rng *rand.Rand, spillDir string,
+) int64 {
+	t.Helper()
+	cfg := randomConfig(rng)
+	ref := referenceRun(mk(cfg), inputs)
+
+	out, met, err := mk(cfg).Run(inputs)
+	if err != nil {
+		t.Fatalf("%s: executor: %v", trial, err)
+	}
+	if !reflect.DeepEqual(out, ref.outputs) {
+		t.Fatalf("%s: outputs diverge from reference\ngot  %v\nwant %v", trial, out, ref.outputs)
+	}
+	if met.PairsEmitted != ref.pairsEmitted || met.Reducers != ref.reducers {
+		t.Fatalf("%s: logical metrics diverge: emitted %d/%d reducers %d/%d",
+			trial, met.PairsEmitted, ref.pairsEmitted, met.Reducers, ref.reducers)
+	}
+	if met.ReplicationRate() != 0 && met.MapInputs != int64(len(inputs)) {
+		t.Fatalf("%s: MapInputs = %d, want %d", trial, met.MapInputs, len(inputs))
+	}
+	if !combiner {
+		// Without a combiner the shuffle is the raw emission stream.
+		if met.PairsShuffled != ref.pairsEmitted || met.MaxReducerInput != ref.maxQ {
+			t.Fatalf("%s: shuffled %d (want %d), max q %d (want %d)",
+				trial, met.PairsShuffled, ref.pairsEmitted, met.MaxReducerInput, ref.maxQ)
+		}
+	}
+
+	// Spill forced on: identical outputs and logical metrics.
+	spillCfg := cfg
+	spillCfg.MemoryBudget = []int{1, 2, 7, 16}[rng.Intn(4)]
+	spillCfg.SpillDir = spillDir
+	outS, metS, err := mk(spillCfg).Run(inputs)
+	if err != nil {
+		t.Fatalf("%s: spill run: %v", trial, err)
+	}
+	if !reflect.DeepEqual(outS, out) {
+		t.Fatalf("%s: spill-on outputs diverge\ngot  %v\nwant %v", trial, outS, out)
+	}
+	if metS.PairsEmitted != met.PairsEmitted || metS.PairsShuffled != met.PairsShuffled ||
+		metS.Reducers != met.Reducers || metS.MaxReducerInput != met.MaxReducerInput ||
+		metS.ReplicationRate() != met.ReplicationRate() {
+		t.Fatalf("%s: spill-on logical metrics diverge\noff %+v\non  %+v", trial, met, metS)
+	}
+	if metS.MaxLivePairs > spillCfg.MemoryBudget {
+		t.Fatalf("%s: MaxLivePairs %d exceeds budget %d", trial, metS.MaxLivePairs, spillCfg.MemoryBudget)
+	}
+	return metS.BytesSpilled
+}
+
+func TestDifferentialStringKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	dir := t.TempDir()
+	var spilled int64
+	for trial := 0; trial < 12; trial++ {
+		dom := 1 + rng.Intn(30)
+		inputs := make([]int, rng.Intn(240))
+		for i := range inputs {
+			inputs[i] = rng.Intn(1000)
+		}
+		mk := func(cfg Config) *Job[int, string, int, string] {
+			return &Job[int, string, int, string]{
+				Name: "diff-string",
+				Map: func(x int, emit func(string, int)) {
+					for j := 0; j <= x%3; j++ {
+						emit(fmt.Sprintf("k%02d", (x+j)%dom), x*10+j)
+					}
+				},
+				// Order-sensitive reduce: catches any value reordering.
+				Reduce: func(k string, vs []int, emit func(string)) {
+					emit(fmt.Sprint(k, vs))
+				},
+				Config: cfg,
+			}
+		}
+		spilled += checkDifferential(t, fmt.Sprintf("string/%d", trial), mk, inputs, false, rng, dir)
+	}
+	if spilled == 0 {
+		t.Error("no trial spilled to disk; the differential never exercised the external path")
+	}
+}
+
+func TestDifferentialIntKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	dir := t.TempDir()
+	var spilled int64
+	for trial := 0; trial < 12; trial++ {
+		dom := int64(1 + rng.Intn(40))
+		inputs := make([]int64, rng.Intn(240))
+		for i := range inputs {
+			inputs[i] = rng.Int63n(100000)
+		}
+		mk := func(cfg Config) *Job[int64, int64, string, string] {
+			return &Job[int64, int64, string, string]{
+				Name: "diff-int",
+				Map: func(x int64, emit func(int64, string)) {
+					emit(x%dom, fmt.Sprintf("v%d", x))
+					if x%2 == 0 {
+						emit((x+1)%dom, fmt.Sprintf("w%d", x))
+					}
+				},
+				Reduce: func(k int64, vs []string, emit func(string)) {
+					emit(fmt.Sprint(k, ":", vs))
+				},
+				Config: cfg,
+			}
+		}
+		spilled += checkDifferential(t, fmt.Sprintf("int64/%d", trial), mk, inputs, false, rng, dir)
+	}
+	if spilled == 0 {
+		t.Error("no trial spilled to disk")
+	}
+}
+
+func TestDifferentialStructKeysWithCombiner(t *testing.T) {
+	type edge struct{ U, V int }
+	rng := rand.New(rand.NewSource(303))
+	dir := t.TempDir()
+	var spilled int64
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(8)
+		inputs := make([]int, rng.Intn(240))
+		for i := range inputs {
+			inputs[i] = rng.Intn(10000)
+		}
+		combine := trial%2 == 0
+		mk := func(cfg Config) *Job[int, edge, float64, string] {
+			j := &Job[int, edge, float64, string]{
+				Name: "diff-struct",
+				Map: func(x int, emit func(edge, float64)) {
+					emit(edge{x % n, (x / n) % n}, float64(x)/4)
+				},
+				// Order-insensitive reduce so the combiner is transparent.
+				Reduce: func(k edge, vs []float64, emit func(string)) {
+					var sum float64
+					for _, v := range vs {
+						sum += v
+					}
+					emit(fmt.Sprintf("%v=%.2f/%d", k, sum, len(vs)))
+				},
+				Config: cfg,
+			}
+			if combine {
+				j.Combine = func(_ edge, vs []float64) []float64 {
+					var sum float64
+					for _, v := range vs {
+						sum += v
+					}
+					return []float64{sum}
+				}
+			}
+			return j
+		}
+		if combine {
+			// The combiner changes group sizes but not sums; the reduce
+			// output above folds len(vs), so compare combiner runs only
+			// against themselves (spill on/off), not the reference.
+			mkSum := func(cfg Config) *Job[int, edge, float64, string] {
+				j := mk(cfg)
+				j.Reduce = func(k edge, vs []float64, emit func(string)) {
+					var sum float64
+					for _, v := range vs {
+						sum += v
+					}
+					emit(fmt.Sprintf("%v=%.2f", k, sum))
+				}
+				return j
+			}
+			cfg := randomConfig(rng)
+			out, met, err := mkSum(cfg).Run(inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			noCombine := mkSum(cfg)
+			noCombine.Combine = nil
+			ref := referenceRun(noCombine, inputs)
+			if !reflect.DeepEqual(out, ref.outputs) {
+				t.Fatalf("combiner changed results:\ngot  %v\nwant %v", out, ref.outputs)
+			}
+			spillCfg := cfg
+			spillCfg.MemoryBudget = 1 + rng.Intn(8)
+			spillCfg.SpillDir = dir
+			outS, metS, err := mkSum(spillCfg).Run(inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(outS, out) {
+				t.Fatalf("spill-on combiner outputs diverge")
+			}
+			if metS.PairsEmitted != met.PairsEmitted || metS.Reducers != met.Reducers {
+				t.Fatalf("spill-on combiner metrics diverge: %+v vs %+v", metS, met)
+			}
+			spilled += metS.BytesSpilled
+			continue
+		}
+		spilled += checkDifferential(t, fmt.Sprintf("struct/%d", trial), mk, inputs, false, rng, dir)
+	}
+	if spilled == 0 {
+		t.Error("no trial spilled to disk")
+	}
+}

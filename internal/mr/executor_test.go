@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/shuffle"
 )
 
 // These tests exercise the paper-facing Job API specifically through
@@ -135,12 +137,105 @@ func TestBoundedMemoryModeThroughJob(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if met.SpillEvents == 0 || met.SpilledPairs == 0 {
-		t.Errorf("no spill pressure reported: %+v", met)
+	// 128 pairs against an 8-pair budget seal exactly 16 runs whether
+	// the two keys share a partition (16 seals there) or split (8
+	// each), so the spill profile is exact despite hash placement.
+	if met.SpillEvents != 16 || met.SpilledPairs != 128 {
+		t.Errorf("spill profile = %d events, %d pairs; want 16 and 128", met.SpillEvents, met.SpilledPairs)
+	}
+	if met.MaxLivePairs != 8 {
+		t.Errorf("MaxLivePairs = %d, want exactly the 8-pair budget", met.MaxLivePairs)
 	}
 	want := []string{"x=64", "y=64"}
 	if !reflect.DeepEqual(out, want) {
 		t.Errorf("outputs = %v, want %v (grouping must survive sealed runs)", out, want)
+	}
+}
+
+func TestDiskSpillThroughJob(t *testing.T) {
+	// MemoryBudget + SpillDir on the public Job API: a dataset 4x the
+	// total budget completes with identical outputs and logical
+	// metrics, nonzero disk traffic, and the live buffer bounded.
+	const parts, budget = 2, 64
+	docs := make([]string, 4*parts*budget)
+	for i := range docs {
+		docs[i] = "k" + itoa(i%13)
+	}
+	countJob := func(cfg Config) *Job[string, string, int, string] {
+		return &Job[string, string, int, string]{
+			Name:   "occurrences",
+			Map:    func(w string, emit func(string, int)) { emit(w, 1) },
+			Reduce: func(w string, vs []int, emit func(string)) { emit(w + "=" + itoa(len(vs))) },
+			Config: cfg,
+		}
+	}
+	base, baseMet, err := countJob(Config{Partitions: parts}).Run(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, met, err := countJob(Config{
+		Partitions: parts, MemoryBudget: budget, SpillDir: t.TempDir(),
+	}).Run(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, base) {
+		t.Errorf("spilled outputs diverge: %v vs %v", out, base)
+	}
+	if met.BytesSpilled == 0 || met.SpillEvents == 0 {
+		t.Errorf("no disk spill on a 4x-budget dataset: %+v", met)
+	}
+	if met.MaxLivePairs > budget {
+		t.Errorf("MaxLivePairs = %d exceeds budget %d", met.MaxLivePairs, budget)
+	}
+	if met.RunsMerged == 0 {
+		t.Error("RunsMerged = 0, want multi-run reduce merges")
+	}
+	if met.Reducers != baseMet.Reducers || met.PairsShuffled != baseMet.PairsShuffled ||
+		met.MaxReducerInput != baseMet.MaxReducerInput {
+		t.Errorf("logical metrics diverge under spill:\nbase  %+v\nspill %+v", baseMet, met)
+	}
+}
+
+func TestPinnedSeedMakesPhysicalProfileDeterministic(t *testing.T) {
+	// Under shuffle.WithSeed the *physical* profile — which partition
+	// every key lands in, and therefore Partitions, Makespan and spill
+	// counts — is reproducible: identical across runs, and equal to a
+	// placement replayed with an independently created pinned hasher.
+	restore := shuffle.WithSeed(7)
+	defer restore()
+
+	docs := []string{"a b c d e f g h i j k l m n o p", "a b c d a b c d"}
+	cfg := Config{Partitions: 4, Workers: 2, MaxBufferedPairs: 4}
+	_, met1, err := wordCountJob(cfg).Run(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, met2, err := wordCountJob(cfg).Run(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(met1.Partitions, met2.Partitions) {
+		t.Errorf("pinned-seed partition profiles differ:\n%+v\n%+v", met1.Partitions, met2.Partitions)
+	}
+	if met1.Makespan != met2.Makespan || met1.SpillEvents != met2.SpillEvents ||
+		met1.SpilledPairs != met2.SpilledPairs || met1.MaxLivePairs != met2.MaxLivePairs {
+		t.Errorf("pinned-seed physical metrics differ:\n%+v\n%+v", met1, met2)
+	}
+
+	// Replay placement with a fresh pinned hasher: per-partition pair
+	// counts must match the executor's reported profile exactly.
+	h := shuffle.NewHasher[string]()
+	wantPairs := make([]int64, 4)
+	for _, doc := range docs {
+		for _, w := range strings.Fields(doc) {
+			wantPairs[h.Hash(w)&3]++
+		}
+	}
+	for p, ps := range met1.Partitions {
+		if ps.Pairs != wantPairs[p] {
+			t.Errorf("partition %d pairs = %d, replayed placement says %d", p, ps.Pairs, wantPairs[p])
+		}
 	}
 }
 

@@ -34,7 +34,8 @@
 // WorkerInputs under the default partitioner, and retry counts under
 // fault injection — depends on the shuffle's per-process hash seed, as
 // in a real cluster. Pin ShufflePartition (and Partition) for a fully
-// reproducible exchange.
+// reproducible exchange, or shuffle.WithSeed in tests that assert on
+// the physical profile.
 package mr
 
 import (
@@ -83,11 +84,24 @@ type Config struct {
 	// selects shuffle.DefaultPartitions().
 	Partitions int
 
-	// MaxBufferedPairs, when positive, enables the shuffle's bounded-
-	// memory mode: a partition buffering more than this many pairs seals
-	// its live run (the in-memory analogue of a spill) and the Metrics
-	// report the resulting spill pressure.
+	// MemoryBudget is the per-partition memory budget, in buffered
+	// pairs: a shuffle partition whose live buffer reaches the budget
+	// seals its run, so live buffered pairs never exceed the budget.
+	// Together with SpillDir this makes datasets much larger than
+	// memory executable; alone it reports spill pressure with sealed
+	// runs kept in memory. MaxBufferedPairs is the older alias for the
+	// same knob, honored when MemoryBudget is zero.
+	MemoryBudget     int
 	MaxBufferedPairs int
+
+	// SpillDir, when set together with MemoryBudget, directs sealed
+	// runs to temp run files under this directory (deleted when the
+	// job finishes). Reduce partitions then stream a k-way merge over
+	// disk and live runs instead of materializing the partition.
+	// SpillDir without a budget is a configuration error, and spilling
+	// requires a key type whose equality survives an encode/decode
+	// round trip (no pointer, interface or channel fields).
+	SpillDir string
 
 	// ReduceWorkersHint, when positive, partitions reduce keys into this
 	// many logical reduce workers for the per-worker skew metrics. It does
@@ -162,9 +176,16 @@ type Metrics struct {
 	Makespan      int64
 	IdealMakespan int64
 	// SpillEvents and SpilledPairs report bounded-memory pressure when
-	// Config.MaxBufferedPairs was set.
+	// a memory budget was set. BytesSpilled and RunsMerged report the
+	// realized disk traffic and reduce-time merge width when SpillDir
+	// made the spills real. MaxLivePairs is the high-water mark of any
+	// partition's live buffer — under a budget it never exceeds the
+	// budget, which is the runtime's bounded-memory guarantee.
 	SpillEvents  int64
 	SpilledPairs int64
+	BytesSpilled int64
+	RunsMerged   int64
+	MaxLivePairs int
 }
 
 // ReplicationRate is the average number of key-value pairs created per map
@@ -245,7 +266,9 @@ func (j *Job[I, K, V, O]) Run(inputs []I) ([]O, Metrics, error) {
 			Workers:          j.Config.Workers,
 			MapChunk:         j.Config.MapChunk,
 			Partitions:       j.Config.Partitions,
+			MemoryBudget:     j.Config.MemoryBudget,
 			MaxBufferedPairs: j.Config.MaxBufferedPairs,
+			SpillDir:         j.Config.SpillDir,
 			MaxReducerInput:  j.Config.MaxReducerInput,
 			RecordLoads:      j.Config.RecordLoads,
 			RecordKeys:       j.Config.ReduceWorkersHint > 0,
@@ -273,6 +296,9 @@ func (j *Job[I, K, V, O]) Run(inputs []I) ([]O, Metrics, error) {
 		IdealMakespan:     res.Metrics.IdealMakespan,
 		SpillEvents:       res.Metrics.SpillEvents,
 		SpilledPairs:      res.Metrics.SpilledPairs,
+		BytesSpilled:      res.Metrics.BytesSpilled,
+		RunsMerged:        res.Metrics.RunsMerged,
+		MaxLivePairs:      res.Metrics.MaxLivePairs,
 	}
 	if j.Config.RecordLoads {
 		met.ReducerLoads = res.Loads

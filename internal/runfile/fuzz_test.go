@@ -1,0 +1,108 @@
+package runfile
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzRunfileCodec exercises the run-file format from both sides: a
+// write-read round trip of fuzzer-chosen groups must reproduce the
+// input exactly, and feeding the raw fuzz input directly to the Reader
+// must either parse cleanly or fail with ErrCorrupt — never panic and
+// never allocate beyond the length cap.
+func FuzzRunfileCodec(f *testing.F) {
+	f.Add([]byte("key"), []byte("v1"), []byte("v2"), uint8(2))
+	f.Add([]byte(""), []byte(""), []byte{0xff, 0x00}, uint8(7))
+	f.Add([]byte{'M', 'R', 'R', 'F', 1}, []byte("x"), []byte("y"), uint8(1))
+
+	f.Fuzz(func(t *testing.T, key, v1, v2 []byte, n uint8) {
+		// Side 1: round trip. Build up to n copies of the two values.
+		values := make([][]byte, 0, int(n%8))
+		for i := 0; i < int(n%8); i++ {
+			if i%2 == 0 {
+				values = append(values, v1)
+			} else {
+				values = append(values, v2)
+			}
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.WriteGroup(key, values); err != nil {
+			t.Fatalf("WriteGroup: %v", err)
+		}
+		if err := w.WriteGroup(v1, [][]byte{key}); err != nil {
+			t.Fatalf("WriteGroup: %v", err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+
+		r := NewReader(bytes.NewReader(buf.Bytes()))
+		gotKey, gotN, err := r.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if !bytes.Equal(gotKey, key) || gotN != len(values) {
+			t.Fatalf("group 1: key %q n %d, want %q %d", gotKey, gotN, key, len(values))
+		}
+		for i, want := range values {
+			got, err := r.Value()
+			if err != nil {
+				t.Fatalf("Value %d: %v", i, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("value %d = %q, want %q", i, got, want)
+			}
+		}
+		gotKey, gotN, err = r.Next()
+		if err != nil || !bytes.Equal(gotKey, v1) || gotN != 1 {
+			t.Fatalf("group 2: %q %d %v", gotKey, gotN, err)
+		}
+		if _, err := r.Value(); err != nil {
+			t.Fatalf("group 2 value: %v", err)
+		}
+		if _, _, err := r.Next(); err != io.EOF {
+			t.Fatalf("tail: err = %v, want io.EOF", err)
+		}
+
+		// Side 2: the reader must survive arbitrary bytes.
+		raw := append(append([]byte{}, key...), v1...)
+		rr := NewReader(bytes.NewReader(raw))
+		for {
+			_, _, err := rr.Next()
+			if err != nil {
+				if err != io.EOF && !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("arbitrary input: unexpected error class %v", err)
+				}
+				break
+			}
+			if err := rr.SkipValues(); err != nil {
+				if !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("arbitrary input skip: %v", err)
+				}
+				break
+			}
+		}
+
+		// Side 3: the typed codec round-trips the fuzzed bytes as both
+		// string and []byte payloads.
+		sdata, err := Append(nil, string(key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Decode[string](sdata)
+		if err != nil || s != string(key) {
+			t.Fatalf("string codec: %q %v", s, err)
+		}
+		bdata, err := Append(nil, v1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bv, err := Decode[[]byte](bdata)
+		if err != nil || !bytes.Equal(bv, v1) {
+			t.Fatalf("[]byte codec: %q %v", bv, err)
+		}
+	})
+}

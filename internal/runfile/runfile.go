@@ -1,0 +1,233 @@
+// Package runfile implements the on-disk format for sorted spill runs:
+// the unit of the external shuffle's memory/disk exchange.
+//
+// A run file is a flat sequence of key groups written in the shuffle's
+// canonical key order. Each group is length-prefixed binary:
+//
+//	uvarint len(key)  | key bytes
+//	uvarint n         | n values, each: uvarint len(value) | value bytes
+//
+// preceded by a 5-byte header (magic "MRRF" plus a format version).
+// Length prefixes make the format self-describing enough to stream,
+// skip, and fuzz without a schema, while keeping the write path a
+// single buffered pass over each sealed run. The Reader can skip a
+// group's values without decoding them, which the shuffle's counting
+// pass (Stats) uses to profile spilled partitions at I/O cost but no
+// allocation cost.
+//
+// Keys and values are opaque byte strings at this layer; the typed
+// encoding of Go keys and values lives in codec.go.
+package runfile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// magic identifies a run file; the trailing byte is the format version.
+var magic = [5]byte{'M', 'R', 'R', 'F', 1}
+
+// maxLen caps any single length prefix. A corrupt or adversarial file
+// cannot make the reader allocate more than this for one key or value.
+const maxLen = 1 << 30
+
+// ErrCorrupt reports a structurally invalid run file.
+var ErrCorrupt = errors.New("runfile: corrupt run file")
+
+// Writer streams key groups to a run file. It buffers internally; call
+// Flush before closing the underlying file.
+type Writer struct {
+	bw     *bufio.Writer
+	bytes  int64
+	groups int64
+	pairs  int64
+	err    error
+}
+
+// NewWriter starts a run file on w, writing the header immediately.
+func NewWriter(w io.Writer) *Writer {
+	rw := &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+	rw.write(magic[:])
+	return rw
+}
+
+func (w *Writer) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	n, err := w.bw.Write(p)
+	w.bytes += int64(n)
+	w.err = err
+}
+
+func (w *Writer) writeUvarint(x uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	w.write(buf[:binary.PutUvarint(buf[:], x)])
+}
+
+// WriteGroup appends one key group. Callers must present groups in the
+// shuffle's canonical key order; the format does not re-sort.
+func (w *Writer) WriteGroup(key []byte, values [][]byte) error {
+	if err := w.BeginGroup(key, len(values)); err != nil {
+		return err
+	}
+	for _, v := range values {
+		if err := w.AppendValue(v); err != nil {
+			return err
+		}
+	}
+	return w.err
+}
+
+// BeginGroup starts a group of exactly n values; the caller must follow
+// with n AppendValue calls. This is the allocation-light path the
+// shuffle's spill writer uses: values are encoded one at a time into a
+// reused scratch buffer instead of a [][]byte.
+func (w *Writer) BeginGroup(key []byte, n int) error {
+	w.writeUvarint(uint64(len(key)))
+	w.write(key)
+	w.writeUvarint(uint64(n))
+	if w.err == nil {
+		w.groups++
+	}
+	return w.err
+}
+
+// AppendValue writes one value of the group opened by BeginGroup.
+func (w *Writer) AppendValue(v []byte) error {
+	w.writeUvarint(uint64(len(v)))
+	w.write(v)
+	if w.err == nil {
+		w.pairs++
+	}
+	return w.err
+}
+
+// Flush drains the buffer to the underlying writer.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	w.err = w.bw.Flush()
+	return w.err
+}
+
+// BytesWritten is the number of bytes accepted so far, header included.
+func (w *Writer) BytesWritten() int64 { return w.bytes }
+
+// Groups is the number of key groups written.
+func (w *Writer) Groups() int64 { return w.groups }
+
+// Pairs is the total number of values written across all groups.
+func (w *Writer) Pairs() int64 { return w.pairs }
+
+// Reader streams key groups back from a run file.
+//
+// The cursor protocol: Next returns the next group's key and value
+// count, after which Value may be called up to that many times. Values
+// left unread when Next is called again are skipped without allocation.
+type Reader struct {
+	br      *bufio.Reader
+	started bool
+	pending int // values of the current group not yet read
+}
+
+// NewReader wraps r. The header is validated on the first Next.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+func (r *Reader) readLen() (int, error) {
+	x, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return 0, err
+	}
+	if x > maxLen {
+		return 0, fmt.Errorf("%w: length prefix %d exceeds limit", ErrCorrupt, x)
+	}
+	return int(x), nil
+}
+
+// Next advances to the next group, returning its key and value count.
+// It returns io.EOF at a clean end of file and ErrCorrupt (wrapped) on
+// a truncated or invalid stream.
+func (r *Reader) Next() ([]byte, int, error) {
+	if !r.started {
+		var hdr [5]byte
+		if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+			return nil, 0, fmt.Errorf("%w: missing header", ErrCorrupt)
+		}
+		if hdr != magic {
+			return nil, 0, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[:])
+		}
+		r.started = true
+	}
+	if err := r.SkipValues(); err != nil {
+		return nil, 0, err
+	}
+	klen, err := r.readLen()
+	if err != nil {
+		if err == io.EOF {
+			return nil, 0, io.EOF // clean end between groups
+		}
+		return nil, 0, corrupt(err)
+	}
+	key := make([]byte, klen)
+	if _, err := io.ReadFull(r.br, key); err != nil {
+		return nil, 0, corrupt(err)
+	}
+	n, err := r.readLen()
+	if err != nil {
+		return nil, 0, corrupt(err)
+	}
+	r.pending = n
+	return key, n, nil
+}
+
+// Value reads the next value of the current group.
+func (r *Reader) Value() ([]byte, error) {
+	if r.pending <= 0 {
+		return nil, fmt.Errorf("%w: no pending values", ErrCorrupt)
+	}
+	vlen, err := r.readLen()
+	if err != nil {
+		return nil, corrupt(err)
+	}
+	v := make([]byte, vlen)
+	if _, err := io.ReadFull(r.br, v); err != nil {
+		return nil, corrupt(err)
+	}
+	r.pending--
+	return v, nil
+}
+
+// SkipValues discards the unread values of the current group without
+// allocating for their payloads.
+func (r *Reader) SkipValues() error {
+	for r.pending > 0 {
+		vlen, err := r.readLen()
+		if err != nil {
+			return corrupt(err)
+		}
+		if _, err := r.br.Discard(vlen); err != nil {
+			return corrupt(err)
+		}
+		r.pending--
+	}
+	return nil
+}
+
+// corrupt maps io errors inside a group to ErrCorrupt: EOF mid-group is
+// truncation, not a clean end.
+func corrupt(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("%w: truncated stream", ErrCorrupt)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		return err
+	}
+	return fmt.Errorf("%w: %v", ErrCorrupt, err)
+}

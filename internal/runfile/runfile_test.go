@@ -1,0 +1,306 @@
+package runfile
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	groups := []struct {
+		key    string
+		values []string
+	}{
+		{"alpha", []string{"1", "22", ""}},
+		{"beta", nil},
+		{"", []string{"only"}},
+		{"gamma", []string{"x"}},
+	}
+	for _, g := range groups {
+		vals := make([][]byte, len(g.values))
+		for i, v := range g.values {
+			vals[i] = []byte(v)
+		}
+		if err := w.WriteGroup([]byte(g.key), vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Groups() != 4 || w.Pairs() != 5 {
+		t.Errorf("Groups=%d Pairs=%d, want 4 groups, 5 pairs", w.Groups(), w.Pairs())
+	}
+	if w.BytesWritten() != int64(buf.Len()) {
+		t.Errorf("BytesWritten=%d, buffer has %d", w.BytesWritten(), buf.Len())
+	}
+
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	for gi, g := range groups {
+		key, n, err := r.Next()
+		if err != nil {
+			t.Fatalf("group %d: %v", gi, err)
+		}
+		if string(key) != g.key || n != len(g.values) {
+			t.Fatalf("group %d: key %q n %d, want %q %d", gi, key, n, g.key, len(g.values))
+		}
+		for vi := range g.values {
+			v, err := r.Value()
+			if err != nil {
+				t.Fatalf("group %d value %d: %v", gi, vi, err)
+			}
+			if string(v) != g.values[vi] {
+				t.Fatalf("group %d value %d = %q, want %q", gi, vi, v, g.values[vi])
+			}
+		}
+	}
+	if _, _, err := r.Next(); err != io.EOF {
+		t.Fatalf("after last group: err = %v, want io.EOF", err)
+	}
+}
+
+func TestReaderSkipsUnreadValues(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteGroup([]byte("a"), [][]byte{[]byte("v1"), []byte("v2"), []byte("v3")})
+	w.WriteGroup([]byte("b"), [][]byte{[]byte("w1")})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	key, n, err := r.Next()
+	if err != nil || string(key) != "a" || n != 3 {
+		t.Fatalf("first group: %q %d %v", key, n, err)
+	}
+	// Read one of three values, then jump to the next group.
+	if v, err := r.Value(); err != nil || string(v) != "v1" {
+		t.Fatalf("value: %q %v", v, err)
+	}
+	key, n, err = r.Next()
+	if err != nil || string(key) != "b" || n != 1 {
+		t.Fatalf("second group: %q %d %v", key, n, err)
+	}
+	if v, err := r.Value(); err != nil || string(v) != "w1" {
+		t.Fatalf("value: %q %v", v, err)
+	}
+	if _, _, err := r.Next(); err != io.EOF {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestReaderRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteGroup([]byte("key"), [][]byte{[]byte("value")})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":         {},
+		"short header":  good[:3],
+		"bad magic":     append([]byte("XXXXX"), good[5:]...),
+		"truncated mid": good[:len(good)-2],
+	}
+	for name, data := range cases {
+		r := NewReader(bytes.NewReader(data))
+		_, _, err := r.Next()
+		if err == nil {
+			// Truncation may only surface when the values are read.
+			_, err = r.Value()
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+
+	// A huge length prefix must be rejected, not allocated.
+	huge := append(append([]byte{}, magic[:]...), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f)
+	if _, _, err := NewReader(bytes.NewReader(huge)).Next(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("huge length: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestValueWithoutGroupFails(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteGroup([]byte("k"), nil)
+	w.Flush()
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	if _, _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Value(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Value on empty group: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCodecFastPathsRoundTrip(t *testing.T) {
+	checkRT(t, int(-42))
+	checkRT(t, int8(-7))
+	checkRT(t, int16(-1234))
+	checkRT(t, int32(1<<30))
+	checkRT(t, int64(-1<<62))
+	checkRT(t, uint(42))
+	checkRT(t, uint8(255))
+	checkRT(t, uint16(65535))
+	checkRT(t, uint32(1<<31))
+	checkRT(t, uint64(1<<63))
+	checkRT(t, uintptr(12345))
+	checkRT(t, float32(3.5))
+	checkRT(t, float64(-2.718281828))
+	checkRT(t, true)
+	checkRT(t, false)
+	checkRT(t, "hello, 世界")
+	checkRT(t, "")
+}
+
+func checkRT[T comparable](t *testing.T, v T) {
+	t.Helper()
+	data, err := Append[T](nil, v)
+	if err != nil {
+		t.Fatalf("Append(%v): %v", v, err)
+	}
+	got, err := Decode[T](data)
+	if err != nil {
+		t.Fatalf("Decode(%v): %v", v, err)
+	}
+	if got != v {
+		t.Errorf("round trip %T: got %v, want %v", v, got, v)
+	}
+}
+
+func TestCodecBytesAndGobFallback(t *testing.T) {
+	b := []byte{0, 1, 2, 255}
+	data, err := Append(nil, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode[[]byte](data)
+	if err != nil || !reflect.DeepEqual(got, b) {
+		t.Errorf("[]byte round trip: %v %v", got, err)
+	}
+
+	type cell struct{ I, J int }
+	c := cell{3, -4}
+	data, err = Append(nil, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotC, err := Decode[cell](data)
+	if err != nil || gotC != c {
+		t.Errorf("struct round trip: %v %v", gotC, err)
+	}
+
+	// Unencodable types must error, not corrupt.
+	type hidden struct{ secret int } //nolint:unused
+	if _, err := Append(nil, hidden{1}); err == nil {
+		t.Error("expected error encoding struct with only unexported fields")
+	}
+}
+
+func TestCanRoundTripIdentity(t *testing.T) {
+	type flat struct {
+		A int
+		B string
+		C [3]float64
+	}
+	type nested struct{ F flat }
+	if err := CanRoundTripIdentity[int](); err != nil {
+		t.Errorf("int: %v", err)
+	}
+	if err := CanRoundTripIdentity[string](); err != nil {
+		t.Errorf("string: %v", err)
+	}
+	if err := CanRoundTripIdentity[flat](); err != nil {
+		t.Errorf("flat struct: %v", err)
+	}
+	if err := CanRoundTripIdentity[nested](); err != nil {
+		t.Errorf("nested struct: %v", err)
+	}
+
+	type withPtr struct{ P *int }
+	type withIface struct{ X any }
+	type deepPtr struct {
+		N nested
+		P [2]*string
+	}
+	if err := CanRoundTripIdentity[*int](); err == nil {
+		t.Error("*int should be rejected")
+	}
+	if err := CanRoundTripIdentity[withPtr](); err == nil {
+		t.Error("struct with pointer field should be rejected")
+	}
+	if err := CanRoundTripIdentity[withIface](); err == nil {
+		t.Error("struct with interface field should be rejected")
+	}
+	if err := CanRoundTripIdentity[deepPtr](); err == nil {
+		t.Error("deeply nested pointer array should be rejected")
+	}
+	if err := CanRoundTripIdentity[any](); err == nil {
+		t.Error("interface type should be rejected")
+	}
+
+	// gob silently drops unexported fields, so keys differing only
+	// there would collapse into one group after a spill round trip.
+	type mixed struct {
+		A int
+		b int //nolint:unused
+	}
+	if err := CanRoundTripIdentity[mixed](); err == nil {
+		t.Error("struct with unexported field should be rejected")
+	}
+}
+
+func TestCanRoundTripFidelity(t *testing.T) {
+	type ok struct {
+		A    int
+		B    []string
+		C    *float64
+		D    map[string][]int
+		Next *ok // type recursion must not loop
+	}
+	if err := CanRoundTripFidelity[ok](); err != nil {
+		t.Errorf("pointer/slice/map value type should pass fidelity: %v", err)
+	}
+	if err := CanRoundTripFidelity[[]byte](); err != nil {
+		t.Errorf("[]byte: %v", err)
+	}
+
+	type lossy struct {
+		Pub  int
+		priv int //nolint:unused
+	}
+	if err := CanRoundTripFidelity[lossy](); err == nil {
+		t.Error("unexported field should fail fidelity")
+	}
+	type nestedLossy struct{ L []lossy }
+	if err := CanRoundTripFidelity[nestedLossy](); err == nil {
+		t.Error("unexported field behind a slice should fail fidelity")
+	}
+}
+
+func TestCodecDecodeErrors(t *testing.T) {
+	if _, err := Decode[int]([]byte{0x80}); err == nil {
+		t.Error("dangling varint should fail")
+	}
+	if _, err := Decode[int]([]byte{1, 1}); err == nil {
+		t.Error("trailing bytes after varint should fail")
+	}
+	if _, err := Decode[float64]([]byte{1, 2, 3}); err == nil {
+		t.Error("short float64 should fail")
+	}
+	if _, err := Decode[bool]([]byte{}); err == nil {
+		t.Error("empty bool should fail")
+	}
+	type cell struct{ I, J int }
+	if _, err := Decode[cell]([]byte("not gob")); err == nil {
+		t.Error("garbage gob should fail")
+	}
+}

@@ -19,10 +19,14 @@
 // the key with fmt and hashing the string, which the seed did.
 //
 // An optional bounded-memory mode caps the number of pairs a partition
-// buffers in its live run: when the cap is exceeded the run is sealed —
-// the in-memory analogue of a spill to disk — and the shuffle reports
-// the resulting spill pressure, so that callers can observe when a
-// workload outgrows memory long before a disk-backed backend exists.
+// buffers in its live run: when the cap is reached the run is sealed
+// and, when a SpillDir is configured, encoded in sorted-key order to a
+// disk run file (internal/runfile). At read time each partition streams
+// its key groups through a k-way heap merge over the on-disk runs, the
+// in-memory sealed runs, and the live run, so a partition several times
+// larger than its budget is reduced without ever being resident at
+// once. Without a SpillDir, sealed runs stay in memory and only the
+// spill pressure is reported, as in earlier versions.
 package shuffle
 
 import (
@@ -31,6 +35,8 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+
+	"repro/internal/runfile"
 )
 
 // sharedSeed makes every Hasher in the process agree on key placement,
@@ -38,13 +44,50 @@ import (
 // route the same key to the same partition.
 var sharedSeed = maphash.MakeSeed()
 
-// Hasher hashes comparable keys with the runtime's typed hash.
-type Hasher[K comparable] struct {
-	seed maphash.Seed
+// pinnedHash is the WithSeed test hook: when armed, new Hashers place
+// keys with a deterministic FNV-1a over the formatted key instead of
+// the process-random maphash seed, so partition-placement-dependent
+// observations (per-partition profiles, makespan, spill counts) are
+// reproducible across runs and processes.
+var pinnedHash struct {
+	mu   sync.Mutex
+	on   bool
+	seed uint64
 }
 
-// NewHasher returns a Hasher using the process-wide seed.
+// WithSeed pins key placement to a deterministic seed and returns a
+// restore func. Hashers (and therefore Shuffles and engine rounds)
+// created between WithSeed and restore hash the canonical formatted
+// key with seeded FNV-1a — slower, but identical in every process.
+// Intended for tests; do not leave pinned in production paths.
+func WithSeed(seed uint64) (restore func()) {
+	pinnedHash.mu.Lock()
+	prevOn, prevSeed := pinnedHash.on, pinnedHash.seed
+	pinnedHash.on, pinnedHash.seed = true, seed
+	pinnedHash.mu.Unlock()
+	return func() {
+		pinnedHash.mu.Lock()
+		pinnedHash.on, pinnedHash.seed = prevOn, prevSeed
+		pinnedHash.mu.Unlock()
+	}
+}
+
+// Hasher hashes comparable keys with the runtime's typed hash.
+type Hasher[K comparable] struct {
+	seed   maphash.Seed
+	pinned bool
+	pseed  uint64
+}
+
+// NewHasher returns a Hasher using the process-wide seed, or the
+// deterministic pinned hasher when WithSeed is in effect.
 func NewHasher[K comparable]() Hasher[K] {
+	pinnedHash.mu.Lock()
+	on, ps := pinnedHash.on, pinnedHash.seed
+	pinnedHash.mu.Unlock()
+	if on {
+		return Hasher[K]{pinned: true, pseed: ps}
+	}
 	return Hasher[K]{seed: sharedSeed}
 }
 
@@ -53,6 +96,15 @@ func NewHasher[K comparable]() Hasher[K] {
 // memory layout (memhash for fixed-size keys such as ints and structs,
 // strhash for strings) with no formatting, boxing, or reflection.
 func (h Hasher[K]) Hash(k K) uint64 {
+	if h.pinned {
+		const prime = 1099511628211
+		hv := uint64(14695981039346656037) ^ (h.pseed * prime)
+		s := fmt.Sprint(k)
+		for i := 0; i < len(s); i++ {
+			hv = (hv ^ uint64(s[i])) * prime
+		}
+		return hv
+	}
 	return maphash.Comparable(h.seed, k)
 }
 
@@ -63,11 +115,19 @@ type Options struct {
 	// a power of two so partition selection is a mask, not a modulo.
 	Partitions int
 
-	// MaxBufferedPairs, when positive, enables bounded-memory mode: a
-	// partition whose live run exceeds this many buffered pairs seals
-	// the run (the in-memory analogue of spilling a sorted segment to
-	// disk) and starts a new one. Stats reports the spill pressure.
+	// MaxBufferedPairs is the per-partition memory budget, in pairs.
+	// When positive, a partition whose live run reaches this many
+	// buffered pairs seals the run and starts a new one, so the live
+	// buffer never exceeds the budget. Stats reports the spill
+	// pressure.
 	MaxBufferedPairs int
+
+	// SpillDir, when set together with MaxBufferedPairs, makes sealed
+	// runs real: each is encoded in sorted-key order to a temp run
+	// file under this directory and dropped from memory. Read APIs
+	// stream a k-way merge over disk and live runs. Call Close to
+	// delete the files. When empty, sealed runs stay in memory.
+	SpillDir string
 }
 
 // DefaultPartitions is the partition count used when Options.Partitions
@@ -102,24 +162,31 @@ type Pair[K comparable, V any] struct {
 // Shuffle is a P-way partitioned grouped exchange from map tasks to
 // reduce partitions.
 type Shuffle[K comparable, V any] struct {
-	hasher      Hasher[K]
-	partitioner func(K) int // optional override; used by tests and schemas
-	opts        Options
-	nparts      int
-	mask        uint64
-	parts       []partitionState[K, V]
-	mergeMu     sync.Mutex
+	hasher       Hasher[K]
+	partitioner  func(K) int // optional override; used by tests and schemas
+	opts         Options
+	nparts       int
+	mask         uint64
+	parts        []partitionState[K, V]
+	mergeMu      sync.Mutex
+	closed       bool
+	spillTypeErr error         // non-nil when K or V cannot survive a disk round trip
+	diskSem      chan struct{} // bounds concurrent multi-file disk reads (fd cap)
 }
 
 // partitionState is owned by exactly one goroutine during Merge, so it
 // needs no lock.
 type partitionState[K comparable, V any] struct {
-	runs         []map[K][]V // sealed runs, in seal order (bounded-memory mode)
-	live         map[K][]V
-	livePairs    int
-	pairs        int64
-	spillEvents  int64
-	spilledPairs int64
+	runs          []map[K][]V // sealed in-memory runs, in seal order
+	disk          []diskRun   // sealed on-disk runs, in seal order
+	spilledToDisk bool        // ever had a disk run (sticky across Close)
+	live          map[K][]V
+	livePairs     int
+	maxLivePairs  int // high-water mark of livePairs
+	pairs         int64
+	spillEvents   int64
+	spilledPairs  int64
+	bytesSpilled  int64
 }
 
 // New creates a shuffle with the given options.
@@ -138,6 +205,19 @@ func New[K comparable, V any](opts Options) *Shuffle[K, V] {
 	}
 	for i := range s.parts {
 		s.parts[i].live = make(map[K][]V)
+	}
+	if opts.SpillDir != "" {
+		// Keys grouped after a disk round trip are compared with ==, so
+		// types whose decoded copies break == (pointer fields, etc.)
+		// must fail the first seal loudly instead of splitting groups;
+		// values must survive without silent loss (gob drops unexported
+		// struct fields without error).
+		if err := runfile.CanRoundTripIdentity[K](); err != nil {
+			s.spillTypeErr = fmt.Errorf("key type: %w", err)
+		} else if err := runfile.CanRoundTripFidelity[V](); err != nil {
+			s.spillTypeErr = fmt.Errorf("value type: %w", err)
+		}
+		s.diskSem = make(chan struct{}, diskReadConcurrency)
 	}
 	return s
 }
@@ -194,11 +274,13 @@ func (b *TaskBuffer[K, V]) Pairs() int64 { return b.pairs }
 // merge path). Buffers are processed in slice order, so the values of a
 // key preserve task order and, within a task, emission order — the
 // property the runtime's deterministic output contract rests on. Merge
-// may be called more than once; calls are serialized.
-func (s *Shuffle[K, V]) Merge(buffers []*TaskBuffer[K, V]) {
+// may be called more than once; calls are serialized. The error is
+// non-nil only when a disk spill fails.
+func (s *Shuffle[K, V]) Merge(buffers []*TaskBuffer[K, V]) error {
 	s.mergeMu.Lock()
 	defer s.mergeMu.Unlock()
 	var wg sync.WaitGroup
+	errs := make([]error, s.nparts)
 	for p := 0; p < s.nparts; p++ {
 		wg.Add(1)
 		go func(p int) {
@@ -211,27 +293,51 @@ func (s *Shuffle[K, V]) Merge(buffers []*TaskBuffer[K, V]) {
 				for _, pr := range b.buckets[p] {
 					st.live[pr.Key] = append(st.live[pr.Key], pr.Value)
 					st.livePairs++
+					if st.livePairs > st.maxLivePairs {
+						st.maxLivePairs = st.livePairs
+					}
 					st.pairs++
-					if cap := s.opts.MaxBufferedPairs; cap > 0 && st.livePairs > cap {
-						st.seal()
+					if budget := s.opts.MaxBufferedPairs; budget > 0 && st.livePairs >= budget {
+						if err := st.seal(s); err != nil {
+							errs[p] = err
+							return
+						}
 					}
 				}
 			}
 		}(p)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// seal closes the live run, recording spill pressure.
-func (st *partitionState[K, V]) seal() {
+// seal closes the live run — to a disk run file when a SpillDir is
+// set, otherwise to the in-memory run list — and records spill
+// pressure.
+func (st *partitionState[K, V]) seal(s *Shuffle[K, V]) error {
 	if st.livePairs == 0 {
-		return
+		return nil
 	}
-	st.runs = append(st.runs, st.live)
+	if s.opts.SpillDir != "" {
+		if s.spillTypeErr != nil {
+			return fmt.Errorf("shuffle: cannot spill: %w", s.spillTypeErr)
+		}
+		if err := st.spillToDisk(s); err != nil {
+			return err
+		}
+	} else {
+		st.runs = append(st.runs, st.live)
+	}
 	st.spillEvents++
 	st.spilledPairs += int64(st.livePairs)
 	st.live = make(map[K][]V)
 	st.livePairs = 0
+	return nil
 }
 
 // Partition is a read view of one shuffle partition.
@@ -248,74 +354,91 @@ func (s *Shuffle[K, V]) Partition(p int) Partition[K, V] {
 // Pairs is the number of pairs the partition holds.
 func (p Partition[K, V]) Pairs() int64 { return p.s.parts[p.idx].pairs }
 
-// NumKeys is the number of distinct keys in the partition.
+// NumKeys is the number of distinct keys in the partition. For a
+// partition with on-disk runs this is a counting pass over the run
+// files (values skipped, not decoded). NumKeys is a best-effort
+// convenience view: a spill read error (including reads after Close)
+// yields a zero or partial count — use ForEachGroup where errors must
+// be observed.
 func (p Partition[K, V]) NumKeys() int {
 	st := &p.s.parts[p.idx]
-	if len(st.runs) == 0 {
+	if len(st.runs) == 0 && !st.spilledToDisk {
 		return len(st.live)
 	}
-	seen := make(map[K]struct{}, len(st.live))
-	for _, run := range st.runs {
-		for k := range run {
-			seen[k] = struct{}{}
-		}
-	}
-	for k := range st.live {
-		seen[k] = struct{}{}
-	}
-	return len(seen)
+	n := 0
+	p.forEachGroup(false, func(K, int, []V) error { n++; return nil })
+	return n
 }
 
 // SortedKeys returns the partition's distinct keys in the package's
-// canonical deterministic order (see SortKeys).
+// canonical deterministic order (see SortKeys). Like NumKeys it is a
+// best-effort view: a spill read error yields a truncated slice — use
+// ForEachGroup where errors must be observed.
 func (p Partition[K, V]) SortedKeys() []K {
 	st := &p.s.parts[p.idx]
-	var keys []K
-	if len(st.runs) == 0 {
-		keys = make([]K, 0, len(st.live))
-		for k := range st.live {
-			keys = append(keys, k)
-		}
-	} else {
-		seen := make(map[K]struct{})
-		for _, run := range st.runs {
-			for k := range run {
-				seen[k] = struct{}{}
-			}
-		}
-		for k := range st.live {
-			seen[k] = struct{}{}
-		}
-		keys = make([]K, 0, len(seen))
-		for k := range seen {
-			keys = append(keys, k)
-		}
+	if len(st.runs) == 0 && !st.spilledToDisk {
+		return sortedMapKeys(st.live)
 	}
-	SortKeys(keys)
+	var keys []K
+	p.forEachGroup(false, func(k K, _ int, _ []V) error {
+		keys = append(keys, k)
+		return nil
+	})
 	return keys
 }
 
 // Values returns all values for a key, concatenated across sealed runs
 // in seal order and then the live run — which preserves the original
-// task-emission order.
+// task-emission order. With on-disk runs this scans the partition (and
+// like NumKeys returns best-effort data on a spill read error); use
+// ForEachGroup to visit every group in one error-aware streaming pass.
 func (p Partition[K, V]) Values(k K) []V {
 	st := &p.s.parts[p.idx]
-	if len(st.runs) == 0 {
+	if len(st.runs) == 0 && !st.spilledToDisk {
 		return st.live[k]
 	}
-	var vs []V
-	for _, run := range st.runs {
-		vs = append(vs, run[k]...)
-	}
-	vs = append(vs, st.live[k]...)
-	return vs
+	var out []V
+	p.forEachGroup(true, func(key K, _ int, vs []V) error {
+		if key == k {
+			out = vs
+			return errStopIteration
+		}
+		return nil
+	})
+	return out
 }
 
 // ForEachSorted visits the partition's groups in sorted key order.
+// Unlike ForEachGroup it cannot surface spill-read errors; callers on
+// the disk-backed path should prefer ForEachGroup.
 func (p Partition[K, V]) ForEachSorted(fn func(k K, vs []V)) {
-	for _, k := range p.SortedKeys() {
-		fn(k, p.Values(k))
-	}
+	p.ForEachGroup(func(k K, vs []V) error {
+		fn(k, vs)
+		return nil
+	})
+}
+
+// ForEachGroup streams the partition's key groups in canonical sorted
+// key order through fn, k-way merging the partition's on-disk runs,
+// in-memory sealed runs, and live run without materializing the
+// partition. A key's values arrive concatenated across runs in seal
+// order then the live run — the package's value-order contract. An
+// error from fn stops the iteration and is returned; I/O and decode
+// errors reading spilled runs are returned likewise.
+func (p Partition[K, V]) ForEachGroup(fn func(k K, vs []V) error) error {
+	return p.forEachGroup(true, func(k K, _ int, vs []V) error {
+		return fn(k, vs)
+	})
+}
+
+// ForEachGroupCount is ForEachGroup's counting mode: it streams every
+// group's key and size in sorted key order without decoding spilled
+// values (their bytes are skipped, not parsed), the cheap pass for
+// load profiling and overflow diagnosis.
+func (p Partition[K, V]) ForEachGroupCount(fn func(k K, count int) error) error {
+	return p.forEachGroup(false, func(k K, count int, _ []V) error {
+		return fn(k, count)
+	})
 }
 
 // Stats is the realized communication profile of the shuffle.
@@ -344,6 +467,17 @@ type Stats struct {
 	// many runs were sealed and how many pairs they held.
 	SpillEvents  int64
 	SpilledPairs int64
+	// BytesSpilled is the total encoded size of runs written to disk
+	// (zero without a SpillDir).
+	BytesSpilled int64
+	// RunsMerged is the number of runs (disk, sealed in-memory, live)
+	// that the reduce-time k-way merges combine, summed over the
+	// partitions that sealed at least once.
+	RunsMerged int64
+	// MaxLivePairs is the high-water mark of any partition's live
+	// buffer. Under a memory budget it never exceeds MaxBufferedPairs:
+	// the proof that execution stayed within budget.
+	MaxLivePairs int
 }
 
 // Skew is max/mean partition load, 1 for a perfectly even exchange and
@@ -362,9 +496,11 @@ func (st Stats) String() string {
 		st.Partitions, st.Pairs, st.Keys, st.MaxGroup, st.Skew(), st.SpillEvents)
 }
 
-// Stats computes the shuffle's realized profile. It walks every group,
-// so call it once per phase, not per key.
-func (s *Shuffle[K, V]) Stats() Stats {
+// Stats computes the shuffle's realized profile. It walks every group
+// — for spilled partitions that is a counting pass over the run files
+// with values skipped, not decoded — so call it once per phase, not
+// per key. The error is non-nil only when reading a spilled run fails.
+func (s *Shuffle[K, V]) Stats() (Stats, error) {
 	st := Stats{
 		Partitions:        s.nparts,
 		PartitionPairs:    make([]int64, s.nparts),
@@ -376,13 +512,14 @@ func (s *Shuffle[K, V]) Stats() Stats {
 		maxGroup int64
 	}
 	profiles := make([]partProfile, s.nparts)
+	errs := make([]error, s.nparts)
 	var wg sync.WaitGroup
 	for p := 0; p < s.nparts; p++ {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
 			ps := &s.parts[p]
-			if len(ps.runs) == 0 {
+			if len(ps.runs) == 0 && !ps.spilledToDisk {
 				profiles[p].keys = int64(len(ps.live))
 				for _, vs := range ps.live {
 					if g := int64(len(vs)); g > profiles[p].maxGroup {
@@ -391,25 +528,22 @@ func (s *Shuffle[K, V]) Stats() Stats {
 				}
 				return
 			}
-			sizes := make(map[K]int64, len(ps.live))
-			for _, run := range ps.runs {
-				for k, vs := range run {
-					sizes[k] += int64(len(vs))
-				}
-			}
-			for k, vs := range ps.live {
-				sizes[k] += int64(len(vs))
-			}
-			profiles[p].keys = int64(len(sizes))
-			for _, g := range sizes {
-				if g > profiles[p].maxGroup {
+			// Spilled partitions throttle themselves through the
+			// shuffle's disk-read semaphore inside forEachGroup.
+			errs[p] = s.Partition(p).forEachGroup(false, func(_ K, count int, _ []V) error {
+				profiles[p].keys++
+				if g := int64(count); g > profiles[p].maxGroup {
 					profiles[p].maxGroup = g
 				}
-			}
+				return nil
+			})
 		}(p)
 	}
 	wg.Wait()
 	for p := 0; p < s.nparts; p++ {
+		if errs[p] != nil {
+			return st, errs[p]
+		}
 		ps := &s.parts[p]
 		st.PartitionPairs[p] = ps.pairs
 		st.PartitionKeys[p] = profiles[p].keys
@@ -424,8 +558,23 @@ func (s *Shuffle[K, V]) Stats() Stats {
 		}
 		st.SpillEvents += ps.spillEvents
 		st.SpilledPairs += ps.spilledPairs
+		st.BytesSpilled += ps.bytesSpilled
+		if ps.maxLivePairs > st.MaxLivePairs {
+			st.MaxLivePairs = ps.maxLivePairs
+		}
+		if nruns := len(ps.runs) + len(ps.disk) + liveRun(ps.livePairs); nruns > 1 {
+			st.RunsMerged += int64(nruns)
+		}
 	}
-	return st
+	return st, nil
+}
+
+// liveRun is 1 when a partition's live buffer holds pairs, else 0.
+func liveRun(livePairs int) int {
+	if livePairs > 0 {
+		return 1
+	}
+	return 0
 }
 
 // SortKeys sorts keys in the package's canonical deterministic order:

@@ -107,6 +107,97 @@ func BenchmarkMerge1MPairs(b *testing.B) {
 	})
 }
 
+// BenchmarkExternalShuffle is the acceptance benchmark for the
+// disk-backed spill path: a dataset 8x the total memory budget is
+// merged and fully streamed back, comparing all-in-memory execution
+// against the external shuffle. Beyond ns/op it reports the memory
+// story: retained-MB is the heap still live after the merge (the
+// in-memory mode retains the whole dataset; the spill mode only the
+// bounded live buffers — near-flat as the dataset grows), and
+// live-pairs-peak proves the budget held.
+func BenchmarkExternalShuffle(b *testing.B) {
+	const (
+		parts  = 8
+		budget = 1024
+		total  = 8 * parts * budget // 8x the total budget
+		nTasks = 16
+		nKeys  = 4096
+	)
+	tasks := benchPairs(total, nTasks, nKeys)
+
+	run := func(b *testing.B, opts Options) {
+		b.ReportAllocs()
+		var retained, spilledMB float64
+		var peak int
+		for i := 0; i < b.N; i++ {
+			s := New[string, int](opts)
+			bufs := make([]*TaskBuffer[string, int], len(tasks))
+			for t, ps := range tasks {
+				buf := s.NewTaskBuffer()
+				for _, p := range ps {
+					buf.Emit(p.Key, p.Value)
+				}
+				bufs[t] = buf
+			}
+			bufsDone := func() { // release task buffers before measuring
+				for i := range bufs {
+					bufs[i] = nil
+				}
+			}
+			if err := s.Merge(bufs); err != nil {
+				b.Fatal(err)
+			}
+			bufsDone()
+			var ms runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&ms)
+			retained = float64(ms.HeapAlloc) / (1 << 20)
+
+			st, err := s.Stats()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if opts.MaxBufferedPairs > 0 && st.MaxLivePairs > opts.MaxBufferedPairs {
+				b.Fatalf("live pairs %d exceeded budget %d", st.MaxLivePairs, opts.MaxBufferedPairs)
+			}
+			if opts.SpillDir != "" && st.BytesSpilled == 0 {
+				b.Fatal("external mode never spilled")
+			}
+			peak = st.MaxLivePairs
+			spilledMB = float64(st.BytesSpilled) / (1 << 20)
+
+			// Stream every group back, counting pairs: the reduce-side
+			// k-way merge is part of the cost being measured.
+			var got int64
+			for p := 0; p < s.NumPartitions(); p++ {
+				err := s.Partition(p).ForEachGroup(func(_ string, vs []int) error {
+					got += int64(len(vs))
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if got != total {
+				b.Fatalf("streamed %d pairs, want %d", got, total)
+			}
+			if err := s.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(retained, "retained-MB")
+		b.ReportMetric(spilledMB, "spilled-MB")
+		b.ReportMetric(float64(peak), "live-pairs-peak")
+	}
+
+	b.Run("in-memory", func(b *testing.B) {
+		run(b, Options{Partitions: parts})
+	})
+	b.Run("spill-to-disk", func(b *testing.B) {
+		run(b, Options{Partitions: parts, MaxBufferedPairs: budget, SpillDir: b.TempDir()})
+	})
+}
+
 // BenchmarkMergeScaling shows merge throughput as partitions scale from
 // 1 (the seed's effective layout) to 4x cores.
 func BenchmarkMergeScaling(b *testing.B) {

@@ -1,0 +1,605 @@
+// Disk-backed spill runs and the streaming k-way merge that reads them
+// back.
+//
+// A sealed run is written once, in canonical sorted key order, as an
+// internal/runfile run file; reading a partition is then the classic
+// external-sort merge: one cursor per run (disk runs streamed from
+// file, in-memory sealed runs and the live run walked over their
+// sorted key slices) driven by a binary heap ordered by (key, seal
+// order). Because every run is internally sorted, one pass produces
+// the partition's groups in global sorted order with the package's
+// value-order contract intact — values of a key concatenate across
+// runs in seal order, live run last — while holding only one group per
+// run in memory.
+package shuffle
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/runfile"
+)
+
+// errStopIteration is the internal sentinel for early exit from
+// forEachGroup; it is never returned to callers.
+var errStopIteration = errors.New("shuffle: stop iteration")
+
+// maxDiskRunFanIn caps how many run files one partition's merge reads
+// at once. A seal that would grow a partition past the cap first
+// compacts its existing disk runs into a single run — the classic
+// multi-pass external merge — so open file descriptors and read
+// buffers stay bounded no matter how far a dataset outgrows the
+// budget, at the cost of logarithmically rewriting spilled bytes.
+const maxDiskRunFanIn = 64
+
+// diskReadConcurrency bounds how many partitions may hold their run
+// files open at once — across the Stats counting pass, reduce-time
+// merges, and merge-time compaction — keeping the file-descriptor
+// high water near diskReadConcurrency * maxDiskRunFanIn regardless of
+// partition count or worker count.
+const diskReadConcurrency = 8
+
+// diskRun is one sealed run encoded to a temp file; pairs drives the
+// tiered compaction policy (small fresh seals vs large compacted runs).
+type diskRun struct {
+	path  string
+	pairs int64
+}
+
+// spillToDisk encodes the live run to a new run file in sorted key
+// order. Called only from the partition's owning merge goroutine.
+func (st *partitionState[K, V]) spillToDisk(s *Shuffle[K, V]) error {
+	dir := s.opts.SpillDir
+	keys := sortedMapKeys(st.live)
+	f, err := os.CreateTemp(dir, "mr-spill-*.run")
+	if err != nil {
+		return fmt.Errorf("shuffle: creating spill file: %w", err)
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			f.Close()
+			os.Remove(f.Name())
+		}
+	}()
+	w := runfile.NewWriter(f)
+	var kbuf, vbuf []byte
+	for _, k := range keys {
+		kbuf, err = runfile.Append(kbuf[:0], k)
+		if err != nil {
+			return fmt.Errorf("shuffle: spilling key: %w", err)
+		}
+		vs := st.live[k]
+		if err := w.BeginGroup(kbuf, len(vs)); err != nil {
+			return fmt.Errorf("shuffle: spilling to %s: %w", f.Name(), err)
+		}
+		for _, v := range vs {
+			vbuf, err = runfile.Append(vbuf[:0], v)
+			if err != nil {
+				return fmt.Errorf("shuffle: spilling value: %w", err)
+			}
+			if err := w.AppendValue(vbuf); err != nil {
+				return fmt.Errorf("shuffle: spilling to %s: %w", f.Name(), err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("shuffle: flushing spill %s: %w", f.Name(), err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("shuffle: closing spill %s: %w", f.Name(), err)
+	}
+	st.disk = append(st.disk, diskRun{path: f.Name(), pairs: int64(st.livePairs)})
+	st.spilledToDisk = true
+	st.bytesSpilled += w.BytesWritten()
+	ok = true
+	if len(st.disk) >= maxDiskRunFanIn {
+		s.diskSem <- struct{}{}
+		defer func() { <-s.diskSem }()
+		return st.compactDiskRuns(s)
+	}
+	return nil
+}
+
+// compactionSuffix picks which runs to compact when the fan-in cap is
+// hit: the contiguous suffix of "small" runs (fresh budget-sized
+// seals), leaving earlier already-compacted large runs untouched so
+// each pair is rewritten once per tier rather than on every
+// compaction. When the suffix holds fewer than two runs the list is
+// all large runs — a higher-tier merge — and everything is compacted.
+// Each tier is ~maxDiskRunFanIn/2 times larger than the last, so total
+// rewrite amplification is logarithmic in the spilled volume.
+func compactionSuffix[K comparable, V any](s *Shuffle[K, V], disk []diskRun) int {
+	large := int64(s.opts.MaxBufferedPairs) * (maxDiskRunFanIn / 2)
+	from := 0
+	for i := len(disk) - 1; i >= 0; i-- {
+		if disk[i].pairs >= large {
+			from = i + 1
+			break
+		}
+	}
+	if len(disk)-from < 2 {
+		return 0
+	}
+	return from
+}
+
+// compactDiskRuns merges the suffix of disk runs chosen by
+// compactionSuffix into one new run file, streaming value bytes
+// through without decoding them (only keys are decoded, for ordering).
+// Groups of order-equal keys pop in seal order, so the rewritten file
+// preserves the value-order contract; a key present in several runs
+// becomes adjacent groups, which the read path folds back together.
+// Peak memory is one value; peak descriptors maxDiskRunFanIn plus the
+// output file.
+func (st *partitionState[K, V]) compactDiskRuns(s *Shuffle[K, V]) (retErr error) {
+	from := compactionSuffix(s, st.disk)
+	compacting := st.disk[from:]
+	less := nativeLess[K]()
+	cursors, closeAll, err := openDiskCursors[K, V](compacting, less == nil)
+	defer closeAll()
+	if err != nil {
+		return fmt.Errorf("shuffle: compacting spill runs: %w", err)
+	}
+
+	out, err := os.CreateTemp(s.opts.SpillDir, "mr-spill-*.run")
+	if err != nil {
+		return fmt.Errorf("shuffle: creating compacted run: %w", err)
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			out.Close()
+			os.Remove(out.Name())
+		}
+	}()
+	w := runfile.NewWriter(out)
+
+	h := &cursorHeap[K, V]{less: less}
+	if err := primeCursors(h, cursors); err != nil {
+		return err
+	}
+	var kbuf []byte
+	var pairs int64
+	for len(h.cs) > 0 {
+		c := h.pop()
+		kbuf, err = runfile.Append(kbuf[:0], c.key)
+		if err != nil {
+			return fmt.Errorf("shuffle: compacting key: %w", err)
+		}
+		if err := w.BeginGroup(kbuf, c.count); err != nil {
+			return fmt.Errorf("shuffle: compacting to %s: %w", out.Name(), err)
+		}
+		pairs += int64(c.count)
+		for i := 0; i < c.count; i++ {
+			v, err := c.rd.Value()
+			if err != nil {
+				return fmt.Errorf("shuffle: compacting %s: %w", c.file.Name(), err)
+			}
+			if err := w.AppendValue(v); err != nil {
+				return fmt.Errorf("shuffle: compacting to %s: %w", out.Name(), err)
+			}
+		}
+		cok, err := c.next()
+		if err != nil {
+			return err
+		}
+		if cok {
+			h.push(c)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("shuffle: flushing compacted run: %w", err)
+	}
+	if err := out.Close(); err != nil {
+		return fmt.Errorf("shuffle: closing compacted run: %w", err)
+	}
+
+	for _, dr := range compacting {
+		os.Remove(dr.path)
+	}
+	st.disk = append(st.disk[:from], diskRun{path: out.Name(), pairs: pairs})
+	st.bytesSpilled += w.BytesWritten()
+	ok = true
+	return nil
+}
+
+// openDiskCursors opens one streaming cursor per run file, in seal
+// order. The returned closeAll is safe to call whether or not err is
+// nil and closes everything opened so far.
+func openDiskCursors[K comparable, V any](runs []diskRun, fmtKeys bool) ([]*groupCursor[K, V], func(), error) {
+	var cursors []*groupCursor[K, V]
+	closeAll := func() {
+		for _, c := range cursors {
+			c.file.Close()
+		}
+	}
+	for _, dr := range runs {
+		f, err := os.Open(dr.path)
+		if err != nil {
+			return cursors, closeAll, fmt.Errorf("shuffle: opening spill run: %w", err)
+		}
+		cursors = append(cursors, &groupCursor[K, V]{
+			runIdx: len(cursors), fmtKeys: fmtKeys, file: f, rd: runfile.NewReader(f),
+		})
+	}
+	return cursors, closeAll, nil
+}
+
+// primeCursors advances every cursor to its first group and pushes the
+// non-empty ones onto the heap.
+func primeCursors[K comparable, V any](h *cursorHeap[K, V], cursors []*groupCursor[K, V]) error {
+	for _, c := range cursors {
+		ok, err := c.next()
+		if err != nil {
+			return err
+		}
+		if ok {
+			h.push(c)
+		}
+	}
+	return nil
+}
+
+// Close deletes the shuffle's spill files; call it once the reduce
+// phase is done with the partitions. Afterwards ForEachGroup and Stats
+// on a partition that had spilled return an error rather than the
+// silently truncated live-only view. Close must not run concurrently
+// with reads.
+func (s *Shuffle[K, V]) Close() error {
+	s.mergeMu.Lock()
+	defer s.mergeMu.Unlock()
+	var first error
+	for i := range s.parts {
+		for _, dr := range s.parts[i].disk {
+			if err := os.Remove(dr.path); err != nil && first == nil {
+				first = err
+			}
+		}
+		s.parts[i].disk = nil
+	}
+	s.closed = true
+	return first
+}
+
+// groupCursor walks one run's groups in canonical key order: either an
+// in-memory map run over its sorted key slice, or a disk run streamed
+// through a runfile.Reader.
+type groupCursor[K comparable, V any] struct {
+	runIdx  int  // seal order; the live run is last
+	fmtKeys bool // cache fmt.Sprint of each key (formatted-order kinds)
+
+	// in-memory source
+	mem     map[K][]V
+	memKeys []K
+	pos     int
+
+	// disk source
+	file *os.File
+	rd   *runfile.Reader
+
+	// current group
+	key   K
+	fkey  string // formatted key, when fmtKeys; computed once per group
+	count int
+}
+
+// next advances to the cursor's next group, returning false at the end
+// of the run. For disk runs any unread values of the previous group
+// are skipped without decoding.
+func (c *groupCursor[K, V]) next() (bool, error) {
+	if c.mem != nil {
+		if c.pos >= len(c.memKeys) {
+			return false, nil
+		}
+		c.key = c.memKeys[c.pos]
+		c.count = len(c.mem[c.key])
+		c.pos++
+	} else {
+		kb, n, err := c.rd.Next()
+		if err == io.EOF {
+			return false, nil
+		}
+		if err != nil {
+			return false, fmt.Errorf("shuffle: reading spill %s: %w", c.file.Name(), err)
+		}
+		k, err := runfile.Decode[K](kb)
+		if err != nil {
+			return false, fmt.Errorf("shuffle: decoding spill key in %s: %w", c.file.Name(), err)
+		}
+		c.key, c.count = k, n
+	}
+	if c.fmtKeys {
+		c.fkey = fmt.Sprint(c.key)
+	}
+	return true, nil
+}
+
+// values decodes the current group's values.
+func (c *groupCursor[K, V]) values() ([]V, error) {
+	if c.mem != nil {
+		return c.mem[c.key], nil
+	}
+	vs := make([]V, c.count)
+	for i := range vs {
+		vb, err := c.rd.Value()
+		if err != nil {
+			return nil, fmt.Errorf("shuffle: reading spill %s: %w", c.file.Name(), err)
+		}
+		vs[i], err = runfile.Decode[V](vb)
+		if err != nil {
+			return nil, fmt.Errorf("shuffle: decoding spill value in %s: %w", c.file.Name(), err)
+		}
+	}
+	return vs, nil
+}
+
+// cursorHeap is a binary min-heap of cursors ordered by (current key,
+// seal order), so equal keys pop in seal order and the concatenated
+// values respect the package's value-order contract. less is the
+// native typed order; when nil (formatted-order kinds) the cursors'
+// cached fkey strings are compared instead, so fmt runs once per group
+// advance, not once per heap comparison.
+type cursorHeap[K comparable, V any] struct {
+	cs   []*groupCursor[K, V]
+	less func(a, b K) bool
+}
+
+func (h *cursorHeap[K, V]) before(a, b *groupCursor[K, V]) bool {
+	if h.less != nil {
+		if h.less(a.key, b.key) {
+			return true
+		}
+		if h.less(b.key, a.key) {
+			return false
+		}
+		return a.runIdx < b.runIdx
+	}
+	if a.fkey != b.fkey {
+		return a.fkey < b.fkey
+	}
+	return a.runIdx < b.runIdx
+}
+
+func (h *cursorHeap[K, V]) push(c *groupCursor[K, V]) {
+	h.cs = append(h.cs, c)
+	i := len(h.cs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.before(h.cs[i], h.cs[parent]) {
+			break
+		}
+		h.cs[i], h.cs[parent] = h.cs[parent], h.cs[i]
+		i = parent
+	}
+}
+
+func (h *cursorHeap[K, V]) pop() *groupCursor[K, V] {
+	top := h.cs[0]
+	last := len(h.cs) - 1
+	h.cs[0] = h.cs[last]
+	h.cs = h.cs[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h.cs) && h.before(h.cs[l], h.cs[min]) {
+			min = l
+		}
+		if r < len(h.cs) && h.before(h.cs[r], h.cs[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h.cs[i], h.cs[min] = h.cs[min], h.cs[i]
+		i = min
+	}
+	return top
+}
+
+// forEachGroup is the streaming core behind every read API: it yields
+// the partition's groups in canonical sorted key order. When
+// withValues is false, spilled values are skipped (counting mode, used
+// by Stats and NumKeys); fn then receives a nil slice and the group's
+// size in count.
+func (p Partition[K, V]) forEachGroup(withValues bool, fn func(k K, count int, vs []V) error) error {
+	st := &p.s.parts[p.idx]
+	if p.s.closed && st.spilledToDisk {
+		return fmt.Errorf("shuffle: partition %d read after Close: spilled runs deleted", p.idx)
+	}
+
+	// Fast path: a single live run needs no merge.
+	if len(st.runs) == 0 && len(st.disk) == 0 {
+		for _, k := range sortedMapKeys(st.live) {
+			vs := st.live[k]
+			arg := vs
+			if !withValues {
+				arg = nil
+			}
+			if err := fn(k, len(vs), arg); err != nil {
+				return stopOK(err)
+			}
+		}
+		return nil
+	}
+
+	less := nativeLess[K]()
+	fmtKeys := less == nil
+	if len(st.disk) > 0 {
+		// Bound concurrent open run files across all readers (Stats'
+		// counting goroutines, reduce workers): at most
+		// diskReadConcurrency partitions hold their fan-in open at once.
+		p.s.diskSem <- struct{}{}
+		defer func() { <-p.s.diskSem }()
+	}
+	cursors, closeAll, err := openDiskCursors[K, V](st.disk, fmtKeys)
+	defer closeAll()
+	if err != nil {
+		return err
+	}
+	for _, run := range st.runs {
+		cursors = append(cursors, &groupCursor[K, V]{
+			runIdx: len(cursors), fmtKeys: fmtKeys, mem: run, memKeys: sortedMapKeys(run),
+		})
+	}
+	if len(st.live) > 0 {
+		cursors = append(cursors, &groupCursor[K, V]{
+			runIdx: len(cursors), fmtKeys: fmtKeys, mem: st.live, memKeys: sortedMapKeys(st.live),
+		})
+	}
+
+	h := &cursorHeap[K, V]{less: less}
+	if err := primeCursors(h, cursors); err != nil {
+		return err
+	}
+
+	// Pop whole order-equivalence classes of the minimum key. For the
+	// native key kinds order-equality is equality, so a class is one
+	// key; for the formatted fallback, distinct keys can collide in
+	// sort order (and each run may hold several of them in arbitrary
+	// relative order), so the class is drained entirely and regrouped
+	// by actual key before emitting — one group per key, always.
+	type entry struct {
+		key   K
+		count int
+		vs    []V
+	}
+	var entries []entry
+	var pivot K
+	var pivotFmt string
+	inClass := func(c *groupCursor[K, V]) bool {
+		if less != nil {
+			return !less(c.key, pivot) && !less(pivot, c.key)
+		}
+		return c.fkey == pivotFmt
+	}
+	drain := func(c *groupCursor[K, V]) error {
+		// Record the cursor's groups through the end of the class;
+		// cursors are drained in seal order (the heap tie-breaks equal
+		// keys by runIdx), preserving the value-order contract.
+		for {
+			e := entry{key: c.key, count: c.count}
+			if withValues {
+				vs, err := c.values()
+				if err != nil {
+					return err
+				}
+				e.vs = vs
+			}
+			entries = append(entries, e)
+			ok, err := c.next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			if !inClass(c) {
+				h.push(c)
+				return nil
+			}
+		}
+	}
+	for len(h.cs) > 0 {
+		top := h.pop()
+		pivot, pivotFmt = top.key, top.fkey
+		entries = entries[:0]
+		if err := drain(top); err != nil {
+			return err
+		}
+		for len(h.cs) > 0 && inClass(h.cs[0]) {
+			if err := drain(h.pop()); err != nil {
+				return err
+			}
+		}
+		for i := range entries {
+			if entries[i].count < 0 {
+				continue // folded into an earlier entry of the same key
+			}
+			k, count, vs := entries[i].key, entries[i].count, entries[i].vs
+			copied := false
+			for j := i + 1; j < len(entries); j++ {
+				if entries[j].count >= 0 && entries[j].key == k {
+					if withValues {
+						if !copied {
+							// Copy before extending: a single-run slice
+							// may alias a live map's backing array.
+							vs = append(make([]V, 0, count+entries[j].count), vs...)
+							copied = true
+						}
+						vs = append(vs, entries[j].vs...)
+					}
+					count += entries[j].count
+					entries[j].count = -1
+				}
+			}
+			if err := fn(k, count, vs); err != nil {
+				return stopOK(err)
+			}
+		}
+	}
+	return nil
+}
+
+// stopOK converts the early-exit sentinel into a clean return.
+func stopOK(err error) error {
+	if err == errStopIteration {
+		return nil
+	}
+	return err
+}
+
+// sortedMapKeys returns m's keys in canonical SortKeys order.
+func sortedMapKeys[K comparable, V any](m map[K][]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	SortKeys(keys)
+	return keys
+}
+
+// nativeLess returns the typed strict order underlying SortKeys —
+// numeric for the number kinds, byte order for strings — or nil for
+// every other kind, which the merge then orders by cached formatted
+// keys, matching SortKeys' formatted fallback. It must agree with the
+// order runs were written in, i.e. with SortKeys; the test
+// TestNativeLessAgreesWithSortKeys pins that invariant.
+func nativeLess[K comparable]() func(a, b K) bool {
+	var zero K
+	switch any(zero).(type) {
+	case int:
+		return func(a, b K) bool { return any(a).(int) < any(b).(int) }
+	case int8:
+		return func(a, b K) bool { return any(a).(int8) < any(b).(int8) }
+	case int16:
+		return func(a, b K) bool { return any(a).(int16) < any(b).(int16) }
+	case int32:
+		return func(a, b K) bool { return any(a).(int32) < any(b).(int32) }
+	case int64:
+		return func(a, b K) bool { return any(a).(int64) < any(b).(int64) }
+	case uint:
+		return func(a, b K) bool { return any(a).(uint) < any(b).(uint) }
+	case uint8:
+		return func(a, b K) bool { return any(a).(uint8) < any(b).(uint8) }
+	case uint16:
+		return func(a, b K) bool { return any(a).(uint16) < any(b).(uint16) }
+	case uint32:
+		return func(a, b K) bool { return any(a).(uint32) < any(b).(uint32) }
+	case uint64:
+		return func(a, b K) bool { return any(a).(uint64) < any(b).(uint64) }
+	case uintptr:
+		return func(a, b K) bool { return any(a).(uintptr) < any(b).(uintptr) }
+	case float32:
+		return func(a, b K) bool { return any(a).(float32) < any(b).(float32) }
+	case float64:
+		return func(a, b K) bool { return any(a).(float64) < any(b).(float64) }
+	case string:
+		return func(a, b K) bool { return any(a).(string) < any(b).(string) }
+	default:
+		return nil
+	}
+}
