@@ -164,10 +164,18 @@ type Metrics struct {
 	// SpillEvents and SpilledPairs report bounded-memory pressure;
 	// BytesSpilled and RunsMerged report the realized disk traffic and
 	// reduce-time merge width when a SpillDir made the spills real.
-	SpillEvents  int64
-	SpilledPairs int64
-	BytesSpilled int64
-	RunsMerged   int64
+	// DiskBytesRead is the total read back from spill run files over
+	// the whole round — profiling (Stats) and overflow diagnosis merge
+	// resident run indexes in memory and contribute nothing to it, so
+	// it measures the reduce merge (plus compaction re-reads) alone.
+	// IndexBytesSpilled is the footer-index metadata written alongside
+	// BytesSpilled; total spill file bytes are the sum of the two.
+	SpillEvents       int64
+	SpilledPairs      int64
+	BytesSpilled      int64
+	IndexBytesSpilled int64
+	RunsMerged        int64
+	DiskBytesRead     int64
 	// MaxLivePairs is the high-water mark of any shuffle partition's
 	// live buffer; under a memory budget it never exceeds the budget.
 	MaxLivePairs int
@@ -232,6 +240,14 @@ func Run[I any, K comparable, V, O any](r Round[I, K, V, O], inputs []I) (res Re
 	if r.Partitioner != nil {
 		sh.SetPartitioner(r.Partitioner)
 	}
+	if r.Combine != nil {
+		// Push the combiner down into the shuffle's sealing path: under
+		// a memory budget each key group is combined again before a run
+		// is sealed (and across runs during compaction), so spilled
+		// bytes track the post-combine communication cost. Safe because
+		// CombineFunc is required to be semantically transparent.
+		sh.SetCombiner(r.Combine)
+	}
 
 	if err := runMapPhase(r, inputs, sh, &res.Metrics); err != nil {
 		return res, err
@@ -248,6 +264,7 @@ func Run[I any, K comparable, V, O any](r Round[I, K, V, O], inputs []I) (res Re
 	res.Metrics.SpillEvents = st.SpillEvents
 	res.Metrics.SpilledPairs = st.SpilledPairs
 	res.Metrics.BytesSpilled = st.BytesSpilled
+	res.Metrics.IndexBytesSpilled = st.IndexBytesSpilled
 	res.Metrics.RunsMerged = st.RunsMerged
 	res.Metrics.MaxLivePairs = st.MaxLivePairs
 	res.Metrics.Partitions = make([]PartitionStat, st.Partitions)
@@ -273,11 +290,14 @@ func Run[I any, K comparable, V, O any](r Round[I, K, V, O], inputs []I) (res Re
 				res.Keys = keys
 			}
 		}
+		res.Metrics.DiskBytesRead = sh.DiskBytesRead()
 		return res, fmt.Errorf("%w: round %q saw reducer with %d inputs, limit %d",
 			ErrReducerOverflow, r.Name, st.MaxGroup, max)
 	}
 
-	return runReducePhase(r, sh, st, res)
+	res, retErr = runReducePhase(r, sh, st, res)
+	res.Metrics.DiskBytesRead = sh.DiskBytesRead()
+	return res, retErr
 }
 
 // runMapPhase executes map tasks in parallel, each pre-bucketing its
@@ -512,8 +532,10 @@ func runReducePhase[I any, K comparable, V, O any](r Round[I, K, V, O], sh *shuf
 
 // collectKeyLoads gathers every key's input size in global sorted key
 // order directly from the shuffle, for failure paths that never reach
-// the reduce phase. It uses the counting pass, so spilled values are
-// skipped on disk rather than decoded.
+// the reduce phase. It reuses the counting pass's in-memory index
+// merge (ForEachGroupCount), so diagnosing an overflow costs zero
+// run-file reads — the round's spilled data is never scanned a second
+// time just to report which reducers blew the limit.
 func collectKeyLoads[K comparable, V any](sh *shuffle.Shuffle[K, V], totalKeys int) ([]K, []int, error) {
 	allKeys := make([]K, 0, totalKeys)
 	sizes := make(map[K]int, totalKeys)

@@ -391,3 +391,90 @@ func TestEmptyInput(t *testing.T) {
 		t.Errorf("empty run: %+v", res.Metrics)
 	}
 }
+
+func TestOverflowDiagnosisIsMemoryOnly(t *testing.T) {
+	// A spilled round that blows the q limit must diagnose the overflow
+	// (keys and loads) without re-reading the spilled runs: Stats and
+	// collectKeyLoads both merge the resident run indexes in memory.
+	docs := make([]string, 40)
+	for i := range docs {
+		docs[i] = "hot a b"
+	}
+	res, err := Run(wordCountRound(Config{
+		Partitions: 2, MemoryBudget: 8, SpillDir: t.TempDir(),
+		MaxReducerInput: 10, RecordLoads: true, RecordKeys: true,
+	}), docs)
+	if !errors.Is(err, ErrReducerOverflow) {
+		t.Fatalf("err = %v, want ErrReducerOverflow", err)
+	}
+	if res.Metrics.BytesSpilled == 0 {
+		t.Fatal("workload never spilled; test is vacuous")
+	}
+	if res.Metrics.DiskBytesRead != 0 {
+		t.Errorf("overflow diagnosis read %d bytes from disk, want 0 (index merge only)",
+			res.Metrics.DiskBytesRead)
+	}
+	if len(res.Keys) != 3 || len(res.Loads) != 3 {
+		t.Fatalf("diagnosis incomplete: keys %v loads %v", res.Keys, res.Loads)
+	}
+	for i, k := range res.Keys {
+		if res.Loads[i] != 40 {
+			t.Errorf("key %q load = %d, want 40", k, res.Loads[i])
+		}
+	}
+}
+
+func TestCombinerPushDownThroughEngine(t *testing.T) {
+	// The same spilled word count with and without a combiner: the
+	// combiner run must write fewer spill bytes (the paper's
+	// post-combine communication cost) and produce identical outputs.
+	docs := make([]string, 64)
+	words := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for i := range docs {
+		docs[i] = strings.Join(words, " ")
+	}
+	cfg := Config{Partitions: 2, Workers: 2, MemoryBudget: 8}
+	mk := func(withCombiner bool, spillDir string) Round[string, string, int, string] {
+		r := wordCountRound(cfg)
+		r.Config.SpillDir = spillDir
+		if withCombiner {
+			r.Combine = func(_ string, vs []int) []int {
+				total := 0
+				for _, v := range vs {
+					total += v
+				}
+				return []int{total}
+			}
+		}
+		return r
+	}
+	raw, err := Run(mk(false, t.TempDir()), docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, err := Run(mk(true, t.TempDir()), docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(raw.Outputs, combined.Outputs) {
+		t.Fatalf("combiner changed outputs:\nraw  %v\ncomb %v", raw.Outputs, combined.Outputs)
+	}
+	if raw.Metrics.BytesSpilled == 0 {
+		t.Fatal("raw run never spilled; test is vacuous")
+	}
+	if combined.Metrics.BytesSpilled >= raw.Metrics.BytesSpilled {
+		t.Errorf("BytesSpilled with combiner = %d, want < %d",
+			combined.Metrics.BytesSpilled, raw.Metrics.BytesSpilled)
+	}
+	if raw.Metrics.DiskBytesRead == 0 {
+		t.Error("raw spilled round reported zero DiskBytesRead after its reduce merge")
+	}
+	if combined.Metrics.DiskBytesRead >= raw.Metrics.DiskBytesRead {
+		t.Errorf("DiskBytesRead with combiner = %d, want < %d (less spilled, less read back)",
+			combined.Metrics.DiskBytesRead, raw.Metrics.DiskBytesRead)
+	}
+	if combined.Metrics.PairsEmitted != raw.Metrics.PairsEmitted {
+		t.Errorf("PairsEmitted must stay pre-combine: %d vs %d",
+			combined.Metrics.PairsEmitted, raw.Metrics.PairsEmitted)
+	}
+}

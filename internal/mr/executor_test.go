@@ -191,6 +191,12 @@ func TestDiskSpillThroughJob(t *testing.T) {
 	if met.RunsMerged == 0 {
 		t.Error("RunsMerged = 0, want multi-run reduce merges")
 	}
+	if met.DiskBytesRead == 0 {
+		t.Error("DiskBytesRead = 0, want the reduce merge's spill reads surfaced")
+	}
+	if baseMet.DiskBytesRead != 0 {
+		t.Errorf("in-memory run reported DiskBytesRead = %d, want 0", baseMet.DiskBytesRead)
+	}
 	if met.Reducers != baseMet.Reducers || met.PairsShuffled != baseMet.PairsShuffled ||
 		met.MaxReducerInput != baseMet.MaxReducerInput {
 		t.Errorf("logical metrics diverge under spill:\nbase  %+v\nspill %+v", baseMet, met)

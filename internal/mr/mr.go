@@ -178,14 +178,25 @@ type Metrics struct {
 	// SpillEvents and SpilledPairs report bounded-memory pressure when
 	// a memory budget was set. BytesSpilled and RunsMerged report the
 	// realized disk traffic and reduce-time merge width when SpillDir
-	// made the spills real. MaxLivePairs is the high-water mark of any
-	// partition's live buffer — under a budget it never exceeds the
-	// budget, which is the runtime's bounded-memory guarantee.
-	SpillEvents  int64
-	SpilledPairs int64
-	BytesSpilled int64
-	RunsMerged   int64
-	MaxLivePairs int
+	// made the spills real; with a Combine func the spilled volume
+	// tracks the post-combine communication cost, since the combiner
+	// is also applied inside the shuffle whenever a run seals.
+	// DiskBytesRead is the total read back from spill files over the
+	// round — profiling is index-backed and memory-only, so this
+	// measures the reduce-time merge alone. MaxLivePairs is the
+	// high-water mark of any partition's live buffer — under a budget
+	// it never exceeds the budget, which is the runtime's
+	// bounded-memory guarantee.
+	// IndexBytesSpilled is the footer-index metadata written alongside
+	// BytesSpilled (run-file format v2); total spill file bytes are
+	// the sum of the two.
+	SpillEvents       int64
+	SpilledPairs      int64
+	BytesSpilled      int64
+	IndexBytesSpilled int64
+	RunsMerged        int64
+	DiskBytesRead     int64
+	MaxLivePairs      int
 }
 
 // ReplicationRate is the average number of key-value pairs created per map
@@ -297,7 +308,9 @@ func (j *Job[I, K, V, O]) Run(inputs []I) ([]O, Metrics, error) {
 		SpillEvents:       res.Metrics.SpillEvents,
 		SpilledPairs:      res.Metrics.SpilledPairs,
 		BytesSpilled:      res.Metrics.BytesSpilled,
+		IndexBytesSpilled: res.Metrics.IndexBytesSpilled,
 		RunsMerged:        res.Metrics.RunsMerged,
+		DiskBytesRead:     res.Metrics.DiskBytesRead,
 		MaxLivePairs:      res.Metrics.MaxLivePairs,
 	}
 	if j.Config.RecordLoads {

@@ -67,7 +67,54 @@ func FuzzRunfileCodec(f *testing.F) {
 			t.Fatalf("tail: err = %v, want io.EOF", err)
 		}
 
-		// Side 2: the reader must survive arbitrary bytes.
+		// Side 1b: the footer index. A Finished copy of the same groups
+		// must yield an identical group stream that ends before the
+		// footer, and ReadIndex/ScanIndex must agree on the geometry.
+		var fbuf bytes.Buffer
+		fw := NewWriter(&fbuf)
+		if err := fw.WriteGroup(key, values); err != nil {
+			t.Fatalf("WriteGroup: %v", err)
+		}
+		if err := fw.WriteGroup(v1, [][]byte{key}); err != nil {
+			t.Fatalf("WriteGroup: %v", err)
+		}
+		if err := fw.Finish(); err != nil {
+			t.Fatalf("Finish: %v", err)
+		}
+		fdata := fbuf.Bytes()
+		idx, err := ReadIndex(bytes.NewReader(fdata), int64(len(fdata)))
+		if err != nil {
+			t.Fatalf("ReadIndex: %v", err)
+		}
+		if len(idx) != 2 || !bytes.Equal(idx[0].Key, key) || idx[0].Count != int64(len(values)) ||
+			!bytes.Equal(idx[1].Key, v1) || idx[1].Count != 1 {
+			t.Fatalf("footer index %+v does not describe the written groups", idx)
+		}
+		scanned, err := ScanIndex(bytes.NewReader(fdata))
+		if err != nil {
+			t.Fatalf("ScanIndex: %v", err)
+		}
+		if len(scanned) != len(idx) {
+			t.Fatalf("ScanIndex found %d entries, footer has %d", len(scanned), len(idx))
+		}
+		for i := range idx {
+			if !bytes.Equal(scanned[i].Key, idx[i].Key) || scanned[i].Count != idx[i].Count ||
+				scanned[i].Offset != idx[i].Offset || scanned[i].ValueBytes != idx[i].ValueBytes {
+				t.Fatalf("entry %d: scan %+v != footer %+v", i, scanned[i], idx[i])
+			}
+		}
+		fr := NewReader(bytes.NewReader(fdata))
+		for g := 0; g < 2; g++ {
+			if _, _, err := fr.Next(); err != nil {
+				t.Fatalf("finished file group %d: %v", g, err)
+			}
+		}
+		if _, _, err := fr.Next(); err != io.EOF {
+			t.Fatalf("finished file tail: err = %v, want io.EOF (footer must not surface)", err)
+		}
+
+		// Side 2: the reader — and both index loaders — must survive
+		// arbitrary bytes without panicking or allocating past the cap.
 		raw := append(append([]byte{}, key...), v1...)
 		rr := NewReader(bytes.NewReader(raw))
 		for {
@@ -83,6 +130,21 @@ func FuzzRunfileCodec(f *testing.F) {
 					t.Fatalf("arbitrary input skip: %v", err)
 				}
 				break
+			}
+		}
+		if _, err := ReadIndex(bytes.NewReader(raw), int64(len(raw))); err != nil &&
+			!errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrNoIndex) {
+			t.Fatalf("ReadIndex on arbitrary input: unexpected error class %v", err)
+		}
+		if _, err := ScanIndex(bytes.NewReader(raw)); err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("ScanIndex on arbitrary input: unexpected error class %v", err)
+		}
+		// Truncations of a valid indexed file must also fail cleanly.
+		if n > 0 {
+			cut := fdata[:int(n)%len(fdata)]
+			if _, err := ReadIndex(bytes.NewReader(cut), int64(len(cut))); err != nil &&
+				!errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrNoIndex) {
+				t.Fatalf("ReadIndex on truncated file: unexpected error class %v", err)
 			}
 		}
 

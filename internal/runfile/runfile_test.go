@@ -121,7 +121,7 @@ func TestReaderRejectsCorruption(t *testing.T) {
 	}
 
 	// A huge length prefix must be rejected, not allocated.
-	huge := append(append([]byte{}, magic[:]...), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f)
+	huge := append(append([]byte{}, magicPrefix[:]...), Version2, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f)
 	if _, _, err := NewReader(bytes.NewReader(huge)).Next(); !errors.Is(err, ErrCorrupt) {
 		t.Errorf("huge length: err = %v, want ErrCorrupt", err)
 	}
@@ -302,5 +302,277 @@ func TestCodecDecodeErrors(t *testing.T) {
 	type cell struct{ I, J int }
 	if _, err := Decode[cell]([]byte("not gob")); err == nil {
 		t.Error("garbage gob should fail")
+	}
+}
+
+// writeSample writes a fixed set of groups through w and returns them
+// for comparison.
+func writeSample(t *testing.T, w *Writer) []struct {
+	key    string
+	values []string
+} {
+	t.Helper()
+	groups := []struct {
+		key    string
+		values []string
+	}{
+		{"alpha", []string{"1", "22", ""}},
+		{"beta", nil},
+		{"", []string{"only"}},
+		{"gamma", []string{"x", "yy"}},
+	}
+	for _, g := range groups {
+		vals := make([][]byte, len(g.values))
+		for i, v := range g.values {
+			vals[i] = []byte(v)
+		}
+		if err := w.WriteGroup([]byte(g.key), vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return groups
+}
+
+// TestFooterIndexRoundTrip: a Finished v2 file carries a footer index
+// that ReadIndex recovers without touching group bytes, ScanIndex
+// reproduces from a sequential pass, and the streaming Reader ends
+// cleanly at the footer marker.
+func TestFooterIndexRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	groups := writeSample(t, w)
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	idx, err := ReadIndex(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatalf("ReadIndex: %v", err)
+	}
+	if len(idx) != len(groups) {
+		t.Fatalf("index has %d entries, want %d", len(idx), len(groups))
+	}
+	for i, g := range groups {
+		e := idx[i]
+		if string(e.Key) != g.key || e.Count != int64(len(g.values)) {
+			t.Errorf("entry %d = (%q, %d), want (%q, %d)", i, e.Key, e.Count, g.key, len(g.values))
+		}
+		if e.Offset <= 0 || e.ValueBytes < 0 {
+			t.Errorf("entry %d has bad geometry: offset %d valueBytes %d", i, e.Offset, e.ValueBytes)
+		}
+	}
+	// Offsets must be strictly increasing and point at real groups: the
+	// gap between consecutive offsets covers framing plus values.
+	for i := 1; i < len(idx); i++ {
+		if idx[i].Offset <= idx[i-1].Offset {
+			t.Errorf("offsets not increasing: %d then %d", idx[i-1].Offset, idx[i].Offset)
+		}
+	}
+
+	scanned, err := ScanIndex(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("ScanIndex: %v", err)
+	}
+	if !reflect.DeepEqual(scanned, idx) {
+		t.Fatalf("ScanIndex diverges from footer:\nscan   %+v\nfooter %+v", scanned, idx)
+	}
+	if !reflect.DeepEqual(w.Index(), idx) {
+		t.Fatal("Writer.Index diverges from the footer read back")
+	}
+
+	// The streaming reader sees exactly the groups, then io.EOF — the
+	// footer is never surfaced.
+	r := NewReader(bytes.NewReader(data))
+	for gi, g := range groups {
+		key, n, err := r.Next()
+		if err != nil || string(key) != g.key || n != len(g.values) {
+			t.Fatalf("group %d: %q %d %v", gi, key, n, err)
+		}
+	}
+	if _, _, err := r.Next(); err != io.EOF {
+		t.Fatalf("after last group: err = %v, want io.EOF", err)
+	}
+	if r.Version() != Version2 {
+		t.Errorf("Version = %d, want %d", r.Version(), Version2)
+	}
+}
+
+// TestV1FilesStillDecode: version negotiation. A v1 file (no footer)
+// streams exactly as before, ReadIndex reports ErrNoIndex, and
+// ScanIndex rebuilds the same index a v2 Finish would have written.
+func TestV1FilesStillDecode(t *testing.T) {
+	var v1buf, v2buf bytes.Buffer
+	w1 := newWriter(&v1buf, Version1)
+	writeSample(t, w1)
+	if err := w1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	w2 := NewWriter(&v2buf)
+	writeSample(t, w2)
+	if err := w2.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(bytes.NewReader(v1buf.Bytes()))
+	key, n, err := r.Next()
+	if err != nil || string(key) != "alpha" || n != 3 {
+		t.Fatalf("v1 first group: %q %d %v", key, n, err)
+	}
+	if r.Version() != Version1 {
+		t.Errorf("Version = %d, want %d", r.Version(), Version1)
+	}
+	groups := 1
+	for {
+		if _, _, err = r.Next(); err != nil {
+			break
+		}
+		groups++
+	}
+	if err != io.EOF || groups != 4 {
+		t.Fatalf("v1 stream: %d groups, final err %v", groups, err)
+	}
+
+	if _, err := ReadIndex(bytes.NewReader(v1buf.Bytes()), int64(v1buf.Len())); !errors.Is(err, ErrNoIndex) {
+		t.Fatalf("ReadIndex on v1: err = %v, want ErrNoIndex", err)
+	}
+
+	// ScanIndex of the v1 file agrees with the v2 footer entry for
+	// entry: both headers are 5 bytes, so offsets line up exactly.
+	scan1, err := ScanIndex(bytes.NewReader(v1buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx2, err := ReadIndex(bytes.NewReader(v2buf.Bytes()), int64(v2buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(scan1, idx2) {
+		t.Fatalf("v1 scan diverges from v2 footer:\nv1 %+v\nv2 %+v", scan1, idx2)
+	}
+}
+
+// TestMixedVersionReads: a consumer holding one v1 and one v2 file
+// (e.g. runs spilled by different binary versions) merges them with
+// the same Reader loop.
+func TestMixedVersionReads(t *testing.T) {
+	var v1buf, v2buf bytes.Buffer
+	w1 := newWriter(&v1buf, Version1)
+	w1.WriteGroup([]byte("a"), [][]byte{[]byte("1")})
+	w1.WriteGroup([]byte("c"), [][]byte{[]byte("3"), []byte("33")})
+	if err := w1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	w2 := NewWriter(&v2buf)
+	w2.WriteGroup([]byte("b"), [][]byte{[]byte("2")})
+	w2.WriteGroup([]byte("d"), nil)
+	if err := w2.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := map[string]int{}
+	for _, data := range [][]byte{v1buf.Bytes(), v2buf.Bytes()} {
+		r := NewReader(bytes.NewReader(data))
+		for {
+			key, n, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			got[string(key)] = n
+		}
+	}
+	want := map[string]int{"a": 1, "b": 1, "c": 2, "d": 0}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged groups = %v, want %v", got, want)
+	}
+}
+
+// TestAppendRawMovesGroups: the compaction fast path — NextAppend to a
+// source group's value section, then AppendRaw into a new file —
+// round-trips values byte-identically, and the destination's footer
+// geometry matches the source's.
+func TestAppendRawMovesGroups(t *testing.T) {
+	var src bytes.Buffer
+	w := NewWriter(&src)
+	writeSample(t, w)
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	srcIdx := w.Index()
+
+	var dst bytes.Buffer
+	w2 := NewWriter(&dst)
+	r := NewReader(bytes.NewReader(src.Bytes()))
+	for i := 0; ; i++ {
+		key, n, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w2.BeginGroup(key, n); err != nil {
+			t.Fatal(err)
+		}
+		if err := w2.AppendRaw(r, n, srcIdx[i].ValueBytes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w2.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(w2.Index(), srcIdx) {
+		t.Fatalf("raw-copied index diverges:\ndst %+v\nsrc %+v", w2.Index(), srcIdx)
+	}
+	if !bytes.Equal(dst.Bytes(), src.Bytes()) {
+		t.Fatal("raw-copied file differs from source bytes")
+	}
+}
+
+// TestWriteAfterFinishFails: the footer closes the group section for
+// good.
+func TestWriteAfterFinishFails(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteGroup([]byte("k"), nil)
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.BeginGroup([]byte("late"), 0); err == nil {
+		t.Fatal("BeginGroup after Finish succeeded")
+	}
+	// Finish is idempotent.
+	if err := w.Finish(); err != nil {
+		t.Fatalf("second Finish: %v", err)
+	}
+}
+
+// TestReadIndexRejectsCorruption: damaged trailers and footers fail
+// with typed errors, never a panic or a bad allocation.
+func TestReadIndexRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	writeSample(t, w)
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	if _, err := ReadIndex(bytes.NewReader(good[:8]), 8); !errors.Is(err, ErrNoIndex) {
+		t.Errorf("tiny file: err = %v, want ErrNoIndex", err)
+	}
+	noTrailer := good[:len(good)-trailerLen]
+	if _, err := ReadIndex(bytes.NewReader(noTrailer), int64(len(noTrailer))); !errors.Is(err, ErrNoIndex) {
+		t.Errorf("missing trailer: err = %v, want ErrNoIndex", err)
+	}
+	badOff := append([]byte(nil), good...)
+	badOff[len(badOff)-trailerLen] = 0xff // footer offset points past the file
+	badOff[len(badOff)-trailerLen+1] = 0xff
+	badOff[len(badOff)-trailerLen+7] = 0x7f
+	if _, err := ReadIndex(bytes.NewReader(badOff), int64(len(badOff))); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad footer offset: err = %v, want ErrCorrupt", err)
 	}
 }

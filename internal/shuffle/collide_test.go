@@ -1,0 +1,61 @@
+package shuffle
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestCompactionWithCollidingFormattedKeys: distinct struct keys whose
+// fmt.Sprint forms collide sort as order-equals, and each spill run
+// may hold them in either relative order (sortedMapKeys' sort is not
+// stable across fmt-equal keys). Compaction must still fold and copy
+// every group correctly — it cannot assume a run contributes at most
+// one group per order-equivalence class, nor consume a run's groups
+// out of file order.
+func TestCompactionWithCollidingFormattedKeys(t *testing.T) {
+	type k2 struct{ A, B string }
+	colliders := []k2{{"a b", "c"}, {"a", "b c"}} // both format as "{a b c}"
+	s := New[k2, int](Options{Partitions: 2, MaxBufferedPairs: 3, SpillDir: t.TempDir()})
+	defer s.Close()
+	s.SetPartitioner(func(k2) int { return 0 })
+	buf := s.NewTaskBuffer()
+	want := make(map[k2][]int)
+	// Unequal per-seal group sizes for the two colliders, plus a third
+	// key, across enough seals to force compaction at the fan-in cap.
+	n := 3 * (2*maxDiskRunFanIn + 5)
+	for i := 0; i < n; i++ {
+		k := colliders[i%3%2] // 2 of every 3 pairs to collider 0, 1 to collider 1
+		if i%7 == 0 {
+			k = k2{"z", fmt.Sprint(i % 4)}
+		}
+		buf.Emit(k, i)
+		want[k] = append(want[k], i)
+	}
+	if err := s.Merge([]*TaskBuffer[k2, int]{buf}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.parts[0].disk); got >= maxDiskRunFanIn {
+		t.Fatalf("%d disk runs; compaction never triggered", got)
+	}
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Keys != int64(len(want)) {
+		t.Errorf("Stats.Keys = %d, want %d", st.Keys, len(want))
+	}
+	got := make(map[k2][]int)
+	if err := s.Partition(0).ForEachGroup(func(k k2, vs []int) error {
+		if _, dup := got[k]; dup {
+			t.Fatalf("key %+v emitted as two groups", k)
+		}
+		got[k] = append([]int(nil), vs...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("grouped values diverge from reference after compaction of colliding keys")
+	}
+}

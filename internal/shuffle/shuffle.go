@@ -35,6 +35,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/runfile"
 )
@@ -163,7 +164,8 @@ type Pair[K comparable, V any] struct {
 // reduce partitions.
 type Shuffle[K comparable, V any] struct {
 	hasher       Hasher[K]
-	partitioner  func(K) int // optional override; used by tests and schemas
+	partitioner  func(K) int      // optional override; used by tests and schemas
+	combiner     func(K, []V) []V // optional associative pre-aggregation, applied at seal time
 	opts         Options
 	nparts       int
 	mask         uint64
@@ -172,14 +174,18 @@ type Shuffle[K comparable, V any] struct {
 	closed       bool
 	spillTypeErr error         // non-nil when K or V cannot survive a disk round trip
 	diskSem      chan struct{} // bounds concurrent multi-file disk reads (fd cap)
+	diskRead     atomic.Int64  // bytes read back from spill run files
+
+	statsMu   sync.Mutex
+	statsMemo *Stats // memoized Stats, invalidated by Merge
 }
 
 // partitionState is owned by exactly one goroutine during Merge, so it
 // needs no lock.
 type partitionState[K comparable, V any] struct {
-	runs          []map[K][]V // sealed in-memory runs, in seal order
-	disk          []diskRun   // sealed on-disk runs, in seal order
-	spilledToDisk bool        // ever had a disk run (sticky across Close)
+	runs          []map[K][]V  // sealed in-memory runs, in seal order
+	disk          []diskRun[K] // sealed on-disk runs, in seal order
+	spilledToDisk bool         // ever had a disk run (sticky across Close)
 	live          map[K][]V
 	livePairs     int
 	maxLivePairs  int // high-water mark of livePairs
@@ -187,6 +193,7 @@ type partitionState[K comparable, V any] struct {
 	spillEvents   int64
 	spilledPairs  int64
 	bytesSpilled  int64
+	indexBytes    int64 // footer-index bytes written alongside run data
 }
 
 // New creates a shuffle with the given options.
@@ -227,6 +234,22 @@ func New[K comparable, V any](opts Options) *Shuffle[K, V] {
 // called before any TaskBuffer is created.
 func (s *Shuffle[K, V]) SetPartitioner(fn func(K) int) {
 	s.partitioner = fn
+}
+
+// SetCombiner pushes an associative pre-aggregation down into the
+// shuffle's sealing path: whenever a partition's live run reaches the
+// memory budget, each key's buffered values are combined before the
+// run is sealed, and sealed again across runs when disk runs are
+// compacted. Spilled bytes then track the post-combine communication
+// cost rather than the raw emission stream, and a seal whose combine
+// frees enough of the budget is skipped entirely. The function must be
+// semantically transparent the way a map-side combiner is —
+// reduce(k, combine(vs)) == reduce(k, vs) for any split of vs — since
+// sealing applies it to arbitrary prefixes of a key's values and may
+// re-apply it to already-combined partials. It must be called before
+// Merge.
+func (s *Shuffle[K, V]) SetCombiner(fn func(key K, values []V) []V) {
+	s.combiner = fn
 }
 
 // NumPartitions returns the effective partition count P.
@@ -279,6 +302,9 @@ func (b *TaskBuffer[K, V]) Pairs() int64 { return b.pairs }
 func (s *Shuffle[K, V]) Merge(buffers []*TaskBuffer[K, V]) error {
 	s.mergeMu.Lock()
 	defer s.mergeMu.Unlock()
+	s.statsMu.Lock()
+	s.statsMemo = nil // the profile is about to change
+	s.statsMu.Unlock()
 	var wg sync.WaitGroup
 	errs := make([]error, s.nparts)
 	for p := 0; p < s.nparts; p++ {
@@ -318,10 +344,19 @@ func (s *Shuffle[K, V]) Merge(buffers []*TaskBuffer[K, V]) error {
 
 // seal closes the live run — to a disk run file when a SpillDir is
 // set, otherwise to the in-memory run list — and records spill
-// pressure.
+// pressure. With a combiner, the live run is combined first; a combine
+// that frees at least half the budget cancels the seal and the
+// partition keeps buffering, so combiner-friendly workloads spill far
+// less than their raw emission volume.
 func (st *partitionState[K, V]) seal(s *Shuffle[K, V]) error {
 	if st.livePairs == 0 {
 		return nil
+	}
+	if s.combiner != nil {
+		st.combineLive(s)
+		if st.livePairs <= s.opts.MaxBufferedPairs/2 {
+			return nil
+		}
 	}
 	if s.opts.SpillDir != "" {
 		if s.spillTypeErr != nil {
@@ -340,6 +375,25 @@ func (st *partitionState[K, V]) seal(s *Shuffle[K, V]) error {
 	return nil
 }
 
+// combineLive applies the combiner to every key group of the live run
+// in place, keeping the partition's pair totals equal to the sum of
+// its group counts. Keys whose combined value list comes back empty
+// are dropped.
+func (st *partitionState[K, V]) combineLive(s *Shuffle[K, V]) {
+	post := 0
+	for k, vs := range st.live {
+		cv := s.combiner(k, vs)
+		if len(cv) == 0 {
+			delete(st.live, k)
+			continue
+		}
+		st.live[k] = cv
+		post += len(cv)
+	}
+	st.pairs -= int64(st.livePairs - post)
+	st.livePairs = post
+}
+
 // Partition is a read view of one shuffle partition.
 type Partition[K comparable, V any] struct {
 	s   *Shuffle[K, V]
@@ -355,11 +409,10 @@ func (s *Shuffle[K, V]) Partition(p int) Partition[K, V] {
 func (p Partition[K, V]) Pairs() int64 { return p.s.parts[p.idx].pairs }
 
 // NumKeys is the number of distinct keys in the partition. For a
-// partition with on-disk runs this is a counting pass over the run
-// files (values skipped, not decoded). NumKeys is a best-effort
-// convenience view: a spill read error (including reads after Close)
-// yields a zero or partial count — use ForEachGroup where errors must
-// be observed.
+// partition with on-disk runs this merges the runs' resident indexes
+// in memory — no disk read. NumKeys is a best-effort convenience view:
+// an error (such as reads after Close) yields a zero or partial count
+// — use ForEachGroup where errors must be observed.
 func (p Partition[K, V]) NumKeys() int {
 	st := &p.s.parts[p.idx]
 	if len(st.runs) == 0 && !st.spilledToDisk {
@@ -371,8 +424,9 @@ func (p Partition[K, V]) NumKeys() int {
 }
 
 // SortedKeys returns the partition's distinct keys in the package's
-// canonical deterministic order (see SortKeys). Like NumKeys it is a
-// best-effort view: a spill read error yields a truncated slice — use
+// canonical deterministic order (see SortKeys), merging resident
+// indexes for spilled runs (no disk read). Like NumKeys it is a
+// best-effort view: an error yields a truncated slice — use
 // ForEachGroup where errors must be observed.
 func (p Partition[K, V]) SortedKeys() []K {
 	st := &p.s.parts[p.idx]
@@ -432,9 +486,10 @@ func (p Partition[K, V]) ForEachGroup(fn func(k K, vs []V) error) error {
 }
 
 // ForEachGroupCount is ForEachGroup's counting mode: it streams every
-// group's key and size in sorted key order without decoding spilled
-// values (their bytes are skipped, not parsed), the cheap pass for
-// load profiling and overflow diagnosis.
+// group's key and size in sorted key order by merging the spilled
+// runs' resident indexes with the in-memory runs — run files are never
+// opened, so the pass is pure memory. This is the cheap pass for load
+// profiling and overflow diagnosis.
 func (p Partition[K, V]) ForEachGroupCount(fn func(k K, count int) error) error {
 	return p.forEachGroup(false, func(k K, count int, _ []V) error {
 		return fn(k, count)
@@ -467,9 +522,21 @@ type Stats struct {
 	// many runs were sealed and how many pairs they held.
 	SpillEvents  int64
 	SpilledPairs int64
-	// BytesSpilled is the total encoded size of runs written to disk
-	// (zero without a SpillDir).
-	BytesSpilled int64
+	// BytesSpilled is the total encoded size of run data written to
+	// disk — header and key groups, not the footer indexes — so it
+	// tracks the communication volume the paper reasons about (zero
+	// without a SpillDir). With a combiner pushed down (SetCombiner) it
+	// tracks the post-combine communication cost rather than the raw
+	// emission volume. IndexBytesSpilled is the metadata written on
+	// top: the prefix-compressed footer indexes; total file bytes are
+	// the sum of the two.
+	BytesSpilled      int64
+	IndexBytesSpilled int64
+	// DiskBytesRead is the cumulative number of bytes read back from
+	// spill run files, across reduce-time merges and compaction.
+	// Computing Stats itself adds nothing to it: the counting pass
+	// merges resident indexes in memory.
+	DiskBytesRead int64
 	// RunsMerged is the number of runs (disk, sealed in-memory, live)
 	// that the reduce-time k-way merges combine, summed over the
 	// partitions that sealed at least once.
@@ -496,11 +563,44 @@ func (st Stats) String() string {
 		st.Partitions, st.Pairs, st.Keys, st.MaxGroup, st.Skew(), st.SpillEvents)
 }
 
-// Stats computes the shuffle's realized profile. It walks every group
-// — for spilled partitions that is a counting pass over the run files
-// with values skipped, not decoded — so call it once per phase, not
-// per key. The error is non-nil only when reading a spilled run fails.
+// Stats computes the shuffle's realized profile. The walk is pure
+// memory even for spilled partitions — each disk run's (key, count)
+// index is resident, so no run file is read. The result is memoized:
+// repeat calls return the cached profile (with DiskBytesRead
+// refreshed, since reduce-time reads keep accruing) until the next
+// Merge invalidates it. The error is non-nil only when the shuffle's
+// spilled state is unreadable (for example after Close).
 func (s *Shuffle[K, V]) Stats() (Stats, error) {
+	s.statsMu.Lock()
+	if s.statsMemo != nil {
+		st := *s.statsMemo
+		s.statsMu.Unlock()
+		// Fresh per-partition slices, as a computed Stats would return:
+		// a caller sorting or scaling its result must not corrupt the
+		// memo for later calls.
+		st.PartitionPairs = append([]int64(nil), st.PartitionPairs...)
+		st.PartitionKeys = append([]int64(nil), st.PartitionKeys...)
+		st.PartitionMaxGroup = append([]int64(nil), st.PartitionMaxGroup...)
+		st.DiskBytesRead = s.diskRead.Load()
+		return st, nil
+	}
+	s.statsMu.Unlock()
+	st, err := s.computeStats()
+	if err != nil {
+		return st, err
+	}
+	memo := st
+	s.statsMu.Lock()
+	s.statsMemo = &memo
+	s.statsMu.Unlock()
+	return st, nil
+}
+
+// DiskBytesRead is the cumulative number of bytes read back from spill
+// run files so far (see Stats.DiskBytesRead).
+func (s *Shuffle[K, V]) DiskBytesRead() int64 { return s.diskRead.Load() }
+
+func (s *Shuffle[K, V]) computeStats() (Stats, error) {
 	st := Stats{
 		Partitions:        s.nparts,
 		PartitionPairs:    make([]int64, s.nparts),
@@ -528,8 +628,8 @@ func (s *Shuffle[K, V]) Stats() (Stats, error) {
 				}
 				return
 			}
-			// Spilled partitions throttle themselves through the
-			// shuffle's disk-read semaphore inside forEachGroup.
+			// Spilled partitions merge their resident run indexes with
+			// the in-memory runs: a pure in-memory pass.
 			errs[p] = s.Partition(p).forEachGroup(false, func(_ K, count int, _ []V) error {
 				profiles[p].keys++
 				if g := int64(count); g > profiles[p].maxGroup {
@@ -559,6 +659,7 @@ func (s *Shuffle[K, V]) Stats() (Stats, error) {
 		st.SpillEvents += ps.spillEvents
 		st.SpilledPairs += ps.spilledPairs
 		st.BytesSpilled += ps.bytesSpilled
+		st.IndexBytesSpilled += ps.indexBytes
 		if ps.maxLivePairs > st.MaxLivePairs {
 			st.MaxLivePairs = ps.maxLivePairs
 		}
@@ -566,6 +667,7 @@ func (s *Shuffle[K, V]) Stats() (Stats, error) {
 			st.RunsMerged += int64(nruns)
 		}
 	}
+	st.DiskBytesRead = s.diskRead.Load()
 	return st, nil
 }
 

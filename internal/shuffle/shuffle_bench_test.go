@@ -110,11 +110,18 @@ func BenchmarkMerge1MPairs(b *testing.B) {
 // BenchmarkExternalShuffle is the acceptance benchmark for the
 // disk-backed spill path: a dataset 8x the total memory budget is
 // merged and fully streamed back, comparing all-in-memory execution
-// against the external shuffle. Beyond ns/op it reports the memory
-// story: retained-MB is the heap still live after the merge (the
-// in-memory mode retains the whole dataset; the spill mode only the
-// bounded live buffers — near-flat as the dataset grows), and
-// live-pairs-peak proves the budget held.
+// against the external shuffle, with and without the combiner pushed
+// down into sealing. Beyond ns/op it reports the memory story:
+// retained-MB is the heap still live after the merge (the in-memory
+// mode retains the whole dataset; the spill mode only the bounded live
+// buffers — near-flat as the dataset grows), and live-pairs-peak
+// proves the budget held. The disk story: spilled-MB is bytes written,
+// disk-read-MB bytes read back by the streaming merge, and
+// stats-read-MB the disk cost of the Stats profile — zero, since the
+// counting pass merges the runs' resident indexes in memory. The
+// combiner variant must show lower spilled-MB and disk-read-MB than
+// the plain spill run: spilled volume tracks the post-combine
+// communication cost.
 func BenchmarkExternalShuffle(b *testing.B) {
 	const (
 		parts  = 8
@@ -125,12 +132,23 @@ func BenchmarkExternalShuffle(b *testing.B) {
 	)
 	tasks := benchPairs(total, nTasks, nKeys)
 
-	run := func(b *testing.B, opts Options) {
+	sum := func(_ string, vs []int) []int {
+		total := 0
+		for _, v := range vs {
+			total += v
+		}
+		return []int{total}
+	}
+
+	run := func(b *testing.B, opts Options, combine bool) {
 		b.ReportAllocs()
-		var retained, spilledMB float64
+		var retained, spilledMB, indexMB, statsReadMB, diskReadMB float64
 		var peak int
 		for i := 0; i < b.N; i++ {
 			s := New[string, int](opts)
+			if combine {
+				s.SetCombiner(sum)
+			}
 			bufs := make([]*TaskBuffer[string, int], len(tasks))
 			for t, ps := range tasks {
 				buf := s.NewTaskBuffer()
@@ -153,6 +171,7 @@ func BenchmarkExternalShuffle(b *testing.B) {
 			runtime.ReadMemStats(&ms)
 			retained = float64(ms.HeapAlloc) / (1 << 20)
 
+			readBefore := s.DiskBytesRead()
 			st, err := s.Stats()
 			if err != nil {
 				b.Fatal(err)
@@ -165,36 +184,59 @@ func BenchmarkExternalShuffle(b *testing.B) {
 			}
 			peak = st.MaxLivePairs
 			spilledMB = float64(st.BytesSpilled) / (1 << 20)
+			indexMB = float64(st.IndexBytesSpilled) / (1 << 20)
+			statsReadMB = float64(s.DiskBytesRead()-readBefore) / (1 << 20)
 
 			// Stream every group back, counting pairs: the reduce-side
-			// k-way merge is part of the cost being measured.
-			var got int64
+			// k-way merge is part of the cost being measured. With a
+			// combiner the streamed pair count is the (smaller)
+			// post-combine volume; the per-key sums are checked instead.
+			var got, sums int64
 			for p := 0; p < s.NumPartitions(); p++ {
 				err := s.Partition(p).ForEachGroup(func(_ string, vs []int) error {
 					got += int64(len(vs))
+					for _, v := range vs {
+						sums += int64(v)
+					}
 					return nil
 				})
 				if err != nil {
 					b.Fatal(err)
 				}
 			}
-			if got != total {
+			if !combine && got != total {
 				b.Fatalf("streamed %d pairs, want %d", got, total)
 			}
+			var wantSum int64
+			for _, ps := range tasks {
+				for _, p := range ps {
+					wantSum += int64(p.Value)
+				}
+			}
+			if sums != wantSum {
+				b.Fatalf("streamed value sum %d, want %d", sums, wantSum)
+			}
+			diskReadMB = float64(s.DiskBytesRead()) / (1 << 20)
 			if err := s.Close(); err != nil {
 				b.Fatal(err)
 			}
 		}
 		b.ReportMetric(retained, "retained-MB")
 		b.ReportMetric(spilledMB, "spilled-MB")
+		b.ReportMetric(indexMB, "index-MB")
+		b.ReportMetric(statsReadMB, "stats-read-MB")
+		b.ReportMetric(diskReadMB, "disk-read-MB")
 		b.ReportMetric(float64(peak), "live-pairs-peak")
 	}
 
 	b.Run("in-memory", func(b *testing.B) {
-		run(b, Options{Partitions: parts})
+		run(b, Options{Partitions: parts}, false)
 	})
 	b.Run("spill-to-disk", func(b *testing.B) {
-		run(b, Options{Partitions: parts, MaxBufferedPairs: budget, SpillDir: b.TempDir()})
+		run(b, Options{Partitions: parts, MaxBufferedPairs: budget, SpillDir: b.TempDir()}, false)
+	})
+	b.Run("spill-with-combiner", func(b *testing.B) {
+		run(b, Options{Partitions: parts, MaxBufferedPairs: budget, SpillDir: b.TempDir()}, true)
 	})
 }
 

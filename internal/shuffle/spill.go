@@ -2,15 +2,27 @@
 // back.
 //
 // A sealed run is written once, in canonical sorted key order, as an
-// internal/runfile run file; reading a partition is then the classic
-// external-sort merge: one cursor per run (disk runs streamed from
-// file, in-memory sealed runs and the live run walked over their
-// sorted key slices) driven by a binary heap ordered by (key, seal
-// order). Because every run is internally sorted, one pass produces
-// the partition's groups in global sorted order with the package's
+// internal/runfile run file (format v2: groups plus a footer index of
+// key, count, offset, value-bytes per group). The shuffle keeps each
+// run's index resident in typed form — the keys were in memory at seal
+// time, so the index costs no decode — which splits the read path in
+// two:
+//
+//   - Counting reads (Stats, NumKeys, SortedKeys, ForEachGroupCount,
+//     the engine's overflow diagnosis) merge the in-memory indexes and
+//     never open a run file at all: zero disk I/O.
+//   - Value reads (ForEachGroup, Values) run the classic external-sort
+//     merge — one cursor per run driven by a binary heap ordered by
+//     (key, seal order) — but the indexes drive the key ordering, so
+//     the files supply only value bytes.
+//
+// Because every run is internally sorted, one pass produces the
+// partition's groups in global sorted order with the package's
 // value-order contract intact — values of a key concatenate across
 // runs in seal order, live run last — while holding only one group per
-// run in memory.
+// run in memory. All run-file reads are metered into the shuffle's
+// DiskBytesRead counter, which is how tests assert the counting path
+// stayed memory-only.
 package shuffle
 
 import (
@@ -18,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 
 	"repro/internal/runfile"
 )
@@ -35,21 +48,48 @@ var errStopIteration = errors.New("shuffle: stop iteration")
 const maxDiskRunFanIn = 64
 
 // diskReadConcurrency bounds how many partitions may hold their run
-// files open at once — across the Stats counting pass, reduce-time
-// merges, and merge-time compaction — keeping the file-descriptor
-// high water near diskReadConcurrency * maxDiskRunFanIn regardless of
-// partition count or worker count.
+// files open at once — across reduce-time merges and merge-time
+// compaction — keeping the file-descriptor high water near
+// diskReadConcurrency * maxDiskRunFanIn regardless of partition count
+// or worker count. (The counting pass no longer opens files at all.)
 const diskReadConcurrency = 8
 
-// diskRun is one sealed run encoded to a temp file; pairs drives the
-// tiered compaction policy (small fresh seals vs large compacted runs).
-type diskRun struct {
-	path  string
-	pairs int64
+// keyCount is one group of a spilled run's resident index: the typed
+// key, its value count, and the byte length of its value section in
+// the file. Indexes are built at spill and compaction time from keys
+// already in memory, so counting reads never decode from disk and
+// compaction copies value regions without parsing them.
+type keyCount[K comparable] struct {
+	key      K
+	count    int64
+	valBytes int64
 }
 
-// spillToDisk encodes the live run to a new run file in sorted key
-// order. Called only from the partition's owning merge goroutine.
+// diskRun is one sealed run encoded to a temp file together with its
+// resident index; pairs drives the tiered compaction policy (small
+// fresh seals vs large compacted runs).
+type diskRun[K comparable] struct {
+	path  string
+	pairs int64
+	index []keyCount[K]
+}
+
+// countingReader meters every byte read from a run file into the
+// shuffle's DiskBytesRead counter.
+type countingReader struct {
+	f *os.File
+	n *atomic.Int64
+}
+
+func (c countingReader) Read(p []byte) (int, error) {
+	n, err := c.f.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+// spillToDisk encodes the live run (already combined when the shuffle
+// has a combiner) to a new run file in sorted key order and retains its
+// typed index. Called only from the partition's owning merge goroutine.
 func (st *partitionState[K, V]) spillToDisk(s *Shuffle[K, V]) error {
 	dir := s.opts.SpillDir
 	keys := sortedMapKeys(st.live)
@@ -85,15 +125,20 @@ func (st *partitionState[K, V]) spillToDisk(s *Shuffle[K, V]) error {
 			}
 		}
 	}
-	if err := w.Flush(); err != nil {
+	if err := w.Finish(); err != nil {
 		return fmt.Errorf("shuffle: flushing spill %s: %w", f.Name(), err)
 	}
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("shuffle: closing spill %s: %w", f.Name(), err)
 	}
-	st.disk = append(st.disk, diskRun{path: f.Name(), pairs: int64(st.livePairs)})
+	st.disk = append(st.disk, diskRun[K]{
+		path:  f.Name(),
+		pairs: int64(st.livePairs),
+		index: typedIndex(keys, w.Index()),
+	})
 	st.spilledToDisk = true
-	st.bytesSpilled += w.BytesWritten()
+	st.bytesSpilled += w.BodyBytes()
+	st.indexBytes += w.BytesWritten() - w.BodyBytes()
 	ok = true
 	if len(st.disk) >= maxDiskRunFanIn {
 		s.diskSem <- struct{}{}
@@ -101,6 +146,17 @@ func (st *partitionState[K, V]) spillToDisk(s *Shuffle[K, V]) error {
 		return st.compactDiskRuns(s)
 	}
 	return nil
+}
+
+// typedIndex pairs the writer's footer entries (counts and value-byte
+// lengths, complete after Finish) with the typed keys they were written
+// from, in write order.
+func typedIndex[K comparable](keys []K, entries []runfile.IndexEntry) []keyCount[K] {
+	index := make([]keyCount[K], len(keys))
+	for i, k := range keys {
+		index[i] = keyCount[K]{key: k, count: entries[i].Count, valBytes: entries[i].ValueBytes}
+	}
+	return index
 }
 
 // compactionSuffix picks which runs to compact when the fan-in cap is
@@ -111,7 +167,7 @@ func (st *partitionState[K, V]) spillToDisk(s *Shuffle[K, V]) error {
 // all large runs — a higher-tier merge — and everything is compacted.
 // Each tier is ~maxDiskRunFanIn/2 times larger than the last, so total
 // rewrite amplification is logarithmic in the spilled volume.
-func compactionSuffix[K comparable, V any](s *Shuffle[K, V], disk []diskRun) int {
+func compactionSuffix[K comparable, V any](s *Shuffle[K, V], disk []diskRun[K]) int {
 	large := int64(s.opts.MaxBufferedPairs) * (maxDiskRunFanIn / 2)
 	from := 0
 	for i := len(disk) - 1; i >= 0; i-- {
@@ -127,21 +183,34 @@ func compactionSuffix[K comparable, V any](s *Shuffle[K, V], disk []diskRun) int
 }
 
 // compactDiskRuns merges the suffix of disk runs chosen by
-// compactionSuffix into one new run file, streaming value bytes
-// through without decoding them (only keys are decoded, for ordering).
-// Groups of order-equal keys pop in seal order, so the rewritten file
-// preserves the value-order contract; a key present in several runs
-// becomes adjacent groups, which the read path folds back together.
-// Peak memory is one value; peak descriptors maxDiskRunFanIn plus the
+// compactionSuffix into one new run file. The merge order comes
+// entirely from the runs' resident indexes — no key is decoded from
+// disk — and, without a combiner, each group's value section moves as
+// one raw byte copy (framing included), never parsed: streamed
+// directly reader-to-writer for the native key kinds, staged through a
+// drain-time buffer under the formatted-key fallback (where the fold
+// may revisit a run's colliding-key groups out of file order). Groups of the
+// same key that become adjacent in merge order are folded into a
+// single output group whose values concatenate in seal order, so the
+// rewritten file preserves the value-order contract and shrinks the
+// downstream merge; with a combiner the folded group's values are
+// decoded, re-combined, and re-encoded, shrinking the rewritten bytes
+// toward the post-combine communication cost. The merged index is
+// assembled in memory from the planned order — no re-counting pass.
+// Peak memory is one group; peak descriptors maxDiskRunFanIn plus the
 // output file.
 func (st *partitionState[K, V]) compactDiskRuns(s *Shuffle[K, V]) (retErr error) {
 	from := compactionSuffix(s, st.disk)
 	compacting := st.disk[from:]
 	less := nativeLess[K]()
-	cursors, closeAll, err := openDiskCursors[K, V](compacting, less == nil)
+	cursors, closeAll, err := openDiskCursors[K, V](s, compacting, less == nil)
 	defer closeAll()
 	if err != nil {
 		return fmt.Errorf("shuffle: compacting spill runs: %w", err)
+	}
+	var inPairs int64
+	for _, dr := range compacting {
+		inPairs += dr.pairs
 	}
 
 	out, err := os.CreateTemp(s.opts.SpillDir, "mr-spill-*.run")
@@ -161,36 +230,194 @@ func (st *partitionState[K, V]) compactDiskRuns(s *Shuffle[K, V]) (retErr error)
 	if err := primeCursors(h, cursors); err != nil {
 		return err
 	}
-	var kbuf []byte
-	var pairs int64
-	for len(h.cs) > 0 {
-		c := h.pop()
-		kbuf, err = runfile.Append(kbuf[:0], c.key)
+
+	// Drain whole order-equivalence classes (see forEachGroup): within a
+	// class, groups of the same actual key are folded into one output
+	// group, values concatenating in seal order. For the native key
+	// kinds a class is one key and every run contributes at most one
+	// group to it (run keys are unique), so the fold's per-run reads
+	// follow file order and each group's value section streams straight
+	// from reader to writer. Under the formatted fallback, distinct
+	// keys can collide in sort order and each run may hold several of
+	// them in arbitrary relative order — folding by actual key would
+	// then revisit a run's groups out of file order — so each group's
+	// raw value section is captured at drain time, in file order, and
+	// the fold replays the buffers.
+	fmtKeys := less == nil
+	type centry struct {
+		c        *groupCursor[K, V]
+		key      K
+		count    int
+		valBytes int64
+		raw      []byte // value section captured at drain time (fmtKeys)
+	}
+	var entries []centry
+	var keysWritten []K
+	var kbuf, vbuf []byte
+	var vals []V // combiner scratch, reused across groups
+	var pivot K
+	var pivotFmt string
+	inClass := func(c *groupCursor[K, V]) bool {
+		if less != nil {
+			return !less(c.key, pivot) && !less(pivot, c.key)
+		}
+		return c.fkey == pivotFmt
+	}
+	// advance steps a cursor's reader to its next group's value
+	// section, verifying the framing against the index.
+	advance := func(c *groupCursor[K, V], count int) error {
+		kb, n, err := c.rd.NextAppend(c.kbuf[:0])
+		if err != nil {
+			return fmt.Errorf("shuffle: compacting %s: %w", c.file.Name(), err)
+		}
+		c.kbuf = kb
+		if n != count {
+			return fmt.Errorf("shuffle: compacting %s: group has %d values, index says %d",
+				c.file.Name(), n, count)
+		}
+		return nil
+	}
+	drain := func(c *groupCursor[K, V]) error {
+		for {
+			e := centry{c: c, key: c.key, count: c.count, valBytes: c.valBytes}
+			if fmtKeys {
+				if err := advance(c, e.count); err != nil {
+					return err
+				}
+				raw, err := c.rd.RawValues(nil, e.valBytes)
+				if err != nil {
+					return fmt.Errorf("shuffle: compacting %s: %w", c.file.Name(), err)
+				}
+				e.raw = raw
+			}
+			entries = append(entries, e)
+			ok, err := c.next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			if !inClass(c) {
+				h.push(c)
+				return nil
+			}
+		}
+	}
+	writeGroup := func(k K, srcs []centry) error {
+		kbuf, err = runfile.Append(kbuf[:0], k)
 		if err != nil {
 			return fmt.Errorf("shuffle: compacting key: %w", err)
 		}
-		if err := w.BeginGroup(kbuf, c.count); err != nil {
+		if s.combiner == nil {
+			total := 0
+			for _, e := range srcs {
+				total += e.count
+			}
+			if err := w.BeginGroup(kbuf, total); err != nil {
+				return fmt.Errorf("shuffle: compacting to %s: %w", out.Name(), err)
+			}
+			for _, e := range srcs {
+				if fmtKeys {
+					err = w.AppendRawBytes(e.raw, e.count)
+				} else {
+					if err = advance(e.c, e.count); err != nil {
+						return err
+					}
+					err = w.AppendRaw(e.c.rd, e.count, e.valBytes)
+				}
+				if err != nil {
+					return fmt.Errorf("shuffle: compacting to %s: %w", out.Name(), err)
+				}
+			}
+			keysWritten = append(keysWritten, k)
+			return nil
+		}
+		// Combiner path: decode the folded group's values in seal order,
+		// re-combine, re-encode. The scratch slice is reused across
+		// groups; the combined values are encoded before the next group
+		// touches it, so a combiner returning a sub-slice of its input is
+		// safe.
+		vals = vals[:0]
+		decode := func(vb []byte) error {
+			v, err := runfile.Decode[V](vb)
+			if err != nil {
+				return fmt.Errorf("shuffle: decoding spill value: %w", err)
+			}
+			vals = append(vals, v)
+			return nil
+		}
+		for _, e := range srcs {
+			if fmtKeys {
+				if err := runfile.ValuesFromRaw(e.raw, e.count, decode); err != nil {
+					return fmt.Errorf("shuffle: compacting %s: %w", e.c.file.Name(), err)
+				}
+				continue
+			}
+			if err := advance(e.c, e.count); err != nil {
+				return err
+			}
+			for i := 0; i < e.count; i++ {
+				vb, err := e.c.rd.ValueAppend(e.c.vbuf[:0])
+				if err != nil {
+					return fmt.Errorf("shuffle: compacting %s: %w", e.c.file.Name(), err)
+				}
+				e.c.vbuf = vb
+				if err := decode(vb); err != nil {
+					return err
+				}
+			}
+		}
+		combined := s.combiner(k, vals)
+		if len(combined) == 0 {
+			return nil // combiner dropped the group entirely
+		}
+		if err := w.BeginGroup(kbuf, len(combined)); err != nil {
 			return fmt.Errorf("shuffle: compacting to %s: %w", out.Name(), err)
 		}
-		pairs += int64(c.count)
-		for i := 0; i < c.count; i++ {
-			v, err := c.rd.Value()
+		for _, v := range combined {
+			vbuf, err = runfile.Append(vbuf[:0], v)
 			if err != nil {
-				return fmt.Errorf("shuffle: compacting %s: %w", c.file.Name(), err)
+				return fmt.Errorf("shuffle: compacting value: %w", err)
 			}
-			if err := w.AppendValue(v); err != nil {
+			if err := w.AppendValue(vbuf); err != nil {
 				return fmt.Errorf("shuffle: compacting to %s: %w", out.Name(), err)
 			}
 		}
-		cok, err := c.next()
-		if err != nil {
+		keysWritten = append(keysWritten, k)
+		return nil
+	}
+	var group []centry
+	for len(h.cs) > 0 {
+		top := h.pop()
+		pivot, pivotFmt = top.key, top.fkey
+		entries = entries[:0]
+		if err := drain(top); err != nil {
 			return err
 		}
-		if cok {
-			h.push(c)
+		for len(h.cs) > 0 && inClass(h.cs[0]) {
+			if err := drain(h.pop()); err != nil {
+				return err
+			}
+		}
+		for i := range entries {
+			if entries[i].count < 0 {
+				continue // folded into an earlier group of the same key
+			}
+			k := entries[i].key
+			group = append(group[:0], entries[i])
+			for j := i + 1; j < len(entries); j++ {
+				if entries[j].count >= 0 && entries[j].key == k {
+					group = append(group, entries[j])
+					entries[j].count = -1
+				}
+			}
+			if err := writeGroup(k, group); err != nil {
+				return err
+			}
 		}
 	}
-	if err := w.Flush(); err != nil {
+	if err := w.Finish(); err != nil {
 		return fmt.Errorf("shuffle: flushing compacted run: %w", err)
 	}
 	if err := out.Close(); err != nil {
@@ -200,16 +427,27 @@ func (st *partitionState[K, V]) compactDiskRuns(s *Shuffle[K, V]) (retErr error)
 	for _, dr := range compacting {
 		os.Remove(dr.path)
 	}
-	st.disk = append(st.disk[:from], diskRun{path: out.Name(), pairs: pairs})
-	st.bytesSpilled += w.BytesWritten()
+	st.disk = append(st.disk[:from], diskRun[K]{
+		path:  out.Name(),
+		pairs: w.Pairs(),
+		index: typedIndex(keysWritten, w.Index()),
+	})
+	st.bytesSpilled += w.BodyBytes()
+	st.indexBytes += w.BytesWritten() - w.BodyBytes()
+	// A combiner can shrink the partition's held pairs during the
+	// rewrite; keep the partition totals equal to the sum of its group
+	// counts.
+	st.pairs -= inPairs - w.Pairs()
 	ok = true
 	return nil
 }
 
 // openDiskCursors opens one streaming cursor per run file, in seal
-// order. The returned closeAll is safe to call whether or not err is
-// nil and closes everything opened so far.
-func openDiskCursors[K comparable, V any](runs []diskRun, fmtKeys bool) ([]*groupCursor[K, V], func(), error) {
+// order, each metered through the shuffle's DiskBytesRead counter. The
+// cursor's key ordering comes from the run's resident index; the file
+// supplies only value bytes. The returned closeAll is safe to call
+// whether or not err is nil and closes everything opened so far.
+func openDiskCursors[K comparable, V any](s *Shuffle[K, V], runs []diskRun[K], fmtKeys bool) ([]*groupCursor[K, V], func(), error) {
 	var cursors []*groupCursor[K, V]
 	closeAll := func() {
 		for _, c := range cursors {
@@ -222,7 +460,8 @@ func openDiskCursors[K comparable, V any](runs []diskRun, fmtKeys bool) ([]*grou
 			return cursors, closeAll, fmt.Errorf("shuffle: opening spill run: %w", err)
 		}
 		cursors = append(cursors, &groupCursor[K, V]{
-			runIdx: len(cursors), fmtKeys: fmtKeys, file: f, rd: runfile.NewReader(f),
+			runIdx: len(cursors), fmtKeys: fmtKeys, idx: dr.index,
+			file: f, rd: runfile.NewReader(countingReader{f, &s.diskRead}),
 		})
 	}
 	return cursors, closeAll, nil
@@ -246,8 +485,9 @@ func primeCursors[K comparable, V any](h *cursorHeap[K, V], cursors []*groupCurs
 // Close deletes the shuffle's spill files; call it once the reduce
 // phase is done with the partitions. Afterwards ForEachGroup and Stats
 // on a partition that had spilled return an error rather than the
-// silently truncated live-only view. Close must not run concurrently
-// with reads.
+// silently truncated live-only view (a Stats result memoized before
+// Close stays servable — it needs no disk). Close must not run
+// concurrently with reads.
 func (s *Shuffle[K, V]) Close() error {
 	s.mergeMu.Lock()
 	defer s.mergeMu.Unlock()
@@ -264,9 +504,10 @@ func (s *Shuffle[K, V]) Close() error {
 	return first
 }
 
-// groupCursor walks one run's groups in canonical key order: either an
-// in-memory map run over its sorted key slice, or a disk run streamed
-// through a runfile.Reader.
+// groupCursor walks one run's groups in canonical key order: an
+// in-memory map run over its sorted key slice, or a spilled run driven
+// by its resident index — with the run file attached only when values
+// are being read.
 type groupCursor[K comparable, V any] struct {
 	runIdx  int  // seal order; the live run is last
 	fmtKeys bool // cache fmt.Sprint of each key (formatted-order kinds)
@@ -274,21 +515,27 @@ type groupCursor[K comparable, V any] struct {
 	// in-memory source
 	mem     map[K][]V
 	memKeys []K
-	pos     int
 
-	// disk source
+	// spilled source: the resident index drives keys and counts; the
+	// reader (nil on the counting path) supplies value bytes.
+	idx  []keyCount[K]
 	file *os.File
 	rd   *runfile.Reader
+	kbuf []byte // reused key-framing scratch for rd
+	vbuf []byte // reused value scratch for rd
+
+	pos int
 
 	// current group
-	key   K
-	fkey  string // formatted key, when fmtKeys; computed once per group
-	count int
+	key      K
+	fkey     string // formatted key, when fmtKeys; computed once per group
+	count    int
+	valBytes int64 // value-section length (spilled source)
 }
 
 // next advances to the cursor's next group, returning false at the end
-// of the run. For disk runs any unread values of the previous group
-// are skipped without decoding.
+// of the run. Purely in-memory: spilled cursors step their index; the
+// file is touched only when values() is called.
 func (c *groupCursor[K, V]) next() (bool, error) {
 	if c.mem != nil {
 		if c.pos >= len(c.memKeys) {
@@ -298,18 +545,12 @@ func (c *groupCursor[K, V]) next() (bool, error) {
 		c.count = len(c.mem[c.key])
 		c.pos++
 	} else {
-		kb, n, err := c.rd.Next()
-		if err == io.EOF {
+		if c.pos >= len(c.idx) {
 			return false, nil
 		}
-		if err != nil {
-			return false, fmt.Errorf("shuffle: reading spill %s: %w", c.file.Name(), err)
-		}
-		k, err := runfile.Decode[K](kb)
-		if err != nil {
-			return false, fmt.Errorf("shuffle: decoding spill key in %s: %w", c.file.Name(), err)
-		}
-		c.key, c.count = k, n
+		e := c.idx[c.pos]
+		c.key, c.count, c.valBytes = e.key, int(e.count), e.valBytes
+		c.pos++
 	}
 	if c.fmtKeys {
 		c.fkey = fmt.Sprint(c.key)
@@ -317,17 +558,34 @@ func (c *groupCursor[K, V]) next() (bool, error) {
 	return true, nil
 }
 
-// values decodes the current group's values.
+// values decodes the current group's values. For a spilled run this is
+// the only point the file is read: the reader's framing is advanced to
+// the group (its key bytes skipped into a reused scratch buffer, and
+// cross-checked against the index) and each value is decoded out of a
+// single reused byte buffer.
 func (c *groupCursor[K, V]) values() ([]V, error) {
 	if c.mem != nil {
 		return c.mem[c.key], nil
 	}
+	kb, n, err := c.rd.NextAppend(c.kbuf[:0])
+	if err != nil {
+		if err == io.EOF {
+			err = fmt.Errorf("file ended before indexed group")
+		}
+		return nil, fmt.Errorf("shuffle: reading spill %s: %w", c.file.Name(), err)
+	}
+	c.kbuf = kb
+	if n != c.count {
+		return nil, fmt.Errorf("shuffle: reading spill %s: group has %d values, index says %d",
+			c.file.Name(), n, c.count)
+	}
 	vs := make([]V, c.count)
 	for i := range vs {
-		vb, err := c.rd.Value()
+		vb, err := c.rd.ValueAppend(c.vbuf[:0])
 		if err != nil {
 			return nil, fmt.Errorf("shuffle: reading spill %s: %w", c.file.Name(), err)
 		}
+		c.vbuf = vb
 		vs[i], err = runfile.Decode[V](vb)
 		if err != nil {
 			return nil, fmt.Errorf("shuffle: decoding spill value in %s: %w", c.file.Name(), err)
@@ -402,9 +660,11 @@ func (h *cursorHeap[K, V]) pop() *groupCursor[K, V] {
 
 // forEachGroup is the streaming core behind every read API: it yields
 // the partition's groups in canonical sorted key order. When
-// withValues is false, spilled values are skipped (counting mode, used
-// by Stats and NumKeys); fn then receives a nil slice and the group's
-// size in count.
+// withValues is false the walk is a pure in-memory merge of the
+// spilled runs' resident indexes with the live and sealed in-memory
+// runs — no run file is opened, no byte of disk is read (counting
+// mode, used by Stats, NumKeys, SortedKeys and ForEachGroupCount); fn
+// then receives a nil slice and the group's size in count.
 func (p Partition[K, V]) forEachGroup(withValues bool, fn func(k K, count int, vs []V) error) error {
 	st := &p.s.parts[p.idx]
 	if p.s.closed && st.spilledToDisk {
@@ -428,17 +688,27 @@ func (p Partition[K, V]) forEachGroup(withValues bool, fn func(k K, count int, v
 
 	less := nativeLess[K]()
 	fmtKeys := less == nil
-	if len(st.disk) > 0 {
-		// Bound concurrent open run files across all readers (Stats'
-		// counting goroutines, reduce workers): at most
-		// diskReadConcurrency partitions hold their fan-in open at once.
+	var cursors []*groupCursor[K, V]
+	if withValues && len(st.disk) > 0 {
+		// Bound concurrent open run files across all value readers
+		// (reduce workers): at most diskReadConcurrency partitions hold
+		// their fan-in open at once.
 		p.s.diskSem <- struct{}{}
 		defer func() { <-p.s.diskSem }()
-	}
-	cursors, closeAll, err := openDiskCursors[K, V](st.disk, fmtKeys)
-	defer closeAll()
-	if err != nil {
-		return err
+		var closeAll func()
+		var err error
+		cursors, closeAll, err = openDiskCursors[K, V](p.s, st.disk, fmtKeys)
+		defer closeAll()
+		if err != nil {
+			return err
+		}
+	} else {
+		// Counting mode walks the resident indexes: memory-only.
+		for _, dr := range st.disk {
+			cursors = append(cursors, &groupCursor[K, V]{
+				runIdx: len(cursors), fmtKeys: fmtKeys, idx: dr.index,
+			})
+		}
 	}
 	for _, run := range st.runs {
 		cursors = append(cursors, &groupCursor[K, V]{

@@ -1,0 +1,49 @@
+#!/bin/sh
+# bench.sh — run the shuffle acceptance benchmarks and emit the perf
+# trajectory artifacts:
+#
+#   BENCH_shuffle.txt   raw `go test -bench` output (benchstat input:
+#                       collect one per commit and diff with
+#                       `benchstat old.txt new.txt`)
+#   BENCH_shuffle.json  the same runs parsed into JSON, one object per
+#                       benchmark with every reported metric, for
+#                       dashboards and scripted regression checks
+#
+# Usage: scripts/bench.sh [benchtime]   (default 3x)
+set -eu
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${1:-3x}"
+TXT=BENCH_shuffle.txt
+JSON=BENCH_shuffle.json
+
+# Write then cat (not a pipe to tee): POSIX sh has no pipefail, and a
+# failed benchmark must fail the script.
+go test -run '^$' -bench 'BenchmarkExternalShuffle|BenchmarkMerge1MPairs' \
+	-benchtime "$BENCHTIME" ./internal/shuffle > "$TXT" || {
+	status=$?
+	cat "$TXT"
+	exit "$status"
+}
+cat "$TXT"
+
+awk -v gover="$(go version)" '
+BEGIN {
+	printf "{\n  \"generated_by\": \"scripts/bench.sh\",\n"
+	printf "  \"go\": \"%s\",\n  \"benchmarks\": [", gover
+	n = 0
+}
+/^Benchmark/ {
+	if (n++) printf ","
+	printf "\n    {\"name\": \"%s\", \"iterations\": %s", $1, $2
+	for (i = 3; i + 1 <= NF; i += 2) {
+		unit = $(i + 1)
+		gsub(/"/, "", unit)
+		printf ", \"%s\": %s", unit, $i
+	}
+	printf "}"
+}
+END { printf "\n  ]\n}\n" }
+' "$TXT" > "$JSON"
+
+echo "wrote $TXT and $JSON"
