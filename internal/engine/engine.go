@@ -119,6 +119,16 @@ type Round[I any, K comparable, V, O any] struct {
 	Reduce  ReduceFunc[K, V, O]
 	Combine CombineFunc[K, V] // optional
 
+	// ReduceBatch, when set, replaces Reduce on the reduce path and
+	// opts the round into the shuffle's batch read contract
+	// (Partition.ForEachGroupBatch): each spilled group's value section
+	// is read in one pass and decoded into a scratch slice that the
+	// next group reuses, so the values slice is valid only during the
+	// call — the function must not retain it (copy to keep). Reduce
+	// stays the compatible default: its slices are the function's to
+	// keep.
+	ReduceBatch ReduceFunc[K, V, O]
+
 	// Partitioner, when set, overrides hash placement of keys onto
 	// shuffle partitions (reduced modulo the effective power-of-two
 	// partition count). Schemas with an explicit reducer layout, and
@@ -566,11 +576,17 @@ func attemptReducePartition[I any, K comparable, V, O any](r Round[I, K, V, O], 
 		return partResult[K, O]{}, errInjected
 	}
 	var pr partResult[K, O]
-	err := part.ForEachGroup(func(k K, vs []V) error {
+	reduce, each := r.Reduce, part.ForEachGroup
+	if r.ReduceBatch != nil {
+		// The batch contract: one value-section read and one batch
+		// decode per group, values only valid during the call.
+		reduce, each = r.ReduceBatch, part.ForEachGroupBatch
+	}
+	err := each(func(k K, vs []V) error {
 		pr.keys = append(pr.keys, k)
 		pr.loads = append(pr.loads, len(vs))
 		var outs []O
-		r.Reduce(k, vs, func(o O) { outs = append(outs, o) })
+		reduce(k, vs, func(o O) { outs = append(outs, o) })
 		pr.outs = append(pr.outs, outs)
 		return nil
 	})

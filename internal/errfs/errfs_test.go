@@ -1,0 +1,117 @@
+package errfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPassThroughAndCounting: with nothing armed the wrapper is a
+// faithful filesystem, and every operation is counted.
+func TestPassThroughAndCounting(t *testing.T) {
+	fs := New(nil)
+	dir := t.TempDir()
+	f, err := fs.CreateTemp(dir, "errfs-*.run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := fs.Open(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := rf.Read(buf); err != nil || string(buf) != "hello" {
+		t.Fatalf("Read = %q, %v", buf, err)
+	}
+	if _, err := rf.ReadAt(buf, 6); err != nil || string(buf) != "world" {
+		t.Fatalf("ReadAt = %q, %v", buf, err)
+	}
+	if err := rf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove(f.Name()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(f.Name()); !os.IsNotExist(err) {
+		t.Fatal("Remove did not delete the file")
+	}
+	for op, want := range map[Op]int{
+		OpCreate: 1, OpOpen: 1, OpRead: 1, OpReadAt: 1,
+		OpWrite: 1, OpClose: 2, OpRemove: 1,
+	} {
+		if got := fs.Calls(op); got != want {
+			t.Errorf("Calls(%s) = %d, want %d", op, got, want)
+		}
+	}
+}
+
+// TestNthCallInjection: exactly the armed ordinal fails, with the
+// chosen error in the chain; earlier and later calls succeed.
+func TestNthCallInjection(t *testing.T) {
+	boom := errors.New("boom")
+	fs := New(nil)
+	fs.FailAt(OpCreate, 2, boom)
+	dir := t.TempDir()
+	if _, err := fs.CreateTemp(dir, "a-*"); err != nil {
+		t.Fatalf("call 1 failed: %v", err)
+	}
+	if _, err := fs.CreateTemp(dir, "b-*"); !errors.Is(err, boom) {
+		t.Fatalf("call 2 err = %v, want boom", err)
+	}
+	if _, err := fs.CreateTemp(dir, "c-*"); err != nil {
+		t.Fatalf("call 3 failed: %v", err)
+	}
+
+	// Default error and re-arming (FailAt resets the op's counter).
+	fs.FailAt(OpWrite, 1, nil)
+	f, err := fs.CreateTemp(dir, "d-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write err = %v, want ErrInjected", err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("write after injection failed: %v", err)
+	}
+
+	// Reset disarms and zeroes.
+	fs.FailAt(OpWrite, 1, nil)
+	fs.Reset()
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("write after Reset failed: %v", err)
+	}
+	if got := fs.Calls(OpWrite); got != 1 {
+		t.Fatalf("Calls(write) after Reset = %d, want 1", got)
+	}
+}
+
+// TestInjectedCloseStillReleasesHandle: a failed Close must close the
+// real descriptor anyway, so tests cannot leak handles.
+func TestInjectedCloseStillReleasesHandle(t *testing.T) {
+	fs := New(nil)
+	f, err := fs.CreateTemp(t.TempDir(), "x-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.FailAt(OpClose, 1, nil)
+	if err := f.Close(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Close err = %v, want ErrInjected", err)
+	}
+	// The underlying handle is gone: a second real close errors.
+	if err := f.Close(); err == nil {
+		t.Fatal("underlying file was not closed by the failing Close")
+	}
+	name := f.Name()
+	if filepath.Dir(name) == "" {
+		t.Fatal("Name lost through the wrapper")
+	}
+}

@@ -9,11 +9,12 @@ import (
 
 // Differential testing of the whole data path: for randomized
 // workloads — random key/value types, partition counts, memory
-// budgets, worker counts, chunk sizes, combiner on or off — the
-// executor's outputs and logical metrics must be identical to a naive
-// single-map reference executor, and identical with disk spill forced
-// on versus off. The physical profile (partition placement, makespan)
-// is allowed to vary; the paper's quantities are not.
+// budgets, worker counts, chunk sizes, combiner on or off, batch
+// reduce path on or off — the executor's outputs and logical metrics
+// must be identical to a naive single-map reference executor, and
+// identical with disk spill forced on versus off. The physical profile
+// (partition placement, makespan) is allowed to vary; the paper's
+// quantities are not.
 
 // refResult is what the naive reference executor produces: every map
 // ran in input order under one goroutine, groups reduced in canonical
@@ -108,6 +109,29 @@ func checkDifferential[I any, K comparable, V, O any](
 	}
 	if metS.MaxLivePairs > spillCfg.MemoryBudget {
 		t.Fatalf("%s: MaxLivePairs %d exceeds budget %d", trial, metS.MaxLivePairs, spillCfg.MemoryBudget)
+	}
+
+	// Batch reduce path, randomly toggled: the arena-reuse contract must
+	// change nothing observable, spill off and on. (The reduce funcs in
+	// this suite render their values immediately, so they qualify.)
+	if rng.Intn(2) == 0 {
+		for variant, c := range map[string]Config{"spill-off": cfg, "spill-on": spillCfg} {
+			jb := mk(c)
+			jb.ReduceBatch = jb.Reduce
+			outB, metB, err := jb.Run(inputs)
+			if err != nil {
+				t.Fatalf("%s: batch %s run: %v", trial, variant, err)
+			}
+			if !reflect.DeepEqual(outB, out) {
+				t.Fatalf("%s: batch %s outputs diverge from per-value path\ngot  %v\nwant %v",
+					trial, variant, outB, out)
+			}
+			if metB.PairsEmitted != met.PairsEmitted || metB.Reducers != met.Reducers ||
+				metB.MaxReducerInput != met.MaxReducerInput {
+				t.Fatalf("%s: batch %s logical metrics diverge\ngot  %+v\nwant %+v",
+					trial, variant, metB, met)
+			}
+		}
 	}
 	return metS.BytesSpilled
 }
@@ -253,6 +277,19 @@ func TestDifferentialStructKeysWithCombiner(t *testing.T) {
 			}
 			if metS.PairsEmitted != met.PairsEmitted || metS.Reducers != met.Reducers {
 				t.Fatalf("spill-on combiner metrics diverge: %+v vs %+v", metS, met)
+			}
+			// Batch reduce with the combiner pushed down, spill on and
+			// off: same outputs again.
+			for _, c := range []Config{cfg, spillCfg} {
+				jb := mkSum(c)
+				jb.ReduceBatch = jb.Reduce
+				outB, _, err := jb.Run(inputs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(outB, out) {
+					t.Fatalf("batch+combiner outputs diverge\ngot  %v\nwant %v", outB, out)
+				}
 			}
 			spilled += metS.BytesSpilled
 			continue

@@ -243,6 +243,15 @@ type Job[I any, K comparable, V, O any] struct {
 	Map     MapFunc[I, K, V]
 	Reduce  ReduceFunc[K, V, O]
 	Combine CombineFunc[K, V] // optional
+	// ReduceBatch, when set, replaces Reduce and opts the job into the
+	// executor's batch reduce path: each spilled key group's value
+	// section is read in one pass and decoded into a reused scratch
+	// slice, so the values slice is valid only during the call — the
+	// function must not retain it (copy to keep). Outputs are
+	// identical to Reduce; only the allocation contract differs.
+	// Reduce remains the compatible default for functions that read
+	// their values after the call returns.
+	ReduceBatch ReduceFunc[K, V, O]
 	// Partition maps a key to a logical reduce worker in
 	// [0, ReduceWorkersHint). Optional; defaults to a modular maphash of
 	// the key. It affects only Metrics.WorkerInputs.
@@ -289,6 +298,9 @@ func (j *Job[I, K, V, O]) Run(inputs []I) ([]O, Metrics, error) {
 	}
 	if j.Combine != nil {
 		round.Combine = engine.CombineFunc[K, V](j.Combine)
+	}
+	if j.ReduceBatch != nil {
+		round.ReduceBatch = engine.ReduceFunc[K, V, O](j.ReduceBatch)
 	}
 
 	res, err := engine.Run(round, inputs)

@@ -1,0 +1,437 @@
+package runfile
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// buildFile writes groups to an in-memory v2 run file and returns the
+// bytes and footer index.
+func buildFile(t *testing.T, groups map[string][][]byte, order []string) ([]byte, []IndexEntry) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, k := range order {
+		if err := w.WriteGroup([]byte(k), groups[k]); err != nil {
+			t.Fatalf("WriteGroup(%q): %v", k, err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	idx, err := ReadIndex(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatalf("ReadIndex: %v", err)
+	}
+	return buf.Bytes(), idx
+}
+
+// TestGroupBatchMatchesPerValueReader: the batch reader — with the
+// footer index driving single-pass section reads, and without it —
+// must yield byte-for-byte the same keys and payloads as the per-value
+// Reader, including empty values and zero-value groups.
+func TestGroupBatchMatchesPerValueReader(t *testing.T) {
+	groups := map[string][][]byte{
+		"a":     {[]byte("v1"), []byte(""), []byte("a long enough value to matter")},
+		"bb":    {},
+		"ccc":   {[]byte{0, 1, 2, 3, 255}},
+		"dddd":  {[]byte("x"), []byte("y"), []byte("z"), []byte("w")},
+		"eeeee": {bytes.Repeat([]byte("E"), 3000)},
+	}
+	order := []string{"a", "bb", "ccc", "dddd", "eeeee"}
+	data, idx := buildFile(t, groups, order)
+
+	// Reference: the per-value Reader.
+	type group struct {
+		key  string
+		vals [][]byte
+	}
+	var want []group
+	r := NewReader(bytes.NewReader(data))
+	for {
+		k, n, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := group{key: string(k)}
+		for i := 0; i < n; i++ {
+			v, err := r.Value()
+			if err != nil {
+				t.Fatal(err)
+			}
+			g.vals = append(g.vals, v)
+		}
+		want = append(want, g)
+	}
+
+	for name, index := range map[string][]IndexEntry{"indexed": idx, "index-free": nil} {
+		var got []group
+		gb := NewGroupBatch(bytes.NewReader(data), index)
+		for {
+			k, vb, err := gb.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			g := group{key: string(k)}
+			for i := 0; i < vb.Len(); i++ {
+				g.vals = append(g.vals, append([]byte(nil), vb.Value(i)...))
+			}
+			got = append(got, g)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: batch read diverges from per-value read\ngot  %v\nwant %v", name, got, want)
+		}
+	}
+}
+
+// TestGroupBatchRawRoundTrip: a batch's Raw section replayed through
+// AppendRawBytes must reproduce the original group bytes — whether the
+// section was read in one indexed pass or the framing was rebuilt on
+// the index-free path.
+func TestGroupBatchRawRoundTrip(t *testing.T) {
+	groups := map[string][][]byte{
+		"k1": {[]byte("alpha"), []byte(""), []byte("beta")},
+		"k2": {[]byte{7}},
+		"k3": {},
+	}
+	data, idx := buildFile(t, groups, []string{"k1", "k2", "k3"})
+
+	for name, index := range map[string][]IndexEntry{"indexed": idx, "index-free": nil} {
+		var out bytes.Buffer
+		w := NewWriter(&out)
+		gb := NewGroupBatch(bytes.NewReader(data), index)
+		for {
+			k, vb, err := gb.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.BeginGroup(k, vb.Len()); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.AppendRawBytes(vb.Raw(), vb.Len()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatalf("%s: raw replay of batches does not reproduce the original file", name)
+		}
+	}
+}
+
+// TestGroupBatchDetectsGroupShortfall: a file truncated at a clean
+// group boundary still parses as a valid shorter stream, but an index
+// that promises more groups must turn the early EOF into ErrCorrupt —
+// not a silently shorter dataset.
+func TestGroupBatchDetectsGroupShortfall(t *testing.T) {
+	groups := map[string][][]byte{
+		"a": {[]byte("one"), []byte("two")},
+		"b": {[]byte("three")},
+		"c": {[]byte("four")},
+	}
+	data, idx := buildFile(t, groups, []string{"a", "b", "c"})
+	truncated := data[:idx[2].Offset] // ends cleanly after group "b"
+
+	gb := NewGroupBatch(bytes.NewReader(truncated), idx)
+	seen := 0
+	for {
+		_, _, err := gb.Next()
+		if err == nil {
+			seen++
+			continue
+		}
+		if err == io.EOF {
+			t.Fatalf("clean EOF after %d groups despite a 3-entry index (silent truncation)", seen)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("unexpected error class: %v", err)
+		}
+		break
+	}
+	if seen != 2 {
+		t.Fatalf("streamed %d groups before the shortfall error, want 2", seen)
+	}
+}
+
+// TestGroupBatchRejectsCorruptStreams: truncated or garbage inputs
+// must fail with ErrCorrupt (or clean EOF), never panic.
+func TestGroupBatchRejectsCorruptStreams(t *testing.T) {
+	groups := map[string][][]byte{"key": {[]byte("value-one"), []byte("value-two")}}
+	data, idx := buildFile(t, groups, []string{"key"})
+	for cut := 0; cut < len(data); cut++ {
+		for _, index := range [][]IndexEntry{idx, nil} {
+			gb := NewGroupBatch(bytes.NewReader(data[:cut]), index)
+			for {
+				_, _, err := gb.Next()
+				if err == nil {
+					continue
+				}
+				if err != io.EOF && !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("cut %d: unexpected error class %v", cut, err)
+				}
+				break
+			}
+		}
+	}
+	// An index lying about the value-section geometry is caught.
+	lying := append([]IndexEntry(nil), idx...)
+	lying[0].Count++
+	gb := NewGroupBatch(bytes.NewReader(data), lying)
+	if _, _, err := gb.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("count-mismatch index: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// checkDecodeBatchKind encodes vals with Append, batch-reads them, and
+// verifies DecodeBatch agrees with per-value Decode.
+func checkDecodeBatchKind[T comparable](t *testing.T, vals []T) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.BeginGroup([]byte("k"), len(vals)); err != nil {
+		t.Fatal(err)
+	}
+	var scratch []byte
+	for _, v := range vals {
+		enc, err := Append(scratch[:0], v)
+		if err != nil {
+			t.Fatalf("Append(%v): %v", v, err)
+		}
+		scratch = enc
+		if err := w.AppendValue(enc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	gb := NewGroupBatch(bytes.NewReader(buf.Bytes()), nil)
+	_, vb, err := gb.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatch[T](vb, nil)
+	if err != nil {
+		t.Fatalf("DecodeBatch: %v", err)
+	}
+	if !reflect.DeepEqual(got, vals) {
+		t.Fatalf("DecodeBatch = %v, want %v", got, vals)
+	}
+	// Per-value Decode must agree payload by payload.
+	for i := range vals {
+		v, err := Decode[T](vb.Value(i))
+		if err != nil || v != vals[i] {
+			t.Fatalf("Decode value %d = %v (%v), want %v", i, v, err, vals[i])
+		}
+	}
+}
+
+func TestDecodeBatchKinds(t *testing.T) {
+	checkDecodeBatchKind(t, []int{0, -1, 1, 1 << 40, -(1 << 40)})
+	checkDecodeBatchKind(t, []int8{-128, 0, 127})
+	checkDecodeBatchKind(t, []int16{-32768, 5, 32767})
+	checkDecodeBatchKind(t, []int32{-1 << 30, 0, 1 << 30})
+	checkDecodeBatchKind(t, []int64{-1 << 62, 7, 1 << 62})
+	checkDecodeBatchKind(t, []uint{0, 1, 1 << 60})
+	checkDecodeBatchKind(t, []uint8{0, 200, 255})
+	checkDecodeBatchKind(t, []uint16{0, 65535})
+	checkDecodeBatchKind(t, []uint32{0, 1 << 31})
+	checkDecodeBatchKind(t, []uint64{0, 1 << 63})
+	checkDecodeBatchKind(t, []uintptr{0, 4096})
+	checkDecodeBatchKind(t, []float32{0, -1.5, 3.25})
+	checkDecodeBatchKind(t, []float64{0, -1.5, 1e300})
+	checkDecodeBatchKind(t, []bool{true, false, true})
+	checkDecodeBatchKind(t, []string{"", "a", "longer string value"})
+
+	type edge struct{ U, V int }
+	checkDecodeBatchKind(t, []edge{{1, 2}, {-3, 4}, {0, 0}})
+
+	// Dynamic types take the per-value gob fallback inside DecodeBatch.
+	type boxed struct{ S string }
+	checkDecodeBatchKind(t, []boxed{{"x"}, {""}, {"yz"}})
+}
+
+// TestDecodeBatchCopiesReferencePayloads: decoded []byte values must
+// not alias the batch arena — mutating the arena afterwards (as the
+// next ReadValueBatch would) must leave them intact.
+func TestDecodeBatchCopiesReferencePayloads(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteGroup([]byte("k"), [][]byte{[]byte("abc"), []byte("def")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	gb := NewGroupBatch(bytes.NewReader(buf.Bytes()), nil)
+	_, vb, err := gb.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatch[[]byte](vb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vb.arena {
+		vb.arena[i] = 'X'
+	}
+	if string(got[0]) != "abc" || string(got[1]) != "def" {
+		t.Fatalf("decoded []byte values alias the arena: %q %q", got[0], got[1])
+	}
+}
+
+// TestFixedCodecRoundTrip: fixed-width structs and named scalars use
+// the compiled-plan codec — exact round trips at the packed wire size,
+// far below gob's.
+func TestFixedCodecRoundTrip(t *testing.T) {
+	type inner struct {
+		A int16
+		B [3]uint8
+	}
+	type fixed struct {
+		I   int
+		I8  int8
+		U32 uint32
+		F   float64
+		G   float32
+		B   bool
+		C64 complex64
+		C   complex128
+		In  inner
+	}
+	v := fixed{
+		I: -42, I8: 7, U32: 1 << 31, F: -2.5, G: 0.5, B: true,
+		C64: complex(1.5, -2.5), C: complex(3.5, -4.5),
+		In: inner{A: -300, B: [3]uint8{1, 2, 3}},
+	}
+	enc, err := Append(nil, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Packed wire size: 8+1+4+8+4+1+8+16 + (2+3) = 55 bytes.
+	if len(enc) != 55 {
+		t.Fatalf("fixed encoding is %d bytes, want 55 (is gob still in use?)", len(enc))
+	}
+	got, err := Decode[fixed](enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != v {
+		t.Fatalf("round trip = %+v, want %+v", got, v)
+	}
+	// Wrong-length input fails loudly rather than decoding garbage.
+	if _, err := Decode[fixed](enc[:len(enc)-1]); err == nil {
+		t.Fatal("short fixed input decoded without error")
+	}
+
+	type id int64
+	nv := id(-99)
+	enc2, err := Append(nil, nv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc2) != 8 {
+		t.Fatalf("named int64 encoding is %d bytes, want 8", len(enc2))
+	}
+	got2, err := Decode[id](enc2)
+	if err != nil || got2 != nv {
+		t.Fatalf("named scalar round trip = %v (%v), want %v", got2, err, nv)
+	}
+}
+
+// TestFixedPlanEligibility pins which types compile a plan and which
+// stay on gob.
+func TestFixedPlanEligibility(t *testing.T) {
+	type fixedOK struct {
+		A int
+		B [4]float32
+	}
+	type hasString struct {
+		A int
+		S string
+	}
+	type hasSlice struct{ Xs []int }
+	type hasPtr struct{ P *int }
+	type hasUnexported struct {
+		A int
+		b int //nolint:unused
+	}
+	if fixedPlanFor[fixedOK]() == nil {
+		t.Error("fixed struct did not compile a plan")
+	}
+	if fixedPlanFor[hasString]() != nil {
+		t.Error("string field must disqualify the fixed plan")
+	}
+	if fixedPlanFor[hasSlice]() != nil {
+		t.Error("slice field must disqualify the fixed plan")
+	}
+	if fixedPlanFor[hasPtr]() != nil {
+		t.Error("pointer field must disqualify the fixed plan")
+	}
+	if fixedPlanFor[hasUnexported]() != nil {
+		t.Error("unexported field must keep the gob fallback")
+	}
+	type huge struct{ Xs [1000]int8 }
+	if fixedPlanFor[huge]() != nil {
+		t.Error("oversized flattened plan must fall back to gob")
+	}
+	// Non-fixed types still round-trip through gob.
+	hv := hasSlice{Xs: []int{1, 2, 3}}
+	enc, err := Append(nil, hv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode[hasSlice](enc)
+	if err != nil || !reflect.DeepEqual(got, hv) {
+		t.Fatalf("gob fallback round trip = %v (%v), want %v", got, err, hv)
+	}
+}
+
+// TestReadValueBatchAgainstSkip: a reader that batch-reads some groups
+// and skips others keeps its framing exact either way.
+func TestReadValueBatchAgainstSkip(t *testing.T) {
+	groups := map[string][][]byte{}
+	var order []string
+	for i := 0; i < 20; i++ {
+		k := fmt.Sprintf("key-%02d", i)
+		order = append(order, k)
+		for j := 0; j <= i%4; j++ {
+			groups[k] = append(groups[k], []byte(fmt.Sprintf("v-%d-%d", i, j)))
+		}
+	}
+	data, idx := buildFile(t, groups, order)
+	r := NewReader(bytes.NewReader(data))
+	var batch ValueBatch
+	for i := 0; ; i++ {
+		k, _, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			if err := r.ReadValueBatch(&batch, idx[i].ValueBytes); err != nil {
+				t.Fatalf("group %q: %v", k, err)
+			}
+			if batch.Len() != len(groups[string(k)]) {
+				t.Fatalf("group %q: batch has %d values, want %d", k, batch.Len(), len(groups[string(k)]))
+			}
+		} // odd groups: Next skips the unread values
+	}
+}

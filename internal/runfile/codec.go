@@ -3,7 +3,10 @@
 // The codec has a fast path for every kind the shuffle sorts natively
 // (the integer kinds, floats, bools, strings and byte slices): fixed
 // little-endian or raw-byte layouts with no per-item framing, since the
-// run-file layer already length-prefixes each item. Every other type
+// run-file layer already length-prefixes each item. Fixed-width types
+// that the switch does not name — structs of fixed-width exported
+// fields, named scalar types — use a compiled per-type copy plan
+// (fixed.go) with no per-value reflection. Every other type
 // falls back to encoding/gob, one self-describing stream per item —
 // more bytes, but spilled runs of struct keys (matrix cells, graph
 // edges) round-trip without registration. Types gob cannot encode
@@ -147,6 +150,11 @@ func Append[T any](dst []byte, v T) ([]byte, error) {
 	case []byte:
 		return append(dst, x...), nil
 	default:
+		if plan := fixedPlanFor[T](); plan != nil {
+			// Fixed-width fast path: replay the type's compiled plan —
+			// no reflection per value, no gob type descriptors.
+			return plan.appendTo(dst, fixedPtr(&v)), nil
+		}
 		var buf bytes.Buffer
 		if err := gob.NewEncoder(&buf).Encode(v); err != nil {
 			return nil, fmt.Errorf("runfile: cannot encode %T: %w", v, err)
@@ -156,6 +164,9 @@ func Append[T any](dst []byte, v T) ([]byte, error) {
 }
 
 // Decode reconstructs a value of type T from bytes produced by Append.
+// Its typed switch is mirrored by DecodeBatch in batch.go (one
+// dispatch per batch instead of per value); layout changes must land
+// in both — TestDecodeBatchKinds pins their agreement.
 func Decode[T any](data []byte) (T, error) {
 	var out T
 	switch p := any(&out).(type) {
@@ -228,6 +239,12 @@ func Decode[T any](data []byte) (T, error) {
 		*p = append([]byte(nil), data...)
 		return out, nil
 	default:
+		if plan := fixedPlanFor[T](); plan != nil {
+			if err := plan.decodeInto(data, fixedPtr(&out)); err != nil {
+				return out, err
+			}
+			return out, nil
+		}
 		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&out); err != nil {
 			return out, fmt.Errorf("runfile: cannot decode %T: %w", out, err)
 		}

@@ -1,0 +1,263 @@
+// Fixed-width fast path of the typed codec.
+//
+// The gob fallback in codec.go is self-describing and general, but it
+// pays full reflection — and re-sends the type description — for every
+// single value, which dominates reduce-side CPU for struct keys and
+// values (matrix cells, graph edges). Many of those types are *fixed
+// width*: every field is a bool, sized integer, float or complex (or a
+// nested struct/array of those), so the value has one canonical
+// little-endian layout of a statically known size. For such types the
+// codec builds a plan once per type — a flat list of (memory offset,
+// kind) copy operations derived from reflection — and every subsequent
+// encode or decode replays the plan with raw pointer loads and stores:
+// no per-value reflection, no type descriptors on the wire, and a
+// fraction of gob's bytes.
+//
+// The plan covers exactly the types whose round-trip identity the
+// shuffle already requires (CanRoundTripIdentity): exported fixed-width
+// fields only. Anything else — strings, slices, maps, pointers,
+// unexported fields, non-64-bit ints on exotic platforms — falls back
+// to gob as before.
+package runfile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+	"reflect"
+	"sync"
+	"unsafe"
+)
+
+// maxFixedOps caps a plan's flattened operation count so a huge array
+// field cannot produce an absurd plan; such types fall back to gob.
+const maxFixedOps = 256
+
+// fixedOp copies one scalar between Go memory (at offset off from the
+// value's base address) and the canonical little-endian wire form.
+type fixedOp struct {
+	off  uintptr
+	kind reflect.Kind
+}
+
+// fixedPlan is the compiled codec of one fixed-width type: size is the
+// wire length in bytes, ops the field copies in declaration order.
+type fixedPlan struct {
+	size int
+	ops  []fixedOp
+}
+
+// fixedPlans caches one plan per type; a stored nil records that the
+// type was inspected and does not qualify.
+var fixedPlans sync.Map // reflect.Type -> *fixedPlan
+
+// fixedPtr is unsafe.Pointer(&v) for callers that do not otherwise
+// deal in unsafe (the batch decoder).
+func fixedPtr[T any](v *T) unsafe.Pointer { return unsafe.Pointer(v) }
+
+// fixedPlanFor returns T's compiled fixed-width plan, or nil when T
+// must use the gob fallback. The first call per type pays the
+// reflection walk; later calls are one cache load.
+func fixedPlanFor[T any]() *fixedPlan {
+	t := reflect.TypeOf((*T)(nil)).Elem()
+	if p, ok := fixedPlans.Load(t); ok {
+		return p.(*fixedPlan)
+	}
+	plan := buildFixedPlan(t)
+	fixedPlans.Store(t, plan)
+	return plan
+}
+
+// buildFixedPlan compiles t's plan, or returns nil when t has any
+// non-fixed-width part. Types already handled by the typed switch in
+// codec.go (unnamed ints, floats, bool, string, []byte) never reach
+// the plan at encode time, but compiling them is harmless and lets
+// named scalar types (`type NodeID int64`) share the fast path.
+func buildFixedPlan(t reflect.Type) *fixedPlan {
+	p := &fixedPlan{}
+	if !appendFixedOps(t, 0, p) || len(p.ops) == 0 {
+		return nil
+	}
+	return p
+}
+
+func appendFixedOps(t reflect.Type, base uintptr, p *fixedPlan) bool {
+	if len(p.ops) >= maxFixedOps {
+		return false
+	}
+	k := t.Kind()
+	switch k {
+	case reflect.Bool, reflect.Int8, reflect.Uint8:
+		p.ops = append(p.ops, fixedOp{base, k})
+		p.size++
+		return true
+	case reflect.Int16, reflect.Uint16:
+		p.ops = append(p.ops, fixedOp{base, k})
+		p.size += 2
+		return true
+	case reflect.Int32, reflect.Uint32, reflect.Float32:
+		p.ops = append(p.ops, fixedOp{base, k})
+		p.size += 4
+		return true
+	case reflect.Int64, reflect.Uint64, reflect.Float64, reflect.Complex64:
+		p.ops = append(p.ops, fixedOp{base, k})
+		p.size += 8
+		return true
+	case reflect.Complex128:
+		p.ops = append(p.ops, fixedOp{base, k})
+		p.size += 16
+		return true
+	case reflect.Int, reflect.Uint, reflect.Uintptr:
+		// Encoded as 8 wire bytes; requires the in-memory word to be 64
+		// bits too, so the pointer load below is exact.
+		if bits.UintSize != 64 {
+			return false
+		}
+		p.ops = append(p.ops, fixedOp{base, k})
+		p.size += 8
+		return true
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if f.PkgPath != "" {
+				// Unexported fields keep the gob fallback (and its loud
+				// rejection through the round-trip gates) rather than
+				// silently diverging from it.
+				return false
+			}
+			if !appendFixedOps(f.Type, base+f.Offset, p) {
+				return false
+			}
+		}
+		return true
+	case reflect.Array:
+		elem := t.Elem()
+		for i := 0; i < t.Len(); i++ {
+			if !appendFixedOps(elem, base+uintptr(i)*elem.Size(), p) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// appendTo encodes the value at src (the address of a value of the
+// plan's type) onto dst in canonical little-endian form.
+func (p *fixedPlan) appendTo(dst []byte, src unsafe.Pointer) []byte {
+	for _, op := range p.ops {
+		f := unsafe.Add(src, op.off)
+		switch op.kind {
+		case reflect.Bool:
+			b := byte(0)
+			if *(*bool)(f) {
+				b = 1
+			}
+			dst = append(dst, b)
+		case reflect.Int8:
+			dst = append(dst, byte(*(*int8)(f)))
+		case reflect.Uint8:
+			dst = append(dst, *(*uint8)(f))
+		case reflect.Int16:
+			dst = binary.LittleEndian.AppendUint16(dst, uint16(*(*int16)(f)))
+		case reflect.Uint16:
+			dst = binary.LittleEndian.AppendUint16(dst, *(*uint16)(f))
+		case reflect.Int32:
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(*(*int32)(f)))
+		case reflect.Uint32:
+			dst = binary.LittleEndian.AppendUint32(dst, *(*uint32)(f))
+		case reflect.Float32:
+			dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(*(*float32)(f)))
+		case reflect.Int64:
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(*(*int64)(f)))
+		case reflect.Uint64:
+			dst = binary.LittleEndian.AppendUint64(dst, *(*uint64)(f))
+		case reflect.Float64:
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(*(*float64)(f)))
+		case reflect.Int:
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(*(*int)(f)))
+		case reflect.Uint:
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(*(*uint)(f)))
+		case reflect.Uintptr:
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(*(*uintptr)(f)))
+		case reflect.Complex64:
+			c := *(*complex64)(f)
+			dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(real(c)))
+			dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(imag(c)))
+		case reflect.Complex128:
+			c := *(*complex128)(f)
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(real(c)))
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(imag(c)))
+		}
+	}
+	return dst
+}
+
+// decodeInto decodes data (exactly p.size wire bytes) into the value at
+// dst.
+func (p *fixedPlan) decodeInto(data []byte, dst unsafe.Pointer) error {
+	if len(data) != p.size {
+		return fmt.Errorf("runfile: fixed-width value needs %d bytes, got %d", p.size, len(data))
+	}
+	pos := 0
+	for _, op := range p.ops {
+		f := unsafe.Add(dst, op.off)
+		switch op.kind {
+		case reflect.Bool:
+			*(*bool)(f) = data[pos] != 0
+			pos++
+		case reflect.Int8:
+			*(*int8)(f) = int8(data[pos])
+			pos++
+		case reflect.Uint8:
+			*(*uint8)(f) = data[pos]
+			pos++
+		case reflect.Int16:
+			*(*int16)(f) = int16(binary.LittleEndian.Uint16(data[pos:]))
+			pos += 2
+		case reflect.Uint16:
+			*(*uint16)(f) = binary.LittleEndian.Uint16(data[pos:])
+			pos += 2
+		case reflect.Int32:
+			*(*int32)(f) = int32(binary.LittleEndian.Uint32(data[pos:]))
+			pos += 4
+		case reflect.Uint32:
+			*(*uint32)(f) = binary.LittleEndian.Uint32(data[pos:])
+			pos += 4
+		case reflect.Float32:
+			*(*float32)(f) = math.Float32frombits(binary.LittleEndian.Uint32(data[pos:]))
+			pos += 4
+		case reflect.Int64:
+			*(*int64)(f) = int64(binary.LittleEndian.Uint64(data[pos:]))
+			pos += 8
+		case reflect.Uint64:
+			*(*uint64)(f) = binary.LittleEndian.Uint64(data[pos:])
+			pos += 8
+		case reflect.Float64:
+			*(*float64)(f) = math.Float64frombits(binary.LittleEndian.Uint64(data[pos:]))
+			pos += 8
+		case reflect.Int:
+			*(*int)(f) = int(binary.LittleEndian.Uint64(data[pos:]))
+			pos += 8
+		case reflect.Uint:
+			*(*uint)(f) = uint(binary.LittleEndian.Uint64(data[pos:]))
+			pos += 8
+		case reflect.Uintptr:
+			*(*uintptr)(f) = uintptr(binary.LittleEndian.Uint64(data[pos:]))
+			pos += 8
+		case reflect.Complex64:
+			re := math.Float32frombits(binary.LittleEndian.Uint32(data[pos:]))
+			im := math.Float32frombits(binary.LittleEndian.Uint32(data[pos+4:]))
+			*(*complex64)(f) = complex(re, im)
+			pos += 8
+		case reflect.Complex128:
+			re := math.Float64frombits(binary.LittleEndian.Uint64(data[pos:]))
+			im := math.Float64frombits(binary.LittleEndian.Uint64(data[pos+8:]))
+			*(*complex128)(f) = complex(re, im)
+			pos += 16
+		}
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+// The filesystem seam behind run files.
+//
+// Run files are created, reopened and deleted by the shuffle's spill
+// machinery; everything it needs from the operating system is the
+// narrow FS interface below. Production code uses OSFS (the os
+// package, verbatim); the fault-injection harness (internal/errfs)
+// wraps any FS and fails the Nth call of a chosen operation, which is
+// how the spill, compaction and reduce-merge error paths are tested
+// without a real failing disk.
+package runfile
+
+import (
+	"io"
+	"os"
+)
+
+// File is one run-file handle: sequential read/write for the spill
+// writer and merge cursors, random access for ReadIndex, and the name
+// under which the file can be reopened or removed.
+type File interface {
+	io.Reader
+	io.Writer
+	io.ReaderAt
+	io.Closer
+	Name() string
+}
+
+// FS creates, reopens and removes run files. Implementations must be
+// safe for concurrent use: the shuffle spills and merges from many
+// partition goroutines at once.
+type FS interface {
+	// CreateTemp creates a new run file with os.CreateTemp semantics:
+	// pattern's "*" is replaced by a random string, and the returned
+	// file is open for read and write.
+	CreateTemp(dir, pattern string) (File, error)
+	// Open reopens an existing run file for reading.
+	Open(name string) (File, error)
+	// Remove deletes a run file.
+	Remove(name string) error
+}
+
+// OSFS is the production FS: the real filesystem via the os package.
+var OSFS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Remove(name string) error { return os.Remove(name) }

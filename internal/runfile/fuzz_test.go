@@ -150,6 +150,8 @@ func FuzzRunfileCodec(f *testing.F) {
 
 		// Side 3: the typed codec round-trips the fuzzed bytes as both
 		// string and []byte payloads.
+		// (FuzzValueBatch covers the batch read path over the same
+		// geometry.)
 		sdata, err := Append(nil, string(key))
 		if err != nil {
 			t.Fatal(err)
@@ -165,6 +167,127 @@ func FuzzRunfileCodec(f *testing.F) {
 		bv, err := Decode[[]byte](bdata)
 		if err != nil || !bytes.Equal(bv, v1) {
 			t.Fatalf("[]byte codec: %q %v", bv, err)
+		}
+	})
+}
+
+// FuzzValueBatch pits the batch read path against the per-value
+// Reader: for fuzzer-chosen v2 run files the two must agree
+// byte-for-byte on every key and payload (with the footer index driving
+// the batch reads, and without it), and arbitrary input bytes must fail
+// with ErrCorrupt or clean EOF — never panic.
+func FuzzValueBatch(f *testing.F) {
+	f.Add([]byte("key"), []byte("v1"), []byte("v2"), uint8(3))
+	f.Add([]byte(""), []byte(""), []byte{0xff, 0x00}, uint8(0))
+	f.Add([]byte{'M', 'R', 'R', 'F', 2}, []byte("x"), bytes.Repeat([]byte("y"), 300), uint8(9))
+
+	f.Fuzz(func(t *testing.T, key, v1, v2 []byte, n uint8) {
+		// Build a v2 file: a group of n%8 alternating values, a group
+		// with zero values, and a single-value group.
+		values := make([][]byte, 0, int(n%8))
+		for i := 0; i < int(n%8); i++ {
+			if i%2 == 0 {
+				values = append(values, v1)
+			} else {
+				values = append(values, v2)
+			}
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.WriteGroup(key, values); err != nil {
+			t.Fatalf("WriteGroup: %v", err)
+		}
+		if err := w.WriteGroup(append(append([]byte(nil), key...), '0'), nil); err != nil {
+			t.Fatalf("WriteGroup: %v", err)
+		}
+		if err := w.WriteGroup(append(append([]byte(nil), key...), '1'), [][]byte{v2}); err != nil {
+			t.Fatalf("WriteGroup: %v", err)
+		}
+		if err := w.Finish(); err != nil {
+			t.Fatalf("Finish: %v", err)
+		}
+		data := buf.Bytes()
+		idx, err := ReadIndex(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			t.Fatalf("ReadIndex: %v", err)
+		}
+
+		// Reference: the per-value reader.
+		var wantKeys [][]byte
+		var wantVals [][][]byte
+		r := NewReader(bytes.NewReader(data))
+		for {
+			k, cnt, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("Next: %v", err)
+			}
+			wantKeys = append(wantKeys, append([]byte(nil), k...))
+			var vs [][]byte
+			for i := 0; i < cnt; i++ {
+				v, err := r.Value()
+				if err != nil {
+					t.Fatalf("Value: %v", err)
+				}
+				vs = append(vs, v)
+			}
+			wantVals = append(wantVals, vs)
+		}
+
+		for _, index := range [][]IndexEntry{idx, nil} {
+			gb := NewGroupBatch(bytes.NewReader(data), index)
+			for g := 0; ; g++ {
+				k, vb, err := gb.Next()
+				if err == io.EOF {
+					if g != len(wantKeys) {
+						t.Fatalf("batch read ended after %d groups, want %d", g, len(wantKeys))
+					}
+					break
+				}
+				if err != nil {
+					t.Fatalf("batch Next: %v", err)
+				}
+				if g >= len(wantKeys) || !bytes.Equal(k, wantKeys[g]) {
+					t.Fatalf("batch group %d key %q diverges", g, k)
+				}
+				if vb.Len() != len(wantVals[g]) {
+					t.Fatalf("batch group %d has %d values, want %d", g, vb.Len(), len(wantVals[g]))
+				}
+				for i := range wantVals[g] {
+					if !bytes.Equal(vb.Value(i), wantVals[g][i]) {
+						t.Fatalf("batch group %d value %d = %q, want %q", g, i, vb.Value(i), wantVals[g][i])
+					}
+				}
+			}
+		}
+
+		// Arbitrary bytes must fail cleanly through the batch reader.
+		raw := append(append([]byte{}, key...), v1...)
+		gb := NewGroupBatch(bytes.NewReader(raw), nil)
+		for {
+			_, _, err := gb.Next()
+			if err != nil {
+				if err != io.EOF && !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("arbitrary input: unexpected error class %v", err)
+				}
+				break
+			}
+		}
+		// Truncations of the valid file too.
+		if len(data) > 0 {
+			cut := data[:int(n)%len(data)]
+			gb := NewGroupBatch(bytes.NewReader(cut), nil)
+			for {
+				_, _, err := gb.Next()
+				if err != nil {
+					if err != io.EOF && !errors.Is(err, ErrCorrupt) {
+						t.Fatalf("truncated input: unexpected error class %v", err)
+					}
+					break
+				}
+			}
 		}
 	})
 }

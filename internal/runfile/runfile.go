@@ -384,7 +384,12 @@ func (r *Reader) readFull(p []byte) error {
 func (r *Reader) readHeader() error {
 	var hdr [5]byte
 	if err := r.readFull(hdr[:]); err != nil {
-		return fmt.Errorf("%w: missing header", ErrCorrupt)
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("%w: missing header", ErrCorrupt)
+		}
+		// A real I/O failure, not a short file: keep the cause in the
+		// chain so callers can tell a bad disk from a bad file.
+		return fmt.Errorf("%w: reading header: %w", ErrCorrupt, err)
 	}
 	if [4]byte(hdr[:4]) != magicPrefix {
 		return fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[:])
@@ -569,7 +574,7 @@ func ReadIndex(ra io.ReaderAt, size int64) ([]IndexEntry, error) {
 	}
 	var tr [trailerLen]byte
 	if _, err := ra.ReadAt(tr[:], size-trailerLen); err != nil {
-		return nil, fmt.Errorf("%w: reading trailer: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: reading trailer: %w", ErrCorrupt, err)
 	}
 	if [4]byte(tr[8:]) != indexMagic {
 		return nil, fmt.Errorf("%w: trailer magic missing", ErrNoIndex)
@@ -580,7 +585,7 @@ func ReadIndex(ra io.ReaderAt, size int64) ([]IndexEntry, error) {
 	}
 	footer := make([]byte, size-trailerLen-footerOff)
 	if _, err := ra.ReadAt(footer, footerOff); err != nil {
-		return nil, fmt.Errorf("%w: reading footer: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: reading footer: %w", ErrCorrupt, err)
 	}
 	next := func() (uint64, error) {
 		x, n := binary.Uvarint(footer)
@@ -686,7 +691,9 @@ func ScanIndex(r io.Reader) ([]IndexEntry, error) {
 }
 
 // corrupt maps io errors inside a group to ErrCorrupt: EOF mid-group is
-// truncation, not a clean end.
+// truncation, not a clean end. The original error stays in the chain
+// (both ErrCorrupt and, say, an injected I/O failure satisfy
+// errors.Is), so callers can distinguish a bad file from a bad disk.
 func corrupt(err error) error {
 	if err == io.EOF || err == io.ErrUnexpectedEOF {
 		return fmt.Errorf("%w: truncated stream", ErrCorrupt)
@@ -694,5 +701,5 @@ func corrupt(err error) error {
 	if errors.Is(err, ErrCorrupt) {
 		return err
 	}
-	return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	return fmt.Errorf("%w: %w", ErrCorrupt, err)
 }

@@ -1,0 +1,131 @@
+package shuffle
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestForEachGroupBatchMatchesPerGroup: the batch read contract must
+// change only allocation behavior — keys, key order, values and value
+// order are identical to ForEachGroup, across spilled and in-memory
+// partitions, struct values included.
+func TestForEachGroupBatchMatchesPerGroup(t *testing.T) {
+	type pay struct {
+		A int64
+		B float64
+	}
+	for _, spillDir := range []string{"", t.TempDir()} {
+		s := New[int, pay](Options{Partitions: 4, MaxBufferedPairs: 8, SpillDir: spillDir})
+		bufs := make([]*TaskBuffer[int, pay], 3)
+		for i := range bufs {
+			bufs[i] = s.NewTaskBuffer()
+		}
+		for i := 0; i < 400; i++ {
+			bufs[i%3].Emit(i%19, pay{A: int64(i), B: float64(i) / 4})
+		}
+		if err := s.Merge(bufs); err != nil {
+			t.Fatal(err)
+		}
+		type group struct {
+			k  int
+			vs []pay
+		}
+		for p := 0; p < s.NumPartitions(); p++ {
+			var plain, batch []group
+			if err := s.Partition(p).ForEachGroup(func(k int, vs []pay) error {
+				plain = append(plain, group{k, vs})
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Partition(p).ForEachGroupBatch(func(k int, vs []pay) error {
+				// The slice is only valid during the call: copy to keep.
+				batch = append(batch, group{k, append([]pay(nil), vs...)})
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(plain, batch) {
+				t.Fatalf("spillDir=%q partition %d: batch read diverges from per-group read", spillDir, p)
+			}
+		}
+		s.Close()
+	}
+}
+
+// TestPerValueDecodeHookMatchesBatch: the legacy per-value decode path
+// (kept for head-to-head benchmarks) must produce the same groups as
+// the default batch decode.
+func TestPerValueDecodeHookMatchesBatch(t *testing.T) {
+	build := func(perValue bool) map[string][]int {
+		s := New[string, int](Options{Partitions: 2, MaxBufferedPairs: 8, SpillDir: t.TempDir()})
+		defer s.Close()
+		s.perValue = perValue
+		buf := s.NewTaskBuffer()
+		for i := 0; i < 300; i++ {
+			buf.Emit(fmt.Sprintf("k%02d", i%17), i)
+		}
+		if err := s.Merge([]*TaskBuffer[string, int]{buf}); err != nil {
+			t.Fatal(err)
+		}
+		got := make(map[string][]int)
+		for p := 0; p < s.NumPartitions(); p++ {
+			if err := s.Partition(p).ForEachGroup(func(k string, vs []int) error {
+				got[k] = vs
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return got
+	}
+	if !reflect.DeepEqual(build(true), build(false)) {
+		t.Fatal("per-value and batch decode paths disagree")
+	}
+}
+
+// TestSetCombinerInvalidatesStatsMemo is the regression test for the
+// memoization bug: Stats results were invalidated only by Merge, so a
+// SetCombiner between a Stats call and the next Merge could serve a
+// profile that no longer described the shuffle's sealing behavior.
+func TestSetCombinerInvalidatesStatsMemo(t *testing.T) {
+	s := New[int, int](Options{Partitions: 2})
+	buf := s.NewTaskBuffer()
+	for i := 0; i < 20; i++ {
+		buf.Emit(i%3, i)
+	}
+	if err := s.Merge([]*TaskBuffer[int, int]{buf}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pairs != 20 {
+		t.Fatalf("Stats.Pairs = %d, want 20", st.Pairs)
+	}
+	s.statsMu.Lock()
+	memoized := s.statsMemo != nil
+	s.statsMu.Unlock()
+	if !memoized {
+		t.Fatal("Stats result was not memoized")
+	}
+
+	s.SetCombiner(func(_ int, vs []int) []int { return vs })
+
+	s.statsMu.Lock()
+	stale := s.statsMemo != nil
+	s.statsMu.Unlock()
+	if stale {
+		t.Fatal("SetCombiner left a stale Stats memo in place")
+	}
+	// And Stats still recomputes correctly afterwards.
+	st, err = s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pairs != 20 || st.Keys != 3 {
+		t.Fatalf("recomputed Stats = pairs %d keys %d, want 20 and 3", st.Pairs, st.Keys)
+	}
+}

@@ -1,0 +1,230 @@
+package shuffle
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/errfs"
+)
+
+// Fault injection over the whole disk data path: every filesystem
+// operation behind the spill, compaction and reduce-merge machinery is
+// failed in turn (via internal/errfs threaded through Options.FS), and
+// each failure must surface as a wrapped error — errors.Is finds the
+// injected cause through every layer — with no panic and no silently
+// truncated output.
+
+// spillWorkload merges pairs pairs of key i%keys into a single-partition
+// shuffle with the given budget over fs, returning the shuffle and the
+// merge error.
+func spillWorkload(t *testing.T, fs *errfs.FS, budget, pairs, keys int) (*Shuffle[int, int], error) {
+	t.Helper()
+	s := New[int, int](Options{
+		Partitions: 1, MaxBufferedPairs: budget,
+		SpillDir: t.TempDir(), FS: fs,
+	})
+	buf := s.NewTaskBuffer()
+	for i := 0; i < pairs; i++ {
+		buf.Emit(i%keys, i)
+	}
+	return s, s.Merge([]*TaskBuffer[int, int]{buf})
+}
+
+// TestFaultInjectionSpill fails each operation of the seal-to-disk
+// path — create, write, close, and the remove on the cleanup path —
+// and requires Merge to surface the injected error wrapped.
+func TestFaultInjectionSpill(t *testing.T) {
+	cases := []struct {
+		name    string
+		op      errfs.Op
+		nth     int
+		wantMsg string
+	}{
+		{"create-first-run", errfs.OpCreate, 1, "creating spill file"},
+		{"create-later-run", errfs.OpCreate, 3, "creating spill file"},
+		{"write-flush", errfs.OpWrite, 1, "flushing spill"},
+		{"close-after-finish", errfs.OpClose, 1, "closing spill"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := errfs.New(nil)
+			fs.FailAt(tc.op, tc.nth, nil)
+			s, err := spillWorkload(t, fs, 2, 16, 5)
+			defer s.Close()
+			if err == nil {
+				t.Fatal("Merge succeeded despite injected failure")
+			}
+			if !errors.Is(err, errfs.ErrInjected) {
+				t.Fatalf("injected cause lost from the chain: %v", err)
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.wantMsg)
+			}
+		})
+	}
+
+	// A failed spill must not leak its partial run file: the create
+	// succeeds, the write fails, and the cleanup path removes the file
+	// (observed through the remove counter).
+	fs := errfs.New(nil)
+	fs.FailAt(errfs.OpWrite, 1, nil)
+	s, err := spillWorkload(t, fs, 2, 16, 5)
+	defer s.Close()
+	if err == nil {
+		t.Fatal("Merge succeeded despite injected write failure")
+	}
+	if got := fs.Calls(errfs.OpRemove); got == 0 {
+		t.Error("failed spill left its partial run file in place (no remove issued)")
+	}
+}
+
+// TestFaultInjectionCompaction drives a partition past maxDiskRunFanIn
+// seals so compaction runs mid-merge, then fails each of its
+// operations: reopening input runs, reading them, creating the output,
+// and flushing it.
+func TestFaultInjectionCompaction(t *testing.T) {
+	const pairs = maxDiskRunFanIn // budget 1: one seal per pair, compaction at the last
+	// Discovery pass: count the clean run's operations so the write and
+	// create injections can target the compaction output (the last of
+	// each) without hard-coding buffer-dependent ordinals.
+	probe := errfs.New(nil)
+	s, err := spillWorkload(t, probe, 1, pairs, 7)
+	if err != nil {
+		t.Fatalf("clean compaction run failed: %v", err)
+	}
+	s.Close()
+	creates, writes, reads := probe.Calls(errfs.OpCreate), probe.Calls(errfs.OpWrite), probe.Calls(errfs.OpRead)
+	if creates != pairs+1 {
+		t.Fatalf("clean run created %d files, want %d spills + 1 compaction output", creates, pairs+1)
+	}
+	if reads == 0 {
+		t.Fatal("clean run never read: compaction did not happen")
+	}
+
+	cases := []struct {
+		name    string
+		op      errfs.Op
+		nth     int
+		wantMsg string
+	}{
+		{"open-first-input", errfs.OpOpen, 1, "compacting"},
+		{"open-last-input", errfs.OpOpen, pairs, "compacting"},
+		{"read-first", errfs.OpRead, 1, "compacting"},
+		{"read-mid", errfs.OpRead, reads / 2, "compacting"},
+		{"create-output", errfs.OpCreate, creates, "creating compacted run"},
+		{"write-output-flush", errfs.OpWrite, writes, "compacted run"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := errfs.New(nil)
+			fs.FailAt(tc.op, tc.nth, nil)
+			s, err := spillWorkload(t, fs, 1, pairs, 7)
+			defer s.Close()
+			if err == nil {
+				t.Fatal("Merge succeeded despite injected compaction failure")
+			}
+			if !errors.Is(err, errfs.ErrInjected) {
+				t.Fatalf("injected cause lost from the chain: %v", err)
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.wantMsg)
+			}
+		})
+	}
+}
+
+// TestFaultInjectionReduceMerge spills cleanly, then fails the
+// reduce-time k-way merge's reopens and reads at several points. The
+// counting APIs must keep working through armed read failures (they
+// are memory-only), the streaming read must surface the wrapped error
+// rather than truncate, and clearing the injection must yield the full
+// dataset — the files were never corrupted.
+func TestFaultInjectionReduceMerge(t *testing.T) {
+	const budget, pairs, keys = 4, 32, 5
+	build := func(fs *errfs.FS) *Shuffle[int, int] {
+		s, err := spillWorkload(t, fs, budget, pairs, keys)
+		if err != nil {
+			t.Fatalf("spill phase: %v", err)
+		}
+		fs.Reset() // ordinals below are local to the read phase
+		return s
+	}
+
+	// Discovery: how many reads does a clean streaming pass issue?
+	probe := errfs.New(nil)
+	s := build(probe)
+	if err := s.Partition(0).ForEachGroup(func(int, []int) error { return nil }); err != nil {
+		t.Fatalf("clean merge: %v", err)
+	}
+	opens, reads := probe.Calls(errfs.OpOpen), probe.Calls(errfs.OpRead)
+	if opens < 2 || reads < opens {
+		t.Fatalf("clean merge used %d opens / %d reads; expected a multi-run merge", opens, reads)
+	}
+	s.Close()
+
+	cases := []struct {
+		name string
+		op   errfs.Op
+		nth  int
+	}{
+		{"open-first-run", errfs.OpOpen, 1},
+		{"open-last-run", errfs.OpOpen, opens},
+		{"read-header", errfs.OpRead, 1},
+		{"read-mid-stream", errfs.OpRead, reads / 2},
+		{"read-last", errfs.OpRead, reads},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := errfs.New(nil)
+			s := build(fs)
+			defer s.Close()
+
+			fs.FailAt(tc.op, tc.nth, nil)
+			// Counting reads stay memory-only: the armed failure must not
+			// fire, and the profile must be complete.
+			st, err := s.Stats()
+			if err != nil {
+				t.Fatalf("Stats with armed %s failure: %v", tc.op, err)
+			}
+			if st.Pairs != pairs || st.Keys != keys {
+				t.Fatalf("Stats = pairs %d keys %d, want %d and %d", st.Pairs, st.Keys, pairs, keys)
+			}
+			if n := s.Partition(0).NumKeys(); n != keys {
+				t.Fatalf("NumKeys = %d, want %d", n, keys)
+			}
+
+			// The streaming merge hits the injection and must say so.
+			err = s.Partition(0).ForEachGroup(func(int, []int) error { return nil })
+			if err == nil {
+				t.Fatal("ForEachGroup succeeded despite injected failure")
+			}
+			if !errors.Is(err, errfs.ErrInjected) {
+				t.Fatalf("injected cause lost from the chain: %v", err)
+			}
+			if !strings.Contains(err.Error(), "spill") {
+				t.Fatalf("err = %v, want a spill-read error", err)
+			}
+
+			// And batch mode surfaces it identically.
+			fs.FailAt(tc.op, tc.nth, nil)
+			if err := s.Partition(0).ForEachGroupBatch(func(int, []int) error { return nil }); !errors.Is(err, errfs.ErrInjected) {
+				t.Fatalf("batch read: injected cause lost: %v", err)
+			}
+
+			// No corruption, no truncation: with the injection cleared the
+			// full dataset streams back.
+			fs.Reset()
+			got := 0
+			if err := s.Partition(0).ForEachGroup(func(_ int, vs []int) error {
+				got += len(vs)
+				return nil
+			}); err != nil {
+				t.Fatalf("clean re-read after injected failure: %v", err)
+			}
+			if got != pairs {
+				t.Fatalf("re-read streamed %d pairs, want %d (silent truncation)", got, pairs)
+			}
+		})
+	}
+}

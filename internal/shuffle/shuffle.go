@@ -129,6 +129,12 @@ type Options struct {
 	// stream a k-way merge over disk and live runs. Call Close to
 	// delete the files. When empty, sealed runs stay in memory.
 	SpillDir string
+
+	// FS overrides the filesystem behind spill run files. Nil selects
+	// the real filesystem (runfile.OSFS); fault-injection tests thread
+	// an errfs.FS here to fail chosen creates, reads, writes and
+	// closes.
+	FS runfile.FS
 }
 
 // DefaultPartitions is the partition count used when Options.Partitions
@@ -173,8 +179,10 @@ type Shuffle[K comparable, V any] struct {
 	mergeMu      sync.Mutex
 	closed       bool
 	spillTypeErr error         // non-nil when K or V cannot survive a disk round trip
+	fs           runfile.FS    // filesystem behind run files (OSFS unless injected)
 	diskSem      chan struct{} // bounds concurrent multi-file disk reads (fd cap)
 	diskRead     atomic.Int64  // bytes read back from spill run files
+	perValue     bool          // test/bench hook: legacy per-value spill decode
 
 	statsMu   sync.Mutex
 	statsMemo *Stats // memoized Stats, invalidated by Merge
@@ -213,6 +221,10 @@ func New[K comparable, V any](opts Options) *Shuffle[K, V] {
 	for i := range s.parts {
 		s.parts[i].live = make(map[K][]V)
 	}
+	s.fs = opts.FS
+	if s.fs == nil {
+		s.fs = runfile.OSFS
+	}
 	if opts.SpillDir != "" {
 		// Keys grouped after a disk round trip are compared with ==, so
 		// types whose decoded copies break == (pointer fields, etc.)
@@ -249,6 +261,13 @@ func (s *Shuffle[K, V]) SetPartitioner(fn func(K) int) {
 // re-apply it to already-combined partials. It must be called before
 // Merge.
 func (s *Shuffle[K, V]) SetCombiner(fn func(key K, values []V) []V) {
+	// The combiner changes what future seals spill, so a Stats profile
+	// memoized before this call must not survive it — invalidating only
+	// on Merge would serve a stale profile to a caller that re-reads
+	// Stats between SetCombiner and the next Merge.
+	s.statsMu.Lock()
+	s.statsMemo = nil
+	s.statsMu.Unlock()
 	s.combiner = fn
 }
 
@@ -419,7 +438,7 @@ func (p Partition[K, V]) NumKeys() int {
 		return len(st.live)
 	}
 	n := 0
-	p.forEachGroup(false, func(K, int, []V) error { n++; return nil })
+	p.forEachGroup(false, false, func(K, int, []V) error { n++; return nil })
 	return n
 }
 
@@ -434,7 +453,7 @@ func (p Partition[K, V]) SortedKeys() []K {
 		return sortedMapKeys(st.live)
 	}
 	var keys []K
-	p.forEachGroup(false, func(k K, _ int, _ []V) error {
+	p.forEachGroup(false, false, func(k K, _ int, _ []V) error {
 		keys = append(keys, k)
 		return nil
 	})
@@ -452,7 +471,7 @@ func (p Partition[K, V]) Values(k K) []V {
 		return st.live[k]
 	}
 	var out []V
-	p.forEachGroup(true, func(key K, _ int, vs []V) error {
+	p.forEachGroup(true, false, func(key K, _ int, vs []V) error {
 		if key == k {
 			out = vs
 			return errStopIteration
@@ -478,9 +497,28 @@ func (p Partition[K, V]) ForEachSorted(fn func(k K, vs []V)) {
 // partition. A key's values arrive concatenated across runs in seal
 // order then the live run — the package's value-order contract. An
 // error from fn stops the iteration and is returned; I/O and decode
-// errors reading spilled runs are returned likewise.
+// errors reading spilled runs are returned likewise. The value slices
+// are stable — nothing overwrites them after fn returns, so they are
+// safe to retain — but in-memory groups alias the shuffle's live and
+// sealed run buffers, so treat them as read-only. Use
+// ForEachGroupBatch when fn does not retain them at all.
 func (p Partition[K, V]) ForEachGroup(fn func(k K, vs []V) error) error {
-	return p.forEachGroup(true, func(k K, _ int, vs []V) error {
+	return p.forEachGroup(true, false, func(k K, _ int, vs []V) error {
+		return fn(k, vs)
+	})
+}
+
+// ForEachGroupBatch is ForEachGroup under the batch arena-reuse
+// contract: the value slice passed to fn is valid only during the
+// call — for spilled runs it is decoded into a per-run scratch slice
+// that the next group reuses, so a full partition streams with one
+// value-section read and one batch decode per group and near-zero
+// per-group allocation. fn must not retain the slice (copy it to keep
+// it). Callers that retain values use ForEachGroup, whose slices stay
+// stable after the call — the two are otherwise identical, key order
+// and value-order contract included.
+func (p Partition[K, V]) ForEachGroupBatch(fn func(k K, vs []V) error) error {
+	return p.forEachGroup(true, true, func(k K, _ int, vs []V) error {
 		return fn(k, vs)
 	})
 }
@@ -491,7 +529,7 @@ func (p Partition[K, V]) ForEachGroup(fn func(k K, vs []V) error) error {
 // opened, so the pass is pure memory. This is the cheap pass for load
 // profiling and overflow diagnosis.
 func (p Partition[K, V]) ForEachGroupCount(fn func(k K, count int) error) error {
-	return p.forEachGroup(false, func(k K, count int, _ []V) error {
+	return p.forEachGroup(false, false, func(k K, count int, _ []V) error {
 		return fn(k, count)
 	})
 }
@@ -630,7 +668,7 @@ func (s *Shuffle[K, V]) computeStats() (Stats, error) {
 			}
 			// Spilled partitions merge their resident run indexes with
 			// the in-memory runs: a pure in-memory pass.
-			errs[p] = s.Partition(p).forEachGroup(false, func(_ K, count int, _ []V) error {
+			errs[p] = s.Partition(p).forEachGroup(false, false, func(_ K, count int, _ []V) error {
 				profiles[p].keys++
 				if g := int64(count); g > profiles[p].maxGroup {
 					profiles[p].maxGroup = g

@@ -144,6 +144,7 @@ func BenchmarkExternalShuffle(b *testing.B) {
 		b.ReportAllocs()
 		var retained, spilledMB, indexMB, statsReadMB, diskReadMB float64
 		var peak int
+		var streamed int64
 		for i := 0; i < b.N; i++ {
 			s := New[string, int](opts)
 			if combine {
@@ -216,6 +217,7 @@ func BenchmarkExternalShuffle(b *testing.B) {
 			if sums != wantSum {
 				b.Fatalf("streamed value sum %d, want %d", sums, wantSum)
 			}
+			streamed += got
 			diskReadMB = float64(s.DiskBytesRead()) / (1 << 20)
 			if err := s.Close(); err != nil {
 				b.Fatal(err)
@@ -227,6 +229,9 @@ func BenchmarkExternalShuffle(b *testing.B) {
 		b.ReportMetric(statsReadMB, "stats-read-MB")
 		b.ReportMetric(diskReadMB, "disk-read-MB")
 		b.ReportMetric(float64(peak), "live-pairs-peak")
+		// Reduce-side throughput: values streamed back per second of
+		// total benchmark time (build + merge + full streaming read).
+		b.ReportMetric(float64(streamed)/b.Elapsed().Seconds(), "values/s")
 	}
 
 	b.Run("in-memory", func(b *testing.B) {
@@ -238,6 +243,84 @@ func BenchmarkExternalShuffle(b *testing.B) {
 	b.Run("spill-with-combiner", func(b *testing.B) {
 		run(b, Options{Partitions: parts, MaxBufferedPairs: budget, SpillDir: b.TempDir()}, true)
 	})
+}
+
+// BenchmarkReduceMergeDecode compares the reduce-side decode paths on
+// a one-million-pair spilled workload (16x the total memory budget):
+// the legacy per-value decode (one framing read and one typed decode
+// per value), the batch decode now behind ForEachGroup (one
+// value-section read and one type dispatch per group), and the full
+// batch contract (ForEachGroupBatch, which additionally reuses the
+// decoded slice). Build and spill are identical untimed setup; only
+// the streaming k-way merge is measured, so values/s compares the
+// decode paths directly. This is the acceptance benchmark for the
+// batch read path: batch must beat per-value.
+func BenchmarkReduceMergeDecode(b *testing.B) {
+	const (
+		parts  = 8
+		budget = 1024
+		total  = 1 << 20 // 1M pairs
+		nTasks = 16
+		nKeys  = 4096
+	)
+	tasks := benchPairs(total, nTasks, nKeys)
+
+	build := func(b *testing.B, perValue bool) *Shuffle[string, int] {
+		b.Helper()
+		s := New[string, int](Options{Partitions: parts, MaxBufferedPairs: budget, SpillDir: b.TempDir()})
+		s.perValue = perValue
+		bufs := make([]*TaskBuffer[string, int], len(tasks))
+		for t, ps := range tasks {
+			buf := s.NewTaskBuffer()
+			for _, p := range ps {
+				buf.Emit(p.Key, p.Value)
+			}
+			bufs[t] = buf
+		}
+		if err := s.Merge(bufs); err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+
+	for _, mode := range []string{"per-value", "batch", "batch-reduce"} {
+		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
+			var streamed int64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s := build(b, mode == "per-value")
+				b.StartTimer()
+				var got int64
+				count := func(_ string, vs []int) error {
+					got += int64(len(vs))
+					return nil
+				}
+				for p := 0; p < s.NumPartitions(); p++ {
+					var err error
+					if mode == "batch-reduce" {
+						err = s.Partition(p).ForEachGroupBatch(count)
+					} else {
+						err = s.Partition(p).ForEachGroup(count)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if got != total {
+					b.Fatalf("streamed %d pairs, want %d", got, total)
+				}
+				streamed += got
+				if err := s.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(streamed)/b.Elapsed().Seconds(), "values/s")
+		})
+	}
 }
 
 // BenchmarkMergeScaling shows merge throughput as partitions scale from

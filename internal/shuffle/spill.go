@@ -29,7 +29,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"sync/atomic"
 
 	"repro/internal/runfile"
@@ -77,7 +76,7 @@ type diskRun[K comparable] struct {
 // countingReader meters every byte read from a run file into the
 // shuffle's DiskBytesRead counter.
 type countingReader struct {
-	f *os.File
+	f runfile.File
 	n *atomic.Int64
 }
 
@@ -93,7 +92,7 @@ func (c countingReader) Read(p []byte) (int, error) {
 func (st *partitionState[K, V]) spillToDisk(s *Shuffle[K, V]) error {
 	dir := s.opts.SpillDir
 	keys := sortedMapKeys(st.live)
-	f, err := os.CreateTemp(dir, "mr-spill-*.run")
+	f, err := s.fs.CreateTemp(dir, "mr-spill-*.run")
 	if err != nil {
 		return fmt.Errorf("shuffle: creating spill file: %w", err)
 	}
@@ -101,7 +100,7 @@ func (st *partitionState[K, V]) spillToDisk(s *Shuffle[K, V]) error {
 	defer func() {
 		if !ok {
 			f.Close()
-			os.Remove(f.Name())
+			s.fs.Remove(f.Name())
 		}
 	}()
 	w := runfile.NewWriter(f)
@@ -213,7 +212,7 @@ func (st *partitionState[K, V]) compactDiskRuns(s *Shuffle[K, V]) (retErr error)
 		inPairs += dr.pairs
 	}
 
-	out, err := os.CreateTemp(s.opts.SpillDir, "mr-spill-*.run")
+	out, err := s.fs.CreateTemp(s.opts.SpillDir, "mr-spill-*.run")
 	if err != nil {
 		return fmt.Errorf("shuffle: creating compacted run: %w", err)
 	}
@@ -221,7 +220,7 @@ func (st *partitionState[K, V]) compactDiskRuns(s *Shuffle[K, V]) (retErr error)
 	defer func() {
 		if !ok {
 			out.Close()
-			os.Remove(out.Name())
+			s.fs.Remove(out.Name())
 		}
 	}()
 	w := runfile.NewWriter(out)
@@ -357,15 +356,15 @@ func (st *partitionState[K, V]) compactDiskRuns(s *Shuffle[K, V]) (retErr error)
 			if err := advance(e.c, e.count); err != nil {
 				return err
 			}
-			for i := 0; i < e.count; i++ {
-				vb, err := e.c.rd.ValueAppend(e.c.vbuf[:0])
-				if err != nil {
-					return fmt.Errorf("shuffle: compacting %s: %w", e.c.file.Name(), err)
-				}
-				e.c.vbuf = vb
-				if err := decode(vb); err != nil {
-					return err
-				}
+			// Batch-read the group's value section and decode it with a
+			// single type dispatch, like the reduce merge.
+			if err := e.c.rd.ReadValueBatch(&e.c.batch, e.valBytes); err != nil {
+				return fmt.Errorf("shuffle: compacting %s: %w", e.c.file.Name(), err)
+			}
+			var err error
+			vals, err = runfile.DecodeBatch[V](&e.c.batch, vals)
+			if err != nil {
+				return fmt.Errorf("shuffle: compacting %s: %w", e.c.file.Name(), err)
 			}
 		}
 		combined := s.combiner(k, vals)
@@ -425,7 +424,7 @@ func (st *partitionState[K, V]) compactDiskRuns(s *Shuffle[K, V]) (retErr error)
 	}
 
 	for _, dr := range compacting {
-		os.Remove(dr.path)
+		s.fs.Remove(dr.path)
 	}
 	st.disk = append(st.disk[:from], diskRun[K]{
 		path:  out.Name(),
@@ -455,12 +454,12 @@ func openDiskCursors[K comparable, V any](s *Shuffle[K, V], runs []diskRun[K], f
 		}
 	}
 	for _, dr := range runs {
-		f, err := os.Open(dr.path)
+		f, err := s.fs.Open(dr.path)
 		if err != nil {
 			return cursors, closeAll, fmt.Errorf("shuffle: opening spill run: %w", err)
 		}
 		cursors = append(cursors, &groupCursor[K, V]{
-			runIdx: len(cursors), fmtKeys: fmtKeys, idx: dr.index,
+			runIdx: len(cursors), fmtKeys: fmtKeys, perValue: s.perValue, idx: dr.index,
 			file: f, rd: runfile.NewReader(countingReader{f, &s.diskRead}),
 		})
 	}
@@ -494,7 +493,7 @@ func (s *Shuffle[K, V]) Close() error {
 	var first error
 	for i := range s.parts {
 		for _, dr := range s.parts[i].disk {
-			if err := os.Remove(dr.path); err != nil && first == nil {
+			if err := s.fs.Remove(dr.path); err != nil && first == nil {
 				first = err
 			}
 		}
@@ -509,8 +508,9 @@ func (s *Shuffle[K, V]) Close() error {
 // by its resident index — with the run file attached only when values
 // are being read.
 type groupCursor[K comparable, V any] struct {
-	runIdx  int  // seal order; the live run is last
-	fmtKeys bool // cache fmt.Sprint of each key (formatted-order kinds)
+	runIdx   int  // seal order; the live run is last
+	fmtKeys  bool // cache fmt.Sprint of each key (formatted-order kinds)
+	perValue bool // legacy per-value decode (bench/test comparison hook)
 
 	// in-memory source
 	mem     map[K][]V
@@ -518,11 +518,13 @@ type groupCursor[K comparable, V any] struct {
 
 	// spilled source: the resident index drives keys and counts; the
 	// reader (nil on the counting path) supplies value bytes.
-	idx  []keyCount[K]
-	file *os.File
-	rd   *runfile.Reader
-	kbuf []byte // reused key-framing scratch for rd
-	vbuf []byte // reused value scratch for rd
+	idx   []keyCount[K]
+	file  runfile.File
+	rd    *runfile.Reader
+	kbuf  []byte             // reused key-framing scratch for rd
+	vbuf  []byte             // reused value scratch for rd (per-value path)
+	batch runfile.ValueBatch // reused value-section arena (batch path)
+	vals  []V                // reused decoded-values scratch (reuse mode)
 
 	pos int
 
@@ -561,9 +563,14 @@ func (c *groupCursor[K, V]) next() (bool, error) {
 // values decodes the current group's values. For a spilled run this is
 // the only point the file is read: the reader's framing is advanced to
 // the group (its key bytes skipped into a reused scratch buffer, and
-// cross-checked against the index) and each value is decoded out of a
-// single reused byte buffer.
-func (c *groupCursor[K, V]) values() ([]V, error) {
+// cross-checked against the index), the whole value section is read in
+// one pass into the cursor's reused arena, and the batch is decoded
+// with a single type dispatch (runfile.DecodeBatch). With reuse set —
+// the ForEachGroupBatch contract — the decoded slice is the cursor's
+// scratch, overwritten by the next group; otherwise it is freshly
+// owned. The perValue hook restores the pre-batch decode loop so
+// benchmarks can measure the two paths head to head.
+func (c *groupCursor[K, V]) values(reuse bool) ([]V, error) {
 	if c.mem != nil {
 		return c.mem[c.key], nil
 	}
@@ -579,17 +586,34 @@ func (c *groupCursor[K, V]) values() ([]V, error) {
 		return nil, fmt.Errorf("shuffle: reading spill %s: group has %d values, index says %d",
 			c.file.Name(), n, c.count)
 	}
-	vs := make([]V, c.count)
-	for i := range vs {
-		vb, err := c.rd.ValueAppend(c.vbuf[:0])
-		if err != nil {
-			return nil, fmt.Errorf("shuffle: reading spill %s: %w", c.file.Name(), err)
+	if c.perValue {
+		vs := make([]V, c.count)
+		for i := range vs {
+			vb, err := c.rd.ValueAppend(c.vbuf[:0])
+			if err != nil {
+				return nil, fmt.Errorf("shuffle: reading spill %s: %w", c.file.Name(), err)
+			}
+			c.vbuf = vb
+			vs[i], err = runfile.Decode[V](vb)
+			if err != nil {
+				return nil, fmt.Errorf("shuffle: decoding spill value in %s: %w", c.file.Name(), err)
+			}
 		}
-		c.vbuf = vb
-		vs[i], err = runfile.Decode[V](vb)
-		if err != nil {
-			return nil, fmt.Errorf("shuffle: decoding spill value in %s: %w", c.file.Name(), err)
-		}
+		return vs, nil
+	}
+	if err := c.rd.ReadValueBatch(&c.batch, c.valBytes); err != nil {
+		return nil, fmt.Errorf("shuffle: reading spill %s: %w", c.file.Name(), err)
+	}
+	dst := c.vals[:0]
+	if !reuse {
+		dst = make([]V, 0, c.count)
+	}
+	vs, err := runfile.DecodeBatch[V](&c.batch, dst)
+	if err != nil {
+		return nil, fmt.Errorf("shuffle: decoding spill value in %s: %w", c.file.Name(), err)
+	}
+	if reuse {
+		c.vals = vs
 	}
 	return vs, nil
 }
@@ -664,8 +688,12 @@ func (h *cursorHeap[K, V]) pop() *groupCursor[K, V] {
 // spilled runs' resident indexes with the live and sealed in-memory
 // runs — no run file is opened, no byte of disk is read (counting
 // mode, used by Stats, NumKeys, SortedKeys and ForEachGroupCount); fn
-// then receives a nil slice and the group's size in count.
-func (p Partition[K, V]) forEachGroup(withValues bool, fn func(k K, count int, vs []V) error) error {
+// then receives a nil slice and the group's size in count. With
+// reuseValues set (ForEachGroupBatch) each disk cursor decodes into a
+// scratch slice that its next group overwrites, so fn must not retain
+// the slice; the mode is disabled under the formatted-key fallback,
+// where a class can drain several groups of one cursor before fn runs.
+func (p Partition[K, V]) forEachGroup(withValues, reuseValues bool, fn func(k K, count int, vs []V) error) error {
 	st := &p.s.parts[p.idx]
 	if p.s.closed && st.spilledToDisk {
 		return fmt.Errorf("shuffle: partition %d read after Close: spilled runs deleted", p.idx)
@@ -688,6 +716,7 @@ func (p Partition[K, V]) forEachGroup(withValues bool, fn func(k K, count int, v
 
 	less := nativeLess[K]()
 	fmtKeys := less == nil
+	reuseValues = reuseValues && !fmtKeys
 	var cursors []*groupCursor[K, V]
 	if withValues && len(st.disk) > 0 {
 		// Bound concurrent open run files across all value readers
@@ -753,7 +782,7 @@ func (p Partition[K, V]) forEachGroup(withValues bool, fn func(k K, count int, v
 		for {
 			e := entry{key: c.key, count: c.count}
 			if withValues {
-				vs, err := c.values()
+				vs, err := c.values(reuseValues)
 				if err != nil {
 					return err
 				}

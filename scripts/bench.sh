@@ -19,7 +19,7 @@ JSON=BENCH_shuffle.json
 
 # Write then cat (not a pipe to tee): POSIX sh has no pipefail, and a
 # failed benchmark must fail the script.
-go test -run '^$' -bench 'BenchmarkExternalShuffle|BenchmarkMerge1MPairs' \
+go test -run '^$' -bench 'BenchmarkExternalShuffle|BenchmarkMerge1MPairs|BenchmarkReduceMergeDecode' \
 	-benchtime "$BENCHTIME" ./internal/shuffle > "$TXT" || {
 	status=$?
 	cat "$TXT"

@@ -1,0 +1,120 @@
+// Command benchcmp compares two BENCH_shuffle.json artifacts (as
+// written by scripts/bench.sh) and fails when a watched metric
+// regresses beyond a threshold.
+//
+// Usage:
+//
+//	go run ./scripts/benchcmp [-threshold 0.10] [-ns-threshold 0.50] old.json new.json
+//
+// For every benchmark present in both files it compares the watched
+// metrics — spilled-MB, the deterministic disk-traffic budget of the
+// external shuffle, against -threshold (default 10%), and ns/op
+// against the much looser -ns-threshold (default 50%). The asymmetry
+// is deliberate: spilled bytes are exactly reproducible, while ns/op
+// from a handful of iterations on a shared CI runner varies 20-30% on
+// identical code, so a tight wall-clock gate would fail routinely on
+// noise — ns/op here is a catastrophic-regression backstop, and the
+// benchstat diff CI prints alongside is the statistically honest
+// wall-clock view. Benchmarks present on one side only are reported
+// and skipped, so workloads can be added or retired without tripping
+// the gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type benchFile struct {
+	Benchmarks []map[string]any `json:"benchmarks"`
+}
+
+func load(path string) (map[string]map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf benchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]map[string]float64)
+	for _, b := range bf.Benchmarks {
+		name, _ := b["name"].(string)
+		if name == "" {
+			continue
+		}
+		metrics := make(map[string]float64)
+		for k, v := range b {
+			if f, ok := v.(float64); ok {
+				metrics[k] = f
+			}
+		}
+		out[name] = metrics
+	}
+	return out, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "allowed fractional growth in spilled-MB")
+	nsThreshold := flag.Float64("ns-threshold", 0.50, "allowed fractional growth in ns/op (loose: point samples are noisy)")
+	flag.Parse()
+	// Larger is worse for both watched metrics.
+	watched := map[string]float64{"spilled-MB": *threshold, "ns/op": *nsThreshold}
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold 0.10] old.json new.json")
+		os.Exit(2)
+	}
+	old, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+
+	regressions := 0
+	compared := 0
+	for name, now := range cur {
+		prev, ok := old[name]
+		if !ok {
+			fmt.Printf("new benchmark (skipped): %s\n", name)
+			continue
+		}
+		for m, limit := range watched {
+			ov, okO := prev[m]
+			nv, okN := now[m]
+			if !okO || !okN || ov <= 0 {
+				continue
+			}
+			compared++
+			growth := nv/ov - 1
+			status := "ok"
+			if growth > limit {
+				status = "REGRESSION"
+				regressions++
+			}
+			fmt.Printf("%-60s %-12s old=%.4g new=%.4g (%+.1f%%, limit +%.0f%%) %s\n",
+				name, m, ov, nv, growth*100, limit*100, status)
+		}
+	}
+	for name := range old {
+		if _, ok := cur[name]; !ok {
+			fmt.Printf("retired benchmark (skipped): %s\n", name)
+		}
+	}
+	if compared == 0 {
+		fmt.Println("benchcmp: no comparable metrics; nothing to gate")
+		return
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: %d metric(s) regressed past their limit\n", regressions)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcmp: %d metric comparisons within limits\n", compared)
+}
