@@ -77,11 +77,27 @@ type Config struct {
 	// FailureEveryN deterministically fails each task's first attempt
 	// whenever the task ordinal is divisible by FailureEveryN; failed
 	// tasks retry up to MaxRetries times (default 2 when injection is
-	// on). Reduce tasks are partitions; their ordinal counts non-empty
-	// partitions in ascending order, so injection always hits at least
-	// one reduce task regardless of how keys hashed.
+	// on). Map tasks fail *after* emitting their output, so injection
+	// exercises the streaming path's attempt fencing (flushed pairs of
+	// the failed attempt are discarded, the retry re-emits). Reduce
+	// tasks are partitions; their ordinal counts non-empty partitions
+	// in ascending order, so injection always hits at least one reduce
+	// task regardless of how keys hashed.
 	FailureEveryN int
 	MaxRetries    int
+
+	// LegacyMerge opts the round out of streaming shuffle ingestion and
+	// back onto the barrier path: every map task's output is buffered
+	// whole and merged after the map phase ends. Outputs are identical
+	// either way, as are PairsEmitted, Reducers and MaxReducerInput
+	// (the differential suite pins this); only the physical profile —
+	// resident memory, spill timing, run boundaries — differs. With a
+	// Combine func, PairsShuffled (a post-combine count) additionally
+	// depends on where the runtime applied the combiner, which the two
+	// paths do at different points — like spill-on vs spill-off, it is
+	// comparable only within one configuration. Tests and benchmarks
+	// use LegacyMerge to compare the two data paths.
+	LegacyMerge bool
 }
 
 func (c Config) workers() int {
@@ -189,6 +205,19 @@ type Metrics struct {
 	// MaxLivePairs is the high-water mark of any shuffle partition's
 	// live buffer; under a memory budget it never exceeds the budget.
 	MaxLivePairs int
+	// PeakResidentPairs is the whole-round high-water mark of pairs
+	// resident in shuffle memory (live runs, staged streaming blocks,
+	// in-memory sealed runs). On the streaming path with a SpillDir it
+	// stays under P*MemoryBudget + workers*BlockPairs — the runtime's
+	// whole-round bounded-memory guarantee, as opposed to
+	// MaxLivePairs's per-partition one.
+	PeakResidentPairs int64
+	// SpillOverlapNs is the time the streaming path spent absorbing,
+	// sealing and spilling while map tasks were still running — work
+	// the legacy barrier serialized after the map phase. FinishDrainNs
+	// is the residual post-map drain: the barrier that remains.
+	SpillOverlapNs int64
+	FinishDrainNs  int64
 }
 
 // PartitionSkew is max/mean partition pairs (1 = perfectly even).
@@ -277,6 +306,7 @@ func Run[I any, K comparable, V, O any](r Round[I, K, V, O], inputs []I) (res Re
 	res.Metrics.IndexBytesSpilled = st.IndexBytesSpilled
 	res.Metrics.RunsMerged = st.RunsMerged
 	res.Metrics.MaxLivePairs = st.MaxLivePairs
+	res.Metrics.PeakResidentPairs = st.PeakResidentPairs
 	res.Metrics.Partitions = make([]PartitionStat, st.Partitions)
 	for p := range res.Metrics.Partitions {
 		res.Metrics.Partitions[p] = PartitionStat{
@@ -310,29 +340,127 @@ func Run[I any, K comparable, V, O any](r Round[I, K, V, O], inputs []I) (res Re
 	return res, retErr
 }
 
-// runMapPhase executes map tasks in parallel, each pre-bucketing its
-// output by shuffle partition, then merges all task buffers with the
-// shuffle's per-partition goroutines.
-func runMapPhase[I any, K comparable, V, O any](r Round[I, K, V, O], inputs []I, sh *shuffle.Shuffle[K, V], met *Metrics) error {
-	cfg := r.Config
+// mapTask is one map task's input slice and ordinal.
+type mapTask struct{ lo, hi, idx int }
+
+// splitTasks cuts the inputs into map tasks of cfg's chunk size.
+func splitTasks(cfg Config, n int) []mapTask {
 	workers := cfg.workers()
 	chunk := cfg.MapChunk
 	if chunk <= 0 {
-		chunk = (len(inputs) + workers*4 - 1) / (workers * 4)
+		chunk = (n + workers*4 - 1) / (workers * 4)
 		if chunk < 1 {
 			chunk = 1
 		}
 	}
-	type task struct{ lo, hi, idx int }
-	var tasks []task
-	for lo, idx := 0, 0; lo < len(inputs); lo, idx = lo+chunk, idx+1 {
+	var tasks []mapTask
+	for lo, idx := 0, 0; lo < n; lo, idx = lo+chunk, idx+1 {
 		hi := lo + chunk
-		if hi > len(inputs) {
-			hi = len(inputs)
+		if hi > n {
+			hi = n
 		}
-		tasks = append(tasks, task{lo, hi, idx})
+		tasks = append(tasks, mapTask{lo, hi, idx})
+	}
+	return tasks
+}
+
+// runMapPhase executes map tasks in parallel. By default each task
+// streams its output into the shuffle as it is produced (block-based
+// ingestion: full blocks flush to their partition, which absorbs,
+// seals and spills concurrently with still-running map tasks); with
+// Config.LegacyMerge every task's output is buffered whole and merged
+// after the map phase ends.
+func runMapPhase[I any, K comparable, V, O any](r Round[I, K, V, O], inputs []I, sh *shuffle.Shuffle[K, V], met *Metrics) error {
+	cfg := r.Config
+	tasks := splitTasks(cfg, len(inputs))
+	if cfg.LegacyMerge {
+		return runMapPhaseLegacy(r, inputs, tasks, sh, met)
 	}
 
+	ing := sh.NewIngester()
+	emitted := make([]int64, len(tasks))
+	retries := make([]int64, len(tasks))
+	errs := make([]error, len(tasks))
+
+	var wg sync.WaitGroup
+	taskCh := make(chan int)
+	for w := 0; w < cfg.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range taskCh {
+				t := tasks[ti]
+				attempts := 0
+				for {
+					count, err, fatal := attemptMapTaskStreaming(r, inputs[t.lo:t.hi], ing, t.idx, attempts)
+					if err == nil {
+						emitted[ti] = count
+						break
+					}
+					if fatal {
+						// A commit error means the shuffle's absorption or
+						// spill failed with the attempt's pairs possibly
+						// already folded in; retrying would double them.
+						errs[ti] = fmt.Errorf("engine: shuffle ingest of round %q: %w", r.Name, err)
+						break
+					}
+					attempts++
+					retries[ti]++
+					if attempts > cfg.maxRetries() {
+						errs[ti] = fmt.Errorf("engine: map task %d of round %q failed after %d attempts: %w",
+							t.idx, r.Name, attempts, err)
+						break
+					}
+				}
+			}
+		}()
+	}
+	for ti := range tasks {
+		taskCh <- ti
+	}
+	close(taskCh)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for ti := range tasks {
+		met.PairsEmitted += emitted[ti]
+		met.MapRetries += retries[ti]
+	}
+	if err := ing.Finish(); err != nil {
+		return fmt.Errorf("engine: shuffle ingest of round %q: %w", r.Name, err)
+	}
+	met.SpillOverlapNs = ing.OverlapNs()
+	met.FinishDrainNs = ing.FinishNs()
+	return nil
+}
+
+// attemptMapTaskStreaming runs one attempt of a map task against the
+// streaming ingester. Injected failures fire after the task emitted
+// (and flushed) its output, so the attempt's staged pairs must be
+// fenced off by Abort and re-emitted by the retry. fatal marks commit
+// errors, which must fail the round rather than retry the task.
+func attemptMapTaskStreaming[I any, K comparable, V, O any](r Round[I, K, V, O], records []I, ing *shuffle.Ingester[K, V], taskIdx, attempt int) (n int64, err error, fatal bool) {
+	tw := ing.Task(taskIdx, attempt)
+	count := runMapAttempt(r, records, tw.Emit)
+	if fe := r.Config.FailureEveryN; fe > 0 && attempt == 0 && taskIdx%fe == 0 {
+		tw.Abort()
+		return 0, errInjected, false
+	}
+	if err := tw.Commit(); err != nil {
+		return 0, err, true
+	}
+	return count, nil, false
+}
+
+// runMapPhaseLegacy is the barrier path: every task's output is
+// buffered whole, then merged with the shuffle's per-partition
+// goroutines after the map phase ends.
+func runMapPhaseLegacy[I any, K comparable, V, O any](r Round[I, K, V, O], inputs []I, tasks []mapTask, sh *shuffle.Shuffle[K, V], met *Metrics) error {
+	cfg := r.Config
 	buffers := make([]*shuffle.TaskBuffer[K, V], len(tasks))
 	emitted := make([]int64, len(tasks))
 	retries := make([]int64, len(tasks))
@@ -340,7 +468,7 @@ func runMapPhase[I any, K comparable, V, O any](r Round[I, K, V, O], inputs []I,
 
 	var wg sync.WaitGroup
 	taskCh := make(chan int)
-	for w := 0; w < workers; w++ {
+	for w := 0; w < cfg.workers(); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -385,40 +513,50 @@ func runMapPhase[I any, K comparable, V, O any](r Round[I, K, V, O], inputs []I,
 	return nil
 }
 
-// attemptMapTask runs one attempt of a map task, returning the task's
-// shuffle buffer and its pre-combine emission count.
+// attemptMapTask runs one attempt of a map task on the barrier path,
+// returning the task's shuffle buffer and its pre-combine emission
+// count. Like the streaming path, injected failures fire after the
+// task produced its output: the discarded buffer is the legacy
+// equivalent of an aborted streaming attempt.
 func attemptMapTask[I any, K comparable, V, O any](r Round[I, K, V, O], records []I, sh *shuffle.Shuffle[K, V], taskIdx, attempt int) (*shuffle.TaskBuffer[K, V], int64, error) {
+	buf := sh.NewTaskBuffer()
+	count := runMapAttempt(r, records, buf.Emit)
 	if fe := r.Config.FailureEveryN; fe > 0 && attempt == 0 && taskIdx%fe == 0 {
 		return nil, 0, errInjected
 	}
-	buf := sh.NewTaskBuffer()
+	return buf, count, nil
+}
+
+// runMapAttempt maps the records into emit, returning the pre-combine
+// emission count. With a combiner the task groups locally first,
+// combines each key's values, and only then emits the (smaller)
+// combined output.
+func runMapAttempt[I any, K comparable, V, O any](r Round[I, K, V, O], records []I, emit func(K, V)) int64 {
 	var count int64
 	if r.Combine == nil {
-		emit := func(k K, v V) {
-			buf.Emit(k, v)
+		counted := func(k K, v V) {
+			emit(k, v)
 			count++
 		}
 		for _, rec := range records {
-			r.Map(rec, emit)
+			r.Map(rec, counted)
 		}
-		return buf, count, nil
+		return count
 	}
-	// With a combiner the task groups locally first, combines each key's
-	// values, and only then buffers the (smaller) combined output.
 	local := make(map[K][]V)
-	emit := func(k K, v V) {
+	collect := func(k K, v V) {
 		local[k] = append(local[k], v)
 		count++
 	}
 	for _, rec := range records {
-		r.Map(rec, emit)
+		r.Map(rec, collect)
 	}
 	for k, vs := range local {
 		for _, v := range r.Combine(k, vs) {
-			buf.Emit(k, v)
+			emit(k, v)
 		}
 	}
-	return buf, count, nil
+	return count
 }
 
 // partResult is one reduced partition, keys in sorted order.

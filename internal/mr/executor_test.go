@@ -336,3 +336,63 @@ func TestRunPipelineTypeMismatch(t *testing.T) {
 		t.Errorf("recorded %d rounds, want 1 (the successful first)", len(pipe.Rounds))
 	}
 }
+
+func TestStreamingMemoryBoundThroughJob(t *testing.T) {
+	// The whole-round bounded-memory guarantee on the public Job API: a
+	// dataset many times the total budget, mapped by concurrent workers
+	// on the default streaming path, keeps peak resident pairs within
+	// P*MemoryBudget + workers*BlockPairs (BlockPairs defaults to half
+	// the budget), and reports the map/spill overlap metrics.
+	const parts, budget, workers = 2, 64, 4
+	blockPairs := budget / 2
+	docs := make([]string, 16*parts*budget)
+	for i := range docs {
+		docs[i] = "k" + itoa(i%23)
+	}
+	job := &Job[string, string, int, string]{
+		Name:   "streaming-bound",
+		Map:    func(w string, emit func(string, int)) { emit(w, 1) },
+		Reduce: func(w string, vs []int, emit func(string)) { emit(w + "=" + itoa(len(vs))) },
+		Config: Config{
+			Partitions: parts, Workers: workers,
+			MemoryBudget: budget, SpillDir: t.TempDir(),
+		},
+	}
+	out, met, err := job.Run(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 23 {
+		t.Fatalf("outputs = %d keys, want 23", len(out))
+	}
+	if met.BytesSpilled == 0 {
+		t.Fatal("16x-budget dataset never spilled")
+	}
+	bound := int64(parts*budget + workers*blockPairs)
+	if met.PeakResidentPairs <= 0 || met.PeakResidentPairs > bound {
+		t.Errorf("PeakResidentPairs = %d, want in (0, %d]: whole-round residency must track the budget, not the %d-pair dataset",
+			met.PeakResidentPairs, bound, len(docs))
+	}
+	if met.SpillOverlapNs <= 0 {
+		t.Error("SpillOverlapNs = 0: no shuffle work overlapped the map phase")
+	}
+
+	// The legacy barrier on the same workload: identical outputs, but
+	// no overlapped shuffle work — the whole dataset sits in task
+	// buffers (outside the shuffle's residency metric) until the
+	// post-map merge.
+	legacy := *job
+	legacy.Config.LegacyMerge = true
+	legacy.Config.SpillDir = t.TempDir()
+	outL, metL, err := legacy.Run(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(outL, out) {
+		t.Fatalf("legacy outputs diverge: %v vs %v", outL, out)
+	}
+	if metL.SpillOverlapNs != 0 || metL.FinishDrainNs != 0 {
+		t.Errorf("legacy path reported streaming overlap (%d ns overlap, %d ns drain), want 0",
+			metL.SpillOverlapNs, metL.FinishDrainNs)
+	}
+}

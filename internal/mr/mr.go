@@ -129,6 +129,17 @@ type Config struct {
 	// MaxRetries is the number of retries granted to a failing task.
 	// Zero means 2 when FailureEveryN is set.
 	MaxRetries int
+
+	// LegacyMerge opts the job out of streaming shuffle ingestion (map
+	// workers flushing blocks into the exchange while mapping) and back
+	// onto the collect-then-merge barrier. Outputs, PairsEmitted,
+	// Reducers and MaxReducerInput are identical either way; only the
+	// physical profile (resident memory, spill timing) differs. With a
+	// Combine func, PairsShuffled — a post-combine count — depends on
+	// where the combiner was applied and, like spill-on vs spill-off,
+	// is comparable only within one configuration. Intended for tests
+	// and benchmarks comparing the two data paths.
+	LegacyMerge bool
 }
 
 // Metrics records the communication profile of one executed round. All
@@ -197,6 +208,16 @@ type Metrics struct {
 	RunsMerged        int64
 	DiskBytesRead     int64
 	MaxLivePairs      int
+	// PeakResidentPairs is the whole-round high-water mark of pairs
+	// resident in shuffle memory. On the default streaming path with a
+	// SpillDir it stays bounded by P*MemoryBudget plus one block per
+	// map worker — the dataset size never enters the bound.
+	// SpillOverlapNs is shuffle absorb/seal/spill work that overlapped
+	// still-running map tasks; FinishDrainNs is the residual post-map
+	// drain. Both are zero under Config.LegacyMerge.
+	PeakResidentPairs int64
+	SpillOverlapNs    int64
+	FinishDrainNs     int64
 }
 
 // ReplicationRate is the average number of key-value pairs created per map
@@ -294,6 +315,7 @@ func (j *Job[I, K, V, O]) Run(inputs []I) ([]O, Metrics, error) {
 			RecordKeys:       j.Config.ReduceWorkersHint > 0,
 			FailureEveryN:    j.Config.FailureEveryN,
 			MaxRetries:       j.Config.MaxRetries,
+			LegacyMerge:      j.Config.LegacyMerge,
 		},
 	}
 	if j.Combine != nil {
@@ -324,6 +346,9 @@ func (j *Job[I, K, V, O]) Run(inputs []I) ([]O, Metrics, error) {
 		RunsMerged:        res.Metrics.RunsMerged,
 		DiskBytesRead:     res.Metrics.DiskBytesRead,
 		MaxLivePairs:      res.Metrics.MaxLivePairs,
+		PeakResidentPairs: res.Metrics.PeakResidentPairs,
+		SpillOverlapNs:    res.Metrics.SpillOverlapNs,
+		FinishDrainNs:     res.Metrics.FinishDrainNs,
 	}
 	if j.Config.RecordLoads {
 		met.ReducerLoads = res.Loads

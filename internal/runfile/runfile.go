@@ -656,6 +656,34 @@ func ReadIndex(ra io.ReaderAt, size int64) ([]IndexEntry, error) {
 	return entries, nil
 }
 
+// LoadIndex returns a run file's index, preferring the v2 footer
+// (ReadIndex: trailer plus footer, no group bytes) and falling back to
+// a sequential scan of the group section when the footer is missing or
+// torn — a version-1 file, a writer that crashed before Finish, or a
+// truncated trailer. A recoverable footer problem therefore degrades
+// to one extra sequential pass instead of failing the caller's round;
+// only when the group section itself is unreadable does LoadIndex
+// fail, with both the footer error and the scan error in the chain.
+// This is the library-level building block for reopening spill runs
+// whose writer may not have completed; in-process rounds keep their
+// indexes resident and never call it — the intended caller is a future
+// restart/recovery path over a surviving spill dir (the ROADMAP
+// crash-consistency item).
+func LoadIndex(ra io.ReaderAt, size int64) ([]IndexEntry, error) {
+	idx, err := ReadIndex(ra, size)
+	if err == nil {
+		return idx, nil
+	}
+	if !errors.Is(err, ErrNoIndex) && !errors.Is(err, ErrCorrupt) {
+		return nil, err
+	}
+	scanned, serr := ScanIndex(io.NewSectionReader(ra, 0, size))
+	if serr != nil {
+		return nil, fmt.Errorf("runfile: no usable footer (%v); sequential scan: %w", err, serr)
+	}
+	return scanned, nil
+}
+
 // ScanIndex builds the footer index of a run file of either version by
 // a sequential counting pass over its groups (values skipped, not
 // decoded). It is the version-1 fallback for ReadIndex and must agree

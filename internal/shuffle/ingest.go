@@ -1,0 +1,743 @@
+// Streaming shuffle ingestion: the pipelined map→shuffle data path.
+//
+// The barrier-mode path (TaskBuffer + Merge) buffers every map task's
+// entire output until the map phase ends, so the memory budget is only
+// honored after the barrier and spill I/O never overlaps map CPU. The
+// Ingester replaces that with block-based streaming: each map worker
+// emits into small per-partition blocks (backed by the shuffle's
+// sync.Pool) and flushes a full block immediately to its partition,
+// which absorbs it under a per-partition lock — concurrently with
+// still-running map tasks — sealing, combining and spilling as the
+// budget fills. Sorting, encoding and disk writes therefore overlap
+// mapping, and whole-round resident pairs stay bounded by
+// P*MemoryBudget + writers*BlockPairs instead of the dataset size.
+//
+// Two invariants make this safe:
+//
+// Ordering. The runtime's deterministic output contract requires a
+// key's values to appear in (task order, emission order within the
+// task). Flushed blocks from concurrent tasks arrive interleaved, so a
+// partition does not absorb them on arrival: it stages them per task
+// and absorbs staged tasks strictly in task-index order, and only once
+// every earlier task has finished (the Ingester's watermark). Within a
+// partition, absorption order therefore equals task order, which makes
+// seal order equal task order, which is exactly what the read-side
+// k-way merge's (key, run order) heap needs to reproduce the contract.
+//
+// Fencing. A failed task attempt may already have flushed blocks; its
+// pairs must never become visible. Staged runs are tagged with (task,
+// attempt) and remain invisible to absorption until the attempt
+// commits; Abort discards the attempt's staged blocks (and deletes any
+// fenced spill files). Because only committed tasks absorb, a retry
+// can re-emit from scratch without double counting.
+//
+// Staged data under memory pressure cannot be absorbed (its task has
+// not committed) and cannot be dropped, so an over-budget partition
+// relieves itself: first by early-sealing its live run (data a later
+// seal would have written anyway), then — only when staged pairs alone
+// approach the budget, a lagging or giant task — by "fencing" staged
+// runs to disk, newest tasks first: the blocks are grouped, combined
+// when a combiner is set, sorted and written as complete runs that
+// stay attached to their (task, attempt) tag. On commit the fenced
+// runs are adopted into the partition's disk-run list — after
+// force-sealing the live run, so run order keeps matching task order,
+// with the task's remaining blocks following them to disk so
+// consecutive adoptions do not re-seal — and on abort their sections
+// are released. All pressure writes append to one per-partition spool
+// file with refcounted sections (see spool), so relief costs no file
+// churn. This is what keeps resident memory bounded even when one
+// giant task lags the watermark.
+//
+// The division of labor matters as much as the mechanisms: flushing is
+// an O(1) staging append, absorption runs on committing workers (and
+// the final Finish drain), and a flush only does ingest work itself as
+// the over-budget backstop. The worker running the oldest task IS the
+// watermark — everything else's staged data waits on it — so the flush
+// path must never make that worker wait behind relief I/O.
+package shuffle
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/runfile"
+)
+
+// stagedRun is one task attempt's flushed-but-unabsorbed output for a
+// single partition: in-memory blocks in flush order, preceded by any
+// fenced spill runs (earlier flushes forced to disk under memory
+// pressure), also in flush order.
+type stagedRun[K comparable, V any] struct {
+	attempt     int
+	blocks      [][]Pair[K, V] // flushed blocks not yet absorbed, in flush order
+	pairs       int            // in-memory pairs across blocks
+	fenced      []diskRun[K]   // pressure-spilled prefixes, in spill order
+	fencedPairs int64          // pairs in fenced runs (post-combine)
+	fencedBytes int64          // run body bytes of fenced runs
+	fencedIdx   int64          // footer-index bytes of fenced runs
+}
+
+// Ingester is the streaming ingestion front of a Shuffle: a set of
+// per-task TaskWriters feeding per-partition staging, plus the
+// watermark that gates absorption to task order. Create one per map
+// phase; TaskWriters may be used from concurrent workers (one writer
+// per worker at a time), and task indexes must be contiguous from 0 in
+// dispatch order for the watermark to advance.
+type Ingester[K comparable, V any] struct {
+	s *Shuffle[K, V]
+
+	mu   sync.Mutex   // guards done
+	done map[int]bool // finished tasks at or above the watermark
+	wm   atomic.Int64 // all tasks < wm are committed (or round-fatal)
+
+	errMu sync.Mutex
+	err   error
+
+	finishing atomic.Bool  // Finish's drain is running; stop metering overlap
+	overlapNs atomic.Int64 // ns of absorb/spill work overlapped with mapping
+	finishNs  atomic.Int64 // wall ns of the Finish drain (the residual barrier)
+}
+
+// NewIngester starts a streaming ingestion round on the shuffle. It
+// must not run concurrently with Merge, reads, or Close.
+func (s *Shuffle[K, V]) NewIngester() *Ingester[K, V] {
+	s.statsMu.Lock()
+	s.statsMemo = nil // the profile is about to change
+	s.statsMu.Unlock()
+	return &Ingester[K, V]{s: s, done: make(map[int]bool)}
+}
+
+// Err returns the first error the ingestion hit (a failed seal, fence
+// or compaction), or nil. Once set, further flushes are dropped and
+// every Commit returns the error.
+func (in *Ingester[K, V]) Err() error {
+	in.errMu.Lock()
+	defer in.errMu.Unlock()
+	return in.err
+}
+
+func (in *Ingester[K, V]) fail(err error) {
+	in.errMu.Lock()
+	if in.err == nil {
+		in.err = err
+	}
+	in.errMu.Unlock()
+}
+
+// OverlapNs is the time spent absorbing, sealing and spilling while
+// map tasks were still running — work the barrier path would have
+// serialized after the map phase. FinishNs is the wall time of the
+// Finish drain, the residual barrier.
+func (in *Ingester[K, V]) OverlapNs() int64 { return in.overlapNs.Load() }
+func (in *Ingester[K, V]) FinishNs() int64  { return in.finishNs.Load() }
+
+// Task starts (or retries) one map task's writer. attempt tags the
+// writer's flushes so a failed attempt can be fenced off; the engine
+// retries a task serially, so at most one attempt per task is live.
+func (in *Ingester[K, V]) Task(task, attempt int) *TaskWriter[K, V] {
+	return &TaskWriter[K, V]{
+		in: in, task: task, attempt: attempt,
+		buckets: make([][]Pair[K, V], in.s.nparts),
+	}
+}
+
+// TaskWriter buffers one task attempt's emissions into per-partition
+// blocks, flushing the fullest block whenever the buffered total
+// reaches the shuffle's block budget. Not safe for concurrent use.
+type TaskWriter[K comparable, V any] struct {
+	in       *Ingester[K, V]
+	task     int
+	attempt  int
+	buckets  [][]Pair[K, V] // open block per partition
+	buffered int            // pairs across open blocks, <= blockPairs
+	done     bool
+}
+
+// Emit buffers one pair, flushing a block when the writer's buffered
+// total reaches the block budget — so a writer never holds more than
+// BlockPairs pairs, the per-writer term of the resident-memory bound.
+func (w *TaskWriter[K, V]) Emit(k K, v V) {
+	s := w.in.s
+	p := s.PartitionOf(k)
+	blk := w.buckets[p]
+	if blk == nil {
+		blk = s.getBlock()
+	}
+	w.buckets[p] = append(blk, Pair[K, V]{k, v})
+	w.buffered++
+	if w.buffered >= s.blockPairs {
+		w.flushLargest()
+	}
+}
+
+// flushLargest flushes the fullest open block, keeping flushed blocks
+// chunky (at least buffered/P pairs) without per-partition thresholds
+// that a skewed key space would starve.
+func (w *TaskWriter[K, V]) flushLargest() {
+	best, bestLen := -1, 0
+	for p, blk := range w.buckets {
+		if len(blk) > bestLen {
+			best, bestLen = p, len(blk)
+		}
+	}
+	if best >= 0 {
+		w.flush(best)
+	}
+}
+
+func (w *TaskWriter[K, V]) flush(p int) {
+	blk := w.buckets[p]
+	w.buckets[p] = nil
+	w.buffered -= len(blk)
+	w.in.stage(w.task, w.attempt, p, blk)
+}
+
+// Commit flushes the writer's remaining blocks, marks the task
+// finished (advancing the watermark when it is the next expected
+// task), and opportunistically drains newly absorbable partitions on
+// the committing worker — map-phase CPU doing shuffle work. It returns
+// the ingestion's first error, which is fatal for the round (the
+// task's data may be partially absorbed; it must not be retried).
+func (w *TaskWriter[K, V]) Commit() error {
+	if w.done {
+		return w.in.Err()
+	}
+	w.done = true
+	for p, blk := range w.buckets {
+		if len(blk) > 0 {
+			w.flush(p)
+		} else if blk != nil {
+			w.in.s.putBlock(blk)
+			w.buckets[p] = nil
+		}
+	}
+	w.in.finishTask(w.task)
+	w.in.drainAll()
+	return w.in.Err()
+}
+
+// Abort discards the attempt: unflushed blocks return to the pool, and
+// the attempt's staged blocks and fenced spill files are removed from
+// every partition. The task may then be retried under a new attempt;
+// none of the aborted attempt's pairs are visible anywhere.
+func (w *TaskWriter[K, V]) Abort() {
+	if w.done {
+		return
+	}
+	w.done = true
+	s := w.in.s
+	for p, blk := range w.buckets {
+		if blk != nil {
+			s.putBlock(blk)
+			w.buckets[p] = nil
+		}
+	}
+	w.in.discard(w.task, w.attempt)
+}
+
+// stage appends a flushed block to its partition's staged run for the
+// task — an O(1) append under the partition's tiny staging lock, so
+// flushing never waits behind an absorb or a disk spill. A flush never
+// makes anything newly absorbable (only commits advance the
+// watermark), so the ingest step runs here only as backpressure: when
+// the exchange is over its global budget, the flush blocks until it
+// has relieved pressure itself, which is what makes the resident bound
+// hold.
+func (in *Ingester[K, V]) stage(task, attempt, p int, blk []Pair[K, V]) {
+	s := in.s
+	if len(blk) == 0 || in.Err() != nil {
+		s.putBlock(blk)
+		return
+	}
+	// Staging is an O(1) append under the tiny staging lock: the flush
+	// path must never wait behind another worker's absorb or spill,
+	// because the worker running the *oldest* task is the watermark —
+	// every other task's staged data waits on its commit, and a
+	// watermark worker stuck behind relief I/O turns commit pileup into
+	// fence pressure into more relief I/O (the storm this design had to
+	// engineer out). Absorption is driven by committers (drainAll) and
+	// Finish; a flush only stops to run the ingest step itself when its
+	// partition is over budget — the hard backstop that keeps the
+	// resident bound true, checked against the lock-free live mirror.
+	st := &s.parts[p]
+	st.stageMu.Lock()
+	sr := st.staged[task]
+	if sr == nil {
+		if st.staged == nil {
+			st.staged = make(map[int]*stagedRun[K, V])
+		}
+		sr = &stagedRun[K, V]{attempt: attempt}
+		st.staged[task] = sr
+	}
+	sr.blocks = append(sr.blocks, blk)
+	sr.pairs += len(blk)
+	staged := st.stagedPairs + len(blk)
+	st.stagedPairs = staged
+	st.stageMu.Unlock()
+	s.addResident(len(blk))
+
+	budget := s.opts.MaxBufferedPairs
+	if budget > 0 && s.opts.SpillDir != "" && int(st.liveApprox.Load())+staged >= budget {
+		st.mu.Lock()
+		err := in.ingestStep(st, true)
+		st.mu.Unlock()
+		if err != nil {
+			in.fail(err)
+		}
+	}
+}
+
+// finishTask marks the task committed and advances the watermark over
+// every contiguously finished task.
+func (in *Ingester[K, V]) finishTask(task int) {
+	in.mu.Lock()
+	in.done[task] = true
+	wm := int(in.wm.Load())
+	for in.done[wm] {
+		delete(in.done, wm)
+		wm++
+	}
+	in.wm.Store(int64(wm))
+	in.mu.Unlock()
+}
+
+// discard removes an aborted attempt's staged state from every
+// partition: blocks back to the pool, fenced spill files deleted. It
+// takes the work lock before the staging lock so it cannot interleave
+// with a fence that has the attempt's blocks mid-write.
+func (in *Ingester[K, V]) discard(task, attempt int) {
+	s := in.s
+	for p := range s.parts {
+		st := &s.parts[p]
+		st.mu.Lock()
+		st.stageMu.Lock()
+		if sr := st.staged[task]; sr != nil && sr.attempt == attempt {
+			for _, blk := range sr.blocks {
+				s.putBlock(blk)
+			}
+			s.addResident(-sr.pairs)
+			st.stagedPairs -= sr.pairs
+			for _, dr := range sr.fenced {
+				dr.file.release(s.fs)
+			}
+			delete(st.staged, task)
+		}
+		st.stageMu.Unlock()
+		st.mu.Unlock()
+	}
+}
+
+// drainAll runs the ingest step over every partition that has staged
+// data the watermark now allows (or that is fence-eligible under
+// pressure). Committers are the streaming path's absorption engine:
+// every commit sweeps the partitions, so staged data drains within one
+// commit interval of becoming absorbable while the flush path stays
+// O(1). The quick stageMu peek keeps the pass cheap for partitions
+// with nothing to do.
+func (in *Ingester[K, V]) drainAll() {
+	// Pressure only marks a partition non-idle when fencing could
+	// actually relieve it — with no SpillDir the sweep would lock and
+	// scan over-budget partitions forever to do nothing.
+	budget := in.s.opts.MaxBufferedPairs
+	canFence := budget > 0 && in.s.opts.SpillDir != ""
+	for p := range in.s.parts {
+		st := &in.s.parts[p]
+		wm := int(in.wm.Load())
+		st.stageMu.Lock()
+		idle := st.minStagedBelow(wm) < 0 && !(canFence && st.stagedPairs >= budget)
+		st.stageMu.Unlock()
+		if idle {
+			continue
+		}
+		st.mu.Lock()
+		err := in.ingestStep(st, true)
+		st.mu.Unlock()
+		if err != nil {
+			in.fail(err)
+		}
+	}
+}
+
+// ingestStep, with the partition lock held, absorbs every staged task
+// the watermark allows (in task order) and then — when allowFence is
+// set — fences this partition's staged runs while the shuffle as a
+// whole is over its memory budget. The pressure signal is global — total resident pairs
+// against P*MemoryBudget — not per-partition: live runs cycle between
+// zero and the budget as they seal, so on average roughly half the
+// global budget is free headroom that staged blocks can borrow,
+// keeping fences (and the small run files they write) an overflow
+// valve rather than the steady state. Each flush that lands over the
+// threshold fences its own partition's staged data, so every staged
+// pair is clamped by its partition's next flush or drain; transient
+// overshoot is at most one in-flight block per writer, which is
+// exactly the workers*BlockPairs term of the resident bound.
+func (in *Ingester[K, V]) ingestStep(st *partitionState[K, V], allowFence bool) error {
+	var started bool
+	var start time.Time
+	begin := func() {
+		if !started {
+			started, start = true, time.Now()
+		}
+	}
+	if st.pspool == nil {
+		st.pspool = &spool[K, V]{s: in.s}
+	}
+	sp := st.pspool
+	defer func() {
+		if started && !in.finishing.Load() {
+			in.overlapNs.Add(time.Since(start).Nanoseconds())
+		}
+	}()
+
+	// Absorb every staged run the watermark allows, in task order. The
+	// staging area is re-read each iteration (watermark included), so a
+	// long drain picks up tasks committed while it ran.
+	for {
+		wm := int(in.wm.Load())
+		st.stageMu.Lock()
+		task := st.minStagedBelow(wm)
+		var sr *stagedRun[K, V]
+		if task >= 0 {
+			sr = st.staged[task]
+			delete(st.staged, task)
+			st.stagedPairs -= sr.pairs
+		}
+		st.stageMu.Unlock()
+		if sr == nil {
+			break
+		}
+		begin()
+		if err := in.absorbStaged(st, sr, sp); err != nil {
+			return err
+		}
+	}
+
+	// Pressure relief, per partition and cheapest lever first. The
+	// criterion is local — this partition's live+staged pairs against
+	// its own budget — so every partition acts on its own signal (a
+	// global measure would push partitions to fence staged data while
+	// the real excess sat in someone else's live run). Early-sealing
+	// the live run writes only data a later seal would have written
+	// anyway (and lands in the spool, so it costs no file churn), but
+	// only when it carries real weight — sealing a few-pair live over
+	// and over would shred the partition into hundreds of dust runs.
+	// Fencing then brings live+staged down to half the budget
+	// (hysteresis: relief events are half as frequent and twice as
+	// chunky as a fence-to-budget would be), newest tasks first — the
+	// oldest staged runs are the next to absorb, and fencing data
+	// moments before it becomes absorbable is the one pure waste in
+	// this design. Summed over partitions this caps resident pairs at
+	// P*budget plus the workers' in-flight blocks: the advertised
+	// whole-round bound.
+	// The arithmetic that closes the resident bound: after relief,
+	// live <= dust (anything bigger was sealed) and staged < budget -
+	// dust (anything bigger was fenced), so live+staged < budget per
+	// partition, and the whole exchange stays under P*budget plus the
+	// workers' in-flight blocks. Between those two thresholds nothing
+	// is written at all — ordinary in-flight staging rides through on
+	// the budget's own headroom.
+	budget := in.s.opts.MaxBufferedPairs
+	dust := budget / 8
+	if allowFence && budget > 0 && in.s.opts.SpillDir != "" {
+		if st.livePairs+st.stagedTotal() >= budget {
+			begin()
+			if st.livePairs > dust {
+				if err := st.seal(in.s, true); err != nil {
+					return err
+				}
+			}
+			if st.stagedTotal() >= budget-dust {
+				if err := in.fenceStaged(st, sp, budget); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// stagedTotal reports the partition's staged in-memory pairs.
+func (st *partitionState[K, V]) stagedTotal() int {
+	st.stageMu.Lock()
+	defer st.stageMu.Unlock()
+	return st.stagedPairs
+}
+
+// minStagedBelow returns the smallest staged task index under the
+// watermark, or -1. Staged tasks under the watermark are committed:
+// aborted attempts were discarded, and the watermark only passes
+// finished tasks. Caller holds stageMu.
+func (st *partitionState[K, V]) minStagedBelow(wm int) int {
+	best := -1
+	for t := range st.staged {
+		if t < wm && (best < 0 || t < best) {
+			best = t
+		}
+	}
+	return best
+}
+
+// absorbStaged folds one committed task's staged run (already detached
+// from the staging area) into the partition. A run without fenced data
+// absorbs into the live map through the regular seal-at-budget path. A
+// run that was fenced under pressure goes entirely to disk: the live
+// run force-seals once (everything in it precedes the task in task
+// order, and run order is value order), the fenced runs adopt, and the
+// task's remaining in-memory blocks are written as one more run into
+// the step's spool rather than re-entering live — so a storm of
+// consecutive fenced-task adoptions finds live already empty and the
+// force-seal does not cascade into a file per task.
+func (in *Ingester[K, V]) absorbStaged(st *partitionState[K, V], sr *stagedRun[K, V], sp *spool[K, V]) error {
+	s := in.s
+	if len(sr.fenced) == 0 {
+		for _, blk := range sr.blocks {
+			err := st.absorb(s, blk)
+			s.putBlock(blk)
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if st.livePairs > 0 {
+		if err := st.seal(s, true); err != nil {
+			return err
+		}
+	}
+	st.disk = append(st.disk, sr.fenced...)
+	st.spilledToDisk = true
+	st.pairs += sr.fencedPairs
+	st.spillEvents += int64(len(sr.fenced))
+	st.spilledPairs += sr.fencedPairs
+	st.bytesSpilled += sr.fencedBytes
+	st.indexBytes += sr.fencedIdx
+	if len(sr.blocks) > 0 {
+		dr, body, idx, err := sp.addRun(sr.blocks, sr.pairs)
+		if err != nil {
+			return err
+		}
+		st.disk = append(st.disk, dr)
+		st.pairs += dr.pairs
+		st.spillEvents++
+		st.spilledPairs += dr.pairs
+		st.bytesSpilled += body
+		st.indexBytes += idx
+	}
+	if needsCompaction(st.disk) {
+		s.diskSem <- struct{}{}
+		err := st.compactDiskRuns(s)
+		<-s.diskSem
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spool accumulates complete, independently readable runs in one temp
+// file: a partition's pressure writes — early seals, fences, fenced
+// tasks' remainders — share a single file for the whole round, so
+// relief costs no file churn no matter how many small runs it writes,
+// and the refcounted runFile keeps each embedded run independently
+// releasable (Abort drops only its own sections, compaction its
+// inputs). The open writer holds one reference of its own, released by
+// close, so a file whose every run was compacted away survives for
+// further appends and disappears only after the writer lets go.
+type spool[K comparable, V any] struct {
+	s      *Shuffle[K, V]
+	f      runfile.File
+	rf     *runFile
+	off    int64
+	n      int
+	broken bool // a failed append left bytes of unknown length; stop appending
+}
+
+// addRun groups one detached block list by key, combines it when the
+// shuffle has a combiner (the blocks are a contiguous slice of each
+// key's value sequence, which the combiner contract covers), sorts it,
+// and appends it to the spool as a complete run. Blocks return to the
+// pool and the pairs leave the resident count. body and idx are the
+// run's data and footer byte sizes.
+func (sp *spool[K, V]) addRun(blocks [][]Pair[K, V], nPairs int) (dr diskRun[K], body, idx int64, retErr error) {
+	s := sp.s
+	if s.spillTypeErr != nil {
+		return dr, 0, 0, fmt.Errorf("shuffle: cannot spill: %w", s.spillTypeErr)
+	}
+	groups := make(map[K][]V, len(blocks[0]))
+	for _, blk := range blocks {
+		for i := range blk {
+			groups[blk[i].Key] = append(groups[blk[i].Key], blk[i].Value)
+		}
+	}
+	pairs := int64(nPairs)
+	if s.combiner != nil {
+		pairs = 0
+		for k, vs := range groups {
+			cv := s.combiner(k, vs)
+			if len(cv) == 0 {
+				delete(groups, k)
+				continue
+			}
+			groups[k] = cv
+			pairs += int64(len(cv))
+		}
+	}
+	dr, body, idx, retErr = sp.addRunGroups(sortedMapKeys(groups), groups, pairs)
+	if retErr != nil {
+		return dr, 0, 0, retErr
+	}
+	for _, blk := range blocks {
+		s.putBlock(blk)
+	}
+	s.addResident(-nPairs)
+	return dr, body, idx, nil
+}
+
+// addRunGroups appends one already-grouped, already-combined run to
+// the spool, keys in sorted order.
+func (sp *spool[K, V]) addRunGroups(keys []K, groups map[K][]V, pairs int64) (dr diskRun[K], body, idx int64, retErr error) {
+	s := sp.s
+	if sp.broken {
+		return dr, 0, 0, fmt.Errorf("shuffle: fence spool %s unusable after earlier write failure", sp.rf.path)
+	}
+	if sp.f == nil {
+		f, err := s.fs.CreateTemp(s.opts.SpillDir, "mr-spool-*.run")
+		if err != nil {
+			return dr, 0, 0, fmt.Errorf("shuffle: creating fence spool: %w", err)
+		}
+		sp.f, sp.rf = f, &runFile{path: f.Name()}
+		sp.rf.refs.Store(1) // the open writer's own hold, released by close
+	}
+	w := runfile.NewWriter(sp.f)
+	if err := writeGroups(w, sp.f.Name(), keys, groups); err != nil {
+		sp.broken = true
+		return dr, 0, 0, err
+	}
+	if err := w.Finish(); err != nil {
+		sp.broken = true
+		return dr, 0, 0, fmt.Errorf("shuffle: flushing fence spool %s: %w", sp.f.Name(), err)
+	}
+	dr = diskRun[K]{
+		file: sp.rf, off: sp.off, size: w.BytesWritten(), pairs: pairs,
+		index: typedIndex(keys, w.Index()),
+	}
+	sp.off += w.BytesWritten()
+	sp.n++
+	// Reference the run immediately: a compaction in the same step may
+	// release it long before the spool closes.
+	sp.rf.refs.Add(1)
+	return dr, w.BodyBytes(), w.BytesWritten() - w.BodyBytes(), nil
+}
+
+// close releases the writer's hold on the spool file (removing it when
+// no recorded run survives) and closes the handle. Both the close and
+// the removal can fail and both are reported — a leaked spill file is
+// as real a failure as a leaked run file — except on a spool already
+// marked broken, whose append failure surfaced first.
+func (sp *spool[K, V]) close() error {
+	if sp.f == nil {
+		return nil
+	}
+	closeErr := sp.f.Close()
+	releaseErr := sp.rf.release(sp.s.fs)
+	sp.f = nil
+	if sp.broken {
+		return nil
+	}
+	if closeErr != nil && sp.n > 0 {
+		return fmt.Errorf("shuffle: closing fence spool %s: %w", sp.rf.path, closeErr)
+	}
+	if releaseErr != nil {
+		return fmt.Errorf("shuffle: removing fence spool %s: %w", sp.rf.path, releaseErr)
+	}
+	return nil
+}
+
+// fenceStaged spills staged runs into the partition's spool under
+// memory pressure, detaching them newest-task-first, until the
+// partition's live+staged pairs drop to half its budget. The runs join
+// the partition only when their task commits; Abort releases them.
+func (in *Ingester[K, V]) fenceStaged(st *partitionState[K, V], sp *spool[K, V], budget int) error {
+	for {
+		st.stageMu.Lock()
+		var sr *stagedRun[K, V]
+		newest, pairs := -1, 0
+		if st.livePairs+st.stagedPairs > budget/2 {
+			for t, c := range st.staged {
+				if c.pairs > 0 && t > newest {
+					sr, newest, pairs = c, t, c.pairs
+				}
+			}
+		}
+		var blocks [][]Pair[K, V]
+		if sr != nil {
+			blocks = sr.blocks
+			sr.blocks, sr.pairs = nil, 0
+			st.stagedPairs -= pairs
+		}
+		st.stageMu.Unlock()
+		if sr == nil {
+			return nil
+		}
+		dr, body, idx, err := sp.addRun(blocks, pairs)
+		if err != nil {
+			return err
+		}
+		st.stageMu.Lock()
+		sr.fenced = append(sr.fenced, dr)
+		sr.fencedPairs += dr.pairs
+		sr.fencedBytes += body
+		sr.fencedIdx += idx
+		st.stageMu.Unlock()
+	}
+}
+
+// Finish drains every partition to completion — the residual barrier,
+// run in parallel across partitions — and returns the ingestion's
+// first error. After Finish (with all tasks committed) every pair is
+// absorbed or adopted and the shuffle is ready for Stats and reads.
+func (in *Ingester[K, V]) Finish() error {
+	start := time.Now()
+	in.finishing.Store(true)
+	s := in.s
+	workers := runtime.GOMAXPROCS(0)
+	if workers > s.nparts {
+		workers = s.nparts
+	}
+	var wg sync.WaitGroup
+	pCh := make(chan int)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range pCh {
+				st := &s.parts[p]
+				st.mu.Lock()
+				err := in.ingestStep(st, true)
+				if st.pspool != nil {
+					// The round's ingest writes are done; release the
+					// pressure spool's write handle (removing the file if
+					// nothing references it).
+					if cerr := st.pspool.close(); cerr != nil && err == nil {
+						err = cerr
+					}
+					st.pspool = nil
+				}
+				st.mu.Unlock()
+				if err != nil {
+					in.fail(err)
+				}
+			}
+		}()
+	}
+	for p := 0; p < s.nparts; p++ {
+		pCh <- p
+	}
+	close(pCh)
+	wg.Wait()
+	in.finishNs.Add(time.Since(start).Nanoseconds())
+	return in.Err()
+}

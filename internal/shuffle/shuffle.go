@@ -33,7 +33,8 @@ import (
 	"fmt"
 	"hash/maphash"
 	"runtime"
-	"sort"
+	"slices"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -135,6 +136,15 @@ type Options struct {
 	// an errfs.FS here to fail chosen creates, reads, writes and
 	// closes.
 	FS runfile.FS
+
+	// BlockPairs is the streaming-ingestion block budget: the number of
+	// pairs a TaskWriter buffers across its per-partition blocks before
+	// flushing the fullest block to its partition, and the chunk size
+	// of a TaskBuffer's pooled bucket blocks. Zero derives it from
+	// MaxBufferedPairs (half the budget, clamped to [16, 8192]; 1024
+	// without a budget). The whole-round resident bound of the
+	// streaming path is P*MaxBufferedPairs + writers*BlockPairs.
+	BlockPairs int
 }
 
 // DefaultPartitions is the partition count used when Options.Partitions
@@ -175,6 +185,7 @@ type Shuffle[K comparable, V any] struct {
 	opts         Options
 	nparts       int
 	mask         uint64
+	blockPairs   int // per-writer block budget (Options.BlockPairs, defaulted)
 	parts        []partitionState[K, V]
 	mergeMu      sync.Mutex
 	closed       bool
@@ -184,13 +195,27 @@ type Shuffle[K comparable, V any] struct {
 	diskRead     atomic.Int64  // bytes read back from spill run files
 	perValue     bool          // test/bench hook: legacy per-value spill decode
 
+	// pool recycles flushed block backing arrays between the map-side
+	// writers and the absorption path, so steady-state streaming
+	// ingestion allocates no per-block memory.
+	pool sync.Pool
+
+	// resident counts the pairs currently held in shuffle memory (live
+	// runs, staged blocks, in-memory sealed runs); peakResident is its
+	// whole-round high-water mark, the bound the streaming data path
+	// promises to keep under P*MemoryBudget + writers*BlockPairs.
+	resident     atomic.Int64
+	peakResident atomic.Int64
+
 	statsMu   sync.Mutex
 	statsMemo *Stats // memoized Stats, invalidated by Merge
 }
 
-// partitionState is owned by exactly one goroutine during Merge, so it
-// needs no lock.
+// partitionState is owned by exactly one goroutine during Merge; the
+// streaming ingestion path (Ingester) instead shares it between
+// flushing map workers and draining committers under mu.
 type partitionState[K comparable, V any] struct {
+	mu            sync.Mutex   // guards all fields during streaming ingestion
 	runs          []map[K][]V  // sealed in-memory runs, in seal order
 	disk          []diskRun[K] // sealed on-disk runs, in seal order
 	spilledToDisk bool         // ever had a disk run (sticky across Close)
@@ -202,7 +227,44 @@ type partitionState[K comparable, V any] struct {
 	spilledPairs  int64
 	bytesSpilled  int64
 	indexBytes    int64 // footer-index bytes written alongside run data
+
+	// staged holds flushed-but-uncommitted blocks per map task during
+	// streaming ingestion (see ingest.go); stagedPairs is the in-memory
+	// pair count across all staged runs of this partition. Both are
+	// guarded by stageMu — a tiny lock separate from mu so a flushing
+	// map worker appends in O(1) without waiting behind an absorb or a
+	// disk spill running under mu.
+	stageMu     sync.Mutex
+	staged      map[int]*stagedRun[K, V]
+	stagedPairs int
+
+	// scratch is the reused per-block key-count map that lets the
+	// absorb fast path pre-size live value slices instead of growing
+	// them by repeated appends. presizeOff latches when a block turns
+	// out to be mostly distinct keys — counting such blocks costs two
+	// map operations per pair and pre-sizes nothing, so the partition
+	// falls back to plain appends for the rest of the round.
+	scratch    map[K]int
+	presizeOff bool
+
+	// pspool is the partition's pressure spool: one shared temp file
+	// receiving every early seal, fence and fenced-task remainder the
+	// streaming path writes for this partition, closed by
+	// Ingester.Finish (Close is the safety net). Guarded by mu.
+	pspool *spool[K, V]
+
+	// liveApprox mirrors livePairs for lock-free reads: the streaming
+	// flush path consults it (plus stagedPairs) to decide whether it
+	// must stop and relieve pressure, without taking the work lock that
+	// an in-flight absorb or spill holds. Updated at block granularity;
+	// staleness is bounded by one block, which the resident bound's
+	// per-writer term already allows for.
+	liveApprox atomic.Int64
 }
+
+// syncLive refreshes the lock-free livePairs mirror; call after any
+// block-granularity livePairs change.
+func (st *partitionState[K, V]) syncLive() { st.liveApprox.Store(int64(st.livePairs)) }
 
 // New creates a shuffle with the given options.
 func New[K comparable, V any](opts Options) *Shuffle[K, V] {
@@ -212,11 +274,12 @@ func New[K comparable, V any](opts Options) *Shuffle[K, V] {
 	}
 	n = ceilPow2(n)
 	s := &Shuffle[K, V]{
-		hasher: NewHasher[K](),
-		opts:   opts,
-		nparts: n,
-		mask:   uint64(n - 1),
-		parts:  make([]partitionState[K, V], n),
+		hasher:     NewHasher[K](),
+		opts:       opts,
+		nparts:     n,
+		mask:       uint64(n - 1),
+		blockPairs: blockPairs(opts),
+		parts:      make([]partitionState[K, V], n),
 	}
 	for i := range s.parts {
 		s.parts[i].live = make(map[K][]V)
@@ -240,6 +303,75 @@ func New[K comparable, V any](opts Options) *Shuffle[K, V] {
 	}
 	return s
 }
+
+// blockPairs resolves Options.BlockPairs: half the memory budget by
+// default, so two flushed blocks fit a partition's live run, clamped
+// so blocks stay big enough to amortize locking and small enough to
+// keep the per-writer buffer a fraction of the budget.
+func blockPairs(opts Options) int {
+	bp := opts.BlockPairs
+	if bp <= 0 {
+		if b := opts.MaxBufferedPairs; b > 0 {
+			bp = b / 2
+		} else {
+			bp = 1024
+		}
+	}
+	if bp < 16 {
+		bp = 16
+	}
+	if bp > 8192 {
+		bp = 8192
+	}
+	return bp
+}
+
+// BlockPairs is the effective streaming block budget (see
+// Options.BlockPairs): the number of pairs a TaskWriter buffers before
+// flushing, and the term the resident-memory bound charges per writer.
+func (s *Shuffle[K, V]) BlockPairs() int { return s.blockPairs }
+
+// getBlock takes a block backing array from the pool (or allocates one
+// at the block budget) with length zero.
+func (s *Shuffle[K, V]) getBlock() []Pair[K, V] {
+	if v := s.pool.Get(); v != nil {
+		return (*v.(*[]Pair[K, V]))[:0]
+	}
+	return make([]Pair[K, V], 0, s.blockPairs)
+}
+
+// putBlock recycles a flushed block's backing array.
+func (s *Shuffle[K, V]) putBlock(b []Pair[K, V]) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	s.pool.Put(&b)
+}
+
+// addResident adjusts the shuffle's in-memory pair count, updating the
+// whole-round peak on growth.
+func (s *Shuffle[K, V]) addResident(n int) {
+	if n == 0 {
+		return
+	}
+	cur := s.resident.Add(int64(n))
+	if n < 0 {
+		return
+	}
+	for {
+		peak := s.peakResident.Load()
+		if cur <= peak || s.peakResident.CompareAndSwap(peak, cur) {
+			return
+		}
+	}
+}
+
+// ResidentPairs is the number of pairs currently held in shuffle
+// memory (live runs, staged blocks, in-memory sealed runs);
+// PeakResidentPairs is its whole-round high-water mark.
+func (s *Shuffle[K, V]) ResidentPairs() int64     { return s.resident.Load() }
+func (s *Shuffle[K, V]) PeakResidentPairs() int64 { return s.peakResident.Load() }
 
 // SetPartitioner overrides hash placement with an explicit key-to-
 // partition function (reduced modulo the partition count). It must be
@@ -286,25 +418,43 @@ func (s *Shuffle[K, V]) PartitionOf(k K) int {
 	return int(s.hasher.Hash(k) & s.mask)
 }
 
-// TaskBuffer collects one map task's output, pre-bucketed by partition,
-// so the merge never rehashes a key. A TaskBuffer belongs to a single
-// map task and is not safe for concurrent use.
+// TaskBuffer collects one map task's output, pre-bucketed by partition
+// into pool-backed blocks, so the merge never rehashes a key and the
+// bucket storage never pays append-doubling garbage. A TaskBuffer
+// belongs to a single map task and is not safe for concurrent use.
+// It is the barrier-mode compat layer over the same blocks the
+// streaming Ingester flushes incrementally (see ingest.go).
 type TaskBuffer[K comparable, V any] struct {
-	s       *Shuffle[K, V]
-	buckets [][]Pair[K, V]
-	pairs   int64
+	s      *Shuffle[K, V]
+	blocks [][][]Pair[K, V] // per partition: full blocks, in emission order
+	cur    [][]Pair[K, V]   // per partition: the open block
+	pairs  int64
 }
 
 // NewTaskBuffer creates an empty buffer bound to this shuffle's
 // partitioning.
 func (s *Shuffle[K, V]) NewTaskBuffer() *TaskBuffer[K, V] {
-	return &TaskBuffer[K, V]{s: s, buckets: make([][]Pair[K, V], s.nparts)}
+	return &TaskBuffer[K, V]{
+		s:      s,
+		blocks: make([][][]Pair[K, V], s.nparts),
+		cur:    make([][]Pair[K, V], s.nparts),
+	}
 }
 
-// Emit buffers one pair into its partition's bucket.
+// Emit buffers one pair into its partition's open block, sealing the
+// block into the bucket's block list when it reaches the block budget.
 func (b *TaskBuffer[K, V]) Emit(k K, v V) {
 	p := b.s.PartitionOf(k)
-	b.buckets[p] = append(b.buckets[p], Pair[K, V]{k, v})
+	blk := b.cur[p]
+	if blk == nil {
+		blk = b.s.getBlock()
+	}
+	blk = append(blk, Pair[K, V]{k, v})
+	if len(blk) >= b.s.blockPairs {
+		b.blocks[p] = append(b.blocks[p], blk)
+		blk = nil
+	}
+	b.cur[p] = blk
 	b.pairs++
 }
 
@@ -316,8 +466,9 @@ func (b *TaskBuffer[K, V]) Pairs() int64 { return b.pairs }
 // merge path). Buffers are processed in slice order, so the values of a
 // key preserve task order and, within a task, emission order — the
 // property the runtime's deterministic output contract rests on. Merge
-// may be called more than once; calls are serialized. The error is
-// non-nil only when a disk spill fails.
+// consumes the buffers (their blocks return to the shuffle's pool) and
+// may be called more than once with fresh buffers; calls are
+// serialized. The error is non-nil only when a disk spill fails.
 func (s *Shuffle[K, V]) Merge(buffers []*TaskBuffer[K, V]) error {
 	s.mergeMu.Lock()
 	defer s.mergeMu.Unlock()
@@ -335,20 +486,19 @@ func (s *Shuffle[K, V]) Merge(buffers []*TaskBuffer[K, V]) error {
 				if b == nil {
 					continue
 				}
-				for _, pr := range b.buckets[p] {
-					st.live[pr.Key] = append(st.live[pr.Key], pr.Value)
-					st.livePairs++
-					if st.livePairs > st.maxLivePairs {
-						st.maxLivePairs = st.livePairs
+				for _, blk := range append(b.blocks[p], b.cur[p]) {
+					if len(blk) == 0 {
+						continue
 					}
-					st.pairs++
-					if budget := s.opts.MaxBufferedPairs; budget > 0 && st.livePairs >= budget {
-						if err := st.seal(s); err != nil {
-							errs[p] = err
-							return
-						}
+					s.addResident(len(blk))
+					err := st.absorb(s, blk)
+					s.putBlock(blk)
+					if err != nil {
+						errs[p] = err
+						return
 					}
 				}
+				b.blocks[p], b.cur[p] = nil, nil
 			}
 		}(p)
 	}
@@ -361,19 +511,105 @@ func (s *Shuffle[K, V]) Merge(buffers []*TaskBuffer[K, V]) error {
 	return nil
 }
 
-// seal closes the live run — to a disk run file when a SpillDir is
-// set, otherwise to the in-memory run list — and records spill
-// pressure. With a combiner, the live run is combined first; a combine
-// that frees at least half the budget cancels the seal and the
-// partition keeps buffering, so combiner-friendly workloads spill far
-// less than their raw emission volume.
-func (st *partitionState[K, V]) seal(s *Shuffle[K, V]) error {
+// absorb folds one block of pairs (a single task's output for this
+// partition, in emission order) into the live run, sealing at the
+// memory budget. When the whole block fits under the budget the live
+// value slices are pre-sized from the block's per-key counts — one
+// exact growth per key instead of append-doubling — otherwise the
+// block is walked pair by pair so the run seals at exactly the budget.
+func (st *partitionState[K, V]) absorb(s *Shuffle[K, V], pairs []Pair[K, V]) error {
+	budget := s.opts.MaxBufferedPairs
+	if budget <= 0 || st.livePairs+len(pairs) < budget {
+		st.absorbPresized(pairs)
+		return nil
+	}
+	for i := range pairs {
+		st.live[pairs[i].Key] = append(st.live[pairs[i].Key], pairs[i].Value)
+		st.livePairs++
+		if st.livePairs > st.maxLivePairs {
+			st.maxLivePairs = st.livePairs
+		}
+		st.pairs++
+		if st.livePairs >= budget {
+			if err := st.seal(s, false); err != nil {
+				return err
+			}
+		}
+	}
+	st.syncLive()
+	return nil
+}
+
+// absorbPresized is absorb's under-budget fast path: count the block's
+// pairs per key into the reused scratch map, grow each touched live
+// slice at most once per block — to exactly what the block needs when
+// that dominates, but never below doubling, so a key fed one value per
+// block across many blocks still pays O(log n) growths rather than one
+// per block — then append without capacity checks.
+func (st *partitionState[K, V]) absorbPresized(pairs []Pair[K, V]) {
+	if !st.presizeOff && len(pairs) >= 16 {
+		cnt := st.scratch
+		if cnt == nil {
+			cnt = make(map[K]int, 64)
+			st.scratch = cnt
+		}
+		for i := range pairs {
+			cnt[pairs[i].Key]++
+		}
+		if len(cnt)*4 >= len(pairs)*3 {
+			st.presizeOff = true // mostly distinct; counting buys nothing
+		}
+		for k, c := range cnt {
+			vs := st.live[k]
+			if cap(vs)-len(vs) < c {
+				newCap := len(vs) + c
+				if min := 2 * cap(vs); newCap < min {
+					newCap = min
+				}
+				grown := make([]V, len(vs), newCap)
+				copy(grown, vs)
+				st.live[k] = grown
+			}
+		}
+		clear(cnt)
+	}
+	for i := range pairs {
+		st.live[pairs[i].Key] = append(st.live[pairs[i].Key], pairs[i].Value)
+	}
+	st.livePairs += len(pairs)
+	if st.livePairs > st.maxLivePairs {
+		st.maxLivePairs = st.livePairs
+	}
+	st.pairs += int64(len(pairs))
+	st.syncLive()
+}
+
+// seal closes the live run — to a disk run when a SpillDir is set,
+// otherwise to the in-memory run list — and records spill pressure.
+// With a combiner, the live run is combined first; a combine that
+// frees at least half the budget cancels the seal and the partition
+// keeps buffering, so combiner-friendly workloads spill far less than
+// their raw emission volume. force overrides that cancellation: the
+// streaming path must seal the live run before adopting a task's
+// fenced spill runs (run order is value order), and must be able to
+// shed live pairs under global memory pressure, regardless of how well
+// the combine went.
+//
+// On the streaming path (an open pressure spool) the sealed run is
+// appended to the partition's spool file; a whole round's seals then
+// cost one file per partition instead of one per seal, which on
+// syscall-expensive filesystems is most of the spill path's wall
+// clock. The barrier path writes the classic one-file-per-seal run.
+func (st *partitionState[K, V]) seal(s *Shuffle[K, V], force bool) error {
 	if st.livePairs == 0 {
 		return nil
 	}
 	if s.combiner != nil {
 		st.combineLive(s)
-		if st.livePairs <= s.opts.MaxBufferedPairs/2 {
+		if !force && st.livePairs <= s.opts.MaxBufferedPairs/2 {
+			return nil
+		}
+		if st.livePairs == 0 {
 			return nil
 		}
 	}
@@ -381,9 +617,19 @@ func (st *partitionState[K, V]) seal(s *Shuffle[K, V]) error {
 		if s.spillTypeErr != nil {
 			return fmt.Errorf("shuffle: cannot spill: %w", s.spillTypeErr)
 		}
-		if err := st.spillToDisk(s); err != nil {
+		if st.pspool != nil {
+			dr, body, idx, err := st.pspool.addRunGroups(sortedMapKeys(st.live), st.live, int64(st.livePairs))
+			if err != nil {
+				return err
+			}
+			st.disk = append(st.disk, dr)
+			st.spilledToDisk = true
+			st.bytesSpilled += body
+			st.indexBytes += idx
+		} else if err := st.spillToDisk(s); err != nil {
 			return err
 		}
+		s.addResident(-st.livePairs) // live pairs now on disk
 	} else {
 		st.runs = append(st.runs, st.live)
 	}
@@ -391,6 +637,13 @@ func (st *partitionState[K, V]) seal(s *Shuffle[K, V]) error {
 	st.spilledPairs += int64(st.livePairs)
 	st.live = make(map[K][]V)
 	st.livePairs = 0
+	st.syncLive()
+	if st.pspool != nil && needsCompaction(st.disk) {
+		s.diskSem <- struct{}{}
+		err := st.compactDiskRuns(s)
+		<-s.diskSem
+		return err
+	}
 	return nil
 }
 
@@ -410,6 +663,7 @@ func (st *partitionState[K, V]) combineLive(s *Shuffle[K, V]) {
 		post += len(cv)
 	}
 	st.pairs -= int64(st.livePairs - post)
+	s.addResident(post - st.livePairs)
 	st.livePairs = post
 }
 
@@ -583,6 +837,14 @@ type Stats struct {
 	// buffer. Under a memory budget it never exceeds MaxBufferedPairs:
 	// the proof that execution stayed within budget.
 	MaxLivePairs int
+	// PeakResidentPairs is the whole-round high-water mark of pairs
+	// held in shuffle memory at once: live runs, staged streaming
+	// blocks, and in-memory sealed runs, summed over partitions. With a
+	// SpillDir the streaming ingestion path keeps it under
+	// P*MaxBufferedPairs + writers*BlockPairs — the bound that makes
+	// the communication cost, not the dataset size, the limit on
+	// resident memory.
+	PeakResidentPairs int64
 }
 
 // Skew is max/mean partition load, 1 for a perfectly even exchange and
@@ -620,6 +882,7 @@ func (s *Shuffle[K, V]) Stats() (Stats, error) {
 		st.PartitionKeys = append([]int64(nil), st.PartitionKeys...)
 		st.PartitionMaxGroup = append([]int64(nil), st.PartitionMaxGroup...)
 		st.DiskBytesRead = s.diskRead.Load()
+		st.PeakResidentPairs = s.peakResident.Load()
 		return st, nil
 	}
 	s.statsMu.Unlock()
@@ -706,6 +969,7 @@ func (s *Shuffle[K, V]) computeStats() (Stats, error) {
 		}
 	}
 	st.DiskBytesRead = s.diskRead.Load()
+	st.PeakResidentPairs = s.peakResident.Load()
 	return st, nil
 }
 
@@ -718,57 +982,48 @@ func liveRun(livePairs int) int {
 }
 
 // SortKeys sorts keys in the package's canonical deterministic order:
-// numeric order for the integer and float kinds, byte order for strings
-// and, for every other comparable type, order of the formatted value —
+// numeric order for the integer and float kinds (slices.Sort — pdqsort
+// on the concrete type, no reflection), byte order for strings and,
+// for every other comparable type, order of the formatted value —
 // computed once per key rather than once per comparison, unlike the
 // seed's fmt-per-comparison fallback.
 func SortKeys[K comparable](keys []K) {
 	switch ks := any(keys).(type) {
 	case []int:
-		sort.Ints(ks)
+		slices.Sort(ks)
 	case []int8:
-		sort.Slice(ks, func(a, b int) bool { return ks[a] < ks[b] })
+		slices.Sort(ks)
 	case []int16:
-		sort.Slice(ks, func(a, b int) bool { return ks[a] < ks[b] })
+		slices.Sort(ks)
 	case []int32:
-		sort.Slice(ks, func(a, b int) bool { return ks[a] < ks[b] })
+		slices.Sort(ks)
 	case []int64:
-		sort.Slice(ks, func(a, b int) bool { return ks[a] < ks[b] })
+		slices.Sort(ks)
 	case []uint:
-		sort.Slice(ks, func(a, b int) bool { return ks[a] < ks[b] })
+		slices.Sort(ks)
 	case []uint8:
-		sort.Slice(ks, func(a, b int) bool { return ks[a] < ks[b] })
+		slices.Sort(ks)
 	case []uint16:
-		sort.Slice(ks, func(a, b int) bool { return ks[a] < ks[b] })
+		slices.Sort(ks)
 	case []uint32:
-		sort.Slice(ks, func(a, b int) bool { return ks[a] < ks[b] })
+		slices.Sort(ks)
 	case []uint64:
-		sort.Slice(ks, func(a, b int) bool { return ks[a] < ks[b] })
+		slices.Sort(ks)
 	case []uintptr:
-		sort.Slice(ks, func(a, b int) bool { return ks[a] < ks[b] })
+		slices.Sort(ks)
 	case []float32:
-		sort.Slice(ks, func(a, b int) bool { return ks[a] < ks[b] })
+		slices.Sort(ks)
 	case []float64:
-		sort.Slice(ks, func(a, b int) bool { return ks[a] < ks[b] })
+		slices.Sort(ks)
 	case []string:
-		sort.Strings(ks)
+		slices.Sort(ks)
 	default:
-		formatted := make([]string, len(keys))
-		for i, k := range keys {
-			formatted[i] = fmt.Sprint(k)
+		fm := make(map[K]string, len(keys))
+		for _, k := range keys {
+			if _, ok := fm[k]; !ok {
+				fm[k] = fmt.Sprint(k)
+			}
 		}
-		sort.Sort(&byFormatted[K]{keys: keys, formatted: formatted})
+		slices.SortFunc(keys, func(a, b K) int { return strings.Compare(fm[a], fm[b]) })
 	}
-}
-
-type byFormatted[K comparable] struct {
-	keys      []K
-	formatted []string
-}
-
-func (b *byFormatted[K]) Len() int           { return len(b.keys) }
-func (b *byFormatted[K]) Less(i, j int) bool { return b.formatted[i] < b.formatted[j] }
-func (b *byFormatted[K]) Swap(i, j int) {
-	b.keys[i], b.keys[j] = b.keys[j], b.keys[i]
-	b.formatted[i], b.formatted[j] = b.formatted[j], b.formatted[i]
 }

@@ -38,13 +38,53 @@ import (
 // forEachGroup; it is never returned to callers.
 var errStopIteration = errors.New("shuffle: stop iteration")
 
-// maxDiskRunFanIn caps how many run files one partition's merge reads
-// at once. A seal that would grow a partition past the cap first
-// compacts its existing disk runs into a single run — the classic
-// multi-pass external merge — so open file descriptors and read
-// buffers stay bounded no matter how far a dataset outgrows the
-// budget, at the cost of logarithmically rewriting spilled bytes.
+// maxDiskRunFanIn caps how many distinct run *files* one partition's
+// merge opens at once. A seal or adoption that would grow a partition
+// past the cap first compacts its existing disk runs into a single run
+// — the classic multi-pass external merge — so open file descriptors
+// stay bounded no matter how far a dataset outgrows the budget, at the
+// cost of logarithmically rewriting spilled bytes. Runs sharing a
+// spool file (the streaming path's fenced runs) count once: the merge
+// reads them through sections of a single handle, so dozens of small
+// fenced runs do not trigger the compaction avalanche their count
+// alone would suggest.
 const maxDiskRunFanIn = 64
+
+// maxDiskRunsPerPartition caps the total run count of one partition's
+// merge regardless of how the runs share files: every cursor costs a
+// read buffer and a heap slot even when its file handle is shared, so
+// a streaming round whose pressure writes all land in one spool file
+// must still compact once its run count (not file count) outgrows the
+// merge. Twice the file fan-in: spool sections are cheaper than files
+// but not free.
+const maxDiskRunsPerPartition = 2 * maxDiskRunFanIn
+
+// needsCompaction reports whether a partition's disk runs outgrew
+// either bound: distinct files (file descriptors) or total runs (read
+// buffers and merge width).
+func needsCompaction[K comparable](disk []diskRun[K]) bool {
+	return len(disk) >= maxDiskRunsPerPartition || diskFanIn(disk) >= maxDiskRunFanIn
+}
+
+// diskFanIn is the number of distinct files behind a partition's disk
+// runs — the quantity maxDiskRunFanIn bounds.
+func diskFanIn[K comparable](disk []diskRun[K]) int {
+	n := 0
+	var last *runFile
+	seen := make(map[*runFile]struct{}, len(disk))
+	for i := range disk {
+		rf := disk[i].file
+		if rf == last {
+			continue // runs of one spool adopt adjacently; fast path
+		}
+		if _, ok := seen[rf]; !ok {
+			seen[rf] = struct{}{}
+			n++
+		}
+		last = rf
+	}
+	return n
+}
 
 // diskReadConcurrency bounds how many partitions may hold their run
 // files open at once — across reduce-time merges and merge-time
@@ -64,11 +104,34 @@ type keyCount[K comparable] struct {
 	valBytes int64
 }
 
-// diskRun is one sealed run encoded to a temp file together with its
-// resident index; pairs drives the tiered compaction policy (small
-// fresh seals vs large compacted runs).
+// runFile is one spill temp file, shared by every diskRun it embeds
+// and deleted when the last of them is released. A sealed live run
+// owns its whole file (refs = 1); the streaming path's fence spools
+// write several runs — one per staged task — into a single file, so a
+// pressure event costs one create/close/open no matter how many tasks
+// it fences, while each task's run stays independently releasable
+// (abort of one task must not delete another's fenced data).
+type runFile struct {
+	path string
+	refs atomic.Int32
+}
+
+// release drops one reference, removing the file when none remain.
+func (rf *runFile) release(fs runfile.FS) error {
+	if rf.refs.Add(-1) == 0 {
+		return fs.Remove(rf.path)
+	}
+	return nil
+}
+
+// diskRun is one sealed run — a complete, self-contained run-file
+// image embedded in a (possibly shared) temp file at [off, off+size) —
+// together with its resident index; pairs drives the tiered compaction
+// policy (small fresh seals vs large compacted runs).
 type diskRun[K comparable] struct {
-	path  string
+	file  *runFile
+	off   int64
+	size  int64
 	pairs int64
 	index []keyCount[K]
 }
@@ -76,25 +139,25 @@ type diskRun[K comparable] struct {
 // countingReader meters every byte read from a run file into the
 // shuffle's DiskBytesRead counter.
 type countingReader struct {
-	f runfile.File
+	r io.Reader
 	n *atomic.Int64
 }
 
 func (c countingReader) Read(p []byte) (int, error) {
-	n, err := c.f.Read(p)
+	n, err := c.r.Read(p)
 	c.n.Add(int64(n))
 	return n, err
 }
 
-// spillToDisk encodes the live run (already combined when the shuffle
-// has a combiner) to a new run file in sorted key order and retains its
-// typed index. Called only from the partition's owning merge goroutine.
-func (st *partitionState[K, V]) spillToDisk(s *Shuffle[K, V]) error {
-	dir := s.opts.SpillDir
-	keys := sortedMapKeys(st.live)
-	f, err := s.fs.CreateTemp(dir, "mr-spill-*.run")
+// writeRun encodes one sorted run (keys in sorted order, groups from
+// the map) to a new run file under the spill dir and returns the run
+// with its typed resident index, plus the body and index byte counts.
+// Shared by live-run seals (spillToDisk) and the streaming path's
+// fenced staged spills (ingest.go).
+func writeRun[K comparable, V any](s *Shuffle[K, V], keys []K, groups map[K][]V, pairs int64) (dr diskRun[K], body, idx int64, retErr error) {
+	f, err := s.fs.CreateTemp(s.opts.SpillDir, "mr-spill-*.run")
 	if err != nil {
-		return fmt.Errorf("shuffle: creating spill file: %w", err)
+		return dr, 0, 0, fmt.Errorf("shuffle: creating spill file: %w", err)
 	}
 	ok := false
 	defer func() {
@@ -104,15 +167,36 @@ func (st *partitionState[K, V]) spillToDisk(s *Shuffle[K, V]) error {
 		}
 	}()
 	w := runfile.NewWriter(f)
+	if err := writeGroups(w, f.Name(), keys, groups); err != nil {
+		return dr, 0, 0, err
+	}
+	if err := w.Finish(); err != nil {
+		return dr, 0, 0, fmt.Errorf("shuffle: flushing spill %s: %w", f.Name(), err)
+	}
+	if err := f.Close(); err != nil {
+		return dr, 0, 0, fmt.Errorf("shuffle: closing spill %s: %w", f.Name(), err)
+	}
+	ok = true
+	rf := &runFile{path: f.Name()}
+	rf.refs.Store(1)
+	dr = diskRun[K]{file: rf, off: 0, size: w.BytesWritten(), pairs: pairs, index: typedIndex(keys, w.Index())}
+	return dr, w.BodyBytes(), w.BytesWritten() - w.BodyBytes(), nil
+}
+
+// writeGroups encodes one sorted run onto an already-open writer
+// (shared by writeRun and the fence spool, which appends several
+// complete runs to one file).
+func writeGroups[K comparable, V any](w *runfile.Writer, name string, keys []K, groups map[K][]V) error {
 	var kbuf, vbuf []byte
+	var err error
 	for _, k := range keys {
 		kbuf, err = runfile.Append(kbuf[:0], k)
 		if err != nil {
 			return fmt.Errorf("shuffle: spilling key: %w", err)
 		}
-		vs := st.live[k]
+		vs := groups[k]
 		if err := w.BeginGroup(kbuf, len(vs)); err != nil {
-			return fmt.Errorf("shuffle: spilling to %s: %w", f.Name(), err)
+			return fmt.Errorf("shuffle: spilling to %s: %w", name, err)
 		}
 		for _, v := range vs {
 			vbuf, err = runfile.Append(vbuf[:0], v)
@@ -120,26 +204,27 @@ func (st *partitionState[K, V]) spillToDisk(s *Shuffle[K, V]) error {
 				return fmt.Errorf("shuffle: spilling value: %w", err)
 			}
 			if err := w.AppendValue(vbuf); err != nil {
-				return fmt.Errorf("shuffle: spilling to %s: %w", f.Name(), err)
+				return fmt.Errorf("shuffle: spilling to %s: %w", name, err)
 			}
 		}
 	}
-	if err := w.Finish(); err != nil {
-		return fmt.Errorf("shuffle: flushing spill %s: %w", f.Name(), err)
+	return nil
+}
+
+// spillToDisk encodes the live run (already combined when the shuffle
+// has a combiner) to a new run file in sorted key order and retains its
+// typed index. Called from the partition's owning merge goroutine, or
+// under the partition lock on the streaming path.
+func (st *partitionState[K, V]) spillToDisk(s *Shuffle[K, V]) error {
+	dr, body, idx, err := writeRun(s, sortedMapKeys(st.live), st.live, int64(st.livePairs))
+	if err != nil {
+		return err
 	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("shuffle: closing spill %s: %w", f.Name(), err)
-	}
-	st.disk = append(st.disk, diskRun[K]{
-		path:  f.Name(),
-		pairs: int64(st.livePairs),
-		index: typedIndex(keys, w.Index()),
-	})
+	st.disk = append(st.disk, dr)
 	st.spilledToDisk = true
-	st.bytesSpilled += w.BodyBytes()
-	st.indexBytes += w.BytesWritten() - w.BodyBytes()
-	ok = true
-	if len(st.disk) >= maxDiskRunFanIn {
+	st.bytesSpilled += body
+	st.indexBytes += idx
+	if needsCompaction(st.disk) {
 		s.diskSem <- struct{}{}
 		defer func() { <-s.diskSem }()
 		return st.compactDiskRuns(s)
@@ -424,10 +509,13 @@ func (st *partitionState[K, V]) compactDiskRuns(s *Shuffle[K, V]) (retErr error)
 	}
 
 	for _, dr := range compacting {
-		s.fs.Remove(dr.path)
+		dr.file.release(s.fs)
 	}
+	outRef := &runFile{path: out.Name()}
+	outRef.refs.Store(1)
 	st.disk = append(st.disk[:from], diskRun[K]{
-		path:  out.Name(),
+		file:  outRef,
+		size:  w.BytesWritten(),
 		pairs: w.Pairs(),
 		index: typedIndex(keysWritten, w.Index()),
 	})
@@ -441,26 +529,45 @@ func (st *partitionState[K, V]) compactDiskRuns(s *Shuffle[K, V]) (retErr error)
 	return nil
 }
 
-// openDiskCursors opens one streaming cursor per run file, in seal
+// openDiskCursors opens one streaming cursor per disk run, in seal
 // order, each metered through the shuffle's DiskBytesRead counter. The
 // cursor's key ordering comes from the run's resident index; the file
-// supplies only value bytes. The returned closeAll is safe to call
-// whether or not err is nil and closes everything opened so far.
+// supplies only value bytes. Runs embedded in the same spool file
+// share one handle: each cursor reads its own section through a
+// ReaderAt view, so a fence event's worth of runs costs a single open.
+// A run that owns its whole file keeps the plain sequential handle
+// read path. The returned closeAll is safe to call whether or not err
+// is nil and closes every handle opened so far, once each.
 func openDiskCursors[K comparable, V any](s *Shuffle[K, V], runs []diskRun[K], fmtKeys bool) ([]*groupCursor[K, V], func(), error) {
 	var cursors []*groupCursor[K, V]
+	files := make(map[*runFile]runfile.File)
 	closeAll := func() {
-		for _, c := range cursors {
-			c.file.Close()
+		for _, f := range files {
+			f.Close()
 		}
 	}
 	for _, dr := range runs {
-		f, err := s.fs.Open(dr.path)
-		if err != nil {
-			return cursors, closeAll, fmt.Errorf("shuffle: opening spill run: %w", err)
+		f, ok := files[dr.file]
+		if !ok {
+			var err error
+			f, err = s.fs.Open(dr.file.path)
+			if err != nil {
+				return cursors, closeAll, fmt.Errorf("shuffle: opening spill run: %w", err)
+			}
+			files[dr.file] = f
+		}
+		// Runs at a nonzero offset read through a ReaderAt section;
+		// a run starting at 0 reads the handle sequentially (its own
+		// footer marker ends the stream, so trailing sibling runs in a
+		// shared file are never surfaced). The two modes coexist on one
+		// handle: sections use pread and never move the file cursor.
+		var src io.Reader = f
+		if dr.off != 0 {
+			src = io.NewSectionReader(f, dr.off, dr.size)
 		}
 		cursors = append(cursors, &groupCursor[K, V]{
 			runIdx: len(cursors), fmtKeys: fmtKeys, perValue: s.perValue, idx: dr.index,
-			file: f, rd: runfile.NewReader(countingReader{f, &s.diskRead}),
+			file: f, rd: runfile.NewReader(countingReader{src, &s.diskRead}),
 		})
 	}
 	return cursors, closeAll, nil
@@ -492,12 +599,31 @@ func (s *Shuffle[K, V]) Close() error {
 	defer s.mergeMu.Unlock()
 	var first error
 	for i := range s.parts {
-		for _, dr := range s.parts[i].disk {
-			if err := s.fs.Remove(dr.path); err != nil && first == nil {
+		st := &s.parts[i]
+		for _, dr := range st.disk {
+			if err := dr.file.release(s.fs); err != nil && first == nil {
 				first = err
 			}
 		}
-		s.parts[i].disk = nil
+		st.disk = nil
+		// Fenced runs of tasks that never committed (the round failed
+		// mid-ingestion) still hold references to their spool files;
+		// release them too, and the pressure spool's write handle when a
+		// failed round never reached Ingester.Finish.
+		for _, sr := range st.staged {
+			for _, dr := range sr.fenced {
+				if err := dr.file.release(s.fs); err != nil && first == nil {
+					first = err
+				}
+			}
+		}
+		st.staged = nil
+		if st.pspool != nil {
+			if err := st.pspool.close(); err != nil && first == nil {
+				first = err
+			}
+			st.pspool = nil
+		}
 	}
 	s.closed = true
 	return first

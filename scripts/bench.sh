@@ -6,8 +6,12 @@
 #                       collect one per commit and diff with
 #                       `benchstat old.txt new.txt`)
 #   BENCH_shuffle.json  the same runs parsed into JSON, one object per
-#                       benchmark with every reported metric, for
-#                       dashboards and scripted regression checks
+#                       benchmark with every reported metric — ns/op,
+#                       spilled-MB, values/s, peak-resident-pairs and
+#                       friends are all picked up automatically — for
+#                       dashboards and the scripts/benchcmp regression
+#                       gate (which watches spilled-MB, ns/op,
+#                       values/s and peak-resident-pairs)
 #
 # Usage: scripts/bench.sh [benchtime]   (default 3x)
 set -eu

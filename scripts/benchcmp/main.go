@@ -4,20 +4,30 @@
 //
 // Usage:
 //
-//	go run ./scripts/benchcmp [-threshold 0.10] [-ns-threshold 0.50] old.json new.json
+//	go run ./scripts/benchcmp [-threshold 0.10] [-ns-threshold 0.50] [-peak-threshold 0.10] old.json new.json
 //
 // For every benchmark present in both files it compares the watched
-// metrics — spilled-MB, the deterministic disk-traffic budget of the
-// external shuffle, against -threshold (default 10%), and ns/op
-// against the much looser -ns-threshold (default 50%). The asymmetry
-// is deliberate: spilled bytes are exactly reproducible, while ns/op
-// from a handful of iterations on a shared CI runner varies 20-30% on
-// identical code, so a tight wall-clock gate would fail routinely on
-// noise — ns/op here is a catastrophic-regression backstop, and the
-// benchstat diff CI prints alongside is the statistically honest
-// wall-clock view. Benchmarks present on one side only are reported
-// and skipped, so workloads can be added or retired without tripping
-// the gate.
+// metrics:
+//
+//   - spilled-MB (growth is worse) against -threshold (default 10%):
+//     the deterministic disk-traffic budget of the external shuffle.
+//   - peak-resident-pairs (growth is worse) against -peak-threshold
+//     (default 10%): the streaming path's whole-round memory bound.
+//     The in-test assertion enforces the hard P*budget+workers*blocks
+//     ceiling; this gate additionally catches drift underneath it.
+//     Scheduling jitter moves the realized peak a few percent between
+//     runs, so the gate is near-tight rather than exact.
+//   - ns/op (growth is worse) and values/s (shrinkage is worse)
+//     against the much looser -ns-threshold (default 50%).
+//
+// The asymmetry is deliberate: spilled bytes and peak residency are
+// (near-)reproducible, while ns/op and values/s from a handful of
+// iterations on a shared CI runner vary 20-30% on identical code, so a
+// tight wall-clock gate would fail routinely on noise — those two are
+// catastrophic-regression backstops, and the benchstat diff CI prints
+// alongside is the statistically honest wall-clock view. Benchmarks
+// present on one side only are reported and skipped, so workloads can
+// be added or retired without tripping the gate.
 package main
 
 import (
@@ -57,12 +67,24 @@ func load(path string) (map[string]map[string]float64, error) {
 	return out, nil
 }
 
+// gate is one watched metric: the allowed fractional regression and
+// which direction counts as worse.
+type gate struct {
+	limit         float64
+	lowerIsBetter bool
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 0.10, "allowed fractional growth in spilled-MB")
-	nsThreshold := flag.Float64("ns-threshold", 0.50, "allowed fractional growth in ns/op (loose: point samples are noisy)")
+	nsThreshold := flag.Float64("ns-threshold", 0.50, "allowed fractional regression in ns/op and values/s (loose: point samples are noisy)")
+	peakThreshold := flag.Float64("peak-threshold", 0.10, "allowed fractional growth in peak-resident-pairs")
 	flag.Parse()
-	// Larger is worse for both watched metrics.
-	watched := map[string]float64{"spilled-MB": *threshold, "ns/op": *nsThreshold}
+	watched := map[string]gate{
+		"spilled-MB":          {*threshold, true},
+		"ns/op":               {*nsThreshold, true},
+		"peak-resident-pairs": {*peakThreshold, true},
+		"values/s":            {*nsThreshold, false},
+	}
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold 0.10] old.json new.json")
 		os.Exit(2)
@@ -86,21 +108,25 @@ func main() {
 			fmt.Printf("new benchmark (skipped): %s\n", name)
 			continue
 		}
-		for m, limit := range watched {
+		for m, g := range watched {
 			ov, okO := prev[m]
 			nv, okN := now[m]
-			if !okO || !okN || ov <= 0 {
+			if !okO || !okN || ov <= 0 || nv <= 0 {
 				continue
 			}
 			compared++
-			growth := nv/ov - 1
+			// regression is the fractional move in the bad direction.
+			regression := nv/ov - 1
+			if !g.lowerIsBetter {
+				regression = ov/nv - 1
+			}
 			status := "ok"
-			if growth > limit {
+			if regression > g.limit {
 				status = "REGRESSION"
 				regressions++
 			}
-			fmt.Printf("%-60s %-12s old=%.4g new=%.4g (%+.1f%%, limit +%.0f%%) %s\n",
-				name, m, ov, nv, growth*100, limit*100, status)
+			fmt.Printf("%-60s %-20s old=%.4g new=%.4g (%+.1f%% worse, limit +%.0f%%) %s\n",
+				name, m, ov, nv, regression*100, g.limit*100, status)
 		}
 	}
 	for name := range old {
