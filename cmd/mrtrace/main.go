@@ -1,0 +1,235 @@
+// Command mrtrace runs one of the paper's problem families as a real
+// MapReduce round with the observability recorder armed, then exports
+// the round's timeline as Chrome trace-event JSON (load it in Perfetto
+// or chrome://tracing) and its metrics in Prometheus text format.
+//
+// Usage:
+//
+//	mrtrace -problem hamming  -bits 14 -inputs 4096   [-out trace.json]
+//	mrtrace -problem triangle -nodes 300 -edges 1500 -k 4
+//	mrtrace -problem twopaths -nodes 300 -edges 1500 -k 8
+//	mrtrace -problem matmul   -side 48 -s 8 -t 8
+//
+// Add -budget to force spilling (the trace then shows seal/compact
+// spans overlapping map-task spans — the SpillOverlapNs the metrics
+// report), -metrics to also write a Prometheus snapshot, and -serve
+// to keep the process alive with /metrics and /debug/pprof mounted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"os/signal"
+
+	"repro/internal/graphs"
+	"repro/internal/hamming"
+	"repro/internal/matmul"
+	"repro/internal/mr"
+	"repro/internal/obs"
+	"repro/internal/subgraph"
+	"repro/internal/triangle"
+)
+
+type options struct {
+	problem string
+
+	bits   int // hamming: string length b
+	c      int // hamming: number of segments
+	inputs int // hamming: sample size
+
+	nodes int // triangle/twopaths: graph nodes
+	edges int // triangle/twopaths: graph edges
+	k     int // triangle/twopaths: buckets per dimension
+
+	side int // matmul: matrix side n
+	s, t int // matmul: block shape
+
+	seed       int64
+	workers    int
+	partitions int
+	budget     int    // per-partition memory budget in pairs (0: no spill)
+	spillDir   string // run-file directory; empty with -budget: temp dir
+	ringCap    int
+
+	out     string // trace JSON path
+	metrics string // Prometheus snapshot path ("" : skip)
+	serve   string // listen address ("" : exit after the run)
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.problem, "problem", "hamming", "hamming | triangle | twopaths | matmul")
+	flag.IntVar(&o.bits, "bits", 14, "string length b (hamming)")
+	flag.IntVar(&o.c, "c", 2, "segments c for the Splitting algorithm (hamming)")
+	flag.IntVar(&o.inputs, "inputs", 4096, "input sample size (hamming)")
+	flag.IntVar(&o.nodes, "nodes", 300, "graph nodes (triangle/twopaths)")
+	flag.IntVar(&o.edges, "edges", 1500, "graph edges (triangle/twopaths)")
+	flag.IntVar(&o.k, "k", 4, "buckets per dimension (triangle/twopaths)")
+	flag.IntVar(&o.side, "side", 48, "matrix side n (matmul)")
+	flag.IntVar(&o.s, "s", 8, "output block side s, must divide n (matmul)")
+	flag.IntVar(&o.t, "t", 8, "inner block length t, must divide n (matmul)")
+	flag.Int64Var(&o.seed, "seed", 1, "input generator seed")
+	flag.IntVar(&o.workers, "workers", 0, "map/reduce workers (0: NumCPU)")
+	flag.IntVar(&o.partitions, "partitions", 0, "shuffle partitions (0: default)")
+	flag.IntVar(&o.budget, "budget", 0, "per-partition memory budget in pairs (0: no spilling)")
+	flag.StringVar(&o.spillDir, "spilldir", "", "spill directory (default: a temp dir when -budget is set)")
+	flag.IntVar(&o.ringCap, "ring", obs.DefaultRingCap, "events kept per lane (ring buffer capacity)")
+	flag.StringVar(&o.out, "out", "trace.json", "trace output path")
+	flag.StringVar(&o.metrics, "metrics", "", "Prometheus metrics snapshot path (optional)")
+	flag.StringVar(&o.serve, "serve", "", "keep serving /metrics and /debug/pprof on this address after the run")
+	flag.Parse()
+
+	if err := run(o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mrtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options, stdout io.Writer) error {
+	rec := obs.NewRecorder(o.ringCap)
+	cfg := mr.Config{
+		Workers:      o.workers,
+		Partitions:   o.partitions,
+		MemoryBudget: o.budget,
+		Recorder:     rec,
+	}
+	if o.budget > 0 {
+		dir := o.spillDir
+		if dir == "" {
+			var err error
+			dir, err = os.MkdirTemp("", "mrtrace-spill-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+		}
+		cfg.SpillDir = dir
+	}
+
+	reg := obs.NewRegistry()
+	rounds, err := runProblem(o, cfg)
+	if err != nil {
+		return err
+	}
+	for _, r := range rounds {
+		r.Metrics.PublishTo(reg)
+		fmt.Fprintf(stdout, "%s: %s\n", r.Name, r.Metrics.String())
+	}
+	if d := rec.Dropped(); d > 0 {
+		fmt.Fprintf(stdout, "warning: %d events dropped on ring wrap; rerun with -ring > %d for a complete trace\n", d, o.ringCap)
+	}
+
+	if err := writeTrace(o.out, rec); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "trace written to %s (load in Perfetto or chrome://tracing)\n", o.out)
+
+	if o.metrics != "" {
+		if err := writeMetrics(o.metrics, reg); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "metrics written to %s\n", o.metrics)
+	}
+
+	if o.serve != "" {
+		srv, err := obs.Serve(o.serve, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(stdout, "serving /metrics, /debug/pprof, /debug/vars on %s (interrupt to exit)\n", srv.Addr)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+	}
+	return nil
+}
+
+// runProblem executes the selected family and returns its rounds in
+// execution order (single-round families return one entry).
+func runProblem(o options, cfg mr.Config) ([]mr.RoundMetrics, error) {
+	rng := rand.New(rand.NewSource(o.seed))
+	switch o.problem {
+	case "hamming":
+		s, err := hamming.NewSplittingSchema(o.bits, o.c)
+		if err != nil {
+			return nil, err
+		}
+		in := make([]uint64, o.inputs)
+		for i := range in {
+			in[i] = rng.Uint64() & (1<<uint(o.bits) - 1)
+		}
+		_, met, err := hamming.RunSplitting(s, in, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []mr.RoundMetrics{{Name: "hamming-splitting", Metrics: met}}, nil
+
+	case "triangle":
+		s, err := triangle.NewPartitionSchema(o.nodes, o.k)
+		if err != nil {
+			return nil, err
+		}
+		g := graphs.GNM(o.nodes, o.edges, rng)
+		res, err := triangle.Run(s, g, triangle.Options{Config: cfg})
+		if err != nil {
+			return nil, err
+		}
+		return []mr.RoundMetrics{{Name: "triangle-partition", Metrics: res.Metrics}}, nil
+
+	case "twopaths":
+		s, err := subgraph.NewTwoPathSchema(o.nodes, o.k)
+		if err != nil {
+			return nil, err
+		}
+		g := graphs.GNM(o.nodes, o.edges, rng)
+		_, met, err := subgraph.RunTwoPaths(s, g, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []mr.RoundMetrics{{Name: "twopaths", Metrics: met}}, nil
+
+	case "matmul":
+		schema, err := matmul.NewTwoPhaseSchema(o.side, o.s, o.t)
+		if err != nil {
+			return nil, err
+		}
+		r := matmul.Random(o.side, o.side, rng)
+		s := matmul.Random(o.side, o.side, rng)
+		_, pipe, err := matmul.RunTwoPhase(r, s, schema, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return pipe.Rounds, nil
+
+	default:
+		return nil, fmt.Errorf("unknown -problem %q (want hamming, triangle, twopaths or matmul)", o.problem)
+	}
+}
+
+func writeTrace(path string, rec *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteTrace(f, rec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeMetrics(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

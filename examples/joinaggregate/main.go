@@ -58,7 +58,7 @@ func run(w io.Writer) error {
 	show := func(name string, res problems.JoinAggregateResult) {
 		fmt.Fprintf(w, "%s:\n", name)
 		for _, round := range res.Pipeline.Rounds {
-			fmt.Fprintf(w, "  %-22s %s\n", round.Name+":", round.Metrics.String())
+			fmt.Fprintf(w, "  %-22s %s\n", round.Name+":", round.Metrics.LogicalString())
 		}
 		fmt.Fprintf(w, "  total communication: %d pairs\n\n", res.Pipeline.TotalPairsEmitted())
 	}
@@ -86,7 +86,7 @@ func run(w io.Writer) error {
 	}
 	fmt.Fprintf(w, "\nthree-round plan (... ORDER BY SUM(C) DESC LIMIT %d):\n", topN)
 	for _, round := range pipe.Rounds {
-		fmt.Fprintf(w, "  %-22s %s\n", round.Name+":", round.Metrics.String())
+		fmt.Fprintf(w, "  %-22s %s\n", round.Name+":", round.Metrics.LogicalString())
 	}
 	for i, g := range top {
 		fmt.Fprintf(w, "  #%d  A=%-3d SUM(C)=%d\n", i+1, g.A, g.Sum)

@@ -45,7 +45,7 @@ func run(w io.Writer) error {
 	if !matmul.Equal(p1, want, 1e-9) {
 		return errors.New("one-phase product wrong")
 	}
-	fmt.Fprintf(w, "one-phase  (s=%d):          %s\n", one.S, met1)
+	fmt.Fprintf(w, "one-phase  (s=%d):          %s\n", one.S, met1.LogicalString())
 
 	// Two-phase with the Lagrange-optimal 2:1 tiles: 2·s·t = q,
 	// s = 2t ⇒ t = √(q/4). q = 240 ⇒ t ≈ 7.75; use the divisors of n
@@ -65,7 +65,7 @@ func run(w io.Writer) error {
 		return errors.New("two-phase product wrong")
 	}
 	for _, r := range pipe.Rounds {
-		fmt.Fprintf(w, "two-phase  %-16s %s\n", r.Name+":", r.Metrics.String())
+		fmt.Fprintf(w, "two-phase  %-16s %s\n", r.Name+":", r.Metrics.LogicalString())
 	}
 
 	fmt.Fprintf(w, "\ntotal communication: one-phase %d pairs, two-phase %d pairs\n",

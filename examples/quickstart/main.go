@@ -63,7 +63,7 @@ func run(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "engine run: %s\n", metrics)
+	fmt.Fprintf(w, "engine run: %s\n", metrics.LogicalString())
 	fmt.Fprintf(w, "found %d distance-1 pairs (expected %d)\n", len(pairs), problem.NumOutputs())
 	fmt.Fprintf(w, "first three: %v %v %v\n", pairs[0], pairs[1], pairs[2])
 	return nil

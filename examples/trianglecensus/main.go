@@ -75,7 +75,7 @@ func run(w io.Writer) error {
 	}
 	fmt.Fprintln(w, "\nthree-round census (find -> per-node counts -> histogram):")
 	for _, round := range census.Pipeline.Rounds {
-		fmt.Fprintf(w, "  %-28s %s\n", round.Name+":", round.Metrics.String())
+		fmt.Fprintf(w, "  %-28s %s\n", round.Name+":", round.Metrics.LogicalString())
 	}
 	fmt.Fprintf(w, "  nodes in >=1 triangle: %d; distribution of per-node triangle counts:\n", len(census.PerNode))
 	shown := 0

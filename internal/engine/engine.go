@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/shuffle"
 )
 
@@ -98,6 +99,15 @@ type Config struct {
 	// comparable only within one configuration. Tests and benchmarks
 	// use LegacyMerge to compare the two data paths.
 	LegacyMerge bool
+
+	// Recorder, when non-nil, captures the round's lifecycle as timed
+	// events: phase boundaries on the round lane, map/reduce task
+	// attempts on per-worker lanes, and the shuffle's block flushes,
+	// seals, fences, compactions and reduce merges on per-partition
+	// lanes (the shuffle inherits the same recorder). Export with
+	// obs.WriteTrace / obs.WritePrometheus after Run returns. Nil keeps
+	// the hot path free of everything but a nil check.
+	Recorder *obs.Recorder
 }
 
 func (c Config) workers() int {
@@ -218,6 +228,11 @@ type Metrics struct {
 	// is the residual post-map drain: the barrier that remains.
 	SpillOverlapNs int64
 	FinishDrainNs  int64
+	// ReducerInputLog2 is the log2-bucketed distribution of reducer
+	// input sizes — the paper's q distribution. Bucket i counts the
+	// reducers whose input lies in [2^i, 2^(i+1)); trimmed after the
+	// last non-empty bucket.
+	ReducerInputLog2 []int64
 }
 
 // PartitionSkew is max/mean partition pairs (1 = perfectly even).
@@ -270,6 +285,7 @@ func Run[I any, K comparable, V, O any](r Round[I, K, V, O], inputs []I) (res Re
 		Partitions:       cfg.Partitions,
 		MaxBufferedPairs: cfg.memoryBudget(),
 		SpillDir:         cfg.SpillDir,
+		Recorder:         cfg.Recorder,
 	})
 	defer func() {
 		if err := sh.Close(); err != nil && retErr == nil {
@@ -292,7 +308,10 @@ func Run[I any, K comparable, V, O any](r Round[I, K, V, O], inputs []I) (res Re
 		return res, err
 	}
 
+	rlane := cfg.Recorder.Lane(obs.LaneRound, 0)
+	rlane.Begin(obs.OpPhaseProfile, 0, 0)
 	st, err := sh.Stats()
+	rlane.End(obs.OpPhaseProfile, 0, errFlag(err))
 	if err != nil {
 		return res, fmt.Errorf("engine: profiling shuffle of round %q: %w", r.Name, err)
 	}
@@ -307,6 +326,7 @@ func Run[I any, K comparable, V, O any](r Round[I, K, V, O], inputs []I) (res Re
 	res.Metrics.RunsMerged = st.RunsMerged
 	res.Metrics.MaxLivePairs = st.MaxLivePairs
 	res.Metrics.PeakResidentPairs = st.PeakResidentPairs
+	res.Metrics.ReducerInputLog2 = st.GroupSizeLog2
 	res.Metrics.Partitions = make([]PartitionStat, st.Partitions)
 	for p := range res.Metrics.Partitions {
 		res.Metrics.Partitions[p] = PartitionStat{
@@ -335,9 +355,20 @@ func Run[I any, K comparable, V, O any](r Round[I, K, V, O], inputs []I) (res Re
 			ErrReducerOverflow, r.Name, st.MaxGroup, max)
 	}
 
+	rlane.Begin(obs.OpPhaseReduce, int64(st.Partitions), 0)
 	res, retErr = runReducePhase(r, sh, st, res)
+	rlane.End(obs.OpPhaseReduce, res.Metrics.Outputs, errFlag(retErr))
 	res.Metrics.DiskBytesRead = sh.DiskBytesRead()
 	return res, retErr
+}
+
+// errFlag renders an error as the 0/1 "err" argument of a span's End
+// event.
+func errFlag(err error) int64 {
+	if err != nil {
+		return 1
+	}
+	return 0
 }
 
 // mapTask is one map task's input slice and ordinal.
@@ -370,9 +401,15 @@ func splitTasks(cfg Config, n int) []mapTask {
 // seals and spills concurrently with still-running map tasks); with
 // Config.LegacyMerge every task's output is buffered whole and merged
 // after the map phase ends.
-func runMapPhase[I any, K comparable, V, O any](r Round[I, K, V, O], inputs []I, sh *shuffle.Shuffle[K, V], met *Metrics) error {
+func runMapPhase[I any, K comparable, V, O any](r Round[I, K, V, O], inputs []I, sh *shuffle.Shuffle[K, V], met *Metrics) (retErr error) {
 	cfg := r.Config
 	tasks := splitTasks(cfg, len(inputs))
+	// The map-phase span covers mapping plus (on the streaming path) the
+	// Finish drain, so partition-lane seal/fence spans inside it that
+	// overlap worker map-task spans are exactly SpillOverlapNs.
+	rlane := cfg.Recorder.Lane(obs.LaneRound, 0)
+	rlane.Begin(obs.OpPhaseMap, int64(len(tasks)), 0)
+	defer func() { rlane.End(obs.OpPhaseMap, met.PairsEmitted, errFlag(retErr)) }()
 	if cfg.LegacyMerge {
 		return runMapPhaseLegacy(r, inputs, tasks, sh, met)
 	}
@@ -386,13 +423,16 @@ func runMapPhase[I any, K comparable, V, O any](r Round[I, K, V, O], inputs []I,
 	taskCh := make(chan int)
 	for w := 0; w < cfg.workers(); w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			wlane := cfg.Recorder.Lane(obs.LaneWorker, w)
 			for ti := range taskCh {
 				t := tasks[ti]
 				attempts := 0
 				for {
+					wlane.Begin(obs.OpMapTask, int64(t.idx), int64(attempts))
 					count, err, fatal := attemptMapTaskStreaming(r, inputs[t.lo:t.hi], ing, t.idx, attempts)
+					wlane.End(obs.OpMapTask, count, errFlag(err))
 					if err == nil {
 						emitted[ti] = count
 						break
@@ -413,7 +453,7 @@ func runMapPhase[I any, K comparable, V, O any](r Round[I, K, V, O], inputs []I,
 					}
 				}
 			}
-		}()
+		}(w)
 	}
 	for ti := range tasks {
 		taskCh <- ti
@@ -470,13 +510,16 @@ func runMapPhaseLegacy[I any, K comparable, V, O any](r Round[I, K, V, O], input
 	taskCh := make(chan int)
 	for w := 0; w < cfg.workers(); w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			wlane := cfg.Recorder.Lane(obs.LaneWorker, w)
 			for ti := range taskCh {
 				t := tasks[ti]
 				attempts := 0
 				for {
+					wlane.Begin(obs.OpMapTask, int64(t.idx), int64(attempts))
 					buf, count, err := attemptMapTask(r, inputs[t.lo:t.hi], sh, t.idx, attempts)
+					wlane.End(obs.OpMapTask, count, errFlag(err))
 					if err == nil {
 						buffers[ti], emitted[ti] = buf, count
 						break
@@ -490,7 +533,7 @@ func runMapPhaseLegacy[I any, K comparable, V, O any](r Round[I, K, V, O], input
 					}
 				}
 			}
-		}()
+		}(w)
 	}
 	for ti := range tasks {
 		taskCh <- ti
@@ -610,8 +653,9 @@ func runReducePhase[I any, K comparable, V, O any](r Round[I, K, V, O], sh *shuf
 			continue
 		}
 		wg.Add(1)
-		go func(parts []int) {
+		go func(w int, parts []int) {
 			defer wg.Done()
+			wlane := cfg.Recorder.Lane(obs.LaneWorker, w)
 			for _, p := range parts {
 				if ordinal[p] < 0 {
 					continue
@@ -619,7 +663,9 @@ func runReducePhase[I any, K comparable, V, O any](r Round[I, K, V, O], sh *shuf
 				part := sh.Partition(p)
 				attempts := 0
 				for {
+					wlane.Begin(obs.OpReduceTask, int64(p), int64(attempts))
 					pr, err := attemptReducePartition(r, part, ordinal[p], attempts)
+					wlane.End(obs.OpReduceTask, int64(len(pr.keys)), errFlag(err))
 					if err == nil {
 						results[p] = pr
 						break
@@ -633,7 +679,7 @@ func runReducePhase[I any, K comparable, V, O any](r Round[I, K, V, O], sh *shuf
 					}
 				}
 			}
-		}(perWorker[w])
+		}(w, perWorker[w])
 	}
 	wg.Wait()
 

@@ -43,6 +43,7 @@ import (
 	"fmt"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/shuffle"
 )
 
@@ -140,6 +141,14 @@ type Config struct {
 	// is comparable only within one configuration. Intended for tests
 	// and benchmarks comparing the two data paths.
 	LegacyMerge bool
+
+	// Recorder, when non-nil, captures the job's round as a timeline:
+	// phase boundaries, per-worker map/reduce task spans, and the
+	// shuffle's seal/fence/compaction/merge activity per partition.
+	// Export after Run with obs.WriteTrace (Chrome trace JSON) or feed
+	// the job's Metrics to a registry with Metrics.PublishTo. Nil (the
+	// default) records nothing and costs nothing on the data path.
+	Recorder *obs.Recorder
 }
 
 // Metrics records the communication profile of one executed round. All
@@ -218,6 +227,12 @@ type Metrics struct {
 	PeakResidentPairs int64
 	SpillOverlapNs    int64
 	FinishDrainNs     int64
+	// ReducerInputLog2 is the log2-bucketed distribution of reducer
+	// input sizes — the paper's q distribution as realized by this
+	// round. Bucket i counts the reducers whose input size lies in
+	// [2^i, 2^(i+1)); the slice is trimmed after the last non-empty
+	// bucket.
+	ReducerInputLog2 []int64
 }
 
 // ReplicationRate is the average number of key-value pairs created per map
@@ -251,10 +266,66 @@ func (m Metrics) PartitionSkew() float64 {
 	return engine.Metrics{Partitions: m.Partitions, PairsShuffled: m.PairsShuffled}.PartitionSkew()
 }
 
-// String renders a one-line summary suitable for harness output.
+// String renders a one-line summary suitable for harness output: the
+// logical quantities of LogicalString followed by the physical profile
+// of the round — partition skew, spilled and re-read disk bytes, the
+// resident-memory high-water mark, and how much spill work overlapped
+// mapping. The physical fields depend on the per-process hash seed and
+// on wall-clock timing; output that must be byte-reproducible across
+// runs (the examples, golden files) prints LogicalString instead.
 func (m Metrics) String() string {
+	return fmt.Sprintf(
+		"%s skew=%.2f spilled=%dB read=%dB peakResident=%d overlap=%dms",
+		m.LogicalString(), m.PartitionSkew(), m.BytesSpilled, m.DiskBytesRead,
+		m.PeakResidentPairs, m.SpillOverlapNs/1e6)
+}
+
+// LogicalString renders only the paper's logical quantities — inputs,
+// pairs emitted, reducers, realized q, replication rate — which are
+// identical on every run of the same job regardless of hash seed,
+// worker count, or timing.
+func (m Metrics) LogicalString() string {
 	return fmt.Sprintf("inputs=%d pairs=%d reducers=%d maxq=%d r=%.4f",
 		m.MapInputs, m.PairsEmitted, m.Reducers, m.MaxReducerInput, m.ReplicationRate())
+}
+
+// PublishTo folds the round's metrics into a metrics registry:
+// cumulative counters accumulate across rounds (counts, spilled and
+// re-read bytes, retries, overlap time), per-round gauges overwrite
+// with this round's profile (reducers, realized q, replication rate,
+// skew, makespan, resident peak), and the reducer-input histogram
+// receives the round's q distribution. Metric names are stable; see
+// the README's observability section for the full reference. Safe to
+// call once per round from the process that scrapes or serves reg
+// (obs.Serve mounts it on /metrics).
+func (m Metrics) PublishTo(reg *obs.Registry) {
+	reg.Counter("mr_rounds_total", "map-reduce rounds executed").Add(1)
+	reg.Counter("mr_map_inputs_total", "input records consumed by map phases").Add(m.MapInputs)
+	reg.Counter("mr_pairs_emitted_total", "key-value pairs emitted by map tasks (pre-combine communication cost)").Add(m.PairsEmitted)
+	reg.Counter("mr_pairs_shuffled_total", "pairs crossing the exchange post-combine").Add(m.PairsShuffled)
+	reg.Counter("mr_outputs_total", "records produced by reduce phases").Add(m.Outputs)
+	reg.Counter("mr_map_retries_total", "map task re-executions").Add(m.MapRetries)
+	reg.Counter("mr_reduce_retries_total", "reduce task re-executions").Add(m.ReduceRetries)
+	reg.Counter("mr_spill_events_total", "shuffle runs sealed under memory pressure").Add(m.SpillEvents)
+	reg.Counter("mr_spilled_pairs_total", "pairs written to sealed runs").Add(m.SpilledPairs)
+	reg.Counter("mr_bytes_spilled_total", "run data bytes written to spill files").Add(m.BytesSpilled)
+	reg.Counter("mr_index_bytes_spilled_total", "footer-index bytes written to spill files").Add(m.IndexBytesSpilled)
+	reg.Counter("mr_disk_bytes_read_total", "bytes read back from spill files").Add(m.DiskBytesRead)
+	reg.Counter("mr_spill_overlap_ns_total", "nanoseconds of spill work overlapped with mapping").Add(m.SpillOverlapNs)
+	reg.Counter("mr_finish_drain_ns_total", "nanoseconds spent in the post-map finish drain").Add(m.FinishDrainNs)
+
+	reg.Gauge("mr_round_reducers", "distinct reduce keys of the last round").Set(float64(m.Reducers))
+	reg.Gauge("mr_round_max_reducer_input", "largest reducer input of the last round (realized q)").Set(float64(m.MaxReducerInput))
+	reg.Gauge("mr_round_replication_rate", "pairs emitted per map input of the last round (the paper's r)").Set(m.ReplicationRate())
+	reg.Gauge("mr_round_partition_skew", "max/mean partition pairs of the last round").Set(m.PartitionSkew())
+	reg.Gauge("mr_round_makespan_pairs", "heaviest reduce worker load of the last round, in pairs").Set(float64(m.Makespan))
+	reg.Gauge("mr_round_peak_resident_pairs", "whole-round high-water mark of shuffle-resident pairs").Set(float64(m.PeakResidentPairs))
+	reg.Gauge("mr_round_max_live_pairs", "high-water mark of any partition's live buffer in the last round").Set(float64(m.MaxLivePairs))
+
+	h := reg.Histogram("mr_reducer_input_size", "reducer input sizes (the paper's q distribution), log2 buckets", 32)
+	for i, n := range m.ReducerInputLog2 {
+		h.ObserveN(int64(1)<<i, n)
+	}
 }
 
 // Job is a single-round MapReduce computation from inputs of type I,
@@ -316,6 +387,7 @@ func (j *Job[I, K, V, O]) Run(inputs []I) ([]O, Metrics, error) {
 			FailureEveryN:    j.Config.FailureEveryN,
 			MaxRetries:       j.Config.MaxRetries,
 			LegacyMerge:      j.Config.LegacyMerge,
+			Recorder:         j.Config.Recorder,
 		},
 	}
 	if j.Combine != nil {
@@ -349,6 +421,7 @@ func (j *Job[I, K, V, O]) Run(inputs []I) ([]O, Metrics, error) {
 		PeakResidentPairs: res.Metrics.PeakResidentPairs,
 		SpillOverlapNs:    res.Metrics.SpillOverlapNs,
 		FinishDrainNs:     res.Metrics.FinishDrainNs,
+		ReducerInputLog2:  res.Metrics.ReducerInputLog2,
 	}
 	if j.Config.RecordLoads {
 		met.ReducerLoads = res.Loads

@@ -7,6 +7,9 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // wordCountJob is the canonical word-count example used throughout the
@@ -365,6 +368,111 @@ func TestMetricsMeanAndString(t *testing.T) {
 	}
 	if s := met.String(); !strings.Contains(s, "reducers=2") {
 		t.Errorf("String() = %q, want it to mention reducers=2", s)
+	}
+}
+
+func TestMetricsStringGolden(t *testing.T) {
+	// The one-line summary is what operators grep out of logs; pin the
+	// exact format so fields cannot silently drop out of it again.
+	m := Metrics{
+		MapInputs:         100,
+		PairsEmitted:      400,
+		PairsShuffled:     400,
+		Reducers:          7,
+		MaxReducerInput:   9,
+		Partitions:        []engine.PartitionStat{{Pairs: 300}, {Pairs: 100}},
+		BytesSpilled:      2048,
+		DiskBytesRead:     1024,
+		PeakResidentPairs: 256,
+		SpillOverlapNs:    7_500_000,
+	}
+	want := "inputs=100 pairs=400 reducers=7 maxq=9 r=4.0000 skew=1.50 " +
+		"spilled=2048B read=1024B peakResident=256 overlap=7ms"
+	if got := m.String(); got != want {
+		t.Errorf("String() =\n  %q\nwant\n  %q", got, want)
+	}
+}
+
+func TestMetricsPublishTo(t *testing.T) {
+	m := Metrics{
+		MapInputs:        10,
+		PairsEmitted:     40,
+		PairsShuffled:    30,
+		Reducers:         4,
+		MaxReducerInput:  16,
+		BytesSpilled:     512,
+		ReducerInputLog2: []int64{1, 2, 0, 0, 1}, // 1×[1,2), 2×[2,4), 1×[16,32)
+	}
+	reg := obs.NewRegistry()
+	m.PublishTo(reg)
+	m.PublishTo(reg) // counters accumulate, gauges overwrite
+
+	if got := reg.Counter("mr_pairs_emitted_total", "").Value(); got != 80 {
+		t.Errorf("mr_pairs_emitted_total = %d, want 80", got)
+	}
+	if got := reg.Counter("mr_rounds_total", "").Value(); got != 2 {
+		t.Errorf("mr_rounds_total = %d, want 2", got)
+	}
+	if got := reg.Gauge("mr_round_replication_rate", "").Value(); got != 4 {
+		t.Errorf("mr_round_replication_rate = %v, want 4", got)
+	}
+	// Histogram: 4 groups per round, 8 after two publishes; values 1, 2,
+	// 2, 16 land at le="1"→1, le="2"→3, le="16"→4 cumulatively per round.
+	if got := reg.Histogram("mr_reducer_input_size", "", 32).Count(); got != 8 {
+		t.Errorf("mr_reducer_input_size count = %d, want 8", got)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	for _, want := range []string{
+		"mr_pairs_emitted_total 80",
+		"mr_round_max_reducer_input 16",
+		`mr_reducer_input_size_bucket{le="2"} 6`,
+		"mr_reducer_input_size_count 8",
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("exposition missing %q in:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestRecorderRoundTraceIsValid(t *testing.T) {
+	// A recorded round must export a well-formed trace: JSON that
+	// parses, spans balanced per lane, timestamps monotone — and the
+	// raw snapshot must balance too (every Begin has its End even
+	// before export-time repair).
+	rec := obs.NewRecorder(0)
+	docs := []string{"a b c d", "b c d e", "c d e f", "d e f g"}
+	out, met, err := wordCountJob(Config{Workers: 2, MemoryBudget: 2, Recorder: rec}).Run(docs)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(out) == 0 {
+		t.Fatal("no outputs")
+	}
+	if err := obs.CheckBalanced(rec.Snapshot()); err != nil {
+		t.Errorf("snapshot unbalanced: %v", err)
+	}
+	var buf strings.Builder
+	if err := obs.WriteTrace(&buf, rec); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	if err := obs.ValidateTrace([]byte(buf.String())); err != nil {
+		t.Errorf("invalid trace: %v", err)
+	}
+	for _, want := range []string{"phase:map", "phase:reduce", "map-task", "reduce-task", "seal"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("trace missing %q spans", want)
+		}
+	}
+	// The q distribution must cover all reducers: 7 distinct words.
+	var groups int64
+	for _, n := range met.ReducerInputLog2 {
+		groups += n
+	}
+	if groups != met.Reducers {
+		t.Errorf("ReducerInputLog2 sums to %d groups, want Reducers = %d", groups, met.Reducers)
 	}
 }
 

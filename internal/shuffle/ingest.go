@@ -63,6 +63,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/runfile"
 )
 
@@ -278,6 +279,7 @@ func (in *Ingester[K, V]) stage(task, attempt, p int, blk []Pair[K, V]) {
 	st.stagedPairs = staged
 	st.stageMu.Unlock()
 	s.addResident(len(blk))
+	st.lane.Instant(obs.OpBlockFlush, int64(task), int64(len(blk)))
 
 	budget := s.opts.MaxBufferedPairs
 	if budget > 0 && s.opts.SpillDir != "" && int(st.liveApprox.Load())+staged >= budget {
@@ -315,6 +317,7 @@ func (in *Ingester[K, V]) discard(task, attempt int) {
 		st.mu.Lock()
 		st.stageMu.Lock()
 		if sr := st.staged[task]; sr != nil && sr.attempt == attempt {
+			st.lane.Instant(obs.OpFenceAbort, int64(task), int64(attempt))
 			for _, blk := range sr.blocks {
 				s.putBlock(blk)
 			}
@@ -660,7 +663,14 @@ func (sp *spool[K, V]) close() error {
 // memory pressure, detaching them newest-task-first, until the
 // partition's live+staged pairs drop to half its budget. The runs join
 // the partition only when their task commits; Abort releases them.
-func (in *Ingester[K, V]) fenceStaged(st *partitionState[K, V], sp *spool[K, V], budget int) error {
+func (in *Ingester[K, V]) fenceStaged(st *partitionState[K, V], sp *spool[K, V], budget int) (err error) {
+	var fenced int64
+	spanOpen := false
+	defer func() {
+		if spanOpen {
+			st.lane.End(obs.OpFence, fenced, errFlag(err))
+		}
+	}()
 	for {
 		st.stageMu.Lock()
 		var sr *stagedRun[K, V]
@@ -682,10 +692,16 @@ func (in *Ingester[K, V]) fenceStaged(st *partitionState[K, V], sp *spool[K, V],
 		if sr == nil {
 			return nil
 		}
+		if !spanOpen {
+			// Opened lazily: fenceStaged often finds relief already done.
+			spanOpen = true
+			st.lane.Begin(obs.OpFence, 0, 0)
+		}
 		dr, body, idx, err := sp.addRun(blocks, pairs)
 		if err != nil {
 			return err
 		}
+		fenced += dr.pairs
 		st.stageMu.Lock()
 		sr.fenced = append(sr.fenced, dr)
 		sr.fencedPairs += dr.pairs

@@ -32,12 +32,14 @@ package shuffle
 import (
 	"fmt"
 	"hash/maphash"
+	"math/bits"
 	"runtime"
 	"slices"
 	"strings"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/runfile"
 )
 
@@ -145,6 +147,13 @@ type Options struct {
 	// without a budget). The whole-round resident bound of the
 	// streaming path is P*MaxBufferedPairs + writers*BlockPairs.
 	BlockPairs int
+
+	// Recorder, when non-nil, receives the shuffle's lifecycle events:
+	// block flushes, seals, pressure-relief fences and fence aborts,
+	// compactions and reduce-time merges, each on its partition's lane.
+	// Nil disables recording at the cost of one nil-check per event —
+	// the hot data path is identical either way.
+	Recorder *obs.Recorder
 }
 
 // DefaultPartitions is the partition count used when Options.Partitions
@@ -260,6 +269,12 @@ type partitionState[K comparable, V any] struct {
 	// staleness is bounded by one block, which the resident bound's
 	// per-writer term already allows for.
 	liveApprox atomic.Int64
+
+	// lane is the partition's observability ring (nil when the shuffle
+	// has no Recorder — every emit is then a nil-check no-op). Span
+	// events on it are emitted under mu or by the partition's exclusive
+	// owner, so they nest.
+	lane *obs.Ring
 }
 
 // syncLive refreshes the lock-free livePairs mirror; call after any
@@ -283,6 +298,8 @@ func New[K comparable, V any](opts Options) *Shuffle[K, V] {
 	}
 	for i := range s.parts {
 		s.parts[i].live = make(map[K][]V)
+		// A nil Recorder hands out nil lanes; every emit is then a no-op.
+		s.parts[i].lane = opts.Recorder.Lane(obs.LanePartition, i)
 	}
 	s.fs = opts.FS
 	if s.fs == nil {
@@ -600,7 +617,7 @@ func (st *partitionState[K, V]) absorbPresized(pairs []Pair[K, V]) {
 // cost one file per partition instead of one per seal, which on
 // syscall-expensive filesystems is most of the spill path's wall
 // clock. The barrier path writes the classic one-file-per-seal run.
-func (st *partitionState[K, V]) seal(s *Shuffle[K, V], force bool) error {
+func (st *partitionState[K, V]) seal(s *Shuffle[K, V], force bool) (err error) {
 	if st.livePairs == 0 {
 		return nil
 	}
@@ -613,6 +630,9 @@ func (st *partitionState[K, V]) seal(s *Shuffle[K, V], force bool) error {
 			return nil
 		}
 	}
+	sealing := int64(st.livePairs)
+	st.lane.Begin(obs.OpSeal, sealing, 0)
+	defer func() { st.lane.End(obs.OpSeal, sealing, errFlag(err)) }()
 	if s.opts.SpillDir != "" {
 		if s.spillTypeErr != nil {
 			return fmt.Errorf("shuffle: cannot spill: %w", s.spillTypeErr)
@@ -645,6 +665,15 @@ func (st *partitionState[K, V]) seal(s *Shuffle[K, V], force bool) error {
 		return err
 	}
 	return nil
+}
+
+// errFlag renders an error as the 0/1 "err" argument of a span's End
+// event.
+func errFlag(err error) int64 {
+	if err != nil {
+		return 1
+	}
+	return 0
 }
 
 // combineLive applies the combiner to every key group of the live run
@@ -833,6 +862,12 @@ type Stats struct {
 	// that the reduce-time k-way merges combine, summed over the
 	// partitions that sealed at least once.
 	RunsMerged int64
+	// GroupSizeLog2 is the log2-bucketed distribution of key-group
+	// sizes — the realized reducer-input (q) distribution the paper's
+	// bounds are stated over. Bucket i counts the keys whose group size
+	// lies in [2^i, 2^(i+1)); the slice is trimmed after the last
+	// non-empty bucket (nil when the shuffle is empty).
+	GroupSizeLog2 []int64
 	// MaxLivePairs is the high-water mark of any partition's live
 	// buffer. Under a memory budget it never exceeds MaxBufferedPairs:
 	// the proof that execution stayed within budget.
@@ -881,6 +916,7 @@ func (s *Shuffle[K, V]) Stats() (Stats, error) {
 		st.PartitionPairs = append([]int64(nil), st.PartitionPairs...)
 		st.PartitionKeys = append([]int64(nil), st.PartitionKeys...)
 		st.PartitionMaxGroup = append([]int64(nil), st.PartitionMaxGroup...)
+		st.GroupSizeLog2 = append([]int64(nil), st.GroupSizeLog2...)
 		st.DiskBytesRead = s.diskRead.Load()
 		st.PeakResidentPairs = s.peakResident.Load()
 		return st, nil
@@ -911,6 +947,7 @@ func (s *Shuffle[K, V]) computeStats() (Stats, error) {
 	type partProfile struct {
 		keys     int64
 		maxGroup int64
+		log2     [64]int64 // group-size histogram: bucket i = [2^i, 2^(i+1))
 	}
 	profiles := make([]partProfile, s.nparts)
 	errs := make([]error, s.nparts)
@@ -926,6 +963,7 @@ func (s *Shuffle[K, V]) computeStats() (Stats, error) {
 					if g := int64(len(vs)); g > profiles[p].maxGroup {
 						profiles[p].maxGroup = g
 					}
+					profiles[p].log2[log2Bucket(len(vs))]++
 				}
 				return
 			}
@@ -936,11 +974,13 @@ func (s *Shuffle[K, V]) computeStats() (Stats, error) {
 				if g := int64(count); g > profiles[p].maxGroup {
 					profiles[p].maxGroup = g
 				}
+				profiles[p].log2[log2Bucket(count)]++
 				return nil
 			})
 		}(p)
 	}
 	wg.Wait()
+	var log2 [64]int64
 	for p := 0; p < s.nparts; p++ {
 		if errs[p] != nil {
 			return st, errs[p]
@@ -967,10 +1007,28 @@ func (s *Shuffle[K, V]) computeStats() (Stats, error) {
 		if nruns := len(ps.runs) + len(ps.disk) + liveRun(ps.livePairs); nruns > 1 {
 			st.RunsMerged += int64(nruns)
 		}
+		for i := range log2 {
+			log2[i] += profiles[p].log2[i]
+		}
+	}
+	for i := len(log2) - 1; i >= 0; i-- {
+		if log2[i] > 0 {
+			st.GroupSizeLog2 = append([]int64(nil), log2[:i+1]...)
+			break
+		}
 	}
 	st.DiskBytesRead = s.diskRead.Load()
 	st.PeakResidentPairs = s.peakResident.Load()
 	return st, nil
+}
+
+// log2Bucket maps a group size to its GroupSizeLog2 bucket:
+// floor(log2(n)), with sizes < 1 folded into bucket 0.
+func log2Bucket(n int) int {
+	if n < 2 {
+		return 0
+	}
+	return bits.Len64(uint64(n)) - 1
 }
 
 // liveRun is 1 when a partition's live buffer holds pairs, else 0.

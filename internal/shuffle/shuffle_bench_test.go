@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // benchPairs builds nTasks task outputs totalling ~total pairs over
@@ -257,7 +259,7 @@ func BenchmarkExternalShuffle(b *testing.B) {
 	// 16): task granularity is the pipeline's scheduling knob — it sets
 	// how much uncommitted in-flight output the ordering watermark
 	// keeps staged — and the barrier path is insensitive to it.
-	b.Run("streaming", func(b *testing.B) {
+	streamBench := func(b *testing.B, traced bool) {
 		const (
 			workers    = 8
 			blockPairs = 256
@@ -268,6 +270,17 @@ func BenchmarkExternalShuffle(b *testing.B) {
 		var spilledMB, diskReadMB, overlapMs, finishMs float64
 		var peakResident int64
 		var streamed int64
+		// One recorder for the whole run: the rings are allocated here,
+		// once, so the measured rounds see the recording cost alone, not
+		// the allocation churn of fresh buffers (whose GC stalls the
+		// fence pressure valve reads as absorption lag). Event rings are
+		// pointer-free, so the live buffers are GC-noscan. The default
+		// capacity holds every event of a default benchtime run; a long
+		// -benchtime wraps the rings, which only trips the drop counter.
+		var rec *obs.Recorder
+		if traced {
+			rec = obs.NewRecorder(0)
+		}
 		for i := -1; i < b.N; i++ {
 			if i == 0 {
 				// Rounds before this one (i = -1) are untimed warmup: a
@@ -281,6 +294,7 @@ func BenchmarkExternalShuffle(b *testing.B) {
 			s := New[string, int](Options{
 				Partitions: parts, MaxBufferedPairs: budget,
 				BlockPairs: blockPairs, SpillDir: b.TempDir(),
+				Recorder: rec,
 			})
 			ing := s.NewIngester()
 			var wg sync.WaitGroup
@@ -355,7 +369,22 @@ func BenchmarkExternalShuffle(b *testing.B) {
 		b.ReportMetric(overlapMs, "overlap-ms")
 		b.ReportMetric(finishMs, "finish-drain-ms")
 		b.ReportMetric(float64(streamed)/b.Elapsed().Seconds(), "values/s")
-	})
+		if traced {
+			dropped := rec.Dropped()
+			b.ReportMetric(float64(dropped), "dropped-events")
+			if dropped == 0 { // wrap loses Ends by design; only then skip
+				if err := obs.CheckBalanced(rec.Snapshot()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+
+	b.Run("streaming", func(b *testing.B) { streamBench(b, false) })
+	// The recorder-overhead gate: same workload with every lifecycle
+	// event recorded. Compare ns/op against the plain streaming run —
+	// the acceptance bound is a regression of at most 5%.
+	b.Run("streaming-traced", func(b *testing.B) { streamBench(b, true) })
 }
 
 // BenchmarkReduceMergeDecode compares the reduce-side decode paths on

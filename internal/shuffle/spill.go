@@ -31,6 +31,7 @@ import (
 	"io"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/runfile"
 )
 
@@ -286,6 +287,9 @@ func compactionSuffix[K comparable, V any](s *Shuffle[K, V], disk []diskRun[K]) 
 func (st *partitionState[K, V]) compactDiskRuns(s *Shuffle[K, V]) (retErr error) {
 	from := compactionSuffix(s, st.disk)
 	compacting := st.disk[from:]
+	st.lane.Begin(obs.OpCompact, int64(len(compacting)), 0)
+	var outPairs int64
+	defer func() { st.lane.End(obs.OpCompact, outPairs, errFlag(retErr)) }()
 	less := nativeLess[K]()
 	cursors, closeAll, err := openDiskCursors[K, V](s, compacting, less == nil)
 	defer closeAll()
@@ -525,6 +529,7 @@ func (st *partitionState[K, V]) compactDiskRuns(s *Shuffle[K, V]) (retErr error)
 	// rewrite; keep the partition totals equal to the sum of its group
 	// counts.
 	st.pairs -= inPairs - w.Pairs()
+	outPairs = w.Pairs()
 	ok = true
 	return nil
 }
@@ -819,7 +824,7 @@ func (h *cursorHeap[K, V]) pop() *groupCursor[K, V] {
 // scratch slice that its next group overwrites, so fn must not retain
 // the slice; the mode is disabled under the formatted-key fallback,
 // where a class can drain several groups of one cursor before fn runs.
-func (p Partition[K, V]) forEachGroup(withValues, reuseValues bool, fn func(k K, count int, vs []V) error) error {
+func (p Partition[K, V]) forEachGroup(withValues, reuseValues bool, fn func(k K, count int, vs []V) error) (retErr error) {
 	st := &p.s.parts[p.idx]
 	if p.s.closed && st.spilledToDisk {
 		return fmt.Errorf("shuffle: partition %d read after Close: spilled runs deleted", p.idx)
@@ -850,6 +855,11 @@ func (p Partition[K, V]) forEachGroup(withValues, reuseValues bool, fn func(k K,
 		// their fan-in open at once.
 		p.s.diskSem <- struct{}{}
 		defer func() { <-p.s.diskSem }()
+		// The reduce-merge span covers the window the partition's run
+		// files are held open — counting mode never opens files and is
+		// not recorded.
+		st.lane.Begin(obs.OpReduceMerge, int64(len(st.disk)), 0)
+		defer func() { st.lane.End(obs.OpReduceMerge, 0, errFlag(retErr)) }()
 		var closeAll func()
 		var err error
 		cursors, closeAll, err = openDiskCursors[K, V](p.s, st.disk, fmtKeys)

@@ -13,6 +13,12 @@
 #                       gate (which watches spilled-MB, ns/op,
 #                       values/s and peak-resident-pairs)
 #
+#   BENCH_trace_streaming.json  Chrome trace-event timeline of the
+#                       1M-pair streaming round (BenchmarkStreamingTrace1M
+#                       with the recorder armed) — load it in Perfetto to
+#                       see map-task spans overlapping seal/spill spans,
+#                       the span-level view of SpillOverlapNs
+#
 # Usage: scripts/bench.sh [benchtime]   (default 3x)
 set -eu
 
@@ -20,11 +26,21 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${1:-3x}"
 TXT=BENCH_shuffle.txt
 JSON=BENCH_shuffle.json
+TRACE=BENCH_trace_streaming.json
 
 # Write then cat (not a pipe to tee): POSIX sh has no pipefail, and a
 # failed benchmark must fail the script.
 go test -run '^$' -bench 'BenchmarkExternalShuffle|BenchmarkMerge1MPairs|BenchmarkReduceMergeDecode' \
 	-benchtime "$BENCHTIME" ./internal/shuffle > "$TXT" || {
+	status=$?
+	cat "$TXT"
+	exit "$status"
+}
+
+# The traced 1M-pair streaming round: one pass is enough — the run
+# asserts nonzero map/spill span overlap and exports the timeline.
+MRTRACE_OUT="$(pwd)/$TRACE" go test -run '^$' -bench 'BenchmarkStreamingTrace1M' \
+	-benchtime 1x ./internal/mr >> "$TXT" || {
 	status=$?
 	cat "$TXT"
 	exit "$status"
@@ -50,4 +66,4 @@ BEGIN {
 END { printf "\n  ]\n}\n" }
 ' "$TXT" > "$JSON"
 
-echo "wrote $TXT and $JSON"
+echo "wrote $TXT, $JSON and $TRACE"
