@@ -65,6 +65,17 @@ type Config struct {
 	// deleted when the round finishes). Empty means no disk spill.
 	SpillDir string
 
+	// CompactionConcurrency sizes the shuffle's background compaction
+	// worker pool on the streaming path: zero selects the default pool,
+	// negative compacts inline with sealing (single-threaded, as the
+	// barrier path always does). SpoolRotateBytes bounds how many dead
+	// (compacted or aborted) bytes a streaming spool file accumulates
+	// before it is rotated and its disk reclaimed mid-round: zero
+	// selects the default threshold, negative disables rotation. Both
+	// pass straight through to the shuffle.
+	CompactionConcurrency int
+	SpoolRotateBytes      int64
+
 	// MaxReducerInput, when positive, fails the round before the reduce
 	// phase if any key group exceeds it (the paper's reducer size limit
 	// q enforced at runtime).
@@ -212,6 +223,14 @@ type Metrics struct {
 	IndexBytesSpilled int64
 	RunsMerged        int64
 	DiskBytesRead     int64
+	// SwapBytes is the raw bytes the streaming path's pressure relief
+	// swapped to stash files and read back — bookkeeping traffic, kept
+	// out of BytesSpilled so spilled volume stays the deterministic
+	// communication cost. BytesReclaimed is the total size of spill
+	// files deleted while the round was still running (spool rotation,
+	// compaction retiring its inputs): disk handed back before Close.
+	SwapBytes      int64
+	BytesReclaimed int64
 	// MaxLivePairs is the high-water mark of any shuffle partition's
 	// live buffer; under a memory budget it never exceeds the budget.
 	MaxLivePairs int
@@ -282,10 +301,12 @@ func Run[I any, K comparable, V, O any](r Round[I, K, V, O], inputs []I) (res Re
 	}
 
 	sh := shuffle.New[K, V](shuffle.Options{
-		Partitions:       cfg.Partitions,
-		MaxBufferedPairs: cfg.memoryBudget(),
-		SpillDir:         cfg.SpillDir,
-		Recorder:         cfg.Recorder,
+		Partitions:            cfg.Partitions,
+		MaxBufferedPairs:      cfg.memoryBudget(),
+		SpillDir:              cfg.SpillDir,
+		CompactionConcurrency: cfg.CompactionConcurrency,
+		SpoolRotateBytes:      cfg.SpoolRotateBytes,
+		Recorder:              cfg.Recorder,
 	})
 	defer func() {
 		if err := sh.Close(); err != nil && retErr == nil {
@@ -324,6 +345,8 @@ func Run[I any, K comparable, V, O any](r Round[I, K, V, O], inputs []I) (res Re
 	res.Metrics.BytesSpilled = st.BytesSpilled
 	res.Metrics.IndexBytesSpilled = st.IndexBytesSpilled
 	res.Metrics.RunsMerged = st.RunsMerged
+	res.Metrics.SwapBytes = st.SwapBytes
+	res.Metrics.BytesReclaimed = st.BytesReclaimed
 	res.Metrics.MaxLivePairs = st.MaxLivePairs
 	res.Metrics.PeakResidentPairs = st.PeakResidentPairs
 	res.Metrics.ReducerInputLog2 = st.GroupSizeLog2

@@ -25,13 +25,16 @@ import (
 type Op string
 
 const (
-	OpCreate Op = "create" // FS.CreateTemp
-	OpOpen   Op = "open"   // FS.Open
-	OpRemove Op = "remove" // FS.Remove
-	OpRead   Op = "read"   // File.Read
-	OpReadAt Op = "readat" // File.ReadAt
-	OpWrite  Op = "write"  // File.Write
-	OpClose  Op = "close"  // File.Close
+	OpCreate  Op = "create"  // FS.CreateTemp
+	OpOpen    Op = "open"    // FS.Open
+	OpRemove  Op = "remove"  // FS.Remove
+	OpRead    Op = "read"    // File.Read
+	OpReadAt  Op = "readat"  // File.ReadAt
+	OpWrite   Op = "write"   // File.Write
+	OpClose   Op = "close"   // File.Close
+	OpMmap    Op = "mmap"    // Mapper.Mmap
+	OpMadvise Op = "madvise" // Mapper.Madvise
+	OpMunmap  Op = "munmap"  // Mapper.Munmap
 )
 
 // ErrInjected is the default injected failure.
@@ -171,4 +174,49 @@ func (f *faultFile) Close() error {
 		return err
 	}
 	return f.File.Close()
+}
+
+// The Mapper methods make faultFile an injectable runfile.Mapper. When
+// the base file cannot map, the base error propagates (so the wrapper
+// never claims more capability than the platform has); injections sit
+// in front, modelling a kernel that refuses or revokes a mapping. An
+// injected Mmap or Madvise failure must push the reader onto the
+// pread fallback — the march in internal/shuffle asserts that.
+
+func (f *faultFile) Mmap(length int64) ([]byte, error) {
+	if err := f.fs.check(OpMmap); err != nil {
+		return nil, err
+	}
+	m, ok := f.File.(runfile.Mapper)
+	if !ok {
+		return nil, runfile.ErrNoMmap
+	}
+	return m.Mmap(length)
+}
+
+func (f *faultFile) Madvise(data []byte) error {
+	if err := f.fs.check(OpMadvise); err != nil {
+		return err
+	}
+	m, ok := f.File.(runfile.Mapper)
+	if !ok {
+		return runfile.ErrNoMmap
+	}
+	return m.Madvise(data)
+}
+
+func (f *faultFile) Munmap(data []byte) error {
+	if err := f.fs.check(OpMunmap); err != nil {
+		// Release the real mapping either way: an injected unmap
+		// failure models a reported error, not a leaked map.
+		if m, ok := f.File.(runfile.Mapper); ok {
+			m.Munmap(data)
+		}
+		return err
+	}
+	m, ok := f.File.(runfile.Mapper)
+	if !ok {
+		return runfile.ErrNoMmap
+	}
+	return m.Munmap(data)
 }

@@ -104,6 +104,17 @@ type Config struct {
 	// round trip (no pointer, interface or channel fields).
 	SpillDir string
 
+	// CompactionConcurrency sizes the background worker pool that
+	// compacts spill runs while streaming ingestion continues: zero
+	// selects the runtime default, negative compacts inline with
+	// sealing. SpoolRotateBytes bounds how many dead (compacted or
+	// aborted) bytes a spill spool file may accumulate before the
+	// runtime rotates it and reclaims the disk mid-job: zero selects
+	// the default threshold, negative disables rotation. Both are
+	// physical-profile knobs; outputs never depend on them.
+	CompactionConcurrency int
+	SpoolRotateBytes      int64
+
 	// ReduceWorkersHint, when positive, partitions reduce keys into this
 	// many logical reduce workers for the per-worker skew metrics. It does
 	// not change results, only Metrics.WorkerInputs.
@@ -216,7 +227,15 @@ type Metrics struct {
 	IndexBytesSpilled int64
 	RunsMerged        int64
 	DiskBytesRead     int64
-	MaxLivePairs      int
+	// SwapBytes is pressure-relief traffic the streaming path staged to
+	// swap stash files and read back verbatim — bookkeeping, reported
+	// separately so BytesSpilled stays the deterministic communication
+	// cost. BytesReclaimed is the total size of spill files deleted
+	// while the job was still running (spool rotation, compaction
+	// retiring inputs): disk returned before teardown.
+	SwapBytes      int64
+	BytesReclaimed int64
+	MaxLivePairs   int
 	// PeakResidentPairs is the whole-round high-water mark of pairs
 	// resident in shuffle memory. On the default streaming path with a
 	// SpillDir it stays bounded by P*MemoryBudget plus one block per
@@ -311,6 +330,8 @@ func (m Metrics) PublishTo(reg *obs.Registry) {
 	reg.Counter("mr_bytes_spilled_total", "run data bytes written to spill files").Add(m.BytesSpilled)
 	reg.Counter("mr_index_bytes_spilled_total", "footer-index bytes written to spill files").Add(m.IndexBytesSpilled)
 	reg.Counter("mr_disk_bytes_read_total", "bytes read back from spill files").Add(m.DiskBytesRead)
+	reg.Counter("mr_swap_bytes_total", "pressure-relief bytes staged to swap stash files").Add(m.SwapBytes)
+	reg.Counter("mr_bytes_reclaimed_total", "spill file bytes deleted while the job was still running").Add(m.BytesReclaimed)
 	reg.Counter("mr_spill_overlap_ns_total", "nanoseconds of spill work overlapped with mapping").Add(m.SpillOverlapNs)
 	reg.Counter("mr_finish_drain_ns_total", "nanoseconds spent in the post-map finish drain").Add(m.FinishDrainNs)
 
@@ -375,19 +396,21 @@ func (j *Job[I, K, V, O]) Run(inputs []I) ([]O, Metrics, error) {
 		Reduce:      engine.ReduceFunc[K, V, O](j.Reduce),
 		Partitioner: j.ShufflePartition,
 		Config: engine.Config{
-			Workers:          j.Config.Workers,
-			MapChunk:         j.Config.MapChunk,
-			Partitions:       j.Config.Partitions,
-			MemoryBudget:     j.Config.MemoryBudget,
-			MaxBufferedPairs: j.Config.MaxBufferedPairs,
-			SpillDir:         j.Config.SpillDir,
-			MaxReducerInput:  j.Config.MaxReducerInput,
-			RecordLoads:      j.Config.RecordLoads,
-			RecordKeys:       j.Config.ReduceWorkersHint > 0,
-			FailureEveryN:    j.Config.FailureEveryN,
-			MaxRetries:       j.Config.MaxRetries,
-			LegacyMerge:      j.Config.LegacyMerge,
-			Recorder:         j.Config.Recorder,
+			Workers:               j.Config.Workers,
+			MapChunk:              j.Config.MapChunk,
+			Partitions:            j.Config.Partitions,
+			MemoryBudget:          j.Config.MemoryBudget,
+			MaxBufferedPairs:      j.Config.MaxBufferedPairs,
+			SpillDir:              j.Config.SpillDir,
+			CompactionConcurrency: j.Config.CompactionConcurrency,
+			SpoolRotateBytes:      j.Config.SpoolRotateBytes,
+			MaxReducerInput:       j.Config.MaxReducerInput,
+			RecordLoads:           j.Config.RecordLoads,
+			RecordKeys:            j.Config.ReduceWorkersHint > 0,
+			FailureEveryN:         j.Config.FailureEveryN,
+			MaxRetries:            j.Config.MaxRetries,
+			LegacyMerge:           j.Config.LegacyMerge,
+			Recorder:              j.Config.Recorder,
 		},
 	}
 	if j.Combine != nil {
@@ -417,6 +440,8 @@ func (j *Job[I, K, V, O]) Run(inputs []I) ([]O, Metrics, error) {
 		IndexBytesSpilled: res.Metrics.IndexBytesSpilled,
 		RunsMerged:        res.Metrics.RunsMerged,
 		DiskBytesRead:     res.Metrics.DiskBytesRead,
+		SwapBytes:         res.Metrics.SwapBytes,
+		BytesReclaimed:    res.Metrics.BytesReclaimed,
 		MaxLivePairs:      res.Metrics.MaxLivePairs,
 		PeakResidentPairs: res.Metrics.PeakResidentPairs,
 		SpillOverlapNs:    res.Metrics.SpillOverlapNs,

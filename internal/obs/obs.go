@@ -139,6 +139,7 @@ const (
 	LaneRound     LaneKind = iota + 1 // the round driver
 	LaneWorker                        // one map/reduce worker
 	LanePartition                     // one shuffle partition
+	LaneCompactor                     // one async compaction worker
 )
 
 func (k LaneKind) String() string {
@@ -149,6 +150,8 @@ func (k LaneKind) String() string {
 		return "worker"
 	case LanePartition:
 		return "partition"
+	case LaneCompactor:
+		return "compactor"
 	default:
 		return fmt.Sprintf("lane-kind-%d", uint8(k))
 	}

@@ -26,10 +26,14 @@ import (
 
 // ValueBatch holds one group's value section: the raw framed bytes in
 // a reused arena plus the payload boundaries of each value. The zero
-// value is ready to use.
+// value is ready to use. The arena is either owned (filled by a read,
+// reused across calls) or a view (an alias of caller memory installed
+// by SetView — typically a memory-mapped file, which must never be
+// written or reused as scratch).
 type ValueBatch struct {
 	arena  []byte
 	bounds []int // payload i spans arena[bounds[2i]:bounds[2i+1]]
+	view   bool  // arena aliases caller memory; drop it, never append
 }
 
 // Len is the number of values in the batch.
@@ -49,8 +53,94 @@ func (b *ValueBatch) Value(i int) []byte {
 func (b *ValueBatch) Raw() []byte { return b.arena }
 
 func (b *ValueBatch) reset() {
+	if b.view {
+		// The arena aliases memory we do not own (and for a mapping,
+		// memory that is read-only): growing into it would corrupt or
+		// fault. Drop the alias instead of reusing it.
+		b.arena = nil
+		b.view = false
+	}
 	b.arena = b.arena[:0]
 	b.bounds = b.bounds[:0]
+}
+
+// split computes the payload bounds of the n values framed in b.arena,
+// requiring the framing to consume the arena exactly.
+func (b *ValueBatch) split(n int) error {
+	raw := b.arena
+	pos := 0
+	for i := 0; i < n; i++ {
+		vlen, m := binary.Uvarint(raw[pos:])
+		if m <= 0 || vlen > maxLen || int64(vlen) > int64(len(raw)-pos-m) {
+			return fmt.Errorf("%w: truncated raw value section", ErrCorrupt)
+		}
+		b.bounds = append(b.bounds, pos+m, pos+m+int(vlen))
+		pos += m + int(vlen)
+	}
+	if pos != len(raw) {
+		return fmt.Errorf("%w: %d trailing bytes in raw value section", ErrCorrupt, len(raw)-pos)
+	}
+	return nil
+}
+
+// SetView makes b a zero-copy view over sec, a framed value section of
+// exactly n values already in memory — typically a slice of a mapped
+// run file. Only the payload bounds are computed; no bytes move. The
+// batch's values alias sec: they are invalid once sec's backing memory
+// is unmapped or reused, and (like every batch) once the next section
+// is installed into b.
+func (b *ValueBatch) SetView(sec []byte, n int) error {
+	consumed, err := b.viewSection(sec, n)
+	if err != nil {
+		return err
+	}
+	if consumed != len(sec) {
+		b.reset()
+		return fmt.Errorf("%w: %d trailing bytes in raw value section", ErrCorrupt, len(sec)-consumed)
+	}
+	return nil
+}
+
+// viewSection installs a zero-copy view of the n-value framed section
+// at the start of data, returning how many bytes the framing consumed
+// (data may extend past the section).
+func (b *ValueBatch) viewSection(data []byte, n int) (int, error) {
+	b.reset()
+	pos := 0
+	for i := 0; i < n; i++ {
+		vlen, m := binary.Uvarint(data[pos:])
+		if m <= 0 || vlen > maxLen || int64(vlen) > int64(len(data)-pos-m) {
+			return 0, fmt.Errorf("%w: truncated raw value section", ErrCorrupt)
+		}
+		b.bounds = append(b.bounds, pos+m, pos+m+int(vlen))
+		pos += m + int(vlen)
+	}
+	b.arena = data[:pos]
+	b.view = true
+	return pos, nil
+}
+
+// ReadSectionAt fills b with the n-value framed section at
+// [off, off+byteLen) of ra using a single positioned read into b's
+// reused arena — the fallback read mode when a run file cannot be
+// memory-mapped. It needs no seek state, so many cursors can share one
+// file handle.
+func (b *ValueBatch) ReadSectionAt(ra io.ReaderAt, off, byteLen int64, n int) error {
+	b.reset()
+	if byteLen < 0 || byteLen > maxLen {
+		return fmt.Errorf("%w: value section of %d bytes", ErrCorrupt, byteLen)
+	}
+	if cap(b.arena) < int(byteLen) {
+		b.arena = make([]byte, byteLen)
+	}
+	b.arena = b.arena[:byteLen]
+	if m, err := ra.ReadAt(b.arena, off); m < int(byteLen) {
+		if err == nil || err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return corrupt(err)
+	}
+	return b.split(n)
 }
 
 // ReadValueBatch consumes every pending value of the current group
@@ -100,19 +190,7 @@ func (r *Reader) ReadValueBatch(b *ValueBatch, byteLen int64) error {
 		return err
 	}
 	b.arena = raw
-	pos := 0
-	for i := 0; i < n; i++ {
-		vlen, m := binary.Uvarint(raw[pos:])
-		if m <= 0 || vlen > maxLen || int64(vlen) > int64(len(raw)-pos-m) {
-			return fmt.Errorf("%w: truncated raw value section", ErrCorrupt)
-		}
-		b.bounds = append(b.bounds, pos+m, pos+m+int(vlen))
-		pos += m + int(vlen)
-	}
-	if pos != len(raw) {
-		return fmt.Errorf("%w: %d trailing bytes in raw value section", ErrCorrupt, len(raw)-pos)
-	}
-	return nil
+	return b.split(n)
 }
 
 // GroupBatch streams a run file group by group, reading each group's
@@ -127,6 +205,9 @@ type GroupBatch struct {
 	pos   int
 	key   []byte
 	batch ValueBatch
+
+	data []byte // mapped mode: the full file image; nil = streaming
+	doff int    // mapped mode: parse position within data
 }
 
 // NewGroupBatch wraps rd. index, when non-nil, must be the file's
@@ -137,6 +218,24 @@ func NewGroupBatch(rd io.Reader, index []IndexEntry) *GroupBatch {
 	return &GroupBatch{r: NewReader(rd), index: index}
 }
 
+// NewGroupBatchMapped iterates the groups of a run-file image that is
+// fully in memory — typically a mapping returned by Map — with zero
+// copies: each key and value payload aliases data directly. data must
+// start at the file header; iteration ends at the end-of-groups marker
+// (or at the end of data for a version-1 image). index, when non-nil,
+// is cross-checked exactly as in NewGroupBatch. The aliasing contract
+// is the same as SetView's: key and batch are valid only until the
+// next call, and never after data's mapping is released.
+func NewGroupBatchMapped(data []byte, index []IndexEntry) (*GroupBatch, error) {
+	if len(data) < len(magicPrefix)+1 || string(data[:len(magicPrefix)]) != string(magicPrefix[:]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := data[len(magicPrefix)]; v != Version1 && v != Version2 {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+	return &GroupBatch{data: data, doff: len(magicPrefix) + 1, index: index}, nil
+}
+
 // Next advances to the next group, returning its key and value batch.
 // It returns io.EOF at a clean end of the group section — and, when an
 // index was supplied, only after every indexed group has streamed, so
@@ -144,6 +243,9 @@ func NewGroupBatch(rd io.Reader, index []IndexEntry) *GroupBatch {
 // shortfall. Key and batch are reused: they are valid only until the
 // next call.
 func (g *GroupBatch) Next() ([]byte, *ValueBatch, error) {
+	if g.data != nil {
+		return g.nextMapped()
+	}
 	key, n, err := g.r.NextAppend(g.key[:0])
 	if err != nil {
 		if err == io.EOF && g.index != nil && g.pos != len(g.index) {
@@ -169,6 +271,58 @@ func (g *GroupBatch) Next() ([]byte, *ValueBatch, error) {
 		return nil, nil, err
 	}
 	return key, &g.batch, nil
+}
+
+// nextMapped is Next over an in-memory file image: framing is parsed in
+// place and the returned key and batch alias the image.
+func (g *GroupBatch) nextMapped() ([]byte, *ValueBatch, error) {
+	rem := g.data[g.doff:]
+	if len(rem) == 0 {
+		// A version-1 image simply ends; version 2 ends at the marker.
+		return g.mappedEOF()
+	}
+	klen, m := binary.Uvarint(rem)
+	if m <= 0 {
+		return nil, nil, fmt.Errorf("%w: bad key length", ErrCorrupt)
+	}
+	if klen == footerMarker {
+		return g.mappedEOF()
+	}
+	if klen > maxLen || int64(klen) > int64(len(rem)-m) {
+		return nil, nil, fmt.Errorf("%w: key of %d bytes", ErrCorrupt, klen)
+	}
+	key := rem[m : m+int(klen)]
+	rest := rem[m+int(klen):]
+	n64, m2 := binary.Uvarint(rest)
+	if m2 <= 0 || n64 > maxLen {
+		return nil, nil, fmt.Errorf("%w: bad value count", ErrCorrupt)
+	}
+	n := int(n64)
+	sec := rest[m2:]
+	if g.index != nil {
+		if g.pos >= len(g.index) {
+			return nil, nil, fmt.Errorf("%w: file has more groups than its index", ErrCorrupt)
+		}
+		e := g.index[g.pos]
+		if e.Count != int64(n) {
+			return nil, nil, fmt.Errorf("%w: group has %d values, index says %d", ErrCorrupt, n, e.Count)
+		}
+		g.pos++
+	}
+	consumed, err := g.batch.viewSection(sec, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	g.doff += m + int(klen) + m2 + consumed
+	return key, &g.batch, nil
+}
+
+func (g *GroupBatch) mappedEOF() ([]byte, *ValueBatch, error) {
+	if g.index != nil && g.pos != len(g.index) {
+		return nil, nil, fmt.Errorf("%w: file has %d groups, index says %d",
+			ErrCorrupt, g.pos, len(g.index))
+	}
+	return nil, nil, io.EOF
 }
 
 // DecodeBatch decodes every value of b, appending to dst, with a

@@ -40,6 +40,8 @@ type FS interface {
 }
 
 // OSFS is the production FS: the real filesystem via the os package.
+// Its files implement Mapper on platforms with mmap, so readers opened
+// through it can take the zero-copy path.
 var OSFS FS = osFS{}
 
 type osFS struct{}
@@ -49,7 +51,7 @@ func (osFS) CreateTemp(dir, pattern string) (File, error) {
 	if err != nil {
 		return nil, err
 	}
-	return f, nil
+	return osFile{f}, nil
 }
 
 func (osFS) Open(name string) (File, error) {
@@ -57,7 +59,18 @@ func (osFS) Open(name string) (File, error) {
 	if err != nil {
 		return nil, err
 	}
-	return f, nil
+	return osFile{f}, nil
 }
 
 func (osFS) Remove(name string) error { return os.Remove(name) }
+
+// osFile adds the Mapper methods to a real file. The mapping outlives
+// the fd (mmap holds its own reference to the inode), matching Mapper's
+// contract.
+type osFile struct{ *os.File }
+
+func (f osFile) Mmap(length int64) ([]byte, error) { return sysMmap(f.File, length) }
+
+func (f osFile) Madvise(data []byte) error { return sysMadvise(data) }
+
+func (f osFile) Munmap(data []byte) error { return sysMunmap(data) }

@@ -121,6 +121,26 @@ func newWriter(w io.Writer, version byte) *Writer {
 	return rw
 }
 
+// Reset discards w's state and starts a fresh version-2 run file on
+// out, writing the header immediately. The internal buffer and index
+// storage are reused, so a long-lived writer — the spool's, which
+// appends many runs to one file — allocates per run only what the run's
+// keys need.
+func (w *Writer) Reset(out io.Writer) {
+	w.bw.Reset(out)
+	w.version = Version2
+	w.bytes = 0
+	w.groups = 0
+	w.pairs = 0
+	w.err = nil
+	w.finished = false
+	w.index = w.index[:0]
+	w.curValStart = 0
+	w.footerStart = 0
+	w.write(magicPrefix[:])
+	w.write([]byte{Version2})
+}
+
 func (w *Writer) write(p []byte) {
 	if w.err != nil {
 		return

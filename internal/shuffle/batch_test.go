@@ -54,6 +54,49 @@ func TestForEachGroupBatchMatchesPerGroup(t *testing.T) {
 	}
 }
 
+// TestForEachGroupBatchArenaAliasing pins the other half of the batch
+// contract: the value slice is a view into reused scratch (and, for
+// mapped run files, ultimately into memory that may be unmapped after
+// the walk), valid only during the callback. A reducer that retains
+// the previous group's slice across callbacks must observe it corrupt
+// — loudly diverging from a copied snapshot — rather than silently
+// holding stale-but-plausible data. If this test ever fails, the read
+// path started copying per group and the zero-copy contract (and its
+// allocation win) has quietly regressed.
+func TestForEachGroupBatchArenaAliasing(t *testing.T) {
+	const keys, perKey = 16, 32
+	// Equal-size groups of a fixed-size value type: every group's batch
+	// decodes into the same-capacity scratch, so reuse is guaranteed to
+	// overwrite the previous group's view.
+	s := New[int, int](Options{Partitions: 1, MaxBufferedPairs: 8, SpillDir: t.TempDir()})
+	defer s.Close()
+	buf := s.NewTaskBuffer()
+	for i := 0; i < keys*perKey; i++ {
+		buf.Emit(i%keys, i)
+	}
+	if err := s.Merge([]*TaskBuffer[int, int]{buf}); err != nil {
+		t.Fatal(err)
+	}
+
+	var retained, snapshot []int
+	diverged := false
+	err := s.Partition(0).ForEachGroupBatch(func(_ int, vs []int) error {
+		if retained != nil && !reflect.DeepEqual(retained, snapshot) {
+			diverged = true
+		}
+		retained = vs // illegally kept past this callback
+		snapshot = append(snapshot[:0], vs...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diverged {
+		t.Fatal("retained batch slice survived across callbacks intact: " +
+			"the read path is copying per group instead of reusing scratch")
+	}
+}
+
 // TestPerValueDecodeHookMatchesBatch: the legacy per-value decode path
 // (kept for head-to-head benchmarks) must produce the same groups as
 // the default batch decode.

@@ -13,22 +13,54 @@ import (
 // failed in turn (via internal/errfs threaded through Options.FS), and
 // each failure must surface as a wrapped error — errors.Is finds the
 // injected cause through every layer — with no panic and no silently
-// truncated output.
+// truncated output. Mapping failures are the exception: mmap is an
+// optimization with a pread fallback, so injected mmap/madvise/munmap
+// faults must select the fallback and leave the output untouched.
+
+// noMmap forces the positioned-read fallback, making OpReadAt ordinals
+// deterministic for the injection cases below.
+func noMmap(o *Options) { o.DisableMmap = true }
 
 // spillWorkload merges pairs pairs of key i%keys into a single-partition
 // shuffle with the given budget over fs, returning the shuffle and the
 // merge error.
-func spillWorkload(t *testing.T, fs *errfs.FS, budget, pairs, keys int) (*Shuffle[int, int], error) {
+func spillWorkload(t *testing.T, fs *errfs.FS, budget, pairs, keys int, mod ...func(*Options)) (*Shuffle[int, int], error) {
 	t.Helper()
-	s := New[int, int](Options{
+	opts := Options{
 		Partitions: 1, MaxBufferedPairs: budget,
 		SpillDir: t.TempDir(), FS: fs,
-	})
+	}
+	for _, m := range mod {
+		m(&opts)
+	}
+	s := New[int, int](opts)
 	buf := s.NewTaskBuffer()
 	for i := 0; i < pairs; i++ {
 		buf.Emit(i%keys, i)
 	}
 	return s, s.Merge([]*TaskBuffer[int, int]{buf})
+}
+
+// groupCounts streams the partition and returns per-key value counts.
+func groupCounts(t *testing.T, s *Shuffle[int, int]) map[int]int {
+	t.Helper()
+	got := map[int]int{}
+	if err := s.Partition(0).ForEachGroup(func(k int, vs []int) error {
+		got[k] += len(vs)
+		return nil
+	}); err != nil {
+		t.Fatalf("reading partition back: %v", err)
+	}
+	return got
+}
+
+// wantCounts is the expected per-key count of the i%keys workload.
+func wantCounts(pairs, keys int) map[int]int {
+	want := map[int]int{}
+	for i := 0; i < pairs; i++ {
+		want[i%keys]++
+	}
+	return want
 }
 
 // TestFaultInjectionSpill fails each operation of the seal-to-disk
@@ -81,25 +113,27 @@ func TestFaultInjectionSpill(t *testing.T) {
 
 // TestFaultInjectionCompaction drives a partition past maxDiskRunFanIn
 // seals so compaction runs mid-merge, then fails each of its
-// operations: reopening input runs, reading them, creating the output,
-// and flushing it.
+// operations: reopening input runs, the positioned section reads, the
+// output create, and the output flush. The pread fallback is forced so
+// the read ordinals are deterministic; mapping faults get their own
+// fallback test below.
 func TestFaultInjectionCompaction(t *testing.T) {
 	const pairs = maxDiskRunFanIn // budget 1: one seal per pair, compaction at the last
 	// Discovery pass: count the clean run's operations so the write and
 	// create injections can target the compaction output (the last of
 	// each) without hard-coding buffer-dependent ordinals.
 	probe := errfs.New(nil)
-	s, err := spillWorkload(t, probe, 1, pairs, 7)
+	s, err := spillWorkload(t, probe, 1, pairs, 7, noMmap)
 	if err != nil {
 		t.Fatalf("clean compaction run failed: %v", err)
 	}
 	s.Close()
-	creates, writes, reads := probe.Calls(errfs.OpCreate), probe.Calls(errfs.OpWrite), probe.Calls(errfs.OpRead)
+	creates, writes, preads := probe.Calls(errfs.OpCreate), probe.Calls(errfs.OpWrite), probe.Calls(errfs.OpReadAt)
 	if creates != pairs+1 {
 		t.Fatalf("clean run created %d files, want %d spills + 1 compaction output", creates, pairs+1)
 	}
-	if reads == 0 {
-		t.Fatal("clean run never read: compaction did not happen")
+	if preads == 0 {
+		t.Fatal("clean run issued no positioned reads: compaction did not happen")
 	}
 
 	cases := []struct {
@@ -110,8 +144,8 @@ func TestFaultInjectionCompaction(t *testing.T) {
 	}{
 		{"open-first-input", errfs.OpOpen, 1, "compacting"},
 		{"open-last-input", errfs.OpOpen, pairs, "compacting"},
-		{"read-first", errfs.OpRead, 1, "compacting"},
-		{"read-mid", errfs.OpRead, reads / 2, "compacting"},
+		{"pread-first-section", errfs.OpReadAt, 1, "reading spill"},
+		{"pread-mid-section", errfs.OpReadAt, preads / 2, "reading spill"},
 		{"create-output", errfs.OpCreate, creates, "creating compacted run"},
 		{"write-output-flush", errfs.OpWrite, writes, "compacted run"},
 	}
@@ -119,7 +153,7 @@ func TestFaultInjectionCompaction(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			fs := errfs.New(nil)
 			fs.FailAt(tc.op, tc.nth, nil)
-			s, err := spillWorkload(t, fs, 1, pairs, 7)
+			s, err := spillWorkload(t, fs, 1, pairs, 7, noMmap)
 			defer s.Close()
 			if err == nil {
 				t.Fatal("Merge succeeded despite injected compaction failure")
@@ -134,16 +168,59 @@ func TestFaultInjectionCompaction(t *testing.T) {
 	}
 }
 
+// TestFaultInjectionMmapFallback fails the mapping operations — mmap,
+// madvise, munmap — during a compacting workload with mapping enabled.
+// None of them may fail the round: a mapping fault silently selects
+// the pread fallback (munmap faults are absorbed at close), and the
+// output must be byte-for-byte the same groups as an unfaulted run.
+func TestFaultInjectionMmapFallback(t *testing.T) {
+	const pairs, keys = maxDiskRunFanIn, 7
+	want := wantCounts(pairs, keys)
+	for _, tc := range []struct {
+		name string
+		op   errfs.Op
+	}{
+		{"mmap-fails", errfs.OpMmap},
+		{"madvise-fails", errfs.OpMadvise},
+		{"munmap-fails", errfs.OpMunmap},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := errfs.New(nil)
+			fs.FailAt(tc.op, 1, nil)
+			s, err := spillWorkload(t, fs, 1, pairs, keys)
+			defer s.Close()
+			if err != nil {
+				t.Fatalf("injected %s fault must engage the fallback, not fail the round: %v", tc.name, err)
+			}
+			// Some cursors may be mapped and some not (the injection hit
+			// one file); the merge must not care.
+			got := map[int]int{}
+			if rerr := s.Partition(0).ForEachGroup(func(k int, vs []int) error {
+				got[k] += len(vs)
+				return nil
+			}); rerr != nil {
+				t.Fatalf("read after %s fault: %v", tc.name, rerr)
+			}
+			for k, n := range want {
+				if got[k] != n {
+					t.Fatalf("after %s fault: key %d has %d values, want %d", tc.name, k, got[k], n)
+				}
+			}
+		})
+	}
+}
+
 // TestFaultInjectionReduceMerge spills cleanly, then fails the
-// reduce-time k-way merge's reopens and reads at several points. The
-// counting APIs must keep working through armed read failures (they
-// are memory-only), the streaming read must surface the wrapped error
-// rather than truncate, and clearing the injection must yield the full
-// dataset — the files were never corrupted.
+// reduce-time k-way merge's reopens and positioned reads at several
+// points. The counting APIs must keep working through armed read
+// failures (they are memory-only), the streaming read must surface the
+// wrapped error rather than truncate, and clearing the injection must
+// yield the full dataset — the files were never corrupted. An injected
+// mmap fault, by contrast, must not surface at all.
 func TestFaultInjectionReduceMerge(t *testing.T) {
 	const budget, pairs, keys = 4, 32, 5
-	build := func(fs *errfs.FS) *Shuffle[int, int] {
-		s, err := spillWorkload(t, fs, budget, pairs, keys)
+	build := func(fs *errfs.FS, mod ...func(*Options)) *Shuffle[int, int] {
+		s, err := spillWorkload(t, fs, budget, pairs, keys, mod...)
 		if err != nil {
 			t.Fatalf("spill phase: %v", err)
 		}
@@ -151,15 +228,16 @@ func TestFaultInjectionReduceMerge(t *testing.T) {
 		return s
 	}
 
-	// Discovery: how many reads does a clean streaming pass issue?
+	// Discovery: how many opens and section preads does a clean
+	// streaming pass issue under the fallback?
 	probe := errfs.New(nil)
-	s := build(probe)
+	s := build(probe, noMmap)
 	if err := s.Partition(0).ForEachGroup(func(int, []int) error { return nil }); err != nil {
 		t.Fatalf("clean merge: %v", err)
 	}
-	opens, reads := probe.Calls(errfs.OpOpen), probe.Calls(errfs.OpRead)
-	if opens < 2 || reads < opens {
-		t.Fatalf("clean merge used %d opens / %d reads; expected a multi-run merge", opens, reads)
+	opens, preads := probe.Calls(errfs.OpOpen), probe.Calls(errfs.OpReadAt)
+	if opens < 2 || preads < opens {
+		t.Fatalf("clean merge used %d opens / %d preads; expected a multi-run merge", opens, preads)
 	}
 	s.Close()
 
@@ -170,14 +248,14 @@ func TestFaultInjectionReduceMerge(t *testing.T) {
 	}{
 		{"open-first-run", errfs.OpOpen, 1},
 		{"open-last-run", errfs.OpOpen, opens},
-		{"read-header", errfs.OpRead, 1},
-		{"read-mid-stream", errfs.OpRead, reads / 2},
-		{"read-last", errfs.OpRead, reads},
+		{"pread-first", errfs.OpReadAt, 1},
+		{"pread-mid-stream", errfs.OpReadAt, preads / 2},
+		{"pread-last", errfs.OpReadAt, preads},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			fs := errfs.New(nil)
-			s := build(fs)
+			s := build(fs, noMmap)
 			defer s.Close()
 
 			fs.FailAt(tc.op, tc.nth, nil)
@@ -227,4 +305,20 @@ func TestFaultInjectionReduceMerge(t *testing.T) {
 			}
 		})
 	}
+
+	// With mapping enabled, a failed mmap is invisible to the reader:
+	// the fallback engages and the stream completes.
+	t.Run("mmap-fault-is-invisible", func(t *testing.T) {
+		fs := errfs.New(nil)
+		s := build(fs)
+		defer s.Close()
+		fs.FailAt(errfs.OpMmap, 1, nil)
+		want := wantCounts(pairs, keys)
+		got := groupCounts(t, s)
+		for k, n := range want {
+			if got[k] != n {
+				t.Fatalf("key %d has %d values, want %d", k, got[k], n)
+			}
+		}
+	})
 }

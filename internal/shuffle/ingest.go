@@ -27,26 +27,33 @@
 // Fencing. A failed task attempt may already have flushed blocks; its
 // pairs must never become visible. Staged runs are tagged with (task,
 // attempt) and remain invisible to absorption until the attempt
-// commits; Abort discards the attempt's staged blocks (and deletes any
-// fenced spill files). Because only committed tasks absorb, a retry
-// can re-emit from scratch without double counting.
+// commits; Abort discards the attempt's staged blocks (and releases
+// any pressure-swapped sections). Because only committed tasks absorb,
+// a retry can re-emit from scratch without double counting.
 //
 // Staged data under memory pressure cannot be absorbed (its task has
 // not committed) and cannot be dropped, so an over-budget partition
-// relieves itself: first by early-sealing its live run (data a later
-// seal would have written anyway), then — only when staged pairs alone
-// approach the budget, a lagging or giant task — by "fencing" staged
-// runs to disk, newest tasks first: the blocks are grouped, combined
-// when a combiner is set, sorted and written as complete runs that
-// stay attached to their (task, attempt) tag. On commit the fenced
-// runs are adopted into the partition's disk-run list — after
-// force-sealing the live run, so run order keeps matching task order,
-// with the task's remaining blocks following them to disk so
-// consecutive adoptions do not re-seal — and on abort their sections
-// are released. All pressure writes append to one per-partition spool
-// file with refcounted sections (see spool), so relief costs no file
-// churn. This is what keeps resident memory bounded even when one
-// giant task lags the watermark.
+// relieves itself by *swapping*: the staged blocks are encoded
+// verbatim — unsorted, uncombined, ungrouped — as one raw section of a
+// per-partition stash file, newest tasks first, and read back in
+// block-sized chunks at the moment their task's turn to absorb comes.
+// The swapped bytes are pure bookkeeping: they never become shuffle
+// output, so the partition's seal points — and therefore BytesSpilled,
+// SpillEvents and every other spill statistic — remain a pure function
+// of the committed pair stream, independent of flush timing, recorder
+// overhead, or scheduling. (The previous design relieved pressure by
+// early-sealing the live run and writing staged data as combined
+// *runs*, which made spilled bytes timing-sensitive: two identical
+// rounds could legitimately report different BytesSpilled depending on
+// when relief fired. The bench now pins the invariant that they
+// cannot.)
+//
+// All relief writes append to per-partition spool files with
+// refcounted sections (see spool): seals share one spool file per
+// partition, swaps share a stash file, so relief costs no file churn
+// no matter how many sections it writes, and rotation retires a spool
+// whose sections have mostly died (absorbed, aborted or compacted
+// away) so long rounds reclaim disk mid-round.
 //
 // The division of labor matters as much as the mechanisms: flushing is
 // an O(1) staging append, absorption runs on committing workers (and
@@ -57,7 +64,9 @@
 package shuffle
 
 import (
+	"encoding/binary"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -67,18 +76,26 @@ import (
 	"repro/internal/runfile"
 )
 
+// swapSec is one pressure-swapped section of a stash file: a staged
+// task's blocks encoded verbatim at [off, off+size) of the refcounted
+// file, holding pairs raw (pre-combine) pairs. The section is released
+// — and its bytes counted toward the stash's rotation trigger — when
+// the task absorbs or aborts.
+type swapSec struct {
+	rf    *runFile
+	off   int64
+	size  int64
+	pairs int
+}
+
 // stagedRun is one task attempt's flushed-but-unabsorbed output for a
-// single partition: in-memory blocks in flush order, preceded by any
-// fenced spill runs (earlier flushes forced to disk under memory
-// pressure), also in flush order.
+// single partition: pressure-swapped sections first (earlier flushes
+// shed to the stash), then in-memory blocks, both in flush order.
 type stagedRun[K comparable, V any] struct {
-	attempt     int
-	blocks      [][]Pair[K, V] // flushed blocks not yet absorbed, in flush order
-	pairs       int            // in-memory pairs across blocks
-	fenced      []diskRun[K]   // pressure-spilled prefixes, in spill order
-	fencedPairs int64          // pairs in fenced runs (post-combine)
-	fencedBytes int64          // run body bytes of fenced runs
-	fencedIdx   int64          // footer-index bytes of fenced runs
+	attempt int
+	blocks  [][]Pair[K, V] // flushed blocks not yet absorbed, in flush order
+	pairs   int            // in-memory pairs across blocks
+	swapped []swapSec      // pressure-swapped earlier flushes, in swap order
 }
 
 // Ingester is the streaming ingestion front of a Shuffle: a set of
@@ -105,13 +122,11 @@ type Ingester[K comparable, V any] struct {
 // NewIngester starts a streaming ingestion round on the shuffle. It
 // must not run concurrently with Merge, reads, or Close.
 func (s *Shuffle[K, V]) NewIngester() *Ingester[K, V] {
-	s.statsMu.Lock()
-	s.statsMemo = nil // the profile is about to change
-	s.statsMu.Unlock()
+	s.invalidateStats() // the profile is about to change
 	return &Ingester[K, V]{s: s, done: make(map[int]bool)}
 }
 
-// Err returns the first error the ingestion hit (a failed seal, fence
+// Err returns the first error the ingestion hit (a failed seal, swap
 // or compaction), or nil. Once set, further flushes are dropped and
 // every Commit returns the error.
 func (in *Ingester[K, V]) Err() error {
@@ -221,9 +236,9 @@ func (w *TaskWriter[K, V]) Commit() error {
 }
 
 // Abort discards the attempt: unflushed blocks return to the pool, and
-// the attempt's staged blocks and fenced spill files are removed from
-// every partition. The task may then be retried under a new attempt;
-// none of the aborted attempt's pairs are visible anywhere.
+// the attempt's staged blocks and swapped stash sections are removed
+// from every partition. The task may then be retried under a new
+// attempt; none of the aborted attempt's pairs are visible anywhere.
 func (w *TaskWriter[K, V]) Abort() {
 	if w.done {
 		return
@@ -258,7 +273,7 @@ func (in *Ingester[K, V]) stage(task, attempt, p int, blk []Pair[K, V]) {
 	// because the worker running the *oldest* task is the watermark —
 	// every other task's staged data waits on its commit, and a
 	// watermark worker stuck behind relief I/O turns commit pileup into
-	// fence pressure into more relief I/O (the storm this design had to
+	// swap pressure into more relief I/O (the storm this design had to
 	// engineer out). Absorption is driven by committers (drainAll) and
 	// Finish; a flush only stops to run the ingest step itself when its
 	// partition is over budget — the hard backstop that keeps the
@@ -307,9 +322,9 @@ func (in *Ingester[K, V]) finishTask(task int) {
 }
 
 // discard removes an aborted attempt's staged state from every
-// partition: blocks back to the pool, fenced spill files deleted. It
-// takes the work lock before the staging lock so it cannot interleave
-// with a fence that has the attempt's blocks mid-write.
+// partition: blocks back to the pool, swapped stash sections released.
+// It takes the work lock before the staging lock so it cannot
+// interleave with a swap that has the attempt's blocks mid-write.
 func (in *Ingester[K, V]) discard(task, attempt int) {
 	s := in.s
 	for p := range s.parts {
@@ -323,10 +338,16 @@ func (in *Ingester[K, V]) discard(task, attempt int) {
 			}
 			s.addResident(-sr.pairs)
 			st.stagedPairs -= sr.pairs
-			for _, dr := range sr.fenced {
-				dr.file.release(s.fs)
+			for _, sec := range sr.swapped {
+				// The section's bytes are dead: count them toward the
+				// stash's rotation trigger and drop the file when this
+				// was the last holder. A removal failure cannot be
+				// reported from Abort; the path is retried at close.
+				sec.rf.dead.Add(sec.size)
+				sec.rf.release(s.fs, &s.bytesReclaimed)
 			}
 			delete(st.staged, task)
+			s.invalidateStats()
 		}
 		st.stageMu.Unlock()
 		st.mu.Unlock()
@@ -334,23 +355,23 @@ func (in *Ingester[K, V]) discard(task, attempt int) {
 }
 
 // drainAll runs the ingest step over every partition that has staged
-// data the watermark now allows (or that is fence-eligible under
+// data the watermark now allows (or that is swap-eligible under
 // pressure). Committers are the streaming path's absorption engine:
 // every commit sweeps the partitions, so staged data drains within one
 // commit interval of becoming absorbable while the flush path stays
 // O(1). The quick stageMu peek keeps the pass cheap for partitions
 // with nothing to do.
 func (in *Ingester[K, V]) drainAll() {
-	// Pressure only marks a partition non-idle when fencing could
+	// Pressure only marks a partition non-idle when swapping could
 	// actually relieve it — with no SpillDir the sweep would lock and
 	// scan over-budget partitions forever to do nothing.
 	budget := in.s.opts.MaxBufferedPairs
-	canFence := budget > 0 && in.s.opts.SpillDir != ""
+	canSwap := budget > 0 && in.s.opts.SpillDir != ""
 	for p := range in.s.parts {
 		st := &in.s.parts[p]
 		wm := int(in.wm.Load())
 		st.stageMu.Lock()
-		idle := st.minStagedBelow(wm) < 0 && !(canFence && st.stagedPairs >= budget)
+		idle := st.minStagedBelow(wm) < 0 && !(canSwap && st.stagedPairs >= budget)
 		st.stageMu.Unlock()
 		if idle {
 			continue
@@ -365,30 +386,32 @@ func (in *Ingester[K, V]) drainAll() {
 }
 
 // ingestStep, with the partition lock held, absorbs every staged task
-// the watermark allows (in task order) and then — when allowFence is
-// set — fences this partition's staged runs while the shuffle as a
-// whole is over its memory budget. The pressure signal is global — total resident pairs
-// against P*MemoryBudget — not per-partition: live runs cycle between
-// zero and the budget as they seal, so on average roughly half the
-// global budget is free headroom that staged blocks can borrow,
-// keeping fences (and the small run files they write) an overflow
-// valve rather than the steady state. Each flush that lands over the
-// threshold fences its own partition's staged data, so every staged
+// the watermark allows (in task order) and then — when allowSwap is
+// set — swaps this partition's staged blocks to the stash while the
+// partition is over its memory budget. The live run is never sealed
+// early and staged data is never written as shuffle runs: relief moves
+// raw bytes only, so where the seal points fall — and with them every
+// spill statistic — depends only on the committed pair stream, never
+// on when pressure happened to fire. Each flush that lands over the
+// threshold swaps its own partition's staged data, so every staged
 // pair is clamped by its partition's next flush or drain; transient
 // overshoot is at most one in-flight block per writer, which is
 // exactly the workers*BlockPairs term of the resident bound.
-func (in *Ingester[K, V]) ingestStep(st *partitionState[K, V], allowFence bool) error {
+func (in *Ingester[K, V]) ingestStep(st *partitionState[K, V], allowSwap bool) error {
 	var started bool
 	var start time.Time
 	begin := func() {
 		if !started {
 			started, start = true, time.Now()
+			// The step is about to change the partition's profile
+			// (absorbs move pairs, swaps move residency); a Stats memo
+			// taken mid-round must not survive it.
+			in.s.invalidateStats()
 		}
 	}
 	if st.pspool == nil {
-		st.pspool = &spool[K, V]{s: in.s}
+		st.pspool = &spool[K, V]{s: in.s, pattern: "mr-spool-*.run", kind: "seal spool"}
 	}
-	sp := st.pspool
 	defer func() {
 		if started && !in.finishing.Load() {
 			in.overlapNs.Add(time.Since(start).Nanoseconds())
@@ -413,49 +436,31 @@ func (in *Ingester[K, V]) ingestStep(st *partitionState[K, V], allowFence bool) 
 			break
 		}
 		begin()
-		if err := in.absorbStaged(st, sr, sp); err != nil {
+		if err := in.absorbStaged(st, sr); err != nil {
 			return err
 		}
 	}
 
-	// Pressure relief, per partition and cheapest lever first. The
-	// criterion is local — this partition's live+staged pairs against
-	// its own budget — so every partition acts on its own signal (a
-	// global measure would push partitions to fence staged data while
-	// the real excess sat in someone else's live run). Early-sealing
-	// the live run writes only data a later seal would have written
-	// anyway (and lands in the spool, so it costs no file churn), but
-	// only when it carries real weight — sealing a few-pair live over
-	// and over would shred the partition into hundreds of dust runs.
-	// Fencing then brings live+staged down to half the budget
+	// Pressure relief. The criterion is local — this partition's
+	// live+staged pairs against its own budget — so every partition
+	// acts on its own signal (a global measure would push partitions to
+	// swap staged data while the real excess sat in someone else's live
+	// run). Swapping brings live+staged down to half the budget
 	// (hysteresis: relief events are half as frequent and twice as
-	// chunky as a fence-to-budget would be), newest tasks first — the
-	// oldest staged runs are the next to absorb, and fencing data
+	// chunky as a swap-to-budget would be), newest tasks first — the
+	// oldest staged runs are the next to absorb, and swapping data
 	// moments before it becomes absorbable is the one pure waste in
-	// this design. Summed over partitions this caps resident pairs at
-	// P*budget plus the workers' in-flight blocks: the advertised
-	// whole-round bound.
-	// The arithmetic that closes the resident bound: after relief,
-	// live <= dust (anything bigger was sealed) and staged < budget -
-	// dust (anything bigger was fenced), so live+staged < budget per
-	// partition, and the whole exchange stays under P*budget plus the
-	// workers' in-flight blocks. Between those two thresholds nothing
-	// is written at all — ordinary in-flight staging rides through on
-	// the budget's own headroom.
+	// this design. The live run is left alone: it seals at exactly the
+	// budget through the regular absorb path and never before, which is
+	// what keeps the spill statistics deterministic. Summed over
+	// partitions this caps resident pairs at P*budget plus the workers'
+	// in-flight blocks: the advertised whole-round bound.
 	budget := in.s.opts.MaxBufferedPairs
-	dust := budget / 8
-	if allowFence && budget > 0 && in.s.opts.SpillDir != "" {
+	if allowSwap && budget > 0 && in.s.opts.SpillDir != "" {
 		if st.livePairs+st.stagedTotal() >= budget {
 			begin()
-			if st.livePairs > dust {
-				if err := st.seal(in.s, true); err != nil {
-					return err
-				}
-			}
-			if st.stagedTotal() >= budget-dust {
-				if err := in.fenceStaged(st, sp, budget); err != nil {
-					return err
-				}
+			if err := in.swapStaged(st, budget); err != nil {
+				return err
 			}
 		}
 	}
@@ -484,191 +489,138 @@ func (st *partitionState[K, V]) minStagedBelow(wm int) int {
 }
 
 // absorbStaged folds one committed task's staged run (already detached
-// from the staging area) into the partition. A run without fenced data
-// absorbs into the live map through the regular seal-at-budget path. A
-// run that was fenced under pressure goes entirely to disk: the live
-// run force-seals once (everything in it precedes the task in task
-// order, and run order is value order), the fenced runs adopt, and the
-// task's remaining in-memory blocks are written as one more run into
-// the step's spool rather than re-entering live — so a storm of
-// consecutive fenced-task adoptions finds live already empty and the
-// force-seal does not cascade into a file per task.
-func (in *Ingester[K, V]) absorbStaged(st *partitionState[K, V], sr *stagedRun[K, V], sp *spool[K, V]) error {
+// from the staging area) into the partition, swapped sections first —
+// they hold the task's earlier flushes — then the in-memory blocks,
+// all through the regular absorb/seal path. Swapped pairs re-enter in
+// block-sized chunks, so reading a giant swapped task back never
+// spikes residency beyond the ordinary absorb overshoot, and sealing
+// still happens at exactly the budget boundaries the committed stream
+// dictates.
+func (in *Ingester[K, V]) absorbStaged(st *partitionState[K, V], sr *stagedRun[K, V]) error {
 	s := in.s
-	if len(sr.fenced) == 0 {
-		for _, blk := range sr.blocks {
-			err := st.absorb(s, blk)
-			s.putBlock(blk)
-			if err != nil {
+	for _, sec := range sr.swapped {
+		if err := in.absorbSwapped(st, sec); err != nil {
+			return err
+		}
+	}
+	for _, blk := range sr.blocks {
+		err := st.absorb(s, blk)
+		s.putBlock(blk)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// absorbSwapped reads one pressure-swapped section back from the stash
+// and folds its pairs into the partition in block-sized chunks,
+// releasing the section afterwards. The stash's open handle is reused
+// when the section still lives in the current stash file; a section in
+// a rotated-out file is reopened by path.
+func (in *Ingester[K, V]) absorbSwapped(st *partitionState[K, V], sec swapSec) error {
+	s := in.s
+	var ra io.ReaderAt
+	if st.stash != nil && st.stash.rf == sec.rf && st.stash.f != nil {
+		ra = st.stash.f
+	} else {
+		f, err := s.fs.Open(sec.rf.path)
+		if err != nil {
+			return fmt.Errorf("shuffle: reopening swap spool %s: %w", sec.rf.path, err)
+		}
+		defer f.Close()
+		ra = f
+	}
+	// The readback is deliberately not metered into DiskBytesRead: that
+	// counter means "spill run bytes read", the engine's memory-only
+	// diagnosis asserts it stays zero before reduce, and swap traffic is
+	// already fully visible as SwapBytes (each section is written and
+	// read back exactly once).
+	buf := make([]byte, sec.size)
+	if _, err := io.ReadFull(io.NewSectionReader(ra, sec.off, sec.size), buf); err != nil {
+		return fmt.Errorf("shuffle: reading swap spool %s: %w", sec.rf.path, err)
+	}
+
+	n, m := binary.Uvarint(buf)
+	if m <= 0 || int(n) != sec.pairs {
+		return fmt.Errorf("shuffle: swap spool %s: %w: section header says %d pairs, expected %d",
+			sec.rf.path, runfile.ErrCorrupt, n, sec.pairs)
+	}
+	rest := buf[m:]
+	next := func() ([]byte, error) {
+		l, m := binary.Uvarint(rest)
+		if m <= 0 || int64(l) > int64(len(rest)-m) {
+			return nil, fmt.Errorf("shuffle: swap spool %s: %w: truncated swapped pair",
+				sec.rf.path, runfile.ErrCorrupt)
+		}
+		b := rest[m : m+int(l)]
+		rest = rest[m+int(l):]
+		return b, nil
+	}
+	chunk := make([]Pair[K, V], 0, s.blockPairs)
+	flush := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		// The pairs re-enter shuffle memory chunk by chunk; absorb
+		// copies them into the live run, so the chunk slice is reused.
+		s.addResident(len(chunk))
+		err := st.absorb(s, chunk)
+		chunk = chunk[:0]
+		return err
+	}
+	for i := 0; i < int(n); i++ {
+		kb, err := next()
+		if err != nil {
+			return err
+		}
+		k, err := runfile.Decode[K](kb)
+		if err != nil {
+			return fmt.Errorf("shuffle: decoding swapped key in spool %s: %w", sec.rf.path, err)
+		}
+		vb, err := next()
+		if err != nil {
+			return err
+		}
+		v, err := runfile.Decode[V](vb)
+		if err != nil {
+			return fmt.Errorf("shuffle: decoding swapped value in spool %s: %w", sec.rf.path, err)
+		}
+		chunk = append(chunk, Pair[K, V]{k, v})
+		if len(chunk) >= s.blockPairs {
+			if err := flush(); err != nil {
 				return err
 			}
 		}
-		return nil
 	}
-	if st.livePairs > 0 {
-		if err := st.seal(s, true); err != nil {
-			return err
-		}
+	if err := flush(); err != nil {
+		return err
 	}
-	st.disk = append(st.disk, sr.fenced...)
-	st.spilledToDisk = true
-	st.pairs += sr.fencedPairs
-	st.spillEvents += int64(len(sr.fenced))
-	st.spilledPairs += sr.fencedPairs
-	st.bytesSpilled += sr.fencedBytes
-	st.indexBytes += sr.fencedIdx
-	if len(sr.blocks) > 0 {
-		dr, body, idx, err := sp.addRun(sr.blocks, sr.pairs)
-		if err != nil {
-			return err
-		}
-		st.disk = append(st.disk, dr)
-		st.pairs += dr.pairs
-		st.spillEvents++
-		st.spilledPairs += dr.pairs
-		st.bytesSpilled += body
-		st.indexBytes += idx
-	}
-	if needsCompaction(st.disk) {
-		s.diskSem <- struct{}{}
-		err := st.compactDiskRuns(s)
-		<-s.diskSem
-		if err != nil {
-			return err
-		}
+	sec.rf.dead.Add(sec.size)
+	if err := sec.rf.release(s.fs, &s.bytesReclaimed); err != nil {
+		return fmt.Errorf("shuffle: removing swap spool %s: %w", sec.rf.path, err)
 	}
 	return nil
 }
 
-// spool accumulates complete, independently readable runs in one temp
-// file: a partition's pressure writes — early seals, fences, fenced
-// tasks' remainders — share a single file for the whole round, so
-// relief costs no file churn no matter how many small runs it writes,
-// and the refcounted runFile keeps each embedded run independently
-// releasable (Abort drops only its own sections, compaction its
-// inputs). The open writer holds one reference of its own, released by
-// close, so a file whose every run was compacted away survives for
-// further appends and disappears only after the writer lets go.
-type spool[K comparable, V any] struct {
-	s      *Shuffle[K, V]
-	f      runfile.File
-	rf     *runFile
-	off    int64
-	n      int
-	broken bool // a failed append left bytes of unknown length; stop appending
-}
-
-// addRun groups one detached block list by key, combines it when the
-// shuffle has a combiner (the blocks are a contiguous slice of each
-// key's value sequence, which the combiner contract covers), sorts it,
-// and appends it to the spool as a complete run. Blocks return to the
-// pool and the pairs leave the resident count. body and idx are the
-// run's data and footer byte sizes.
-func (sp *spool[K, V]) addRun(blocks [][]Pair[K, V], nPairs int) (dr diskRun[K], body, idx int64, retErr error) {
-	s := sp.s
+// swapStaged sheds staged blocks to the partition's stash under memory
+// pressure, detaching them newest-task-first, until the partition's
+// live+staged pairs drop to half its budget (or nothing staged
+// remains). The sections rejoin the stream only when their task
+// absorbs; Abort releases them.
+func (in *Ingester[K, V]) swapStaged(st *partitionState[K, V], budget int) (err error) {
+	s := in.s
 	if s.spillTypeErr != nil {
-		return dr, 0, 0, fmt.Errorf("shuffle: cannot spill: %w", s.spillTypeErr)
+		return fmt.Errorf("shuffle: cannot swap staged pairs: %w", s.spillTypeErr)
 	}
-	groups := make(map[K][]V, len(blocks[0]))
-	for _, blk := range blocks {
-		for i := range blk {
-			groups[blk[i].Key] = append(groups[blk[i].Key], blk[i].Value)
-		}
+	if st.stash == nil {
+		st.stash = &spool[K, V]{s: s, pattern: "mr-swap-*.spool", kind: "swap spool"}
 	}
-	pairs := int64(nPairs)
-	if s.combiner != nil {
-		pairs = 0
-		for k, vs := range groups {
-			cv := s.combiner(k, vs)
-			if len(cv) == 0 {
-				delete(groups, k)
-				continue
-			}
-			groups[k] = cv
-			pairs += int64(len(cv))
-		}
-	}
-	dr, body, idx, retErr = sp.addRunGroups(sortedMapKeys(groups), groups, pairs)
-	if retErr != nil {
-		return dr, 0, 0, retErr
-	}
-	for _, blk := range blocks {
-		s.putBlock(blk)
-	}
-	s.addResident(-nPairs)
-	return dr, body, idx, nil
-}
-
-// addRunGroups appends one already-grouped, already-combined run to
-// the spool, keys in sorted order.
-func (sp *spool[K, V]) addRunGroups(keys []K, groups map[K][]V, pairs int64) (dr diskRun[K], body, idx int64, retErr error) {
-	s := sp.s
-	if sp.broken {
-		return dr, 0, 0, fmt.Errorf("shuffle: fence spool %s unusable after earlier write failure", sp.rf.path)
-	}
-	if sp.f == nil {
-		f, err := s.fs.CreateTemp(s.opts.SpillDir, "mr-spool-*.run")
-		if err != nil {
-			return dr, 0, 0, fmt.Errorf("shuffle: creating fence spool: %w", err)
-		}
-		sp.f, sp.rf = f, &runFile{path: f.Name()}
-		sp.rf.refs.Store(1) // the open writer's own hold, released by close
-	}
-	w := runfile.NewWriter(sp.f)
-	if err := writeGroups(w, sp.f.Name(), keys, groups); err != nil {
-		sp.broken = true
-		return dr, 0, 0, err
-	}
-	if err := w.Finish(); err != nil {
-		sp.broken = true
-		return dr, 0, 0, fmt.Errorf("shuffle: flushing fence spool %s: %w", sp.f.Name(), err)
-	}
-	dr = diskRun[K]{
-		file: sp.rf, off: sp.off, size: w.BytesWritten(), pairs: pairs,
-		index: typedIndex(keys, w.Index()),
-	}
-	sp.off += w.BytesWritten()
-	sp.n++
-	// Reference the run immediately: a compaction in the same step may
-	// release it long before the spool closes.
-	sp.rf.refs.Add(1)
-	return dr, w.BodyBytes(), w.BytesWritten() - w.BodyBytes(), nil
-}
-
-// close releases the writer's hold on the spool file (removing it when
-// no recorded run survives) and closes the handle. Both the close and
-// the removal can fail and both are reported — a leaked spill file is
-// as real a failure as a leaked run file — except on a spool already
-// marked broken, whose append failure surfaced first.
-func (sp *spool[K, V]) close() error {
-	if sp.f == nil {
-		return nil
-	}
-	closeErr := sp.f.Close()
-	releaseErr := sp.rf.release(sp.s.fs)
-	sp.f = nil
-	if sp.broken {
-		return nil
-	}
-	if closeErr != nil && sp.n > 0 {
-		return fmt.Errorf("shuffle: closing fence spool %s: %w", sp.rf.path, closeErr)
-	}
-	if releaseErr != nil {
-		return fmt.Errorf("shuffle: removing fence spool %s: %w", sp.rf.path, releaseErr)
-	}
-	return nil
-}
-
-// fenceStaged spills staged runs into the partition's spool under
-// memory pressure, detaching them newest-task-first, until the
-// partition's live+staged pairs drop to half its budget. The runs join
-// the partition only when their task commits; Abort releases them.
-func (in *Ingester[K, V]) fenceStaged(st *partitionState[K, V], sp *spool[K, V], budget int) (err error) {
-	var fenced int64
+	var swapped int64
 	spanOpen := false
 	defer func() {
 		if spanOpen {
-			st.lane.End(obs.OpFence, fenced, errFlag(err))
+			st.lane.End(obs.OpFence, swapped, errFlag(err))
 		}
 	}()
 	for {
@@ -693,28 +645,209 @@ func (in *Ingester[K, V]) fenceStaged(st *partitionState[K, V], sp *spool[K, V],
 			return nil
 		}
 		if !spanOpen {
-			// Opened lazily: fenceStaged often finds relief already done.
+			// Opened lazily: swapStaged often finds relief already done.
 			spanOpen = true
 			st.lane.Begin(obs.OpFence, 0, 0)
 		}
-		dr, body, idx, err := sp.addRun(blocks, pairs)
-		if err != nil {
-			return err
+		sec, werr := st.stash.addSwap(blocks, pairs)
+		if werr != nil {
+			return werr
 		}
-		fenced += dr.pairs
+		for _, blk := range blocks {
+			s.putBlock(blk)
+		}
+		s.addResident(-pairs)
+		s.swapBytes.Add(sec.size)
+		swapped += int64(pairs)
+		// Reattach under the staging lock. discard cannot run between
+		// the detach above and here (it takes st.mu first, which the
+		// ingest step holds), so the section always lands on a staged
+		// run that is still the attempt's.
 		st.stageMu.Lock()
-		sr.fenced = append(sr.fenced, dr)
-		sr.fencedPairs += dr.pairs
-		sr.fencedBytes += body
-		sr.fencedIdx += idx
+		sr.swapped = append(sr.swapped, sec)
 		st.stageMu.Unlock()
 	}
 }
 
+// spool accumulates independently releasable sections in one temp
+// file: a partition's seal runs share one spool file ("seal spool"),
+// its pressure swaps another ("swap spool"), so relief costs no file
+// churn no matter how many sections it writes. The refcounted runFile
+// keeps each section independently releasable (Abort drops only its
+// own sections, compaction its inputs, absorption its readbacks), the
+// open writer holds one reference of its own released by close, and
+// rotation retires a file whose dead bytes — released sections —
+// outgrew Options.SpoolRotateBytes, so a long round's spools reclaim
+// disk instead of growing monotonically.
+type spool[K comparable, V any] struct {
+	s       *Shuffle[K, V]
+	pattern string // CreateTemp pattern ("mr-spool-*.run", "mr-swap-*.spool")
+	kind    string // error-message noun ("seal spool", "swap spool")
+	f       runfile.File
+	rf      *runFile
+	off     int64
+	n       int             // sections written into the current file
+	w       *runfile.Writer // reused across runs (Reset), nil until first run
+	wbuf    []byte          // reused swap-section encode buffer
+	kbuf    []byte          // reused key/value encode scratch
+	broken  bool            // a failed append left bytes of unknown length; stop appending
+}
+
+// rotateEvery resolves Options.SpoolRotateBytes: the dead-byte
+// threshold at which a spool rotates to a fresh file, 0 when rotation
+// is disabled.
+func rotateEvery(v int64) int64 {
+	if v == 0 {
+		return 4 << 20
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// ensure opens the spool's current file, rotating first when the file
+// has accumulated enough dead bytes. Rotation creates the replacement
+// before letting go of the old file — a failed create keeps the old
+// spool working, because rotation is an optimization, never
+// correctness — then releases the writer's hold on the old file, which
+// deletes it as soon as its last live section is released and credits
+// the reclaimed bytes.
+func (sp *spool[K, V]) ensure() error {
+	s := sp.s
+	if sp.broken {
+		return fmt.Errorf("shuffle: %s %s unusable after earlier write failure", sp.kind, sp.rf.path)
+	}
+	if sp.f != nil {
+		if re := rotateEvery(s.opts.SpoolRotateBytes); re > 0 && sp.rf.dead.Load() >= re {
+			if f, err := s.fs.CreateTemp(s.opts.SpillDir, sp.pattern); err == nil {
+				old, oldRF := sp.f, sp.rf
+				sp.f, sp.rf, sp.off, sp.n = f, &runFile{path: f.Name()}, 0, 0
+				sp.rf.refs.Store(1)
+				// The old handle is done: surviving sections are reopened
+				// by path (merge cursors, swap readback), so only the
+				// writer held it. Close errors are unactionable here.
+				old.Close()
+				if rerr := oldRF.release(s.fs, &s.bytesReclaimed); rerr != nil {
+					return fmt.Errorf("shuffle: removing rotated %s %s: %w", sp.kind, oldRF.path, rerr)
+				}
+			}
+		}
+		return nil
+	}
+	f, err := s.fs.CreateTemp(s.opts.SpillDir, sp.pattern)
+	if err != nil {
+		return fmt.Errorf("shuffle: creating %s: %w", sp.kind, err)
+	}
+	sp.f, sp.rf, sp.off, sp.n = f, &runFile{path: f.Name()}, 0, 0
+	sp.rf.refs.Store(1) // the open writer's own hold, released by close
+	return nil
+}
+
+// addRunGroups appends one already-grouped, already-combined run to
+// the spool, keys in sorted order, reusing one runfile.Writer (and its
+// write buffer) across every run the spool ever writes.
+func (sp *spool[K, V]) addRunGroups(keys []K, groups map[K][]V, pairs int64) (dr diskRun[K], body, idx int64, retErr error) {
+	if err := sp.ensure(); err != nil {
+		return dr, 0, 0, err
+	}
+	if sp.w == nil {
+		sp.w = runfile.NewWriter(sp.f)
+	} else {
+		sp.w.Reset(sp.f)
+	}
+	w := sp.w
+	if err := writeGroups(w, sp.f.Name(), keys, groups); err != nil {
+		sp.broken = true
+		return dr, 0, 0, err
+	}
+	if err := w.Finish(); err != nil {
+		sp.broken = true
+		return dr, 0, 0, fmt.Errorf("shuffle: flushing %s %s: %w", sp.kind, sp.f.Name(), err)
+	}
+	dr = diskRun[K]{
+		file: sp.rf, off: sp.off, size: w.BytesWritten(), pairs: pairs,
+		index: typedIndex(keys, w.Index(), w.BodyBytes()),
+	}
+	sp.off += w.BytesWritten()
+	sp.rf.size.Store(sp.off)
+	sp.n++
+	// Reference the run immediately: a compaction in the same step may
+	// release it long before the spool closes.
+	sp.rf.refs.Add(1)
+	return dr, w.BodyBytes(), w.BytesWritten() - w.BodyBytes(), nil
+}
+
+// addSwap appends one staged task's blocks as a single raw section: a
+// pair count followed by each pair's length-framed encoded key and
+// value, in flush order — no grouping, no sort, no combine, because
+// the bytes come straight back at absorb time and must reproduce the
+// exact staged stream.
+func (sp *spool[K, V]) addSwap(blocks [][]Pair[K, V], nPairs int) (sec swapSec, retErr error) {
+	if err := sp.ensure(); err != nil {
+		return sec, err
+	}
+	buf := binary.AppendUvarint(sp.wbuf[:0], uint64(nPairs))
+	kb := sp.kbuf
+	var err error
+	for _, blk := range blocks {
+		for i := range blk {
+			if kb, err = runfile.Append(kb[:0], blk[i].Key); err != nil {
+				return sec, fmt.Errorf("shuffle: swapping key: %w", err)
+			}
+			buf = binary.AppendUvarint(buf, uint64(len(kb)))
+			buf = append(buf, kb...)
+			if kb, err = runfile.Append(kb[:0], blk[i].Value); err != nil {
+				return sec, fmt.Errorf("shuffle: swapping value: %w", err)
+			}
+			buf = binary.AppendUvarint(buf, uint64(len(kb)))
+			buf = append(buf, kb...)
+		}
+	}
+	sp.wbuf, sp.kbuf = buf, kb
+	if _, err := sp.f.Write(buf); err != nil {
+		sp.broken = true
+		return sec, fmt.Errorf("shuffle: writing %s %s: %w", sp.kind, sp.f.Name(), err)
+	}
+	sec = swapSec{rf: sp.rf, off: sp.off, size: int64(len(buf)), pairs: nPairs}
+	sp.off += int64(len(buf))
+	sp.rf.size.Store(sp.off)
+	sp.n++
+	sp.rf.refs.Add(1)
+	return sec, nil
+}
+
+// close releases the writer's hold on the spool file (removing it when
+// no recorded section survives — for a drained stash that is the
+// normal case, and the removal credits reclaimed when non-nil) and
+// closes the handle. Both the close and the removal can fail and both
+// are reported — a leaked spill file is as real a failure as a leaked
+// run file — except on a spool already marked broken, whose append
+// failure surfaced first.
+func (sp *spool[K, V]) close(reclaimed *atomic.Int64) error {
+	if sp.f == nil {
+		return nil
+	}
+	closeErr := sp.f.Close()
+	releaseErr := sp.rf.release(sp.s.fs, reclaimed)
+	sp.f, sp.w = nil, nil
+	if sp.broken {
+		return nil
+	}
+	if closeErr != nil && sp.n > 0 {
+		return fmt.Errorf("shuffle: closing %s %s: %w", sp.kind, sp.rf.path, closeErr)
+	}
+	if releaseErr != nil {
+		return fmt.Errorf("shuffle: removing %s %s: %w", sp.kind, sp.rf.path, releaseErr)
+	}
+	return nil
+}
+
 // Finish drains every partition to completion — the residual barrier,
-// run in parallel across partitions — and returns the ingestion's
-// first error. After Finish (with all tasks committed) every pair is
-// absorbed or adopted and the shuffle is ready for Stats and reads.
+// run in parallel across partitions — closes the partitions' spools,
+// waits out the background compaction queue, and returns the
+// ingestion's first error. After Finish (with all tasks committed)
+// every pair is absorbed and the shuffle is ready for Stats and reads.
 func (in *Ingester[K, V]) Finish() error {
 	start := time.Now()
 	in.finishing.Store(true)
@@ -733,14 +866,21 @@ func (in *Ingester[K, V]) Finish() error {
 				st := &s.parts[p]
 				st.mu.Lock()
 				err := in.ingestStep(st, true)
+				// The round's ingest writes are done; release the spools'
+				// write handles. A fully drained stash is removed here and
+				// its bytes credited as reclaimed; the seal spool usually
+				// survives until Close on its runs' references.
 				if st.pspool != nil {
-					// The round's ingest writes are done; release the
-					// pressure spool's write handle (removing the file if
-					// nothing references it).
-					if cerr := st.pspool.close(); cerr != nil && err == nil {
+					if cerr := st.pspool.close(&s.bytesReclaimed); cerr != nil && err == nil {
 						err = cerr
 					}
 					st.pspool = nil
+				}
+				if st.stash != nil {
+					if cerr := st.stash.close(&s.bytesReclaimed); cerr != nil && err == nil {
+						err = cerr
+					}
+					st.stash = nil
 				}
 				st.mu.Unlock()
 				if err != nil {
@@ -754,6 +894,13 @@ func (in *Ingester[K, V]) Finish() error {
 	}
 	close(pCh)
 	wg.Wait()
+	// Background compactions may still be rewriting run files; the
+	// round must not report success while one of them is failing
+	// (nothing else would surface the error before reads hit missing
+	// files).
+	if err := s.waitCompactions(); err != nil {
+		in.fail(err)
+	}
 	in.finishNs.Add(time.Since(start).Nanoseconds())
 	return in.Err()
 }

@@ -467,6 +467,173 @@ func TestStreamingFaultInjection(t *testing.T) {
 	}
 }
 
+// TestSpoolRotationFaultTolerance marches an injected create failure
+// over every file-create a rotating streaming round performs. Spool
+// rotation creates the replacement file before retiring the old one,
+// and a failed rotation create is opportunistic — the round keeps the
+// old spool and carries on. So each ordinal must end one of two ways:
+// the round fails with the injected cause wrapped (a mandatory create
+// — first spool, swap stash, compaction output), or it succeeds with
+// byte-identical output (a rotation create). At least one ordinal must
+// take the survivable path, proving rotation actually engaged.
+func TestSpoolRotationFaultTolerance(t *testing.T) {
+	const nTasks, perTask, keys = 12, 48, 7
+	tasks := ingestTasks(nTasks, perTask, keys)
+	want := make(map[int][]int)
+	for _, ps := range tasks {
+		for _, p := range ps {
+			want[p.Key] = append(want[p.Key], p.Value)
+		}
+	}
+
+	run := func(fs *errfs.FS, rotate int64) (map[int][]int, Stats, error) {
+		s := New[int, int](Options{
+			Partitions: 1, MaxBufferedPairs: 8, BlockPairs: 8,
+			SpillDir: t.TempDir(), FS: fs,
+			SpoolRotateBytes: rotate,
+			// Inline compaction keeps the round single-threaded, so the
+			// create ordinals are deterministic and the march is exact.
+			CompactionConcurrency: -1,
+		})
+		defer s.Close()
+		ing := s.NewIngester()
+		var firstErr error
+		for ti := range tasks {
+			tw := ing.Task(ti, 0)
+			for _, p := range tasks[ti] {
+				tw.Emit(p.Key, p.Value)
+			}
+			if err := tw.Commit(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if err := ing.Finish(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if firstErr != nil {
+			return nil, Stats{}, firstErr
+		}
+		st, err := s.Stats()
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		return collectGroups(t, s), st, nil
+	}
+
+	// Probe: rotation (threshold 1: any dead byte rotates) must create
+	// more files than the non-rotating round, and reclaim disk while the
+	// round still runs.
+	plain := errfs.New(nil)
+	if _, _, err := run(plain, -1); err != nil {
+		t.Fatalf("non-rotating round failed: %v", err)
+	}
+	probe := errfs.New(nil)
+	got, st, err := run(probe, 1)
+	if err != nil {
+		t.Fatalf("rotating round failed: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("rotating round output diverges")
+	}
+	creates := probe.Calls(errfs.OpCreate)
+	if creates <= plain.Calls(errfs.OpCreate) {
+		t.Fatalf("rotation never created a replacement spool: %d creates with rotation, %d without",
+			creates, plain.Calls(errfs.OpCreate))
+	}
+	if st.BytesReclaimed == 0 {
+		t.Fatal("rotating round reclaimed nothing mid-round")
+	}
+
+	survived := 0
+	for nth := 1; nth <= creates; nth++ {
+		fs := errfs.New(nil)
+		fs.FailAt(errfs.OpCreate, nth, nil)
+		got, _, err := run(fs, 1)
+		if err != nil {
+			if !errors.Is(err, errfs.ErrInjected) {
+				t.Fatalf("create#%d: injected cause lost from the chain: %v", nth, err)
+			}
+			continue
+		}
+		survived++
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("create#%d: round survived the fault but its output diverges", nth)
+		}
+	}
+	if survived == 0 {
+		t.Fatal("every create ordinal was fatal: the opportunistic rotation create never engaged")
+	}
+}
+
+// TestStreamingStatsInvalidation pins the memoized-Stats contract
+// under streaming ingestion: a Stats call mid-round memoizes the
+// profile, and every later mutation — absorbed blocks, seals,
+// background compactions, swap-section adds and releases — must
+// invalidate that memo so the post-Finish Stats reflects the whole
+// round. (Same regression shape as the SetCombiner staleness fix: a
+// mutation path that forgets to invalidate serves the stale profile.)
+func TestStreamingStatsInvalidation(t *testing.T) {
+	const perTask = 64
+	s := New[int, int](Options{
+		Partitions: 2, MaxBufferedPairs: 8, BlockPairs: 4,
+		SpillDir: t.TempDir(),
+	})
+	defer s.Close()
+	ing := s.NewIngester()
+
+	tw := ing.Task(0, 0)
+	for i := 0; i < perTask; i++ {
+		tw.Emit(i%5, i)
+	}
+	if err := tw.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Memoize mid-round, twice: the second call must hit the memo path,
+	// so whatever the third call sees went through invalidation.
+	st1, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Stats(); err != nil {
+		t.Fatal(err)
+	}
+
+	tw = ing.Task(1, 0)
+	for i := 0; i < perTask; i++ {
+		tw.Emit(i%5, 1000+i)
+	}
+	if err := tw.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Pairs != 2*perTask {
+		t.Fatalf("stale Stats memo: post-Finish Pairs = %d, want %d (mid-round memo saw %d)",
+			st2.Pairs, 2*perTask, st1.Pairs)
+	}
+	// The whole round is 8x the total budget, so the second half must
+	// have added spill volume on top of whatever the memo captured.
+	if st2.BytesSpilled <= st1.BytesSpilled {
+		t.Fatalf("stale Stats memo: BytesSpilled %d not above mid-round %d",
+			st2.BytesSpilled, st1.BytesSpilled)
+	}
+	got := collectGroups(t, s)
+	total := 0
+	for _, vs := range got {
+		total += len(vs)
+	}
+	if total != 2*perTask {
+		t.Fatalf("streamed %d pairs, want %d", total, 2*perTask)
+	}
+}
+
 // TestStreamingEmptyAndSingleTask covers the degenerate shapes: no
 // tasks at all, and one task owning every pair (the watermark cannot
 // advance until the very end, so everything stages and fences).

@@ -16,7 +16,14 @@ import (
 // opened on the way down is closed on the error path (the deferred
 // Ends fire), so the snapshot stays balanced.
 func TestTracingUnderFaultInjection(t *testing.T) {
-	ops := []errfs.Op{errfs.OpCreate, errfs.OpWrite, errfs.OpClose, errfs.OpOpen, errfs.OpRead}
+	// OpRead never fires on the zero-copy read path and OpMmap/OpMadvise/
+	// OpMunmap faults are absorbed by the pread fallback; the march
+	// tolerates never-firing ops, and the balance check still covers the
+	// spans around them.
+	ops := []errfs.Op{
+		errfs.OpCreate, errfs.OpWrite, errfs.OpClose, errfs.OpOpen,
+		errfs.OpRead, errfs.OpReadAt, errfs.OpMmap, errfs.OpMadvise, errfs.OpMunmap,
+	}
 	for _, op := range ops {
 		for nth := 1; nth <= 6; nth++ {
 			fs := errfs.New(nil)

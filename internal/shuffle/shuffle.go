@@ -149,11 +149,38 @@ type Options struct {
 	BlockPairs int
 
 	// Recorder, when non-nil, receives the shuffle's lifecycle events:
-	// block flushes, seals, pressure-relief fences and fence aborts,
-	// compactions and reduce-time merges, each on its partition's lane.
+	// block flushes, seals, pressure-relief swaps and swap aborts,
+	// compactions and reduce-time merges, each on its partition's lane;
+	// asynchronous compactions land on per-worker compactor lanes.
 	// Nil disables recording at the cost of one nil-check per event —
 	// the hot data path is identical either way.
 	Recorder *obs.Recorder
+
+	// CompactionConcurrency is the number of background workers that
+	// compact disk runs during streaming ingestion, so a partition whose
+	// run count outgrows the merge fan-in is rewritten off the ingestion
+	// path instead of stalling its seal. Zero selects a small default
+	// (2); negative forces inline compaction (the pre-worker behavior,
+	// useful for deterministic tests). Barrier-mode Merge always
+	// compacts inline on the partition's own goroutine.
+	CompactionConcurrency int
+
+	// SpoolRotateBytes bounds how many dead bytes — sections already
+	// compacted away, absorbed, or aborted — a streaming spool file may
+	// accumulate before it is rotated: a fresh file takes over the
+	// writes and the old one is deleted as soon as its last live section
+	// is released, so long rounds reclaim disk instead of growing every
+	// spool monotonically. Zero selects a 4 MiB default; negative
+	// disables rotation. Reclaimed bytes are reported in
+	// Stats.BytesReclaimed.
+	SpoolRotateBytes int64
+
+	// DisableMmap forces the positioned-read (pread) fallback for run
+	// file reads even where the platform supports memory mapping. Used
+	// by tests that must exercise the fallback deterministically; the
+	// default (mmap where available, automatic fallback otherwise)
+	// is right for production.
+	DisableMmap bool
 }
 
 // DefaultPartitions is the partition count used when Options.Partitions
@@ -204,6 +231,20 @@ type Shuffle[K comparable, V any] struct {
 	diskRead     atomic.Int64  // bytes read back from spill run files
 	perValue     bool          // test/bench hook: legacy per-value spill decode
 
+	// Async compaction (see compact.go): partitions over their run-count
+	// bound are enqueued on compactCh (at most one entry per partition)
+	// and merged by CompactionConcurrency background workers. compactWG
+	// tracks queued + in-flight work; Finish and Close wait on it, and
+	// the first worker error is surfaced through Finish.
+	compactCh    chan int
+	compactStart sync.Once
+	compactWG    sync.WaitGroup
+	compactMu    sync.Mutex // guards compactErr
+	compactErr   error
+
+	swapBytes      atomic.Int64 // raw bytes written by pressure swaps (ingest.go)
+	bytesReclaimed atomic.Int64 // spill-file bytes deleted mid-round (rotation, compaction)
+
 	// pool recycles flushed block backing arrays between the map-side
 	// writers and the absorption path, so steady-state streaming
 	// ingestion allocates no per-block memory.
@@ -225,6 +266,7 @@ type Shuffle[K comparable, V any] struct {
 // flushing map workers and draining committers under mu.
 type partitionState[K comparable, V any] struct {
 	mu            sync.Mutex   // guards all fields during streaming ingestion
+	idx           int          // this partition's index (compaction enqueue key)
 	runs          []map[K][]V  // sealed in-memory runs, in seal order
 	disk          []diskRun[K] // sealed on-disk runs, in seal order
 	spilledToDisk bool         // ever had a disk run (sticky across Close)
@@ -256,11 +298,20 @@ type partitionState[K comparable, V any] struct {
 	scratch    map[K]int
 	presizeOff bool
 
-	// pspool is the partition's pressure spool: one shared temp file
-	// receiving every early seal, fence and fenced-task remainder the
-	// streaming path writes for this partition, closed by
-	// Ingester.Finish (Close is the safety net). Guarded by mu.
+	// pspool is the partition's seal spool: one shared temp file (per
+	// rotation epoch) receiving every run the streaming path seals for
+	// this partition; stash is the swap spool, receiving the raw
+	// pressure-swapped sections of staged tasks (see ingest.go). Both
+	// are closed by Ingester.Finish (Close is the safety net) and
+	// guarded by mu.
 	pspool *spool[K, V]
+	stash  *spool[K, V]
+
+	// compacting marks that this partition is queued for (or undergoing)
+	// asynchronous compaction; at most one queue entry per partition
+	// exists, which is what lets enqueue sends never block. Guarded by
+	// mu.
+	compacting bool
 
 	// liveApprox mirrors livePairs for lock-free reads: the streaming
 	// flush path consults it (plus stagedPairs) to decide whether it
@@ -297,6 +348,7 @@ func New[K comparable, V any](opts Options) *Shuffle[K, V] {
 		parts:      make([]partitionState[K, V], n),
 	}
 	for i := range s.parts {
+		s.parts[i].idx = i
 		s.parts[i].live = make(map[K][]V)
 		// A nil Recorder hands out nil lanes; every emit is then a no-op.
 		s.parts[i].lane = opts.Recorder.Lane(obs.LanePartition, i)
@@ -397,6 +449,17 @@ func (s *Shuffle[K, V]) SetPartitioner(fn func(K) int) {
 	s.partitioner = fn
 }
 
+// invalidateStats drops the memoized Stats profile. Every mutation of
+// a partition's runs — seals, swaps, compaction installs, aborts —
+// must route through this (or Merge's inline invalidation) so a
+// profile memoized mid-round is never served after the state it
+// described has changed.
+func (s *Shuffle[K, V]) invalidateStats() {
+	s.statsMu.Lock()
+	s.statsMemo = nil
+	s.statsMu.Unlock()
+}
+
 // SetCombiner pushes an associative pre-aggregation down into the
 // shuffle's sealing path: whenever a partition's live run reaches the
 // memory budget, each key's buffered values are combined before the
@@ -414,9 +477,7 @@ func (s *Shuffle[K, V]) SetCombiner(fn func(key K, values []V) []V) {
 	// memoized before this call must not survive it — invalidating only
 	// on Merge would serve a stale profile to a caller that re-reads
 	// Stats between SetCombiner and the next Merge.
-	s.statsMu.Lock()
-	s.statsMemo = nil
-	s.statsMu.Unlock()
+	s.invalidateStats()
 	s.combiner = fn
 }
 
@@ -489,9 +550,7 @@ func (b *TaskBuffer[K, V]) Pairs() int64 { return b.pairs }
 func (s *Shuffle[K, V]) Merge(buffers []*TaskBuffer[K, V]) error {
 	s.mergeMu.Lock()
 	defer s.mergeMu.Unlock()
-	s.statsMu.Lock()
-	s.statsMemo = nil // the profile is about to change
-	s.statsMu.Unlock()
+	s.invalidateStats() // the profile is about to change
 	var wg sync.WaitGroup
 	errs := make([]error, s.nparts)
 	for p := 0; p < s.nparts; p++ {
@@ -659,10 +718,15 @@ func (st *partitionState[K, V]) seal(s *Shuffle[K, V], force bool) (err error) {
 	st.livePairs = 0
 	st.syncLive()
 	if st.pspool != nil && needsCompaction(st.disk) {
-		s.diskSem <- struct{}{}
-		err := st.compactDiskRuns(s)
-		<-s.diskSem
-		return err
+		if s.opts.CompactionConcurrency < 0 {
+			// Inline mode: compact on the sealing goroutine, pre-worker
+			// behavior (deterministic scheduling for tests).
+			s.diskSem <- struct{}{}
+			err := st.compactDiskRuns(s, st.lane, false)
+			<-s.diskSem
+			return err
+		}
+		s.maybeCompact(st)
 	}
 	return nil
 }
@@ -858,6 +922,19 @@ type Stats struct {
 	// Computing Stats itself adds nothing to it: the counting pass
 	// merges resident indexes in memory.
 	DiskBytesRead int64
+	// SwapBytes is the raw bytes the streaming path's pressure relief
+	// wrote to swap stash files — staged pairs shed to disk and read
+	// back verbatim at their task's turn. Swap traffic is bookkeeping,
+	// not shuffle output, so it is reported separately from
+	// BytesSpilled (which stays a pure function of the committed pair
+	// stream — the property the bench's cross-lane determinism check
+	// pins).
+	SwapBytes int64
+	// BytesReclaimed is the total size of spill files deleted while the
+	// round was still running — spool rotation retiring dead sections
+	// and compaction releasing its inputs — i.e. disk given back before
+	// Close.
+	BytesReclaimed int64
 	// RunsMerged is the number of runs (disk, sealed in-memory, live)
 	// that the reduce-time k-way merges combine, summed over the
 	// partitions that sealed at least once.
@@ -901,9 +978,10 @@ func (st Stats) String() string {
 // Stats computes the shuffle's realized profile. The walk is pure
 // memory even for spilled partitions — each disk run's (key, count)
 // index is resident, so no run file is read. The result is memoized:
-// repeat calls return the cached profile (with DiskBytesRead
-// refreshed, since reduce-time reads keep accruing) until the next
-// Merge invalidates it. The error is non-nil only when the shuffle's
+// repeat calls return the cached profile (with the cumulative I/O
+// counters — DiskBytesRead, SwapBytes, BytesReclaimed — and the
+// resident peak refreshed, since those keep accruing after the
+// profile stabilizes) until the next mutation invalidates it. The error is non-nil only when the shuffle's
 // spilled state is unreadable (for example after Close).
 func (s *Shuffle[K, V]) Stats() (Stats, error) {
 	s.statsMu.Lock()
@@ -918,6 +996,8 @@ func (s *Shuffle[K, V]) Stats() (Stats, error) {
 		st.PartitionMaxGroup = append([]int64(nil), st.PartitionMaxGroup...)
 		st.GroupSizeLog2 = append([]int64(nil), st.GroupSizeLog2...)
 		st.DiskBytesRead = s.diskRead.Load()
+		st.SwapBytes = s.swapBytes.Load()
+		st.BytesReclaimed = s.bytesReclaimed.Load()
 		st.PeakResidentPairs = s.peakResident.Load()
 		return st, nil
 	}
@@ -1018,6 +1098,8 @@ func (s *Shuffle[K, V]) computeStats() (Stats, error) {
 		}
 	}
 	st.DiskBytesRead = s.diskRead.Load()
+	st.SwapBytes = s.swapBytes.Load()
+	st.BytesReclaimed = s.bytesReclaimed.Load()
 	st.PeakResidentPairs = s.peakResident.Load()
 	return st, nil
 }

@@ -234,7 +234,11 @@ func BenchmarkExternalShuffle(b *testing.B) {
 		b.ReportMetric(float64(peak), "live-pairs-peak")
 		// Reduce-side throughput: values streamed back per second of
 		// total benchmark time (build + merge + full streaming read).
+		// With a combiner, values/s counts the (smaller) post-combine
+		// volume, so it is not comparable across lanes; input-pairs/s
+		// normalizes by the pairs fed in and is the cross-lane number.
 		b.ReportMetric(float64(streamed)/b.Elapsed().Seconds(), "values/s")
+		b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "input-pairs/s")
 	}
 
 	b.Run("in-memory", func(b *testing.B) {
@@ -259,6 +263,13 @@ func BenchmarkExternalShuffle(b *testing.B) {
 	// 16): task granularity is the pipeline's scheduling knob — it sets
 	// how much uncommitted in-flight output the ordering watermark
 	// keeps staged — and the barrier path is insensitive to it.
+	// untracedSpilled carries the streaming lane's spilled bytes into
+	// the streaming-traced lane: with swap-based relief the seal points
+	// are a pure function of the committed pair stream, so attaching the
+	// recorder must not move a single spilled byte. The cross-lane
+	// assert pins that invariant (the old fence-valve relief was
+	// timing-sensitive and the recorder's overhead shifted it).
+	var untracedSpilled int64
 	streamBench := func(b *testing.B, traced bool) {
 		const (
 			workers    = 8
@@ -267,9 +278,9 @@ func BenchmarkExternalShuffle(b *testing.B) {
 		)
 		streamTasks := benchPairs(total, nStream, nKeys)
 		b.ReportAllocs()
-		var spilledMB, diskReadMB, overlapMs, finishMs float64
+		var spilledMB, diskReadMB, swapMB, reclaimedMB, overlapMs, finishMs float64
 		var peakResident int64
-		var streamed int64
+		var streamed, wantSpilled int64
 		// One recorder for the whole run: the rings are allocated here,
 		// once, so the measured rounds see the recording cost alone, not
 		// the allocation churn of fresh buffers (whose GC stalls the
@@ -294,7 +305,11 @@ func BenchmarkExternalShuffle(b *testing.B) {
 			s := New[string, int](Options{
 				Partitions: parts, MaxBufferedPairs: budget,
 				BlockPairs: blockPairs, SpillDir: b.TempDir(),
-				Recorder: rec,
+				// A small rotation threshold so long rounds exercise
+				// spool rotation (dead swap/compacted sections reclaimed
+				// mid-round) under the measured workload.
+				SpoolRotateBytes: 64 << 10,
+				Recorder:         rec,
 			})
 			ing := s.NewIngester()
 			var wg sync.WaitGroup
@@ -339,8 +354,18 @@ func BenchmarkExternalShuffle(b *testing.B) {
 			if st.BytesSpilled == 0 {
 				b.Fatal("streaming mode never spilled")
 			}
+			// Spilled bytes are deterministic: seal points depend only on
+			// the committed pair stream, never on relief timing, so every
+			// iteration of this workload must spill the same bytes.
+			if wantSpilled == 0 {
+				wantSpilled = st.BytesSpilled
+			} else if st.BytesSpilled != wantSpilled {
+				b.Fatalf("spilled bytes drifted between iterations: %d then %d", wantSpilled, st.BytesSpilled)
+			}
 			peakResident = st.PeakResidentPairs
 			spilledMB = float64(st.BytesSpilled) / (1 << 20)
+			swapMB = float64(st.SwapBytes) / (1 << 20)
+			reclaimedMB = float64(st.BytesReclaimed) / (1 << 20)
 			overlapMs = float64(ing.OverlapNs()) / 1e6
 			finishMs = float64(ing.FinishNs()) / 1e6
 
@@ -357,18 +382,31 @@ func BenchmarkExternalShuffle(b *testing.B) {
 			if got != total {
 				b.Fatalf("streamed %d pairs, want %d", got, total)
 			}
-			streamed += got
+			if i >= 0 { // warmup pairs are outside the timed window
+				streamed += got
+			}
 			diskReadMB = float64(s.DiskBytesRead()) / (1 << 20)
 			if err := s.Close(); err != nil {
 				b.Fatal(err)
 			}
 		}
+		if traced {
+			if untracedSpilled != 0 && wantSpilled != untracedSpilled {
+				b.Fatalf("recorder changed spill behavior: traced round spilled %d bytes, untraced %d",
+					wantSpilled, untracedSpilled)
+			}
+		} else {
+			untracedSpilled = wantSpilled
+		}
 		b.ReportMetric(float64(peakResident), "peak-resident-pairs")
 		b.ReportMetric(spilledMB, "spilled-MB")
+		b.ReportMetric(swapMB, "swap-MB")
+		b.ReportMetric(reclaimedMB, "reclaimed-MB")
 		b.ReportMetric(diskReadMB, "disk-read-MB")
 		b.ReportMetric(overlapMs, "overlap-ms")
 		b.ReportMetric(finishMs, "finish-drain-ms")
 		b.ReportMetric(float64(streamed)/b.Elapsed().Seconds(), "values/s")
+		b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "input-pairs/s")
 		if traced {
 			dropped := rec.Dropped()
 			b.ReportMetric(float64(dropped), "dropped-events")

@@ -95,14 +95,17 @@ func diskFanIn[K comparable](disk []diskRun[K]) int {
 const diskReadConcurrency = 8
 
 // keyCount is one group of a spilled run's resident index: the typed
-// key, its value count, and the byte length of its value section in
-// the file. Indexes are built at spill and compaction time from keys
-// already in memory, so counting reads never decode from disk and
-// compaction copies value regions without parsing them.
+// key, its value count, and the location of its value section in the
+// run image (valOff is relative to the run's start, not the file's —
+// runs embedded in a spool add their diskRun offset). Indexes are
+// built at spill and compaction time from keys already in memory, so
+// counting reads never decode from disk, and value reads address their
+// sections directly — no framing is parsed on the read path at all.
 type keyCount[K comparable] struct {
 	key      K
 	count    int64
 	valBytes int64
+	valOff   int64
 }
 
 // runFile is one spill temp file, shared by every diskRun it embeds
@@ -115,12 +118,23 @@ type keyCount[K comparable] struct {
 type runFile struct {
 	path string
 	refs atomic.Int32
+	size atomic.Int64 // bytes written into the file
+	dead atomic.Int64 // bytes of sections already released (rotation trigger)
 }
 
 // release drops one reference, removing the file when none remain.
-func (rf *runFile) release(fs runfile.FS) error {
+// When the remove succeeds mid-round, the file's bytes are credited to
+// reclaimed (nil to skip the credit, e.g. at Close, where deleting
+// spill files is the round ending rather than space coming back to a
+// still-running round).
+func (rf *runFile) release(fs runfile.FS, reclaimed *atomic.Int64) error {
 	if rf.refs.Add(-1) == 0 {
-		return fs.Remove(rf.path)
+		if err := fs.Remove(rf.path); err != nil {
+			return err
+		}
+		if reclaimed != nil {
+			reclaimed.Add(rf.size.Load())
+		}
 	}
 	return nil
 }
@@ -146,6 +160,20 @@ type countingReader struct {
 
 func (c countingReader) Read(p []byte) (int, error) {
 	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+// countingReaderAt is countingReader for the positioned-read fallback:
+// cursors share one handle with no seek state, so every section read
+// is a pread, metered the same way.
+type countingReaderAt struct {
+	ra io.ReaderAt
+	n  *atomic.Int64
+}
+
+func (c countingReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	n, err := c.ra.ReadAt(p, off)
 	c.n.Add(int64(n))
 	return n, err
 }
@@ -180,7 +208,8 @@ func writeRun[K comparable, V any](s *Shuffle[K, V], keys []K, groups map[K][]V,
 	ok = true
 	rf := &runFile{path: f.Name()}
 	rf.refs.Store(1)
-	dr = diskRun[K]{file: rf, off: 0, size: w.BytesWritten(), pairs: pairs, index: typedIndex(keys, w.Index())}
+	rf.size.Store(w.BytesWritten())
+	dr = diskRun[K]{file: rf, off: 0, size: w.BytesWritten(), pairs: pairs, index: typedIndex(keys, w.Index(), w.BodyBytes())}
 	return dr, w.BodyBytes(), w.BytesWritten() - w.BodyBytes(), nil
 }
 
@@ -228,18 +257,29 @@ func (st *partitionState[K, V]) spillToDisk(s *Shuffle[K, V]) error {
 	if needsCompaction(st.disk) {
 		s.diskSem <- struct{}{}
 		defer func() { <-s.diskSem }()
-		return st.compactDiskRuns(s)
+		return st.compactDiskRuns(s, st.lane, false)
 	}
 	return nil
 }
 
 // typedIndex pairs the writer's footer entries (counts and value-byte
 // lengths, complete after Finish) with the typed keys they were written
-// from, in write order.
-func typedIndex[K comparable](keys []K, entries []runfile.IndexEntry) []keyCount[K] {
+// from, in write order. Each group's value-section offset is derived
+// from where the next group starts (bodyEnd for the last group): the
+// section is the valBytes-long tail of the group's framing.
+func typedIndex[K comparable](keys []K, entries []runfile.IndexEntry, bodyEnd int64) []keyCount[K] {
 	index := make([]keyCount[K], len(keys))
 	for i, k := range keys {
-		index[i] = keyCount[K]{key: k, count: entries[i].Count, valBytes: entries[i].ValueBytes}
+		end := bodyEnd
+		if i+1 < len(entries) {
+			end = entries[i+1].Offset
+		}
+		index[i] = keyCount[K]{
+			key:      k,
+			count:    entries[i].Count,
+			valBytes: entries[i].ValueBytes,
+			valOff:   end - entries[i].ValueBytes,
+		}
 	}
 	return index
 }
@@ -268,42 +308,94 @@ func compactionSuffix[K comparable, V any](s *Shuffle[K, V], disk []diskRun[K]) 
 }
 
 // compactDiskRuns merges the suffix of disk runs chosen by
-// compactionSuffix into one new run file. The merge order comes
-// entirely from the runs' resident indexes — no key is decoded from
-// disk — and, without a combiner, each group's value section moves as
-// one raw byte copy (framing included), never parsed: streamed
-// directly reader-to-writer for the native key kinds, staged through a
-// drain-time buffer under the formatted-key fallback (where the fold
-// may revisit a run's colliding-key groups out of file order). Groups of the
-// same key that become adjacent in merge order are folded into a
-// single output group whose values concatenate in seal order, so the
-// rewritten file preserves the value-order contract and shrinks the
-// downstream merge; with a combiner the folded group's values are
-// decoded, re-combined, and re-encoded, shrinking the rewritten bytes
-// toward the post-combine communication cost. The merged index is
-// assembled in memory from the planned order — no re-counting pass.
-// Peak memory is one group; peak descriptors maxDiskRunFanIn plus the
-// output file.
-func (st *partitionState[K, V]) compactDiskRuns(s *Shuffle[K, V]) (retErr error) {
+// compactionSuffix into one new run file and splices it into st.disk.
+// The caller holds st.mu (streaming path) or owns the partition
+// outright (barrier path). With concurrent set — the async compaction
+// workers — the merge I/O runs with st.mu released: the input runs are
+// immutable once sealed and concurrent seals only append to st.disk,
+// so the planned [from, from+n) window is still the same runs at
+// install time, and the splice simply carries any newer seals along.
+// The span is recorded on lane: the partition's own lane inline, a
+// compactor lane when concurrent (spans of different partitions then
+// interleave freely without breaking per-lane LIFO).
+func (st *partitionState[K, V]) compactDiskRuns(s *Shuffle[K, V], lane *obs.Ring, concurrent bool) (retErr error) {
 	from := compactionSuffix(s, st.disk)
-	compacting := st.disk[from:]
-	st.lane.Begin(obs.OpCompact, int64(len(compacting)), 0)
+	compacting := append([]diskRun[K](nil), st.disk[from:]...)
+	nIn := len(compacting)
+	lane.Begin(obs.OpCompact, int64(nIn), 0)
 	var outPairs int64
-	defer func() { st.lane.End(obs.OpCompact, outPairs, errFlag(retErr)) }()
-	less := nativeLess[K]()
-	cursors, closeAll, err := openDiskCursors[K, V](s, compacting, less == nil)
-	defer closeAll()
-	if err != nil {
-		return fmt.Errorf("shuffle: compacting spill runs: %w", err)
-	}
+	defer func() { lane.End(obs.OpCompact, outPairs, errFlag(retErr)) }()
 	var inPairs int64
 	for _, dr := range compacting {
 		inPairs += dr.pairs
 	}
 
+	if concurrent {
+		st.mu.Unlock()
+	}
+	path, w, keysWritten, err := mergeDiskRuns(s, compacting)
+	if concurrent {
+		st.mu.Lock()
+	}
+	if err != nil {
+		return err
+	}
+
+	for _, dr := range compacting {
+		dr.file.dead.Add(dr.size)
+		dr.file.release(s.fs, &s.bytesReclaimed)
+	}
+	outRef := &runFile{path: path}
+	outRef.refs.Store(1)
+	outRef.size.Store(w.BytesWritten())
+	merged := diskRun[K]{
+		file:  outRef,
+		size:  w.BytesWritten(),
+		pairs: w.Pairs(),
+		index: typedIndex(keysWritten, w.Index(), w.BodyBytes()),
+	}
+	tail := append([]diskRun[K]{merged}, st.disk[from+nIn:]...)
+	st.disk = append(st.disk[:from], tail...)
+	st.bytesSpilled += w.BodyBytes()
+	st.indexBytes += w.BytesWritten() - w.BodyBytes()
+	// A combiner can shrink the partition's held pairs during the
+	// rewrite; keep the partition totals equal to the sum of its group
+	// counts.
+	st.pairs -= inPairs - w.Pairs()
+	outPairs = w.Pairs()
+	return nil
+}
+
+// mergeDiskRuns merges the given sealed runs into one new run file,
+// returning its path, the writer (whose index and counters describe
+// the output), and the keys in write order. Pure I/O over immutable
+// inputs — no partition state is read or written, which is what lets
+// the async compactor run it without the partition lock.
+//
+// The merge order comes entirely from the runs' resident indexes — no
+// key is decoded from disk — and value sections are addressed through
+// those indexes and loaded on demand in fold order (a mapped view or
+// one pread each), so the formatted-key fallback, where a fold can
+// revisit a run's colliding-key groups out of file order, runs the
+// same code as the native key kinds. Groups of the same key that
+// become adjacent in merge order are folded into a single output group
+// whose values concatenate in seal order, preserving the value-order
+// contract; without a combiner each section moves as one raw framed
+// copy, never parsed, while with a combiner the folded values are
+// decoded, re-combined, and re-encoded, shrinking the rewritten bytes
+// toward the post-combine communication cost. Peak memory is one
+// group; peak descriptors maxDiskRunFanIn plus the output file.
+func mergeDiskRuns[K comparable, V any](s *Shuffle[K, V], compacting []diskRun[K]) (path string, w *runfile.Writer, keysWritten []K, retErr error) {
+	less := nativeLess[K]()
+	cursors, closeAll, err := openDiskCursors[K, V](s, compacting, less == nil)
+	defer closeAll()
+	if err != nil {
+		return "", nil, nil, fmt.Errorf("shuffle: compacting spill runs: %w", err)
+	}
+
 	out, err := s.fs.CreateTemp(s.opts.SpillDir, "mr-spill-*.run")
 	if err != nil {
-		return fmt.Errorf("shuffle: creating compacted run: %w", err)
+		return "", nil, nil, fmt.Errorf("shuffle: creating compacted run: %w", err)
 	}
 	ok := false
 	defer func() {
@@ -312,35 +404,26 @@ func (st *partitionState[K, V]) compactDiskRuns(s *Shuffle[K, V]) (retErr error)
 			s.fs.Remove(out.Name())
 		}
 	}()
-	w := runfile.NewWriter(out)
+	w = runfile.NewWriter(out)
 
 	h := &cursorHeap[K, V]{less: less}
 	if err := primeCursors(h, cursors); err != nil {
-		return err
+		return "", nil, nil, err
 	}
 
 	// Drain whole order-equivalence classes (see forEachGroup): within a
 	// class, groups of the same actual key are folded into one output
-	// group, values concatenating in seal order. For the native key
-	// kinds a class is one key and every run contributes at most one
-	// group to it (run keys are unique), so the fold's per-run reads
-	// follow file order and each group's value section streams straight
-	// from reader to writer. Under the formatted fallback, distinct
-	// keys can collide in sort order and each run may hold several of
-	// them in arbitrary relative order — folding by actual key would
-	// then revisit a run's groups out of file order — so each group's
-	// raw value section is captured at drain time, in file order, and
-	// the fold replays the buffers.
-	fmtKeys := less == nil
+	// group, values concatenating in seal order. Each drained entry is
+	// just an index record — cursor, key, count, section location — and
+	// the fold loads sections when it writes them.
 	type centry struct {
 		c        *groupCursor[K, V]
 		key      K
 		count    int
 		valBytes int64
-		raw      []byte // value section captured at drain time (fmtKeys)
+		valOff   int64
 	}
 	var entries []centry
-	var keysWritten []K
 	var kbuf, vbuf []byte
 	var vals []V // combiner scratch, reused across groups
 	var pivot K
@@ -351,34 +434,9 @@ func (st *partitionState[K, V]) compactDiskRuns(s *Shuffle[K, V]) (retErr error)
 		}
 		return c.fkey == pivotFmt
 	}
-	// advance steps a cursor's reader to its next group's value
-	// section, verifying the framing against the index.
-	advance := func(c *groupCursor[K, V], count int) error {
-		kb, n, err := c.rd.NextAppend(c.kbuf[:0])
-		if err != nil {
-			return fmt.Errorf("shuffle: compacting %s: %w", c.file.Name(), err)
-		}
-		c.kbuf = kb
-		if n != count {
-			return fmt.Errorf("shuffle: compacting %s: group has %d values, index says %d",
-				c.file.Name(), n, count)
-		}
-		return nil
-	}
 	drain := func(c *groupCursor[K, V]) error {
 		for {
-			e := centry{c: c, key: c.key, count: c.count, valBytes: c.valBytes}
-			if fmtKeys {
-				if err := advance(c, e.count); err != nil {
-					return err
-				}
-				raw, err := c.rd.RawValues(nil, e.valBytes)
-				if err != nil {
-					return fmt.Errorf("shuffle: compacting %s: %w", c.file.Name(), err)
-				}
-				e.raw = raw
-			}
-			entries = append(entries, e)
+			entries = append(entries, centry{c: c, key: c.key, count: c.count, valBytes: c.valBytes, valOff: c.valOff})
 			ok, err := c.next()
 			if err != nil {
 				return err
@@ -393,6 +451,7 @@ func (st *partitionState[K, V]) compactDiskRuns(s *Shuffle[K, V]) (retErr error)
 		}
 	}
 	writeGroup := func(k K, srcs []centry) error {
+		var err error
 		kbuf, err = runfile.Append(kbuf[:0], k)
 		if err != nil {
 			return fmt.Errorf("shuffle: compacting key: %w", err)
@@ -406,15 +465,13 @@ func (st *partitionState[K, V]) compactDiskRuns(s *Shuffle[K, V]) (retErr error)
 				return fmt.Errorf("shuffle: compacting to %s: %w", out.Name(), err)
 			}
 			for _, e := range srcs {
-				if fmtKeys {
-					err = w.AppendRawBytes(e.raw, e.count)
-				} else {
-					if err = advance(e.c, e.count); err != nil {
-						return err
-					}
-					err = w.AppendRaw(e.c.rd, e.count, e.valBytes)
+				// One section load (mapped view or pread), one framed
+				// append: the group's values move as raw bytes, never
+				// parsed.
+				if err := e.c.loadSection(e.valOff, e.valBytes, e.count); err != nil {
+					return err
 				}
-				if err != nil {
+				if err := w.AppendRawBytes(e.c.batch.Raw(), e.count); err != nil {
 					return fmt.Errorf("shuffle: compacting to %s: %w", out.Name(), err)
 				}
 			}
@@ -427,30 +484,10 @@ func (st *partitionState[K, V]) compactDiskRuns(s *Shuffle[K, V]) (retErr error)
 		// touches it, so a combiner returning a sub-slice of its input is
 		// safe.
 		vals = vals[:0]
-		decode := func(vb []byte) error {
-			v, err := runfile.Decode[V](vb)
-			if err != nil {
-				return fmt.Errorf("shuffle: decoding spill value: %w", err)
-			}
-			vals = append(vals, v)
-			return nil
-		}
 		for _, e := range srcs {
-			if fmtKeys {
-				if err := runfile.ValuesFromRaw(e.raw, e.count, decode); err != nil {
-					return fmt.Errorf("shuffle: compacting %s: %w", e.c.file.Name(), err)
-				}
-				continue
-			}
-			if err := advance(e.c, e.count); err != nil {
+			if err := e.c.loadSection(e.valOff, e.valBytes, e.count); err != nil {
 				return err
 			}
-			// Batch-read the group's value section and decode it with a
-			// single type dispatch, like the reduce merge.
-			if err := e.c.rd.ReadValueBatch(&e.c.batch, e.valBytes); err != nil {
-				return fmt.Errorf("shuffle: compacting %s: %w", e.c.file.Name(), err)
-			}
-			var err error
 			vals, err = runfile.DecodeBatch[V](&e.c.batch, vals)
 			if err != nil {
 				return fmt.Errorf("shuffle: compacting %s: %w", e.c.file.Name(), err)
@@ -481,11 +518,11 @@ func (st *partitionState[K, V]) compactDiskRuns(s *Shuffle[K, V]) (retErr error)
 		pivot, pivotFmt = top.key, top.fkey
 		entries = entries[:0]
 		if err := drain(top); err != nil {
-			return err
+			return "", nil, nil, err
 		}
 		for len(h.cs) > 0 && inClass(h.cs[0]) {
 			if err := drain(h.pop()); err != nil {
-				return err
+				return "", nil, nil, err
 			}
 		}
 		for i := range entries {
@@ -501,79 +538,92 @@ func (st *partitionState[K, V]) compactDiskRuns(s *Shuffle[K, V]) (retErr error)
 				}
 			}
 			if err := writeGroup(k, group); err != nil {
-				return err
+				return "", nil, nil, err
 			}
 		}
 	}
 	if err := w.Finish(); err != nil {
-		return fmt.Errorf("shuffle: flushing compacted run: %w", err)
+		return "", nil, nil, fmt.Errorf("shuffle: flushing compacted run: %w", err)
 	}
 	if err := out.Close(); err != nil {
-		return fmt.Errorf("shuffle: closing compacted run: %w", err)
+		return "", nil, nil, fmt.Errorf("shuffle: closing compacted run: %w", err)
 	}
-
-	for _, dr := range compacting {
-		dr.file.release(s.fs)
-	}
-	outRef := &runFile{path: out.Name()}
-	outRef.refs.Store(1)
-	st.disk = append(st.disk[:from], diskRun[K]{
-		file:  outRef,
-		size:  w.BytesWritten(),
-		pairs: w.Pairs(),
-		index: typedIndex(keysWritten, w.Index()),
-	})
-	st.bytesSpilled += w.BodyBytes()
-	st.indexBytes += w.BytesWritten() - w.BodyBytes()
-	// A combiner can shrink the partition's held pairs during the
-	// rewrite; keep the partition totals equal to the sum of its group
-	// counts.
-	st.pairs -= inPairs - w.Pairs()
-	outPairs = w.Pairs()
 	ok = true
-	return nil
+	return out.Name(), w, keysWritten, nil
 }
 
-// openDiskCursors opens one streaming cursor per disk run, in seal
-// order, each metered through the shuffle's DiskBytesRead counter. The
-// cursor's key ordering comes from the run's resident index; the file
-// supplies only value bytes. Runs embedded in the same spool file
-// share one handle: each cursor reads its own section through a
-// ReaderAt view, so a fence event's worth of runs costs a single open.
-// A run that owns its whole file keeps the plain sequential handle
-// read path. The returned closeAll is safe to call whether or not err
-// is nil and closes every handle opened so far, once each.
+// openDiskCursors opens one cursor per disk run, in seal order, each
+// metered through the shuffle's DiskBytesRead counter. The cursor's
+// key ordering comes from the run's resident index; the file supplies
+// only value-section bytes, addressed directly through the index.
+// Runs embedded in the same spool file share one handle, and the whole
+// file is mapped once (up to the end of its furthest-reaching run)
+// when the platform and the FS support it: cursors then read their
+// sections as zero-copy views of the page cache. Any mapping failure —
+// no platform support, an injected fault, address-space pressure —
+// silently selects the pread fallback, positioned reads on the shared
+// handle (no seek state, so sibling cursors never interfere). The
+// legacy perValue hook additionally keeps a sequential reader per run
+// so the pre-batch decode loop stays measurable. The returned closeAll
+// is safe to call whether or not err is nil; it unmaps and closes every
+// handle opened so far, once each.
 func openDiskCursors[K comparable, V any](s *Shuffle[K, V], runs []diskRun[K], fmtKeys bool) ([]*groupCursor[K, V], func(), error) {
 	var cursors []*groupCursor[K, V]
-	files := make(map[*runFile]runfile.File)
+	type openFile struct {
+		f      runfile.File
+		mapped []byte
+	}
+	files := make(map[*runFile]*openFile)
 	closeAll := func() {
-		for _, f := range files {
-			f.Close()
+		for _, of := range files {
+			if of.mapped != nil {
+				// Unmap errors are unactionable here: the views are dead
+				// either way, and errfs releases the real mapping even
+				// when injecting.
+				runfile.Unmap(of.f, of.mapped)
+			}
+			of.f.Close()
+		}
+	}
+	mapLen := make(map[*runFile]int64, len(runs))
+	for _, dr := range runs {
+		if end := dr.off + dr.size; end > mapLen[dr.file] {
+			mapLen[dr.file] = end
 		}
 	}
 	for _, dr := range runs {
-		f, ok := files[dr.file]
+		of, ok := files[dr.file]
 		if !ok {
-			var err error
-			f, err = s.fs.Open(dr.file.path)
+			f, err := s.fs.Open(dr.file.path)
 			if err != nil {
 				return cursors, closeAll, fmt.Errorf("shuffle: opening spill run: %w", err)
 			}
-			files[dr.file] = f
+			of = &openFile{f: f}
+			if !s.opts.DisableMmap {
+				if m, err := runfile.Map(f, mapLen[dr.file]); err == nil {
+					of.mapped = m
+				}
+			}
+			files[dr.file] = of
 		}
-		// Runs at a nonzero offset read through a ReaderAt section;
-		// a run starting at 0 reads the handle sequentially (its own
-		// footer marker ends the stream, so trailing sibling runs in a
-		// shared file are never surfaced). The two modes coexist on one
-		// handle: sections use pread and never move the file cursor.
-		var src io.Reader = f
-		if dr.off != 0 {
-			src = io.NewSectionReader(f, dr.off, dr.size)
-		}
-		cursors = append(cursors, &groupCursor[K, V]{
+		c := &groupCursor[K, V]{
 			runIdx: len(cursors), fmtKeys: fmtKeys, perValue: s.perValue, idx: dr.index,
-			file: f, rd: runfile.NewReader(countingReader{src, &s.diskRead}),
-		})
+			file: of.f, meter: &s.diskRead,
+		}
+		if of.mapped != nil {
+			c.img = of.mapped[dr.off : dr.off+dr.size]
+		} else {
+			c.ra = countingReaderAt{of.f, &s.diskRead}
+			c.raOff = dr.off
+		}
+		if s.perValue {
+			var src io.Reader = of.f
+			if dr.off != 0 {
+				src = io.NewSectionReader(of.f, dr.off, dr.size)
+			}
+			c.rd = runfile.NewReader(countingReader{src, &s.diskRead})
+		}
+		cursors = append(cursors, c)
 	}
 	return cursors, closeAll, nil
 }
@@ -602,32 +652,52 @@ func primeCursors[K comparable, V any](h *cursorHeap[K, V], cursors []*groupCurs
 func (s *Shuffle[K, V]) Close() error {
 	s.mergeMu.Lock()
 	defer s.mergeMu.Unlock()
+	if s.closed {
+		return nil
+	}
+	// Quiesce the async compaction workers first: an in-flight merge
+	// holds run files open and would install its output into the
+	// partitions being torn down. Errors they hit surface through
+	// Ingester.Finish; Close only waits.
+	s.compactWG.Wait()
+	if s.compactCh != nil {
+		close(s.compactCh)
+	}
+	// Releases below pass a nil reclaimed counter: deleting spill files
+	// because the round is over is teardown, not space coming back to a
+	// running round.
 	var first error
 	for i := range s.parts {
 		st := &s.parts[i]
 		for _, dr := range st.disk {
-			if err := dr.file.release(s.fs); err != nil && first == nil {
+			if err := dr.file.release(s.fs, nil); err != nil && first == nil {
 				first = err
 			}
 		}
 		st.disk = nil
-		// Fenced runs of tasks that never committed (the round failed
-		// mid-ingestion) still hold references to their spool files;
-		// release them too, and the pressure spool's write handle when a
+		// Swapped sections of tasks that never committed (the round
+		// failed mid-ingestion) still hold references to their stash
+		// files; release them too, and the spools' write handles when a
 		// failed round never reached Ingester.Finish.
 		for _, sr := range st.staged {
-			for _, dr := range sr.fenced {
-				if err := dr.file.release(s.fs); err != nil && first == nil {
+			for _, sec := range sr.swapped {
+				if err := sec.rf.release(s.fs, nil); err != nil && first == nil {
 					first = err
 				}
 			}
 		}
 		st.staged = nil
 		if st.pspool != nil {
-			if err := st.pspool.close(); err != nil && first == nil {
+			if err := st.pspool.close(nil); err != nil && first == nil {
 				first = err
 			}
 			st.pspool = nil
+		}
+		if st.stash != nil {
+			if err := st.stash.close(nil); err != nil && first == nil {
+				first = err
+			}
+			st.stash = nil
 		}
 	}
 	s.closed = true
@@ -647,14 +717,19 @@ type groupCursor[K comparable, V any] struct {
 	mem     map[K][]V
 	memKeys []K
 
-	// spilled source: the resident index drives keys and counts; the
-	// reader (nil on the counting path) supplies value bytes.
+	// spilled source: the resident index drives keys, counts and value
+	// section locations; the file (img view or ReaderAt, both nil on
+	// the counting path) supplies only section bytes.
 	idx   []keyCount[K]
 	file  runfile.File
-	rd    *runfile.Reader
+	img   []byte             // mapped view of this run's image (zero-copy path)
+	ra    io.ReaderAt        // positioned-read fallback (shared handle)
+	raOff int64              // run's offset within the file (ra path)
+	meter *atomic.Int64      // DiskBytesRead, charged per section load
+	rd    *runfile.Reader    // sequential reader (perValue hook only)
 	kbuf  []byte             // reused key-framing scratch for rd
 	vbuf  []byte             // reused value scratch for rd (per-value path)
-	batch runfile.ValueBatch // reused value-section arena (batch path)
+	batch runfile.ValueBatch // reused value-section arena or view (batch path)
 	vals  []V                // reused decoded-values scratch (reuse mode)
 
 	pos int
@@ -664,6 +739,7 @@ type groupCursor[K comparable, V any] struct {
 	fkey     string // formatted key, when fmtKeys; computed once per group
 	count    int
 	valBytes int64 // value-section length (spilled source)
+	valOff   int64 // value-section offset within the run (spilled source)
 }
 
 // next advances to the cursor's next group, returning false at the end
@@ -682,7 +758,7 @@ func (c *groupCursor[K, V]) next() (bool, error) {
 			return false, nil
 		}
 		e := c.idx[c.pos]
-		c.key, c.count, c.valBytes = e.key, int(e.count), e.valBytes
+		c.key, c.count, c.valBytes, c.valOff = e.key, int(e.count), e.valBytes, e.valOff
 		c.pos++
 	}
 	if c.fmtKeys {
@@ -691,33 +767,57 @@ func (c *groupCursor[K, V]) next() (bool, error) {
 	return true, nil
 }
 
+// loadSection fills the cursor's batch with the value section at
+// [valOff, valOff+valBytes) of the cursor's run: a zero-copy view when
+// the run is mapped, one positioned read into the reused arena
+// otherwise. The resident index supplies the location and the value
+// count, so no framing is parsed from disk on either path; the
+// section's own internal framing is still validated as the batch
+// splits it (a length overrunning the section is ErrCorrupt).
+func (c *groupCursor[K, V]) loadSection(valOff, valBytes int64, count int) error {
+	if c.img != nil {
+		if valOff < 0 || valBytes < 0 || valOff+valBytes > int64(len(c.img)) {
+			return fmt.Errorf("shuffle: reading spill %s: %w: value section [%d,%d) outside run of %d bytes",
+				c.file.Name(), runfile.ErrCorrupt, valOff, valOff+valBytes, len(c.img))
+		}
+		c.meter.Add(valBytes)
+		if err := c.batch.SetView(c.img[valOff:valOff+valBytes], count); err != nil {
+			return fmt.Errorf("shuffle: reading spill %s: %w", c.file.Name(), err)
+		}
+		return nil
+	}
+	if err := c.batch.ReadSectionAt(c.ra, c.raOff+valOff, valBytes, count); err != nil {
+		return fmt.Errorf("shuffle: reading spill %s: %w", c.file.Name(), err)
+	}
+	return nil
+}
+
 // values decodes the current group's values. For a spilled run this is
-// the only point the file is read: the reader's framing is advanced to
-// the group (its key bytes skipped into a reused scratch buffer, and
-// cross-checked against the index), the whole value section is read in
-// one pass into the cursor's reused arena, and the batch is decoded
-// with a single type dispatch (runfile.DecodeBatch). With reuse set —
-// the ForEachGroupBatch contract — the decoded slice is the cursor's
-// scratch, overwritten by the next group; otherwise it is freshly
-// owned. The perValue hook restores the pre-batch decode loop so
-// benchmarks can measure the two paths head to head.
+// the only point the file is touched: the resident index locates the
+// group's value section, loadSection brings it in (mapped view or one
+// pread — no framing decoded, no intermediate copy), and the batch is
+// decoded with a single type dispatch (runfile.DecodeBatch). With
+// reuse set — the ForEachGroupBatch contract — the decoded slice is
+// the cursor's scratch, overwritten by the next group; otherwise it is
+// freshly owned. The perValue hook restores the pre-batch sequential
+// decode loop so benchmarks can measure the paths head to head.
 func (c *groupCursor[K, V]) values(reuse bool) ([]V, error) {
 	if c.mem != nil {
 		return c.mem[c.key], nil
 	}
-	kb, n, err := c.rd.NextAppend(c.kbuf[:0])
-	if err != nil {
-		if err == io.EOF {
-			err = fmt.Errorf("file ended before indexed group")
-		}
-		return nil, fmt.Errorf("shuffle: reading spill %s: %w", c.file.Name(), err)
-	}
-	c.kbuf = kb
-	if n != c.count {
-		return nil, fmt.Errorf("shuffle: reading spill %s: group has %d values, index says %d",
-			c.file.Name(), n, c.count)
-	}
 	if c.perValue {
+		kb, n, err := c.rd.NextAppend(c.kbuf[:0])
+		if err != nil {
+			if err == io.EOF {
+				err = fmt.Errorf("file ended before indexed group")
+			}
+			return nil, fmt.Errorf("shuffle: reading spill %s: %w", c.file.Name(), err)
+		}
+		c.kbuf = kb
+		if n != c.count {
+			return nil, fmt.Errorf("shuffle: reading spill %s: group has %d values, index says %d",
+				c.file.Name(), n, c.count)
+		}
 		vs := make([]V, c.count)
 		for i := range vs {
 			vb, err := c.rd.ValueAppend(c.vbuf[:0])
@@ -732,8 +832,8 @@ func (c *groupCursor[K, V]) values(reuse bool) ([]V, error) {
 		}
 		return vs, nil
 	}
-	if err := c.rd.ReadValueBatch(&c.batch, c.valBytes); err != nil {
-		return nil, fmt.Errorf("shuffle: reading spill %s: %w", c.file.Name(), err)
+	if err := c.loadSection(c.valOff, c.valBytes, c.count); err != nil {
+		return nil, err
 	}
 	dst := c.vals[:0]
 	if !reuse {

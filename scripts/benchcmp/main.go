@@ -17,8 +17,12 @@
 //     ceiling; this gate additionally catches drift underneath it.
 //     Scheduling jitter moves the realized peak a few percent between
 //     runs, so the gate is near-tight rather than exact.
-//   - ns/op (growth is worse) and values/s (shrinkage is worse)
-//     against the much looser -ns-threshold (default 50%).
+//   - ns/op (growth is worse) and values/s and input-pairs/s
+//     (shrinkage is worse) against the much looser -ns-threshold
+//     (default 50%).
+//   - reclaimed-MB (mid-round spill-file reclamation) on presence
+//     only: its realized value is relief-timing-dependent, but a drop
+//     to zero means reclamation stopped working.
 //
 // The asymmetry is deliberate: spilled bytes and peak residency are
 // (near-)reproducible, while ns/op and values/s from a handful of
@@ -68,10 +72,14 @@ func load(path string) (map[string]map[string]float64, error) {
 }
 
 // gate is one watched metric: the allowed fractional regression and
-// which direction counts as worse.
+// which direction counts as worse. presenceOnly gates trip only when
+// the metric collapses to zero — for quantities whose realized value
+// is timing-dependent but whose disappearance means a feature stopped
+// working.
 type gate struct {
 	limit         float64
 	lowerIsBetter bool
+	presenceOnly  bool
 }
 
 func main() {
@@ -80,10 +88,21 @@ func main() {
 	peakThreshold := flag.Float64("peak-threshold", 0.10, "allowed fractional growth in peak-resident-pairs")
 	flag.Parse()
 	watched := map[string]gate{
-		"spilled-MB":          {*threshold, true},
-		"ns/op":               {*nsThreshold, true},
-		"peak-resident-pairs": {*peakThreshold, true},
-		"values/s":            {*nsThreshold, false},
+		"spilled-MB":          {limit: *threshold, lowerIsBetter: true},
+		"ns/op":               {limit: *nsThreshold, lowerIsBetter: true},
+		"peak-resident-pairs": {limit: *peakThreshold, lowerIsBetter: true},
+		"values/s":            {limit: *nsThreshold},
+		// input-pairs/s is the cross-lane throughput number (values/s is
+		// post-combine volume in combiner lanes); same loose wall-clock
+		// gate as values/s.
+		"input-pairs/s": {limit: *nsThreshold},
+		// reclaimed-MB is the spill bytes handed back to the filesystem
+		// mid-round (rotated spools, compacted inputs, drained swap
+		// files). How much is reclaimed depends on relief timing and
+		// swings widely between runs, so no fractional gate is honest —
+		// but dropping to zero means mid-round reclamation stopped
+		// working, which is the regression worth catching.
+		"reclaimed-MB": {presenceOnly: true},
 	}
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold 0.10] old.json new.json")
@@ -111,7 +130,21 @@ func main() {
 		for m, g := range watched {
 			ov, okO := prev[m]
 			nv, okN := now[m]
-			if !okO || !okN || ov <= 0 || nv <= 0 {
+			if !okO || !okN || ov <= 0 {
+				continue
+			}
+			if g.presenceOnly {
+				compared++
+				status := "ok"
+				if nv <= 0 {
+					status = "REGRESSION"
+					regressions++
+				}
+				fmt.Printf("%-60s %-20s old=%.4g new=%.4g (presence gate: nonzero required) %s\n",
+					name, m, ov, nv, status)
+				continue
+			}
+			if nv <= 0 {
 				continue
 			}
 			compared++
