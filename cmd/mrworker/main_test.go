@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/proc"
+)
+
+// TestMain mirrors main's role split: the test binary is also the
+// worker binary the driver spawns.
+func TestMain(m *testing.M) {
+	registerJobs()
+	proc.MaybeWorker()
+	os.Exit(m.Run())
+}
+
+func baseOptions() options {
+	return options{
+		inputs:     400,
+		workers:    2,
+		partitions: 4,
+		lease:      time.Second,
+		timeout:    90 * time.Second,
+		top:        5,
+	}
+}
+
+// TestRunClean runs the demo driver end to end and sanity-checks the
+// printed summary.
+func TestRunClean(t *testing.T) {
+	var sb strings.Builder
+	outs, met, err := run(baseOptions(), &sb)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, sb.String())
+	}
+	if len(outs) == 0 || met.WorkerDeaths != 0 {
+		t.Fatalf("clean run: %d outputs, %+v", len(outs), met)
+	}
+	for _, want := range []string{"400 lines", "faults: deaths=0", "the"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+// TestRunChaos is the demo's whole point: a kill -9 mid-round, and the
+// output is still identical to the crash-free run's.
+func TestRunChaos(t *testing.T) {
+	want, _, err := run(baseOptions(), new(strings.Builder))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o := baseOptions()
+	o.chaos = true
+	var sb strings.Builder
+	outs, met, err := run(o, &sb)
+	if err != nil {
+		t.Fatalf("chaos run: %v\noutput:\n%s", err, sb.String())
+	}
+	if met.WorkerDeaths < 1 {
+		t.Errorf("chaos run recorded no worker deaths: %+v", met)
+	}
+	if !reflect.DeepEqual(outs, want) {
+		t.Fatal("chaos run output diverges from crash-free run")
+	}
+	if !strings.Contains(sb.String(), "chaos: kill -9 worker") {
+		t.Errorf("summary missing the chaos line:\n%s", sb.String())
+	}
+}

@@ -41,6 +41,7 @@ package mr
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/obs"
@@ -160,6 +161,32 @@ type Config struct {
 	// the job's Metrics to a registry with Metrics.PublishTo. Nil (the
 	// default) records nothing and costs nothing on the data path.
 	Recorder *obs.Recorder
+
+	// ProcMode executes the job across worker operating-system
+	// processes (internal/proc) instead of goroutines: Workers becomes
+	// a process count, the shuffle becomes per-partition spool files on
+	// disk, and the run survives kill -9 of workers mid-round via
+	// lease fencing and manifest salvage. The job must be registered
+	// with RegisterProc in both the driver and worker binaries (by
+	// default the same binary, re-executed; see proc.MaybeWorker).
+	// Workers, MapChunk, Partitions, MaxReducerInput and Recorder carry
+	// over; in-process engine knobs (MemoryBudget, SpillDir,
+	// CompactionConcurrency, LegacyMerge, FailureEveryN, ...) do not
+	// apply in this mode. Outputs are identical either way.
+	ProcMode bool
+	// ProcWorkerCommand is the argv spawned per worker process in
+	// ProcMode. Empty re-executes the current binary.
+	ProcWorkerCommand []string
+	// ProcLeaseTTL is the task-lease heartbeat deadline in ProcMode:
+	// a worker silent this long is fenced and its task re-granted.
+	// Zero selects the proc default (2s).
+	ProcLeaseTTL time.Duration
+	// ProcDir is the ProcMode scratch directory (spools, manifests,
+	// socket). Empty uses a private temp dir removed after the run.
+	ProcDir string
+	// ProcTimeout bounds a ProcMode run. Zero selects the proc
+	// default (2 minutes).
+	ProcTimeout time.Duration
 }
 
 // Metrics records the communication profile of one executed round. All
@@ -186,9 +213,21 @@ type Metrics struct {
 	// Outputs is the number of records produced by the reduce phase.
 	Outputs int64
 	// MapRetries and ReduceRetries count task re-executions triggered by
-	// fault injection.
+	// fault injection (in-process) or by worker death, lease expiry and
+	// speculation (ProcMode). TaskRetries is their sum — the round's
+	// total re-grants beyond each task's first attempt.
 	MapRetries    int64
 	ReduceRetries int64
+	TaskRetries   int64
+	// WorkerDeaths counts worker processes that exited without being
+	// asked to, and LeaseExpirations counts task leases the driver
+	// fenced after missed heartbeats. Both are ProcMode fault-tolerance
+	// counters; in-process rounds leave them zero.
+	WorkerDeaths     int64
+	LeaseExpirations int64
+	// SalvagedTasks counts ProcMode map tasks whose committed output
+	// was adopted from a dead worker's manifest instead of re-executed.
+	SalvagedTasks int64
 	// WorkerInputs, when ReduceWorkersHint was set, is the number of
 	// values routed to each logical reduce worker (for skew analysis).
 	WorkerInputs []int64
@@ -294,9 +333,10 @@ func (m Metrics) PartitionSkew() float64 {
 // runs (the examples, golden files) prints LogicalString instead.
 func (m Metrics) String() string {
 	return fmt.Sprintf(
-		"%s skew=%.2f spilled=%dB read=%dB peakResident=%d overlap=%dms",
+		"%s skew=%.2f spilled=%dB read=%dB peakResident=%d overlap=%dms retries=%d deaths=%d leasesExpired=%d",
 		m.LogicalString(), m.PartitionSkew(), m.BytesSpilled, m.DiskBytesRead,
-		m.PeakResidentPairs, m.SpillOverlapNs/1e6)
+		m.PeakResidentPairs, m.SpillOverlapNs/1e6,
+		m.TaskRetries, m.WorkerDeaths, m.LeaseExpirations)
 }
 
 // LogicalString renders only the paper's logical quantities — inputs,
@@ -325,6 +365,10 @@ func (m Metrics) PublishTo(reg *obs.Registry) {
 	reg.Counter("mr_outputs_total", "records produced by reduce phases").Add(m.Outputs)
 	reg.Counter("mr_map_retries_total", "map task re-executions").Add(m.MapRetries)
 	reg.Counter("mr_reduce_retries_total", "reduce task re-executions").Add(m.ReduceRetries)
+	reg.Counter("mr_task_retries_total", "task re-grants beyond each task's first attempt").Add(m.TaskRetries)
+	reg.Counter("mr_worker_deaths_total", "worker processes that died mid-job (ProcMode)").Add(m.WorkerDeaths)
+	reg.Counter("mr_lease_expired_total", "task leases fenced after missed heartbeats (ProcMode)").Add(m.LeaseExpirations)
+	reg.Counter("mr_tasks_salvaged_total", "map tasks adopted from dead workers' manifests (ProcMode)").Add(m.SalvagedTasks)
 	reg.Counter("mr_spill_events_total", "shuffle runs sealed under memory pressure").Add(m.SpillEvents)
 	reg.Counter("mr_spilled_pairs_total", "pairs written to sealed runs").Add(m.SpilledPairs)
 	reg.Counter("mr_bytes_spilled_total", "run data bytes written to spill files").Add(m.BytesSpilled)
@@ -390,6 +434,9 @@ var ErrReducerOverflow = errors.New("mr: reducer input exceeds configured maximu
 // outputs appear in emission order. Execution happens on the partitioned
 // shuffle executor; the returned Metrics carry its per-partition profile.
 func (j *Job[I, K, V, O]) Run(inputs []I) ([]O, Metrics, error) {
+	if j.Config.ProcMode {
+		return j.runProc(inputs)
+	}
 	round := engine.Round[I, K, V, O]{
 		Name:        j.Name,
 		Map:         engine.MapFunc[I, K, V](j.Map),
@@ -431,6 +478,7 @@ func (j *Job[I, K, V, O]) Run(inputs []I) ([]O, Metrics, error) {
 		Outputs:           res.Metrics.Outputs,
 		MapRetries:        res.Metrics.MapRetries,
 		ReduceRetries:     res.Metrics.ReduceRetries,
+		TaskRetries:       res.Metrics.MapRetries + res.Metrics.ReduceRetries,
 		Partitions:        res.Metrics.Partitions,
 		Makespan:          res.Metrics.Makespan,
 		IdealMakespan:     res.Metrics.IdealMakespan,

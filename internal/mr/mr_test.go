@@ -385,9 +385,13 @@ func TestMetricsStringGolden(t *testing.T) {
 		DiskBytesRead:     1024,
 		PeakResidentPairs: 256,
 		SpillOverlapNs:    7_500_000,
+		TaskRetries:       3,
+		WorkerDeaths:      1,
+		LeaseExpirations:  2,
 	}
 	want := "inputs=100 pairs=400 reducers=7 maxq=9 r=4.0000 skew=1.50 " +
-		"spilled=2048B read=1024B peakResident=256 overlap=7ms"
+		"spilled=2048B read=1024B peakResident=256 overlap=7ms " +
+		"retries=3 deaths=1 leasesExpired=2"
 	if got := m.String(); got != want {
 		t.Errorf("String() =\n  %q\nwant\n  %q", got, want)
 	}
@@ -401,6 +405,10 @@ func TestMetricsPublishTo(t *testing.T) {
 		Reducers:         4,
 		MaxReducerInput:  16,
 		BytesSpilled:     512,
+		TaskRetries:      5,
+		WorkerDeaths:     2,
+		LeaseExpirations: 3,
+		SalvagedTasks:    1,
 		ReducerInputLog2: []int64{1, 2, 0, 0, 1}, // 1×[1,2), 2×[2,4), 1×[16,32)
 	}
 	reg := obs.NewRegistry()
@@ -430,6 +438,10 @@ func TestMetricsPublishTo(t *testing.T) {
 		"mr_round_max_reducer_input 16",
 		`mr_reducer_input_size_bucket{le="2"} 6`,
 		"mr_reducer_input_size_count 8",
+		"mr_task_retries_total 10",
+		"mr_worker_deaths_total 4",
+		"mr_lease_expired_total 6",
+		"mr_tasks_salvaged_total 2",
 	} {
 		if !strings.Contains(sb.String(), want) {
 			t.Errorf("exposition missing %q in:\n%s", want, sb.String())

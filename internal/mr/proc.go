@@ -1,0 +1,92 @@
+// ProcMode: the bridge from the Job veneer to the multi-process
+// executor (internal/proc). The same Job definition runs either
+// in-process on the shuffle engine or across worker processes with
+// lease-fenced scheduling and kill -9 recovery; outputs are identical.
+package mr
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/proc"
+)
+
+// RegisterProc registers the job for ProcMode execution under its
+// Name. Because ProcMode forks worker processes that must execute the
+// same code as the driver, registration has to happen in BOTH roles —
+// call it from package init or early in main, before Job.Run in the
+// driver and before MaybeProcWorker in the worker (normally the same
+// binary, so one call site covers both).
+//
+// The job's Map, Reduce (or ReduceBatch) and Combine carry over
+// directly; ShufflePartition, when set, becomes the cross-process
+// placement function and must be a pure function of the key.
+func RegisterProc[I any, K comparable, V, O any](j *Job[I, K, V, O]) {
+	reduce := j.Reduce
+	if reduce == nil {
+		// ProcMode decodes a fresh values slice per key, so the batch
+		// contract (values valid only during the call) is trivially met.
+		reduce = j.ReduceBatch
+	}
+	proc.Register(proc.JobSpec[I, K, V, O]{
+		Name:      j.Name,
+		Map:       j.Map,
+		Reduce:    reduce,
+		Combine:   j.Combine,
+		Partition: j.ShufflePartition,
+	})
+}
+
+// MaybeProcWorker hands the process over to the ProcMode worker loop
+// when the worker environment is set, and never returns in that case.
+// Binaries that run ProcMode jobs with the default worker command (the
+// current binary re-executed) must call it early in main, after their
+// RegisterProc calls.
+func MaybeProcWorker() { proc.MaybeWorker() }
+
+// runProc executes the job on the multi-process executor and maps the
+// proc run's metrics into the mr.Metrics shape. Fields that only exist
+// in-process (partition profile, spill pressure, resident peaks) stay
+// zero; BytesSpilled/IndexBytesSpilled/DiskBytesRead here are real
+// bytes over the process boundary — the spool files that carried the
+// shuffle.
+func (j *Job[I, K, V, O]) runProc(inputs []I) ([]O, Metrics, error) {
+	outs, pm, err := proc.Run[I, K, V, O](j.Name, inputs, proc.Options{
+		Workers:         j.Config.Workers,
+		Partitions:      j.Config.Partitions,
+		MapChunk:        j.Config.MapChunk,
+		Dir:             j.Config.ProcDir,
+		WorkerCommand:   j.Config.ProcWorkerCommand,
+		LeaseTTL:        j.Config.ProcLeaseTTL,
+		MaxReducerInput: j.Config.MaxReducerInput,
+		Timeout:         j.Config.ProcTimeout,
+		Recorder:        j.Config.Recorder,
+	})
+	met := Metrics{
+		MapInputs:         pm.MapInputs,
+		PairsEmitted:      pm.PairsEmitted,
+		PairsShuffled:     pm.PairsShuffled,
+		Reducers:          pm.Reducers,
+		MaxReducerInput:   pm.MaxReducerInput,
+		TotalReducerInput: pm.PairsShuffled,
+		Outputs:           pm.Outputs,
+		MapRetries:        pm.MapRetries,
+		ReduceRetries:     pm.ReduceRetries,
+		TaskRetries:       pm.MapRetries + pm.ReduceRetries,
+		WorkerDeaths:      pm.WorkerDeaths,
+		LeaseExpirations:  pm.LeaseExpirations,
+		SalvagedTasks:     pm.SalvagedTasks,
+		BytesSpilled:      pm.BytesSpilled,
+		IndexBytesSpilled: pm.IndexBytesSpilled,
+		DiskBytesRead:     pm.DiskBytesRead,
+	}
+	if err != nil {
+		// The reducer-size limit crosses the RPC boundary as a fatal
+		// error string, so the sentinel is re-attached by message here.
+		if strings.Contains(err.Error(), "values, limit") {
+			return nil, met, fmt.Errorf("%w: job %q: %v", ErrReducerOverflow, j.Name, err)
+		}
+		return nil, met, err
+	}
+	return outs, met, nil
+}

@@ -85,6 +85,33 @@ const (
 	// failure else 0.
 	OpReduceMerge
 
+	// OpWorkerLife spans one worker process from spawn to exit. Proc
+	// lane. Begin A = pid; End A = pid, B = 1 on unexpected death else 0.
+	OpWorkerLife
+	// OpProcMapTask spans one multi-process map assignment, grant to
+	// verdict. Proc lane. Begin A = task, B = attempt; End A = task,
+	// B = 1 if the attempt was refused/failed else 0.
+	OpProcMapTask
+	// OpProcReduceTask spans one multi-process reduce assignment. Proc
+	// lane. Begin A = partition, B = attempt; End A = partition, B = 1 on
+	// refusal/failure else 0.
+	OpProcReduceTask
+	// OpLeaseExpire marks a task lease fenced by the TTL sweeper. Proc
+	// lane, instant. A = task (negative-1-minus-partition for reduce),
+	// B = attempt.
+	OpLeaseExpire
+	// OpWorkerDeath marks a worker process exiting while the job still
+	// needed it. Proc lane, instant. A = pid, B = tasks fenced.
+	OpWorkerDeath
+	// OpSalvage marks a dead worker's committed map task adopted from its
+	// manifest instead of re-executed. Proc lane, instant. A = task,
+	// B = attempt.
+	OpSalvage
+	// OpStaleReport marks a report refused by attempt fencing. Proc lane,
+	// instant. A = task (negative-1-minus-partition for reduce),
+	// B = attempt.
+	OpStaleReport
+
 	numOps // count sentinel; keep last
 )
 
@@ -103,6 +130,14 @@ var opNames = [numOps]struct{ name, a, b string }{
 	OpFenceAbort:   {"fence-abort", "task", "attempt"},
 	OpCompact:      {"compact", "runs", "err"},
 	OpReduceMerge:  {"reduce-merge", "runs", "err"},
+
+	OpWorkerLife:     {"worker-life", "pid", "died"},
+	OpProcMapTask:    {"proc-map-task", "task", "attempt"},
+	OpProcReduceTask: {"proc-reduce-task", "partition", "attempt"},
+	OpLeaseExpire:    {"lease-expire", "task", "attempt"},
+	OpWorkerDeath:    {"worker-death", "pid", "fenced"},
+	OpSalvage:        {"salvage", "task", "attempt"},
+	OpStaleReport:    {"stale-report", "task", "attempt"},
 }
 
 // Name returns the op's stable trace-event name.
@@ -140,6 +175,7 @@ const (
 	LaneWorker                        // one map/reduce worker
 	LanePartition                     // one shuffle partition
 	LaneCompactor                     // one async compaction worker
+	LaneProc                          // one worker *process* (multi-process mode)
 )
 
 func (k LaneKind) String() string {
@@ -152,6 +188,8 @@ func (k LaneKind) String() string {
 		return "partition"
 	case LaneCompactor:
 		return "compactor"
+	case LaneProc:
+		return "proc-worker"
 	default:
 		return fmt.Sprintf("lane-kind-%d", uint8(k))
 	}

@@ -1,0 +1,229 @@
+package proc
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/shuffle"
+)
+
+// TestMain doubles as the worker binary: the driver spawns the test
+// executable itself, and MaybeWorker hijacks the process before any
+// test runs when the worker environment is set.
+func TestMain(m *testing.M) {
+	registerTestJobs()
+	MaybeWorker()
+	os.Exit(m.Run())
+}
+
+// wcOut is one word's count — the wordcount job's output record.
+type wcOut struct {
+	Word  string
+	Count int
+}
+
+func registerTestJobs() {
+	Register(JobSpec[string, string, int, wcOut]{
+		Name: "wordcount",
+		Map: func(line string, emit func(string, int)) {
+			for _, w := range strings.Fields(line) {
+				emit(w, 1)
+			}
+		},
+		Combine: func(_ string, vs []int) []int {
+			s := 0
+			for _, v := range vs {
+				s += v
+			}
+			return []int{s}
+		},
+		Reduce: func(k string, vs []int, emit func(wcOut)) {
+			s := 0
+			for _, v := range vs {
+				s += v
+			}
+			emit(wcOut{Word: k, Count: s})
+		},
+	})
+	// Same job without a combiner: every emitted pair crosses the
+	// process boundary, which the skew/limit tests rely on.
+	Register(JobSpec[string, string, int, wcOut]{
+		Name: "wordcount-nocombine",
+		Map: func(line string, emit func(string, int)) {
+			for _, w := range strings.Fields(line) {
+				emit(w, 1)
+			}
+		},
+		Reduce: func(k string, vs []int, emit func(wcOut)) {
+			s := 0
+			for _, v := range vs {
+				s += v
+			}
+			emit(wcOut{Word: k, Count: s})
+		},
+	})
+}
+
+// genLines builds a deterministic corpus with repeated words and skew.
+func genLines(n int) []string {
+	lines := make([]string, n)
+	for i := range lines {
+		a := fmt.Sprintf("w%02d", i%23)
+		b := fmt.Sprintf("w%02d", (i*7)%31)
+		c := fmt.Sprintf("rare%03d", i%97)
+		lines[i] = strings.Join([]string{a, b, c, "common"}, " ")
+	}
+	return lines
+}
+
+// refWordCount is the single-process reference: the same grouping and
+// global canonical key order computed directly in this process, with no
+// partitioning at all — partition placement must not leak into the
+// output. Crash-tolerant runs must match it exactly.
+func refWordCount(lines []string, parts int) []wcOut {
+	_ = parts // placement-invariant by contract
+	counts := make(map[string]int)
+	for _, line := range lines {
+		for _, w := range strings.Fields(line) {
+			counts[w]++
+		}
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	shuffle.SortKeys(keys)
+	outs := make([]wcOut, 0, len(keys))
+	for _, k := range keys {
+		outs = append(outs, wcOut{Word: k, Count: counts[k]})
+	}
+	return outs
+}
+
+// testWorkers reads the CI matrix knob (crashtest job) so the same
+// tests cover several fleet sizes; default 3.
+func testWorkers(t *testing.T) int {
+	if s := os.Getenv("MRPROC_WORKERS"); s != "" {
+		var n int
+		if _, err := fmt.Sscanf(s, "%d", &n); err == nil && n > 0 {
+			return n
+		}
+		t.Fatalf("bad MRPROC_WORKERS=%q", s)
+	}
+	return 3
+}
+
+func TestProcRunClean(t *testing.T) {
+	lines := genLines(120)
+	const parts = 5
+	dir := t.TempDir()
+	outs, met, err := Run[string, string, int, wcOut]("wordcount", lines, Options{
+		Workers:    testWorkers(t),
+		Partitions: parts,
+		Dir:        dir,
+		Timeout:    90 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refWordCount(lines, parts)
+	if !reflect.DeepEqual(outs, want) {
+		t.Fatalf("multi-process output diverges from single-process reference:\n got %d records\nwant %d records", len(outs), len(want))
+	}
+
+	if met.MapInputs != 120 || met.Outputs != int64(len(want)) || met.Reducers != int64(len(want)) {
+		t.Errorf("logical metrics off: %+v", met)
+	}
+	if met.WorkerDeaths != 0 || met.MapRetries != 0 || met.ReduceRetries != 0 || met.SalvagedTasks != 0 {
+		t.Errorf("clean run recorded faults: %+v", met)
+	}
+	if met.PairsEmitted != 4*120 {
+		t.Errorf("PairsEmitted = %d, want %d", met.PairsEmitted, 4*120)
+	}
+	if met.PairsShuffled <= 0 || met.PairsShuffled >= met.PairsEmitted {
+		t.Errorf("combiner did not shrink the boundary crossing: shuffled %d of %d emitted", met.PairsShuffled, met.PairsEmitted)
+	}
+
+	// The acceptance criterion for BytesSpilled in proc mode: it must
+	// equal the bytes actually written to the inter-process spool files.
+	// In a fault-free run every written section is committed and
+	// accepted, so the spool files on disk are exactly the accepted
+	// sections.
+	spools, err := filepath.Glob(filepath.Join(dir, "spool-*.run"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spools) == 0 {
+		t.Fatal("no spool files written")
+	}
+	var onDisk int64
+	for _, p := range spools {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		onDisk += st.Size()
+	}
+	if got := met.BytesSpilled + met.IndexBytesSpilled; got != onDisk {
+		t.Errorf("BytesSpilled+IndexBytesSpilled = %d, but spool files hold %d bytes", got, onDisk)
+	}
+	if met.BytesSpilled <= 0 || met.DiskBytesRead <= 0 {
+		t.Errorf("boundary accounting empty: %+v", met)
+	}
+}
+
+// TestProcRunMatchesAcrossWorkerCounts: the output contract is
+// placement- and schedule-invariant — 1 worker and N workers produce
+// identical bytes.
+func TestProcRunMatchesAcrossWorkerCounts(t *testing.T) {
+	lines := genLines(60)
+	const parts = 4
+	want := refWordCount(lines, parts)
+	for _, workers := range []int{1, 4} {
+		outs, _, err := Run[string, string, int, wcOut]("wordcount", lines, Options{
+			Workers: workers, Partitions: parts, Timeout: 90 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(outs, want) {
+			t.Fatalf("workers=%d output diverges from reference", workers)
+		}
+	}
+}
+
+// TestProcMaxReducerInput: the paper's q limit is enforced across the
+// process boundary — a key group larger than the limit fails the job.
+func TestProcMaxReducerInput(t *testing.T) {
+	lines := genLines(40) // "common" appears 40 times
+	_, _, err := Run[string, string, int, wcOut]("wordcount-nocombine", lines, Options{
+		Workers: 2, Partitions: 3, MaxReducerInput: 10, Timeout: 90 * time.Second,
+	})
+	if err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("oversized reducer not rejected: %v", err)
+	}
+}
+
+func TestProcUnregisteredJob(t *testing.T) {
+	_, _, err := Run[string, string, int, wcOut]("no-such-job", nil, Options{Timeout: 10 * time.Second})
+	if err == nil || !strings.Contains(err.Error(), "not registered") {
+		t.Fatalf("unregistered job = %v", err)
+	}
+}
+
+func TestProcEmptyInputs(t *testing.T) {
+	outs, met, err := Run[string, string, int, wcOut]("wordcount", nil, Options{
+		Workers: 2, Partitions: 3, Timeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 0 || met.MapTasks != 0 || met.Outputs != 0 {
+		t.Fatalf("empty job produced %d outputs, %+v", len(outs), met)
+	}
+}

@@ -1,0 +1,175 @@
+// Capped exponential backoff with jitter: the retry policy behind every
+// control-plane interaction a worker has with the driver (dialing the
+// socket, reporting task completion, heartbeating) and behind the
+// driver's own worker respawns. Data-plane work is never retried here —
+// task re-execution is the lease table's job, with attempt fencing; this
+// helper only covers transient transport failures where the operation
+// itself is idempotent.
+package proc
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// Backoff is a retry schedule: Base doubling (times Factor) per attempt
+// up to Max, each delay multiplied by a random factor in
+// [1-Jitter, 1+Jitter] so synchronized clients spread out. The zero
+// value selects the defaults documented on each field.
+type Backoff struct {
+	// Base is the first delay. Zero means 10ms.
+	Base time.Duration
+	// Max caps the grown (pre-jitter) delay. Zero means 2s.
+	Max time.Duration
+	// Factor is the per-attempt growth multiplier. Zero means 2.
+	Factor float64
+	// Jitter is the relative half-width of the randomization applied to
+	// every delay: the slept duration is delay * (1 + Jitter*(2u-1)) for
+	// uniform u. Zero means 0.2; negative disables jitter entirely.
+	Jitter float64
+	// Attempts caps how many times Retry invokes the operation. Zero
+	// means 10; negative means unlimited (bounded only by the context).
+	Attempts int
+
+	// Rand supplies the uniform variates for jitter; nil uses the global
+	// math/rand source. Tests inject a deterministic sequence.
+	Rand func() float64
+	// Sleep waits for d or until the context is done; nil uses a real
+	// timer. Tests inject a recorder to check the schedule without
+	// sleeping.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (b Backoff) base() time.Duration {
+	if b.Base > 0 {
+		return b.Base
+	}
+	return 10 * time.Millisecond
+}
+
+func (b Backoff) max() time.Duration {
+	if b.Max > 0 {
+		return b.Max
+	}
+	return 2 * time.Second
+}
+
+func (b Backoff) factor() float64 {
+	if b.Factor > 0 {
+		return b.Factor
+	}
+	return 2
+}
+
+func (b Backoff) jitter() float64 {
+	if b.Jitter > 0 {
+		return b.Jitter
+	}
+	if b.Jitter < 0 {
+		return 0
+	}
+	return 0.2
+}
+
+func (b Backoff) attempts() int {
+	if b.Attempts > 0 {
+		return b.Attempts
+	}
+	if b.Attempts < 0 {
+		return int(^uint(0) >> 1)
+	}
+	return 10
+}
+
+// Delay is the pure schedule: the pre-sleep duration before retrying
+// after the given zero-based failed attempt, using u in [0,1) as the
+// jitter variate. Exposed so tests can pin the schedule exactly and
+// callers can display "retrying in ...".
+func (b Backoff) Delay(attempt int, u float64) time.Duration {
+	d := float64(b.base())
+	f := b.factor()
+	maxD := float64(b.max())
+	for i := 0; i < attempt; i++ {
+		d *= f
+		if d >= maxD {
+			d = maxD
+			break
+		}
+	}
+	if d > maxD {
+		d = maxD
+	}
+	if j := b.jitter(); j > 0 {
+		d *= 1 + j*(2*u-1)
+	}
+	return time.Duration(d)
+}
+
+// errPermanent marks an error that must not be retried.
+type errPermanent struct{ err error }
+
+func (e errPermanent) Error() string { return e.err.Error() }
+func (e errPermanent) Unwrap() error { return e.err }
+
+// Permanent wraps err so Retry returns it immediately instead of
+// retrying: the failure is a property of the request, not the
+// transport (a fenced report, an unknown job).
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return errPermanent{err}
+}
+
+// Retry runs op until it succeeds, returns a Permanent error, the
+// attempt budget is spent, or the context is done. The returned error
+// is the last attempt's (unwrapped from Permanent), or the context's
+// error when it won the race.
+func (b Backoff) Retry(ctx context.Context, op func() error) error {
+	randf := b.Rand
+	if randf == nil {
+		randf = rand.Float64
+	}
+	sleep := b.Sleep
+	if sleep == nil {
+		sleep = realSleep
+	}
+	attempts := b.attempts()
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := op()
+		if err == nil {
+			return nil
+		}
+		var perm errPermanent
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		lastErr = err
+		if attempt == attempts-1 {
+			break
+		}
+		if err := sleep(ctx, b.Delay(attempt, randf())); err != nil {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// realSleep waits for d on a timer, or returns the context's error if
+// it is done first.
+func realSleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

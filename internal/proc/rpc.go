@@ -1,0 +1,170 @@
+// The control-plane seam between driver and workers: plain net/rpc
+// (gob) over a unix socket. Everything on the wire is a concrete
+// struct — typed keys and values never cross the RPC boundary, only
+// file coordinates do; the data itself crosses through the spool files.
+package proc
+
+import (
+	"time"
+)
+
+// TaskKind discriminates the driver's replies to a polling worker.
+type TaskKind int
+
+const (
+	// TaskWait tells the worker nothing is assignable right now; poll
+	// again shortly.
+	TaskWait TaskKind = iota
+	// TaskMap assigns a map task over inputs [Lo, Hi).
+	TaskMap
+	// TaskReduce assigns one partition's reduce task over Sections.
+	TaskReduce
+	// TaskExit tells the worker the job is over (done or failed).
+	TaskExit
+)
+
+// Section is one fenced byte range of a spool file: the map output of
+// one (task, attempt) for one partition. Sections are the unit of the
+// inter-process exchange — a map report commits them, the driver hands
+// them to reduce tasks, and salvage validates them.
+type Section struct {
+	// Path is the spool file, Offset/Length the section's byte range.
+	Path   string
+	Offset int64
+	Length int64
+	// DataBytes and IndexBytes split Length into run data and footer
+	// index (DataBytes+IndexBytes == Length).
+	DataBytes  int64
+	IndexBytes int64
+	// Pairs is the section's value count (post-combine); Groups its
+	// distinct keys.
+	Pairs  int64
+	Groups int64
+	// Task and Attempt fence the section; Part is its partition.
+	Task    int
+	Attempt int
+	Part    int
+}
+
+// Task is one assignment (or a Wait/Exit directive).
+type Task struct {
+	Kind    TaskKind
+	ID      int // map task ordinal, or reduce partition
+	Attempt int
+
+	// Map fields.
+	Lo, Hi     int
+	Partitions int
+
+	// Reduce fields: the committed input sections in map-task order.
+	Sections        []Section
+	MaxReducerInput int
+
+	// HeartbeatEvery is how often the worker should renew its lease on
+	// this task (the driver sets a fraction of the lease TTL). Zero means
+	// no heartbeating.
+	HeartbeatEvery time.Duration
+
+	// Wait fields.
+	PollAfter time.Duration
+}
+
+// RegisterArgs announces a worker to the driver.
+type RegisterArgs struct {
+	Worker string
+	PID    int
+}
+
+// PollArgs asks for work.
+type PollArgs struct {
+	Worker string
+}
+
+// HeartbeatArgs renews the lease on a running task.
+type HeartbeatArgs struct {
+	Worker  string
+	Kind    TaskKind // TaskMap or TaskReduce
+	ID      int
+	Attempt int
+}
+
+// HeartbeatReply tells the worker whether its attempt is still current.
+type HeartbeatReply struct {
+	// Cancel is set when the attempt has been fenced (lease expired or
+	// superseded): the worker should abandon the task; any report it
+	// sends will be refused.
+	Cancel bool
+}
+
+// MapReport commits a finished map attempt: the sections it wrote and
+// its pre-combine emission count. Err carries a failed attempt instead.
+type MapReport struct {
+	Worker       string
+	Task         int
+	Attempt      int
+	PairsEmitted int64
+	Sections     []Section
+	Err          string
+	// Fatal marks errors retrying cannot fix (an unregistered job, an
+	// unencodable key type): the driver fails the job instead of
+	// re-granting the task.
+	Fatal bool
+}
+
+// ReduceReport commits a finished reduce attempt: the partition's
+// output file plus its group profile. Err carries a failed attempt.
+type ReduceReport struct {
+	Worker    string
+	Part      int
+	Attempt   int
+	OutPath   string
+	Keys      int64
+	Outputs   int64
+	MaxGroup  int64
+	PairsIn   int64
+	BytesRead int64
+	Err       string
+	Fatal     bool
+}
+
+// Ack is the driver's answer to a report.
+type Ack struct {
+	// Accepted is false when the report was fenced (stale attempt,
+	// task already done): the worker's output is discarded.
+	Accepted bool
+}
+
+// Coord is the driver's RPC service. Workers call its methods; every
+// method body just forwards into the Driver under its lock.
+type Coord struct{ d *Driver }
+
+// Register implements the worker hello.
+func (c *Coord) Register(args RegisterArgs, reply *Ack) error {
+	c.d.register(args)
+	reply.Accepted = true
+	return nil
+}
+
+// Poll hands out the next task (or Wait/Exit).
+func (c *Coord) Poll(args PollArgs, reply *Task) error {
+	*reply = c.d.poll(args.Worker)
+	return nil
+}
+
+// Heartbeat renews a lease.
+func (c *Coord) Heartbeat(args HeartbeatArgs, reply *HeartbeatReply) error {
+	reply.Cancel = !c.d.heartbeat(args)
+	return nil
+}
+
+// MapDone commits (or fails) a map attempt.
+func (c *Coord) MapDone(args MapReport, reply *Ack) error {
+	reply.Accepted = c.d.mapDone(args)
+	return nil
+}
+
+// ReduceDone commits (or fails) a reduce attempt.
+func (c *Coord) ReduceDone(args ReduceReport, reply *Ack) error {
+	reply.Accepted = c.d.reduceDone(args)
+	return nil
+}

@@ -1,0 +1,550 @@
+// The worker process: poll the driver for tasks over the unix socket,
+// heartbeat the lease while executing, write map output as fenced spool
+// sections committed through the manifest, and report. Workers are the
+// same binary as the driver — the role travels in the environment, so
+// MaybeWorker at the top of main (or TestMain) turns any process into a
+// worker when the driver spawned it as one.
+package proc
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net/rpc"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/runfile"
+	"repro/internal/shuffle"
+)
+
+// workerCtx bounds the worker's control-plane retries. Workers live and
+// die by the driver's word (and its process lifetime), so the context
+// is unbounded; the retry budgets bound each interaction.
+func workerCtx() context.Context { return context.Background() }
+
+// Environment contract between driver and worker. Everything a worker
+// needs rides in env so the spawn command's argv is unconstrained.
+const (
+	envWorker = "MR_PROC_WORKER" // "1" marks a worker process
+	envSocket = "MR_PROC_SOCKET" // driver's unix socket path
+	envDir    = "MR_PROC_DIR"    // job scratch directory
+	envJob    = "MR_PROC_JOB"    // registered job name
+	envID     = "MR_PROC_ID"     // this worker's identity
+
+	// Test knobs (crash injection; see crashPoint).
+	envSlowMS = "MR_PROC_SLOW_MS" // dwell this many ms inside every task
+	envKill   = "MR_PROC_KILL"    // "point:taskID" self-SIGKILL spec
+)
+
+// inputsFile is the job's encoded input records inside the scratch dir.
+const inputsFile = "inputs.gob"
+
+// MaybeWorker turns the current process into a worker and never returns
+// if the driver spawned it as one; otherwise it is a no-op. Call it
+// first thing in main (or TestMain) of any binary used as
+// Options.WorkerCommand — including the default, the current binary
+// re-executed.
+func MaybeWorker() {
+	if os.Getenv(envWorker) != "1" {
+		return
+	}
+	if err := WorkerMain(); err != nil {
+		fmt.Fprintln(os.Stderr, "mrworker:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// WorkerMain runs the worker loop against the driver named by the
+// environment until the driver says exit (nil) or becomes unreachable.
+func WorkerMain() error {
+	id := os.Getenv(envID)
+	dir := os.Getenv(envDir)
+	socket := os.Getenv(envSocket)
+	jobName := os.Getenv(envJob)
+	if id == "" || dir == "" || socket == "" || jobName == "" {
+		return fmt.Errorf("proc: worker env incomplete (%s=%q %s=%q %s=%q %s=%q)",
+			envID, id, envDir, dir, envSocket, socket, envJob, jobName)
+	}
+	job, err := lookup(jobName)
+	if err != nil {
+		return err
+	}
+	ws, err := newWorkerState(id, dir, socket)
+	if err != nil {
+		return err
+	}
+	defer ws.close()
+	return ws.loop(job)
+}
+
+// workerState is one worker process's runtime: its RPC client, spools,
+// manifest, and the crash-injection knobs.
+type workerState struct {
+	id     string
+	dir    string
+	client *rpc.Client
+
+	spools   *spoolSet
+	manifest *manifestWriter
+
+	slow      time.Duration // dwell inside every task (test knob)
+	killPoint string        // crash point name ("" disables)
+	killID    int           // task/partition the crash point is armed for
+
+	// scratch buffers reused across groups.
+	kbuf, vbuf []byte
+}
+
+// rpcBackoff is the worker's policy for transient control-plane
+// failures: dialing the socket before the driver listens, a report call
+// racing a driver hiccup. Roughly 10ms..2s doubling, ~10 tries.
+var rpcBackoff = Backoff{}
+
+func newWorkerState(id, dir, socket string) (*workerState, error) {
+	var client *rpc.Client
+	err := rpcBackoff.Retry(workerCtx(), func() error {
+		var err error
+		client, err = rpc.Dial("unix", socket)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("proc: dialing driver at %s: %w", socket, err)
+	}
+	var ack Ack
+	if err := client.Call("Coord.Register", RegisterArgs{Worker: id, PID: os.Getpid()}, &ack); err != nil {
+		client.Close()
+		return nil, fmt.Errorf("proc: registering with driver: %w", err)
+	}
+	ws := &workerState{id: id, dir: dir, client: client, spools: newSpoolSet(dir, id)}
+	if ms, err := strconv.Atoi(os.Getenv(envSlowMS)); err == nil && ms > 0 {
+		ws.slow = time.Duration(ms) * time.Millisecond
+	}
+	if spec := os.Getenv(envKill); spec != "" {
+		if point, idStr, ok := strings.Cut(spec, ":"); ok {
+			if n, err := strconv.Atoi(idStr); err == nil {
+				ws.killPoint, ws.killID = point, n
+			}
+		}
+	}
+	return ws, nil
+}
+
+func (ws *workerState) close() {
+	ws.spools.closeAll()
+	if ws.manifest != nil {
+		ws.manifest.close()
+	}
+	ws.client.Close()
+}
+
+func (ws *workerState) ensureManifest() error {
+	if ws.manifest != nil {
+		return nil
+	}
+	m, err := openManifest(ws.dir, ws.id)
+	if err != nil {
+		return err
+	}
+	ws.manifest = m
+	return nil
+}
+
+// crashPoint self-SIGKILLs when the named injection point is armed for
+// this task. The kill is one-shot per job directory: an exclusive-create
+// marker file makes sure a replacement worker running the re-executed
+// task does not die again, so each knob injects exactly one crash. pre
+// runs after the marker is claimed and before the kill (e.g. flushing a
+// torn section's bytes into the kernel).
+func (ws *workerState) crashPoint(point string, id int, pre func()) {
+	if ws.killPoint != point || ws.killID != id {
+		return
+	}
+	marker := filepath.Join(ws.dir, fmt.Sprintf("killed-%s-%d", point, id))
+	f, err := os.OpenFile(marker, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return // already fired once
+	}
+	f.Close()
+	if pre != nil {
+		pre()
+	}
+	p, _ := os.FindProcess(os.Getpid())
+	p.Kill()
+	select {} // SIGKILL is not instantaneous; never execute past this point
+}
+
+// loop polls for tasks until exit. Transient RPC failures are retried
+// with backoff; a driver that stays unreachable ends the worker.
+func (ws *workerState) loop(job runnable) error {
+	var inputs any
+	for {
+		var t Task
+		err := rpcBackoff.Retry(workerCtx(), func() error {
+			t = Task{}
+			return ws.client.Call("Coord.Poll", PollArgs{Worker: ws.id}, &t)
+		})
+		if err != nil {
+			return fmt.Errorf("proc: polling driver: %w", err)
+		}
+		switch t.Kind {
+		case TaskExit:
+			return nil
+		case TaskWait:
+			d := t.PollAfter
+			if d <= 0 {
+				d = 20 * time.Millisecond
+			}
+			time.Sleep(d)
+		case TaskMap:
+			if inputs == nil {
+				var err error
+				if inputs, _, err = job.loadInputs(filepath.Join(ws.dir, inputsFile)); err != nil {
+					ws.report("Coord.MapDone", &Ack{}, MapReport{
+						Worker: ws.id, Task: t.ID, Attempt: t.Attempt, Err: err.Error(), Fatal: true,
+					})
+					return err
+				}
+			}
+			rep := ws.runTask(TaskMap, t, func() (any, error) { return job.runMapTask(ws, inputs, t) })
+			ws.report("Coord.MapDone", &Ack{}, rep.(MapReport))
+		case TaskReduce:
+			rep := ws.runTask(TaskReduce, t, func() (any, error) { return job.runReduceTask(ws, t) })
+			ws.report("Coord.ReduceDone", &Ack{}, rep.(ReduceReport))
+		}
+	}
+}
+
+// runTask executes one assignment under a heartbeat, converting an
+// execution error into a failure report.
+func (ws *workerState) runTask(kind TaskKind, t Task, run func() (any, error)) any {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ws.heartbeatLoop(done, kind, t.ID, t.Attempt, t.HeartbeatEvery)
+	}()
+	if ws.slow > 0 {
+		time.Sleep(ws.slow)
+	}
+	rep, err := run()
+	close(done)
+	wg.Wait()
+	if err == nil {
+		return rep
+	}
+	if kind == TaskMap {
+		return MapReport{Worker: ws.id, Task: t.ID, Attempt: t.Attempt, Err: err.Error(), Fatal: isFatal(err)}
+	}
+	return ReduceReport{Worker: ws.id, Part: t.ID, Attempt: t.Attempt, Err: err.Error(), Fatal: isFatal(err)}
+}
+
+// heartbeatLoop renews the lease on (kind, id, attempt) every interval
+// until the task finishes, the driver cancels the attempt, or the
+// driver becomes unreachable. It only renews — cancellation does not
+// abort the running task; the driver's fencing refuses the stale report
+// either way.
+func (ws *workerState) heartbeatLoop(done <-chan struct{}, kind TaskKind, id, attempt int, every time.Duration) {
+	if every <= 0 {
+		return
+	}
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-tick.C:
+			var rep HeartbeatReply
+			err := ws.client.Call("Coord.Heartbeat", HeartbeatArgs{
+				Worker: ws.id, Kind: kind, ID: id, Attempt: attempt,
+			}, &rep)
+			if err != nil || rep.Cancel {
+				return
+			}
+		}
+	}
+}
+
+// report delivers a completion report with retries. A report that still
+// cannot be delivered is dropped: the lease will expire and the task
+// re-run, which is correct (if slower) — reports are advisory to the
+// worker, authoritative only once the driver accepts them.
+func (ws *workerState) report(method string, reply any, args any) {
+	err := rpcBackoff.Retry(workerCtx(), func() error {
+		return ws.client.Call(method, args, reply)
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mrworker %s: dropping %s report: %v\n", ws.id, method, err)
+	}
+}
+
+// fatalErr marks an execution error retrying cannot fix (an unencodable
+// key type, a violated reducer-size limit): the driver fails the job
+// instead of re-granting the task.
+type fatalErr struct{ error }
+
+func fatal(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fatalErr{err}
+}
+
+func isFatal(err error) bool {
+	var f fatalErr
+	return errors.As(err, &f)
+}
+
+// runMapTask maps records [Lo, Hi), partitions pairs with the job's
+// stable placement, optionally combines, and writes one sorted run-file
+// section per non-empty partition to this worker's spools — then
+// commits the whole task with one manifest record before reporting.
+// The manifest write is the task's durability point.
+func (j *jobImpl[I, K, V, O]) runMapTask(ws *workerState, inputs any, t Task) (MapReport, error) {
+	ins, ok := inputs.([]I)
+	if !ok {
+		return MapReport{}, fatal(fmt.Errorf("proc: job %q inputs are %T, not []%T", j.spec.Name, inputs, *new(I)))
+	}
+	if t.Lo < 0 || t.Hi > len(ins) || t.Lo > t.Hi {
+		return MapReport{}, fatal(fmt.Errorf("proc: map task %d range [%d,%d) outside %d inputs", t.ID, t.Lo, t.Hi, len(ins)))
+	}
+	var hasher shuffle.StableHasher[K]
+	parts := make([]map[K][]V, t.Partitions)
+	var pairsEmitted int64
+	var emitErr error
+	for i := t.Lo; i < t.Hi; i++ {
+		j.spec.Map(ins[i], func(k K, v V) {
+			pairsEmitted++
+			if emitErr != nil {
+				return
+			}
+			p, err := j.partition(&hasher, k, t.Partitions)
+			if err != nil {
+				emitErr = err
+				return
+			}
+			if parts[p] == nil {
+				parts[p] = make(map[K][]V)
+			}
+			parts[p][k] = append(parts[p][k], v)
+		})
+	}
+	if emitErr != nil {
+		return MapReport{}, fatal(fmt.Errorf("proc: partitioning map task %d: %w", t.ID, emitErr))
+	}
+	if j.spec.Combine != nil {
+		for _, m := range parts {
+			for k, vs := range m {
+				m[k] = j.spec.Combine(k, vs)
+			}
+		}
+	}
+	if err := ws.ensureManifest(); err != nil {
+		return MapReport{}, err
+	}
+	var secs []Section
+	for p := 0; p < t.Partitions; p++ {
+		m := parts[p]
+		if len(m) == 0 {
+			continue
+		}
+		keys := make([]K, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		shuffle.SortKeys(keys)
+		sec, err := ws.spools.appendSection(t.ID, t.Attempt, p, func(w *runfile.Writer) error {
+			for gi, k := range keys {
+				kb, err := runfile.Append(ws.kbuf[:0], k)
+				if err != nil {
+					return fatal(fmt.Errorf("proc: encoding key: %w", err))
+				}
+				ws.kbuf = kb
+				vs := m[k]
+				if err := w.BeginGroup(kb, len(vs)); err != nil {
+					return err
+				}
+				for _, v := range vs {
+					vb, err := runfile.Append(ws.vbuf[:0], v)
+					if err != nil {
+						return fatal(fmt.Errorf("proc: encoding value: %w", err))
+					}
+					ws.vbuf = vb
+					if err := w.AppendValue(vb); err != nil {
+						return err
+					}
+				}
+				if gi == len(keys)/2 {
+					// Torn-section injection: push the half-written section
+					// into the kernel, then die before Finish — the spool
+					// gets a headerful of bytes with no footer and no
+					// manifest record.
+					ws.crashPoint("map-torn", t.ID, func() { w.Flush() })
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return MapReport{}, err
+		}
+		secs = append(secs, sec)
+	}
+	if err := ws.manifest.commit(manifestEntry{
+		Task: t.ID, Attempt: t.Attempt, PairsEmitted: pairsEmitted, Sections: secs,
+	}); err != nil {
+		return MapReport{}, err
+	}
+	// Committed-but-unreported injection: the manifest record is durable,
+	// the report never leaves — salvage must adopt this task.
+	ws.crashPoint("map-manifest", t.ID, nil)
+	return MapReport{
+		Worker: ws.id, Task: t.ID, Attempt: t.Attempt,
+		PairsEmitted: pairsEmitted, Sections: secs,
+	}, nil
+}
+
+// runReduceTask merges the partition's committed sections in map-task
+// order, reduces every group in canonical key order, and writes the
+// partition's output file (gob: group count, then outGroups).
+func (j *jobImpl[I, K, V, O]) runReduceTask(ws *workerState, t Task) (ReduceReport, error) {
+	ws.crashPoint("reduce", t.ID, nil)
+	acc := make(map[K][]V)
+	var pairsIn, bytesRead int64
+	for _, sec := range t.Sections {
+		if err := j.accumulateSection(ws, sec, acc, &pairsIn); err != nil {
+			return ReduceReport{}, err
+		}
+		bytesRead += sec.DataBytes
+	}
+	keys := make([]K, 0, len(acc))
+	for k := range acc {
+		keys = append(keys, k)
+	}
+	shuffle.SortKeys(keys)
+
+	var maxGroup int64
+	var outputs int64
+	groups := make([]outGroup[K, O], 0, len(keys))
+	for _, k := range keys {
+		vs := acc[k]
+		if t.MaxReducerInput > 0 && len(vs) > t.MaxReducerInput {
+			return ReduceReport{}, fatal(fmt.Errorf(
+				"proc: reducer for a key in partition %d received %d values, limit %d", t.ID, len(vs), t.MaxReducerInput))
+		}
+		if int64(len(vs)) > maxGroup {
+			maxGroup = int64(len(vs))
+		}
+		g := outGroup[K, O]{Key: k, Load: len(vs)}
+		j.spec.Reduce(k, vs, func(o O) { g.Outs = append(g.Outs, o) })
+		outputs += int64(len(g.Outs))
+		groups = append(groups, g)
+	}
+	path := outPath(ws.dir, t.ID, t.Attempt)
+	if err := writeOutputs(path, groups); err != nil {
+		return ReduceReport{}, err
+	}
+	return ReduceReport{
+		Worker: ws.id, Part: t.ID, Attempt: t.Attempt, OutPath: path,
+		Keys: int64(len(keys)), Outputs: outputs, MaxGroup: maxGroup,
+		PairsIn: pairsIn, BytesRead: bytesRead,
+	}, nil
+}
+
+// accumulateSection streams one committed section's groups into acc,
+// appending values in section order (the driver orders sections by map
+// task, preserving the value-order contract).
+func (j *jobImpl[I, K, V, O]) accumulateSection(ws *workerState, sec Section, acc map[K][]V, pairsIn *int64) error {
+	r, closeF, err := openSection(runfile.OSFS, sec)
+	if err != nil {
+		return err
+	}
+	defer closeF()
+	for {
+		kb, n, err := r.NextAppend(ws.kbuf[:0])
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("proc: reading section %s@%d: %w", sec.Path, sec.Offset, err)
+		}
+		ws.kbuf = kb
+		k, err := runfile.Decode[K](kb)
+		if err != nil {
+			return fatal(fmt.Errorf("proc: decoding key: %w", err))
+		}
+		for i := 0; i < n; i++ {
+			vb, err := r.ValueAppend(ws.vbuf[:0])
+			if err != nil {
+				return fmt.Errorf("proc: reading value in section %s@%d: %w", sec.Path, sec.Offset, err)
+			}
+			ws.vbuf = vb
+			v, err := runfile.Decode[V](vb)
+			if err != nil {
+				return fatal(fmt.Errorf("proc: decoding value: %w", err))
+			}
+			acc[k] = append(acc[k], v)
+			*pairsIn++
+		}
+	}
+}
+
+// writeOutputs encodes one reduce attempt's groups to its output file:
+// a gob stream of the group count followed by each group, already in
+// canonical key order.
+func writeOutputs[K comparable, O any](path string, groups []outGroup[K, O]) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("proc: creating reduce output: %w", err)
+	}
+	enc := gob.NewEncoder(f)
+	if err := enc.Encode(len(groups)); err != nil {
+		f.Close()
+		return fmt.Errorf("proc: encoding output count: %w", err)
+	}
+	for i := range groups {
+		if err := enc.Encode(&groups[i]); err != nil {
+			f.Close()
+			return fmt.Errorf("proc: encoding output group: %w", err)
+		}
+	}
+	return f.Close()
+}
+
+// readOutputs decodes one accepted reduce output file through the
+// driver's FS (so reopen faults are injectable).
+func readOutputs[K comparable, O any](fs runfile.FS, path string) ([]outGroup[K, O], error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("proc: opening reduce output %s: %w", path, err)
+	}
+	defer f.Close()
+	dec := gob.NewDecoder(f)
+	var n int
+	if err := dec.Decode(&n); err != nil {
+		return nil, fmt.Errorf("proc: decoding output count in %s: %w", path, err)
+	}
+	groups := make([]outGroup[K, O], n)
+	for i := range groups {
+		if err := dec.Decode(&groups[i]); err != nil {
+			return nil, fmt.Errorf("proc: decoding output group in %s: %w", path, err)
+		}
+	}
+	return groups, nil
+}
+
+// sortSectionsByTask orders a reduce task's input sections by map task
+// ordinal — the value-order contract (values arrive in map-task order,
+// whatever order the tasks actually completed in).
+func sortSectionsByTask(secs []Section) {
+	sort.Slice(secs, func(i, j int) bool { return secs[i].Task < secs[j].Task })
+}

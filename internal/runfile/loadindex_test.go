@@ -105,6 +105,32 @@ func TestLoadIndexTornGroupFails(t *testing.T) {
 	}
 }
 
+// TestLoadIndexFailureKeepsBothCauses: when both the footer read and
+// the fallback scan fail, BOTH errors must stay error-chain reachable —
+// the footer cause used to be flattened to text (%v), which hid the
+// root cause (e.g. an injected fault) from errors.Is at the recovery
+// call sites that decide whether a section is salvageable.
+func TestLoadIndexFailureKeepsBothCauses(t *testing.T) {
+	data, _, _ := loadIndexFixture(t)
+	scan, err := ScanIndex(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := data[:scan[1].Offset+2] // torn mid-group: footer gone, scan fails
+	_, err = LoadIndex(bytes.NewReader(cut), int64(len(cut)))
+	if err == nil {
+		t.Fatal("LoadIndex succeeded on a file torn mid-group")
+	}
+	// Scan cause: the torn group is ErrCorrupt. Footer cause: the missing
+	// trailer is ErrNoIndex. Both must survive the wrapping.
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("scan cause (ErrCorrupt) lost: %v", err)
+	}
+	if !errors.Is(err, ErrNoIndex) {
+		t.Fatalf("footer cause (ErrNoIndex) lost: %v", err)
+	}
+}
+
 // TestLoadIndexV1Fallback: version-1 files have no footer at all;
 // LoadIndex must transparently scan them.
 func TestLoadIndexV1Fallback(t *testing.T) {

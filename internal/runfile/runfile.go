@@ -699,7 +699,7 @@ func LoadIndex(ra io.ReaderAt, size int64) ([]IndexEntry, error) {
 	}
 	scanned, serr := ScanIndex(io.NewSectionReader(ra, 0, size))
 	if serr != nil {
-		return nil, fmt.Errorf("runfile: no usable footer (%v); sequential scan: %w", err, serr)
+		return nil, fmt.Errorf("runfile: no usable footer (%w); sequential scan: %w", err, serr)
 	}
 	return scanned, nil
 }

@@ -1,0 +1,58 @@
+// Cross-process stable key hashing.
+//
+// The package's default Hasher uses the runtime's maphash with a
+// per-process random seed: perfect for one process, useless the moment
+// two processes must agree on key placement — each would route the same
+// key to a different partition and grouping would silently break. The
+// multi-process runtime (internal/proc) partitions map output in worker
+// processes and merges it in reduce processes, so it needs a hash that
+// is a pure function of the key's value, not of any process state.
+//
+// StableHasher provides that: the key is encoded with the run-file
+// codec (the same canonical byte representation spilled runs use, so
+// two equal keys always produce identical bytes) and hashed with
+// FNV-1a. Slower than maphash — an encode per key — but placement is
+// identical in every process, on every run, forever, which also makes
+// per-partition profiles reproducible for tests that need them.
+package shuffle
+
+import "repro/internal/runfile"
+
+// fnv64 constants (FNV-1a).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// StableHasher hashes keys to the same value in every process. Not safe
+// for concurrent use (it reuses an internal encode buffer); give each
+// goroutine its own.
+type StableHasher[K comparable] struct {
+	scratch []byte
+}
+
+// Hash returns the key's stable 64-bit hash. It fails only when the
+// key type cannot be encoded by the run-file codec (the same types that
+// cannot spill).
+func (h *StableHasher[K]) Hash(k K) (uint64, error) {
+	b, err := runfile.Append(h.scratch[:0], k)
+	if err != nil {
+		return 0, err
+	}
+	h.scratch = b
+	hv := uint64(fnvOffset64)
+	for _, c := range b {
+		hv = (hv ^ uint64(c)) * fnvPrime64
+	}
+	return hv, nil
+}
+
+// StablePartition maps the key onto one of p partitions with the stable
+// hash. Every process computes the same placement for the same key.
+func (h *StableHasher[K]) StablePartition(k K, p int) (int, error) {
+	hv, err := h.Hash(k)
+	if err != nil {
+		return 0, err
+	}
+	return int(hv % uint64(p)), nil
+}

@@ -1,0 +1,70 @@
+package shuffle
+
+import "testing"
+
+func TestStableHashDeterministic(t *testing.T) {
+	// Two independent hashers must agree (no per-instance or per-process
+	// state), and the mapping must be pinned forever: a changed constant
+	// or codec layout would silently re-partition cross-process jobs, so
+	// the expected values are hard-coded, not computed.
+	var a, b StableHasher[string]
+	for _, key := range []string{"", "a", "hello", "hello world"} {
+		ha, err := a.Hash(key)
+		if err != nil {
+			t.Fatalf("Hash(%q): %v", key, err)
+		}
+		hb, err := b.Hash(key)
+		if err != nil {
+			t.Fatalf("Hash(%q): %v", key, err)
+		}
+		if ha != hb {
+			t.Errorf("hashers disagree on %q: %#x vs %#x", key, ha, hb)
+		}
+	}
+	// FNV-1a over the codec bytes; strings encode as raw bytes, so these
+	// are the classic FNV-1a test vectors.
+	if h, _ := a.Hash(""); h != 0xcbf29ce484222325 {
+		t.Errorf("Hash(\"\") = %#x, want FNV-1a offset basis", h)
+	}
+	if h, _ := a.Hash("a"); h != 0xaf63dc4c8601ec8c {
+		t.Errorf("Hash(\"a\") = %#x, want %#x", h, uint64(0xaf63dc4c8601ec8c))
+	}
+}
+
+func TestStableHashTypedKeys(t *testing.T) {
+	type cell struct{ R, C int }
+	var h StableHasher[cell]
+	h1, err := h.Hash(cell{2, 3})
+	if err != nil {
+		t.Fatalf("Hash: %v", err)
+	}
+	h2, err := h.Hash(cell{2, 3})
+	if err != nil {
+		t.Fatalf("Hash: %v", err)
+	}
+	if h1 != h2 {
+		t.Errorf("same struct key hashed differently: %#x vs %#x", h1, h2)
+	}
+	h3, _ := h.Hash(cell{3, 2})
+	if h1 == h3 {
+		t.Errorf("distinct keys collided: %#x", h1)
+	}
+}
+
+func TestStablePartitionRange(t *testing.T) {
+	var h StableHasher[int]
+	seen := map[int]bool{}
+	for k := 0; k < 1000; k++ {
+		p, err := h.StablePartition(k, 8)
+		if err != nil {
+			t.Fatalf("StablePartition: %v", err)
+		}
+		if p < 0 || p >= 8 {
+			t.Fatalf("partition %d out of range", p)
+		}
+		seen[p] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("1000 keys hit only %d of 8 partitions", len(seen))
+	}
+}
