@@ -72,6 +72,7 @@ type options struct {
 	workers    int
 	partitions int
 	chunk      int
+	budget     int // per-partition buffered-pair bound inside workers; 0 = unbounded
 	q          int // reducer-size limit (paper's q); 0 = unlimited
 	lease      time.Duration
 	timeout    time.Duration
@@ -91,6 +92,7 @@ func main() {
 	flag.IntVar(&o.workers, "workers", 3, "worker processes")
 	flag.IntVar(&o.partitions, "partitions", 8, "shuffle partitions")
 	flag.IntVar(&o.chunk, "chunk", 0, "input lines per map task (0: auto)")
+	flag.IntVar(&o.budget, "budget", 0, "worker memory budget in buffered pairs per partition (0: unbounded)")
 	flag.IntVar(&o.q, "q", 0, "fail if any reducer receives more than q values (0: unlimited)")
 	flag.DurationVar(&o.lease, "lease", 2*time.Second, "task lease TTL")
 	flag.DurationVar(&o.timeout, "timeout", 2*time.Minute, "whole-run deadline")
@@ -117,6 +119,7 @@ func run(o options, out io.Writer) ([]wcOut, proc.Metrics, error) {
 		Workers:         o.workers,
 		Partitions:      o.partitions,
 		MapChunk:        o.chunk,
+		MemoryBudget:    o.budget,
 		Dir:             o.dir,
 		KeepDir:         o.keep,
 		LeaseTTL:        o.lease,
@@ -158,8 +161,8 @@ func run(o options, out io.Writer) ([]wcOut, proc.Metrics, error) {
 
 	fmt.Fprintf(out, "%d lines -> %d words in %v across %d workers\n",
 		met.MapInputs, met.Reducers, time.Since(start).Round(time.Millisecond), o.workers)
-	fmt.Fprintf(out, "pairs: emitted=%d shuffled=%d  boundary: spilled=%dB(+%dB index) read=%dB\n",
-		met.PairsEmitted, met.PairsShuffled, met.BytesSpilled, met.IndexBytesSpilled, met.DiskBytesRead)
+	fmt.Fprintf(out, "pairs: emitted=%d shuffled=%d peakResident=%d  boundary: spilled=%dB(+%dB index) read=%dB\n",
+		met.PairsEmitted, met.PairsShuffled, met.PeakResidentPairs, met.BytesSpilled, met.IndexBytesSpilled, met.DiskBytesRead)
 	fmt.Fprintf(out, "faults: deaths=%d leasesExpired=%d retries=%d+%d salvaged=%d speculative=%d\n",
 		met.WorkerDeaths, met.LeaseExpirations, met.MapRetries, met.ReduceRetries,
 		met.SalvagedTasks, met.Speculative)

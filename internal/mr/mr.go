@@ -169,10 +169,16 @@ type Config struct {
 	// lease fencing and manifest salvage. The job must be registered
 	// with RegisterProc in both the driver and worker binaries (by
 	// default the same binary, re-executed; see proc.MaybeWorker).
-	// Workers, MapChunk, Partitions, MaxReducerInput and Recorder carry
-	// over; in-process engine knobs (MemoryBudget, SpillDir,
-	// CompactionConcurrency, LegacyMerge, FailureEveryN, ...) do not
-	// apply in this mode. Outputs are identical either way.
+	// Workers, MapChunk, Partitions, MaxReducerInput, MemoryBudget and
+	// Recorder carry over — each map worker runs its own streaming
+	// shuffle under the budget, sealing sorted spool sections mid-task,
+	// and reduce workers merge-read the committed sections, so worker
+	// residency obeys the same bound the in-process engine proves
+	// (Metrics.PeakResidentPairs reports the worst attempt). Spilling
+	// needs no SpillDir here: the spool files ARE the spill. Remaining
+	// in-process knobs (SpillDir, CompactionConcurrency, LegacyMerge,
+	// FailureEveryN, ...) do not apply in this mode. Outputs are
+	// identical either way.
 	ProcMode bool
 	// ProcWorkerCommand is the argv spawned per worker process in
 	// ProcMode. Empty re-executes the current binary.

@@ -23,17 +23,21 @@ import (
 // placement function and must be a pure function of the key.
 func RegisterProc[I any, K comparable, V, O any](j *Job[I, K, V, O]) {
 	reduce := j.Reduce
+	batch := false
 	if reduce == nil {
-		// ProcMode decodes a fresh values slice per key, so the batch
-		// contract (values valid only during the call) is trivially met.
+		// A ReduceBatch job promises not to retain the values slice, so
+		// the proc reduce worker is told it may reuse one decode arena
+		// across keys (the batch contract's whole point).
 		reduce = j.ReduceBatch
+		batch = true
 	}
 	proc.Register(proc.JobSpec[I, K, V, O]{
-		Name:      j.Name,
-		Map:       j.Map,
-		Reduce:    reduce,
-		Combine:   j.Combine,
-		Partition: j.ShufflePartition,
+		Name:        j.Name,
+		Map:         j.Map,
+		Reduce:      reduce,
+		Combine:     j.Combine,
+		Partition:   j.ShufflePartition,
+		BatchReduce: batch,
 	})
 }
 
@@ -46,15 +50,18 @@ func MaybeProcWorker() { proc.MaybeWorker() }
 
 // runProc executes the job on the multi-process executor and maps the
 // proc run's metrics into the mr.Metrics shape. Fields that only exist
-// in-process (partition profile, spill pressure, resident peaks) stay
-// zero; BytesSpilled/IndexBytesSpilled/DiskBytesRead here are real
-// bytes over the process boundary — the spool files that carried the
-// shuffle.
+// in-process (partition profile, spill pressure) stay zero;
+// BytesSpilled/IndexBytesSpilled/DiskBytesRead here are real bytes over
+// the process boundary — the spool files that carried the shuffle —
+// and PeakResidentPairs is the worst buffered-pair high-water mark any
+// worker's task attempt observed, the same bound Config.MemoryBudget
+// enforces in-process.
 func (j *Job[I, K, V, O]) runProc(inputs []I) ([]O, Metrics, error) {
 	outs, pm, err := proc.Run[I, K, V, O](j.Name, inputs, proc.Options{
 		Workers:         j.Config.Workers,
 		Partitions:      j.Config.Partitions,
 		MapChunk:        j.Config.MapChunk,
+		MemoryBudget:    j.Config.MemoryBudget,
 		Dir:             j.Config.ProcDir,
 		WorkerCommand:   j.Config.ProcWorkerCommand,
 		LeaseTTL:        j.Config.ProcLeaseTTL,
@@ -79,6 +86,7 @@ func (j *Job[I, K, V, O]) runProc(inputs []I) ([]O, Metrics, error) {
 		BytesSpilled:      pm.BytesSpilled,
 		IndexBytesSpilled: pm.IndexBytesSpilled,
 		DiskBytesRead:     pm.DiskBytesRead,
+		PeakResidentPairs: pm.PeakResidentPairs,
 	}
 	if err != nil {
 		// The reducer-size limit crosses the RPC boundary as a fatal

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 )
 
@@ -35,6 +37,27 @@ func lanePID(kind LaneKind) int { return int(kind) }
 // so the output always validates.
 func WriteTrace(w io.Writer, r *Recorder) error {
 	return writeTraceLanes(w, r.Snapshot())
+}
+
+// WriteTraceFile writes WriteTrace output to path atomically enough
+// for post-mortems: the file appears complete or not at all (temp file
+// + rename), so a worker process exporting its trace at exit can be
+// killed without leaving a half-written JSON for tooling to choke on.
+func WriteTraceFile(path string, r *Recorder) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".trace-*")
+	if err != nil {
+		return err
+	}
+	if err := WriteTrace(f, r); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return os.Rename(f.Name(), path)
 }
 
 func writeTraceLanes(w io.Writer, lanes []LaneSnapshot) error {

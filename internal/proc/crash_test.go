@@ -7,24 +7,29 @@ package proc
 
 import (
 	"os"
+	"path/filepath"
 	"reflect"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/runfile"
 )
 
 // crashOptions is the shared shape: small lease TTL so fencing is
 // exercised quickly, a dwell knob so kills land mid-task, generous
-// timeout for slow CI.
+// timeout for slow CI. MemoryBudget comes from the CI matrix
+// (MRPROC_MEMBUDGET) so the same kills also land between mid-task
+// spills.
 func crashOptions(t *testing.T, extraEnv ...string) Options {
 	return Options{
-		Workers:    testWorkers(t),
-		Partitions: 5,
-		LeaseTTL:   time.Second,
-		Timeout:    90 * time.Second,
-		WorkerEnv:  append([]string{"MR_PROC_SLOW_MS=25"}, extraEnv...),
+		Workers:      testWorkers(t),
+		Partitions:   5,
+		MemoryBudget: testMemBudget(t),
+		LeaseTTL:     time.Second,
+		Timeout:      90 * time.Second,
+		WorkerEnv:    append([]string{"MR_PROC_SLOW_MS=25"}, extraEnv...),
 	}
 }
 
@@ -158,6 +163,55 @@ func TestKill9MidSectionReexecutes(t *testing.T) {
 	}
 	if met.MapRetries < 1 {
 		t.Errorf("MapRetries = %d, want >= 1 (torn task must re-run)", met.MapRetries)
+	}
+}
+
+// TestKill9UnderSpill runs with a MemoryBudget small enough that every
+// map task spills multiple sections per partition, and kills a worker
+// inside the third task's spill sequence — after earlier sections of
+// the same attempt already hit the spool. The retry must supersede ALL
+// of the fenced attempt's sections (committed and torn alike) and the
+// output must stay byte-identical to the single-process reference.
+func TestKill9UnderSpill(t *testing.T) {
+	lines := genLines(120)
+	opts := crashOptions(t, "MR_PROC_KILL=map-torn:2")
+	opts.MemoryBudget = 8
+	opts.Dir = t.TempDir()
+	outs, met, err := Run[string, string, int, wcOut]("wordcount", lines, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(outs, refWordCount(lines, opts.Partitions)) {
+		t.Fatal("output after kill -9 under spill pressure diverges from single-process reference")
+	}
+	if met.WorkerDeaths < 1 {
+		t.Errorf("WorkerDeaths = %d, want >= 1", met.WorkerDeaths)
+	}
+	if met.MapRetries < 1 {
+		t.Errorf("MapRetries = %d, want >= 1 (torn task must re-run)", met.MapRetries)
+	}
+	// The kill must have landed mid-spill: some committed attempt in the
+	// manifests carries a section with Seq >= 1.
+	manifests, err := filepath.Glob(filepath.Join(opts.Dir, "manifest-*.log"))
+	if err != nil || len(manifests) == 0 {
+		t.Fatalf("no manifests found: %v", err)
+	}
+	multiSection := false
+	for _, mp := range manifests {
+		entries, err := readManifest(runfile.OSFS, mp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			for _, sec := range e.Sections {
+				if sec.Seq >= 1 {
+					multiSection = true
+				}
+			}
+		}
+	}
+	if !multiSection {
+		t.Error("no multi-section attempt in any manifest: the budget never forced a mid-task spill")
 	}
 }
 

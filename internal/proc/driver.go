@@ -210,6 +210,9 @@ func (d *Driver) spawnWorker() error {
 		envJob+"="+d.jobName,
 		envID+"="+id,
 	)
+	if d.opts.WorkerTraceDir != "" {
+		cmd.Env = append(cmd.Env, envTraceDir+"="+d.opts.WorkerTraceDir)
+	}
 	cmd.Env = append(cmd.Env, d.opts.WorkerEnv...)
 	cmd.Stdout = os.Stderr
 	cmd.Stderr = os.Stderr
@@ -305,7 +308,7 @@ func (d *Driver) salvageLocked(wp *workerProc) {
 		}
 		d.met.SalvagedTasks++
 		wp.lane.Instant(obs.OpSalvage, int64(e.Task), int64(e.Attempt))
-		d.acceptMapLocked(e.Task, e.Attempt, wp.id, e.Sections, e.PairsEmitted)
+		d.acceptMapLocked(e.Task, e.Attempt, wp.id, e.Sections, e.PairsEmitted, e.PeakResident)
 	}
 }
 
@@ -386,6 +389,7 @@ func (d *Driver) grantMapLocked(id int, worker string) Task {
 	return Task{
 		Kind: TaskMap, ID: id, Attempt: attempt,
 		Lo: spec.lo, Hi: spec.hi, Partitions: d.parts,
+		MemoryBudget:   d.opts.MemoryBudget,
 		HeartbeatEvery: d.hbEvery,
 	}
 }
@@ -448,7 +452,7 @@ func (d *Driver) mapDone(rep MapReport) bool {
 		return false
 	}
 	lane.End(obs.OpProcMapTask, int64(rep.Task), 0)
-	d.acceptMapLocked(rep.Task, rep.Attempt, rep.Worker, rep.Sections, rep.PairsEmitted)
+	d.acceptMapLocked(rep.Task, rep.Attempt, rep.Worker, rep.Sections, rep.PairsEmitted, rep.PeakResident)
 	return true
 }
 
@@ -456,9 +460,12 @@ func (d *Driver) mapDone(rep MapReport) bool {
 // its sections become reduce input and the spill accounting — the bytes
 // that actually crossed the process boundary. Called with d.mu held,
 // after the lease table accepted the completion.
-func (d *Driver) acceptMapLocked(task, attempt int, worker string, secs []Section, pairsEmitted int64) {
+func (d *Driver) acceptMapLocked(task, attempt int, worker string, secs []Section, pairsEmitted, peakResident int64) {
 	d.mapSections[task] = secs
 	d.met.PairsEmitted += pairsEmitted
+	if peakResident > d.met.PeakResidentPairs {
+		d.met.PeakResidentPairs = peakResident
+	}
 	for _, sec := range secs {
 		d.met.BytesSpilled += sec.DataBytes
 		d.met.IndexBytesSpilled += sec.IndexBytes
@@ -519,6 +526,9 @@ func (d *Driver) reduceDone(rep ReduceReport) bool {
 	lane.End(obs.OpProcReduceTask, int64(rep.Part), 0)
 	d.reduceOut[rep.Part] = rep
 	d.met.DiskBytesRead += rep.BytesRead
+	if rep.PeakResident > d.met.PeakResidentPairs {
+		d.met.PeakResidentPairs = rep.PeakResident
+	}
 	d.reducesDone++
 	if d.reducesDone == len(d.reduceParts) {
 		d.finishLocked()

@@ -73,9 +73,11 @@ func (s *spoolSet) file(part int) (*spoolFile, error) {
 // the write callback emits the sorted groups through the runfile.Writer
 // (and is where crash-injection knobs fire mid-section), then the
 // section is finished (footer + trailer) and its coordinates returned.
-// A crash anywhere before the caller's manifest commit leaves only a
-// torn or unreferenced byte range that no reader will ever be handed.
-func (s *spoolSet) appendSection(task, attempt, part int, write func(w *runfile.Writer) error) (Section, error) {
+// seq orders the sections one attempt writes for one partition (a task
+// under memory pressure seals the same partition repeatedly). A crash
+// anywhere before the caller's manifest commit leaves only a torn or
+// unreferenced byte range that no reader will ever be handed.
+func (s *spoolSet) appendSection(task, attempt, part, seq int, write func(w *runfile.Writer) error) (Section, error) {
 	sf, err := s.file(part)
 	if err != nil {
 		return Section{}, err
@@ -103,6 +105,7 @@ func (s *spoolSet) appendSection(task, attempt, part int, write func(w *runfile.
 		Task:       task,
 		Attempt:    attempt,
 		Part:       part,
+		Seq:        seq,
 	}
 	sf.off += w.BytesWritten()
 	return sec, nil
@@ -126,6 +129,9 @@ type manifestEntry struct {
 	Task         int
 	Attempt      int
 	PairsEmitted int64
+	// PeakResident is the attempt's buffered-pair high-water mark,
+	// committed alongside the sections so salvage preserves the metric.
+	PeakResident int64
 	Sections     []Section
 }
 
@@ -225,14 +231,4 @@ func validateSection(fs runfile.FS, sec Section) error {
 			sec.Path, sec.Offset, sec.Length, len(idx), pairs, sec.Groups, sec.Pairs)
 	}
 	return nil
-}
-
-// openSection opens a committed section for streaming reads, returning
-// the run-file reader positioned at its header and a close func.
-func openSection(fs runfile.FS, sec Section) (*runfile.Reader, func() error, error) {
-	f, err := fs.Open(sec.Path)
-	if err != nil {
-		return nil, nil, fmt.Errorf("proc: opening spool %s: %w", sec.Path, err)
-	}
-	return runfile.NewReader(io.NewSectionReader(f, sec.Offset, sec.Length)), f.Close, nil
 }

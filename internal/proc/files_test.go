@@ -16,7 +16,7 @@ func buildSection(t *testing.T, dir string) Section {
 	t.Helper()
 	ss := newSpoolSet(dir, "w0")
 	defer ss.closeAll()
-	sec, err := ss.appendSection(0, 0, 0, func(w *runfile.Writer) error {
+	sec, err := ss.appendSection(0, 0, 0, 0, func(w *runfile.Writer) error {
 		groups := []struct {
 			key  string
 			vals []string
@@ -65,7 +65,7 @@ func TestValidateSectionAppended(t *testing.T) {
 	first := buildSection(t, dir)
 	ss := newSpoolSet(dir, "w0")
 	defer ss.closeAll()
-	second, err := ss.appendSection(1, 0, 0, func(w *runfile.Writer) error {
+	second, err := ss.appendSection(1, 0, 0, 0, func(w *runfile.Writer) error {
 		if err := w.BeginGroup([]byte("gamma"), 1); err != nil {
 			return err
 		}

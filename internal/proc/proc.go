@@ -63,12 +63,18 @@ type JobSpec[I any, K comparable, V, O any] struct {
 	Reduce func(key K, values []V, emit func(O))
 	// Combine optionally pre-aggregates one key's values inside a map
 	// task before the pairs cross the process boundary. Must satisfy
-	// reduce(k, combine(vs)) == reduce(k, vs).
+	// reduce(k, combine(vs)) == reduce(k, vs), and under a MemoryBudget
+	// it is applied repeatedly (at every seal), so it must also tolerate
+	// combine(append(combine(a), b...)) — associative pre-aggregation.
 	Combine func(key K, values []V) []V
 	// Partition optionally overrides key placement onto partitions. It
 	// MUST be a pure function of the key (it runs in every worker
 	// process); the default is shuffle.StableHasher.
 	Partition func(K) int
+	// BatchReduce declares that Reduce does not retain the values slice
+	// after returning, letting reduce workers reuse one decode arena
+	// across keys instead of allocating a fresh slice per key.
+	BatchReduce bool
 }
 
 // Options configures a multi-process run.
@@ -81,6 +87,12 @@ type Options struct {
 	// MapChunk is the number of input records per map task. Zero targets
 	// ~4 tasks per worker.
 	MapChunk int
+	// MemoryBudget bounds each map worker's buffered pairs per partition:
+	// a partition whose live run reaches this many pairs is sealed
+	// (combined, sorted) and written to the spool as one section, inside
+	// the worker, mid-task. Zero disables the bound — each task writes
+	// one section per non-empty partition, all of it resident at once.
+	MemoryBudget int
 	// Dir is the job's scratch directory (inputs, spools, outputs,
 	// manifests, socket). Empty creates a temp dir, removed when the
 	// run finishes.
@@ -125,6 +137,11 @@ type Options struct {
 	// use the real filesystem — faults are injected there by killing
 	// them.
 	FS runfile.FS
+	// WorkerTraceDir, when set, makes every worker process record its
+	// own task-execution events (including its shuffle's seal and block
+	// lanes) and write a Perfetto trace named trace-<worker>.json into
+	// this directory when it exits cleanly.
+	WorkerTraceDir string
 	// Hooks are test seams; see Hooks.
 	Hooks Hooks
 }
@@ -218,6 +235,14 @@ type Metrics struct {
 	IndexBytesSpilled int64
 	DiskBytesRead     int64
 
+	// PeakResidentPairs is the largest buffered-pair high-water mark any
+	// accepted (or salvaged) task attempt observed inside a worker: map
+	// attempts report their shuffle's resident peak, reduce attempts the
+	// largest single group the merge held decoded. With a MemoryBudget
+	// set this stays near P*MemoryBudget + BlockPairs regardless of
+	// input size — the bound the paper's q-tradeoff needs enforced.
+	PeakResidentPairs int64
+
 	// MapRetries and ReduceRetries count task re-grants beyond the
 	// first (lease expiry, worker death, speculation, reported
 	// failures). WorkerDeaths counts worker processes that exited
@@ -240,12 +265,12 @@ type runnable interface {
 	// loadInputs decodes the driver's input file into a typed slice,
 	// returning it opaquely plus the record count.
 	loadInputs(path string) (any, int, error)
-	// runMapTask maps records [lo, hi) of the loaded inputs, partitions
-	// and sorts the pairs, and appends one section per non-empty
-	// partition to the worker's spools.
+	// runMapTask maps records [lo, hi) of the loaded inputs through a
+	// streaming shuffle under the task's MemoryBudget, appending each
+	// sealed run to the worker's spools as one fenced section.
 	runMapTask(ws *workerState, inputs any, t Task) (MapReport, error)
-	// runReduceTask merges the task's sections, reduces every group,
-	// and writes the partition's output file.
+	// runReduceTask merge-reads the task's sections, reduces every
+	// group as it surfaces, and writes the partition's output file.
 	runReduceTask(ws *workerState, t Task) (ReduceReport, error)
 }
 

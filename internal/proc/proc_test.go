@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/runfile"
 	"repro/internal/shuffle"
 )
 
@@ -67,6 +68,7 @@ func registerTestJobs() {
 			emit(wcOut{Word: k, Count: s})
 		},
 	})
+	registerOrderJob()
 }
 
 // genLines builds a deterministic corpus with repeated words and skew.
@@ -118,15 +120,37 @@ func testWorkers(t *testing.T) int {
 	return 3
 }
 
+// testMemBudget reads the CI matrix's MemoryBudget column so the whole
+// crash suite also runs with tiny worker budgets (mid-task spills
+// everywhere); default 0 = unbounded, one section per partition.
+func testMemBudget(t *testing.T) int {
+	if s := os.Getenv("MRPROC_MEMBUDGET"); s != "" {
+		var n int
+		if _, err := fmt.Sscanf(s, "%d", &n); err == nil && n >= 0 {
+			return n
+		}
+		t.Fatalf("bad MRPROC_MEMBUDGET=%q", s)
+	}
+	return 0
+}
+
 func TestProcRunClean(t *testing.T) {
+	t.Run("unbounded", func(t *testing.T) { testProcRunClean(t, 0) })
+	// Inputs (480 pairs) far exceed the budget: every map task must
+	// spill mid-task, and the resident high-water mark stays bounded.
+	t.Run("budget8", func(t *testing.T) { testProcRunClean(t, 8) })
+}
+
+func testProcRunClean(t *testing.T, budget int) {
 	lines := genLines(120)
 	const parts = 5
 	dir := t.TempDir()
 	outs, met, err := Run[string, string, int, wcOut]("wordcount", lines, Options{
-		Workers:    testWorkers(t),
-		Partitions: parts,
-		Dir:        dir,
-		Timeout:    90 * time.Second,
+		Workers:      testWorkers(t),
+		Partitions:   parts,
+		MemoryBudget: budget,
+		Dir:          dir,
+		Timeout:      90 * time.Second,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -174,6 +198,50 @@ func TestProcRunClean(t *testing.T) {
 	}
 	if met.BytesSpilled <= 0 || met.DiskBytesRead <= 0 {
 		t.Errorf("boundary accounting empty: %+v", met)
+	}
+
+	if met.PeakResidentPairs <= 0 {
+		t.Errorf("PeakResidentPairs = %d, want > 0", met.PeakResidentPairs)
+	}
+	if budget > 0 {
+		// Map side: 8 internal partitions (5 rounded up) × budget, plus
+		// one staging block (min 16 pairs). Reduce side: the largest
+		// single group, which merge-read cannot shrink below.
+		mapBound := int64(8*budget + 16)
+		bound := mapBound
+		if met.MaxReducerInput > bound {
+			bound = met.MaxReducerInput
+		}
+		if bound >= met.PairsEmitted {
+			t.Fatalf("bound %d is not smaller than the input (%d pairs); the test proves nothing", bound, met.PairsEmitted)
+		}
+		if met.PeakResidentPairs > bound {
+			t.Errorf("PeakResidentPairs = %d exceeds the memory bound %d", met.PeakResidentPairs, bound)
+		}
+		// Mid-task spill evidence: some task committed more than one
+		// section for a partition (Seq >= 1), i.e. pressure sealed part
+		// of its output before the task finished.
+		manifests, err := filepath.Glob(filepath.Join(dir, "manifest-*.log"))
+		if err != nil || len(manifests) == 0 {
+			t.Fatalf("no manifests found: %v", err)
+		}
+		spilled := false
+		for _, mp := range manifests {
+			entries, err := readManifest(runfile.OSFS, mp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range entries {
+				for _, sec := range e.Sections {
+					if sec.Seq >= 1 {
+						spilled = true
+					}
+				}
+			}
+		}
+		if !spilled {
+			t.Error("no section with Seq >= 1: no map task spilled mid-task under the budget")
+		}
 	}
 }
 

@@ -40,10 +40,15 @@ type Section struct {
 	// distinct keys.
 	Pairs  int64
 	Groups int64
-	// Task and Attempt fence the section; Part is its partition.
+	// Task and Attempt fence the section; Part is its partition. Seq
+	// orders the sections one attempt wrote for one partition: under a
+	// small MemoryBudget a map task spills the same partition several
+	// times, and the reduce merge must replay those spills in emission
+	// order to stay byte-identical with the in-process engine.
 	Task    int
 	Attempt int
 	Part    int
+	Seq     int
 }
 
 // Task is one assignment (or a Wait/Exit directive).
@@ -52,9 +57,12 @@ type Task struct {
 	ID      int // map task ordinal, or reduce partition
 	Attempt int
 
-	// Map fields.
-	Lo, Hi     int
-	Partitions int
+	// Map fields. MemoryBudget is the per-partition buffered-pair bound
+	// the worker's streaming shuffle must respect (0 = unbounded, one
+	// section per partition).
+	Lo, Hi       int
+	Partitions   int
+	MemoryBudget int
 
 	// Reduce fields: the committed input sections in map-task order.
 	Sections        []Section
@@ -104,6 +112,9 @@ type MapReport struct {
 	Attempt      int
 	PairsEmitted int64
 	Sections     []Section
+	// PeakResident is the attempt's high-water buffered pair count
+	// inside the worker's shuffle (the memory bound being enforced).
+	PeakResident int64
 	Err          string
 	// Fatal marks errors retrying cannot fix (an unregistered job, an
 	// unencodable key type): the driver fails the job instead of
@@ -123,8 +134,11 @@ type ReduceReport struct {
 	MaxGroup  int64
 	PairsIn   int64
 	BytesRead int64
-	Err       string
-	Fatal     bool
+	// PeakResident is the attempt's high-water resident pair count: the
+	// largest single group the k-way merge held decoded at once.
+	PeakResident int64
+	Err          string
+	Fatal        bool
 }
 
 // Ack is the driver's answer to a report.

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/runfile"
 	"repro/internal/shuffle"
 )
@@ -38,6 +39,9 @@ const (
 	envDir    = "MR_PROC_DIR"    // job scratch directory
 	envJob    = "MR_PROC_JOB"    // registered job name
 	envID     = "MR_PROC_ID"     // this worker's identity
+
+	// Observability (Options.WorkerTraceDir).
+	envTraceDir = "MR_PROC_TRACE" // dir for per-worker Perfetto traces
 
 	// Test knobs (crash injection; see crashPoint).
 	envSlowMS = "MR_PROC_SLOW_MS" // dwell this many ms inside every task
@@ -100,6 +104,14 @@ type workerState struct {
 	killPoint string        // crash point name ("" disables)
 	killID    int           // task/partition the crash point is armed for
 
+	// rec is this process's own recorder (non-nil only when the driver
+	// set MR_PROC_TRACE): task spans land on lane, and each map task's
+	// shuffle emits its seal/block events on partition lanes inside it.
+	// The trace is exported to traceFile on clean exit.
+	rec       *obs.Recorder
+	lane      *obs.Ring
+	traceFile string
+
 	// scratch buffers reused across groups.
 	kbuf, vbuf []byte
 }
@@ -135,6 +147,15 @@ func newWorkerState(id, dir, socket string) (*workerState, error) {
 			}
 		}
 	}
+	if tdir := os.Getenv(envTraceDir); tdir != "" {
+		ws.rec = obs.NewRecorder(0)
+		seq := 0
+		if n, err := strconv.Atoi(strings.TrimPrefix(id, "w")); err == nil {
+			seq = n
+		}
+		ws.lane = ws.rec.Lane(obs.LaneProc, seq)
+		ws.traceFile = filepath.Join(tdir, "trace-"+id+".json")
+	}
 	return ws, nil
 }
 
@@ -142,6 +163,11 @@ func (ws *workerState) close() {
 	ws.spools.closeAll()
 	if ws.manifest != nil {
 		ws.manifest.close()
+	}
+	if ws.rec != nil {
+		if err := obs.WriteTraceFile(ws.traceFile, ws.rec); err != nil {
+			fmt.Fprintf(os.Stderr, "mrworker %s: dropping trace: %v\n", ws.id, err)
+		}
 	}
 	ws.client.Close()
 }
@@ -226,6 +252,10 @@ func (ws *workerState) loop(job runnable) error {
 // runTask executes one assignment under a heartbeat, converting an
 // execution error into a failure report.
 func (ws *workerState) runTask(kind TaskKind, t Task, run func() (any, error)) any {
+	op := obs.OpProcMapTask
+	if kind == TaskReduce {
+		op = obs.OpProcReduceTask
+	}
 	done := make(chan struct{})
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -233,12 +263,25 @@ func (ws *workerState) runTask(kind TaskKind, t Task, run func() (any, error)) a
 		defer wg.Done()
 		ws.heartbeatLoop(done, kind, t.ID, t.Attempt, t.HeartbeatEvery)
 	}()
-	if ws.slow > 0 {
-		time.Sleep(ws.slow)
+	rep, err := func() (any, error) {
+		// Stop the heartbeat (and reap its goroutine) on every way out of
+		// the task body — success, error, or a panic unwinding through us
+		// — so no ticker or goroutine outlives its task.
+		defer func() {
+			close(done)
+			wg.Wait()
+		}()
+		ws.lane.Begin(op, int64(t.ID), int64(t.Attempt))
+		if ws.slow > 0 {
+			time.Sleep(ws.slow)
+		}
+		return run()
+	}()
+	if err != nil {
+		ws.lane.End(op, int64(t.ID), 1)
+	} else {
+		ws.lane.End(op, int64(t.ID), 0)
 	}
-	rep, err := run()
-	close(done)
-	wg.Wait()
 	if err == nil {
 		return rep
 	}
@@ -305,11 +348,89 @@ func isFatal(err error) bool {
 	return errors.As(err, &f)
 }
 
-// runMapTask maps records [Lo, Hi), partitions pairs with the job's
-// stable placement, optionally combines, and writes one sorted run-file
-// section per non-empty partition to this worker's spools — then
-// commits the whole task with one manifest record before reporting.
-// The manifest write is the task's durability point.
+// sectionSink receives a map-task shuffle's sealed runs and writes each
+// as one fenced spool section — the seam that marries the streaming
+// data path's pressure relief to the per-task section + manifest commit
+// protocol. Seals arrive single-threaded while the task is mapping, but
+// Ingester.Finish drains partitions on parallel workers, so writes are
+// serialized under mu (the spool set shares one runfile.Writer).
+type sectionSink[K comparable, V any] struct {
+	mu      sync.Mutex
+	ws      *workerState
+	task    int
+	attempt int
+	seq     map[int]int // next section ordinal per partition
+	secs    []Section
+}
+
+// write appends one sealed run (post-combine, keys sorted) as a spool
+// section. The torn-section crash knob arms only inside the task's
+// first section, matching the pre-streaming injection point: the spool
+// gets a headerful of bytes with no footer and no manifest record.
+func (sk *sectionSink[K, V]) write(part int, keys []K, groups map[K][]V) error {
+	sk.mu.Lock()
+	defer sk.mu.Unlock()
+	ws := sk.ws
+	arm := len(sk.secs) == 0
+	sec, err := ws.spools.appendSection(sk.task, sk.attempt, part, sk.seq[part], func(w *runfile.Writer) error {
+		for gi, k := range keys {
+			kb, err := runfile.Append(ws.kbuf[:0], k)
+			if err != nil {
+				return fatal(fmt.Errorf("proc: encoding key: %w", err))
+			}
+			ws.kbuf = kb
+			vs := groups[k]
+			if err := w.BeginGroup(kb, len(vs)); err != nil {
+				return err
+			}
+			for _, v := range vs {
+				vb, err := runfile.Append(ws.vbuf[:0], v)
+				if err != nil {
+					return fatal(fmt.Errorf("proc: encoding value: %w", err))
+				}
+				ws.vbuf = vb
+				if err := w.AppendValue(vb); err != nil {
+					return err
+				}
+			}
+			if arm && gi == len(keys)/2 {
+				ws.crashPoint("map-torn", sk.task, func() { w.Flush() })
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	sk.seq[part]++
+	sk.secs = append(sk.secs, sec)
+	return nil
+}
+
+// sections returns everything written, in (Part, Seq) order — the
+// parallel Finish drain interleaves partitions nondeterministically,
+// so the manifest must not record arrival order.
+func (sk *sectionSink[K, V]) sections() []Section {
+	sort.Slice(sk.secs, func(i, j int) bool {
+		if sk.secs[i].Part != sk.secs[j].Part {
+			return sk.secs[i].Part < sk.secs[j].Part
+		}
+		return sk.secs[i].Seq < sk.secs[j].Seq
+	})
+	return sk.secs
+}
+
+// runMapTask maps records [Lo, Hi) through a worker-local streaming
+// shuffle: pairs route through an Ingester under the job's
+// MemoryBudget, so pressure relief, combiner push-down, and
+// spill-as-sorted-sections all happen inside the worker, mid-task —
+// resident pairs stay bounded by P*MemoryBudget + BlockPairs instead
+// of the task's output size. Every sealed run lands in the spools as
+// one fenced section via sectionSink; the task then commits all its
+// sections with one manifest record before reporting (the manifest
+// write is still the task's durability point, and with MemoryBudget
+// zero the layout degenerates to the pre-streaming one section per
+// non-empty partition).
 func (j *jobImpl[I, K, V, O]) runMapTask(ws *workerState, inputs any, t Task) (MapReport, error) {
 	ins, ok := inputs.([]I)
 	if !ok {
@@ -318,89 +439,74 @@ func (j *jobImpl[I, K, V, O]) runMapTask(ws *workerState, inputs any, t Task) (M
 	if t.Lo < 0 || t.Hi > len(ins) || t.Lo > t.Hi {
 		return MapReport{}, fatal(fmt.Errorf("proc: map task %d range [%d,%d) outside %d inputs", t.ID, t.Lo, t.Hi, len(ins)))
 	}
+	if err := ws.ensureManifest(); err != nil {
+		return MapReport{}, err
+	}
+	// The scratch dir holds only the shuffle's transient pressure-swap
+	// stash files, never committed sections — keeping it out of the job
+	// dir's spool namespace keeps spool accounting literal.
+	scratch := filepath.Join(ws.dir, "scratch-"+ws.id)
+	if err := os.MkdirAll(scratch, 0o755); err != nil {
+		return MapReport{}, fmt.Errorf("proc: creating worker scratch dir: %w", err)
+	}
+	sh := shuffle.New[K, V](shuffle.Options{
+		Partitions:       t.Partitions,
+		MaxBufferedPairs: t.MemoryBudget,
+		SpillDir:         scratch,
+		Recorder:         ws.rec,
+	})
+	defer sh.Close()
 	var hasher shuffle.StableHasher[K]
-	parts := make([]map[K][]V, t.Partitions)
-	var pairsEmitted int64
 	var emitErr error
+	sh.SetPartitioner(func(k K) int {
+		p, err := j.partition(&hasher, k, t.Partitions)
+		if err != nil {
+			if emitErr == nil {
+				emitErr = err
+			}
+			return 0
+		}
+		return p
+	})
+	if j.spec.Combine != nil {
+		sh.SetCombiner(j.spec.Combine)
+	}
+	sink := &sectionSink[K, V]{ws: ws, task: t.ID, attempt: t.Attempt, seq: make(map[int]int)}
+	sh.SetSealSink(sink.write)
+
+	// One ingester sub-task per input record, committed in order: the
+	// watermark advances continuously, so absorption (and the seals it
+	// triggers) overlaps mapping and fires at deterministic points —
+	// the map loop is single-threaded, which is what makes re-executed
+	// attempts byte-identical.
+	in := sh.NewIngester()
+	var pairsEmitted int64
 	for i := t.Lo; i < t.Hi; i++ {
+		tw := in.Task(i-t.Lo, 0)
 		j.spec.Map(ins[i], func(k K, v V) {
 			pairsEmitted++
 			if emitErr != nil {
 				return
 			}
-			p, err := j.partition(&hasher, k, t.Partitions)
-			if err != nil {
-				emitErr = err
-				return
-			}
-			if parts[p] == nil {
-				parts[p] = make(map[K][]V)
-			}
-			parts[p][k] = append(parts[p][k], v)
+			tw.Emit(k, v)
 		})
-	}
-	if emitErr != nil {
-		return MapReport{}, fatal(fmt.Errorf("proc: partitioning map task %d: %w", t.ID, emitErr))
-	}
-	if j.spec.Combine != nil {
-		for _, m := range parts {
-			for k, vs := range m {
-				m[k] = j.spec.Combine(k, vs)
-			}
+		if err := tw.Commit(); err != nil {
+			return MapReport{}, fmt.Errorf("proc: streaming map task %d: %w", t.ID, err)
+		}
+		if emitErr != nil {
+			return MapReport{}, fatal(fmt.Errorf("proc: partitioning map task %d: %w", t.ID, emitErr))
 		}
 	}
-	if err := ws.ensureManifest(); err != nil {
-		return MapReport{}, err
+	if err := in.Finish(); err != nil {
+		return MapReport{}, fmt.Errorf("proc: draining map task %d: %w", t.ID, err)
 	}
-	var secs []Section
-	for p := 0; p < t.Partitions; p++ {
-		m := parts[p]
-		if len(m) == 0 {
-			continue
-		}
-		keys := make([]K, 0, len(m))
-		for k := range m {
-			keys = append(keys, k)
-		}
-		shuffle.SortKeys(keys)
-		sec, err := ws.spools.appendSection(t.ID, t.Attempt, p, func(w *runfile.Writer) error {
-			for gi, k := range keys {
-				kb, err := runfile.Append(ws.kbuf[:0], k)
-				if err != nil {
-					return fatal(fmt.Errorf("proc: encoding key: %w", err))
-				}
-				ws.kbuf = kb
-				vs := m[k]
-				if err := w.BeginGroup(kb, len(vs)); err != nil {
-					return err
-				}
-				for _, v := range vs {
-					vb, err := runfile.Append(ws.vbuf[:0], v)
-					if err != nil {
-						return fatal(fmt.Errorf("proc: encoding value: %w", err))
-					}
-					ws.vbuf = vb
-					if err := w.AppendValue(vb); err != nil {
-						return err
-					}
-				}
-				if gi == len(keys)/2 {
-					// Torn-section injection: push the half-written section
-					// into the kernel, then die before Finish — the spool
-					// gets a headerful of bytes with no footer and no
-					// manifest record.
-					ws.crashPoint("map-torn", t.ID, func() { w.Flush() })
-				}
-			}
-			return nil
-		})
-		if err != nil {
-			return MapReport{}, err
-		}
-		secs = append(secs, sec)
+	if err := sh.SealAllLive(); err != nil {
+		return MapReport{}, fmt.Errorf("proc: final seal of map task %d: %w", t.ID, err)
 	}
+	secs := sink.sections()
+	peak := sh.PeakResidentPairs()
 	if err := ws.manifest.commit(manifestEntry{
-		Task: t.ID, Attempt: t.Attempt, PairsEmitted: pairsEmitted, Sections: secs,
+		Task: t.ID, Attempt: t.Attempt, PairsEmitted: pairsEmitted, PeakResident: peak, Sections: secs,
 	}); err != nil {
 		return MapReport{}, err
 	}
@@ -409,44 +515,128 @@ func (j *jobImpl[I, K, V, O]) runMapTask(ws *workerState, inputs any, t Task) (M
 	ws.crashPoint("map-manifest", t.ID, nil)
 	return MapReport{
 		Worker: ws.id, Task: t.ID, Attempt: t.Attempt,
-		PairsEmitted: pairsEmitted, Sections: secs,
+		PairsEmitted: pairsEmitted, Sections: secs, PeakResident: peak,
 	}, nil
 }
 
-// runReduceTask merges the partition's committed sections in map-task
-// order, reduces every group in canonical key order, and writes the
-// partition's output file (gob: group count, then outGroups).
+// runReduceTask streams a k-way merge over the partition's committed
+// sections — each a sorted run, ordered (Task, Attempt, Seq) by the
+// driver — reducing every group in canonical key order as it surfaces
+// and writing the partition's output file (gob: group count, then
+// outGroups). Only the sections' indexes and one decoded group are
+// resident at a time: the memory bound is the merge fan-in plus the
+// largest single group, not the partition size.
 func (j *jobImpl[I, K, V, O]) runReduceTask(ws *workerState, t Task) (ReduceReport, error) {
 	ws.crashPoint("reduce", t.ID, nil)
-	acc := make(map[K][]V)
+	// One handle per distinct spool file; every cursor reads through it
+	// with positioned reads, no seek state to share.
+	files := make(map[string]*os.File)
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	// mergeCursor is one section's position in the merge. curs stays in
+	// section (task, attempt, seq) order throughout — gathering a key's
+	// values by ascending scan is what preserves the value-order
+	// contract across seal splits.
+	type mergeCursor struct {
+		sc  *runfile.SectionCursor
+		key K
+	}
+	var curs []*mergeCursor
 	var pairsIn, bytesRead int64
 	for _, sec := range t.Sections {
-		if err := j.accumulateSection(ws, sec, acc, &pairsIn); err != nil {
-			return ReduceReport{}, err
+		f, ok := files[sec.Path]
+		if !ok {
+			var err error
+			f, err = os.Open(sec.Path)
+			if err != nil {
+				return ReduceReport{}, fmt.Errorf("proc: opening spool %s: %w", sec.Path, err)
+			}
+			files[sec.Path] = f
+		}
+		sc, err := runfile.NewSectionCursor(io.NewSectionReader(f, sec.Offset, sec.Length), sec.Length, sec.DataBytes)
+		if err != nil {
+			return ReduceReport{}, fmt.Errorf("proc: section %s@%d+%d unreadable: %w", sec.Path, sec.Offset, sec.Length, err)
 		}
 		bytesRead += sec.DataBytes
+		if !sc.Next() {
+			continue
+		}
+		k, err := runfile.Decode[K](sc.Key())
+		if err != nil {
+			return ReduceReport{}, fatal(fmt.Errorf("proc: decoding key: %w", err))
+		}
+		curs = append(curs, &mergeCursor{sc: sc, key: k})
 	}
-	keys := make([]K, 0, len(acc))
-	for k := range acc {
-		keys = append(keys, k)
-	}
-	shuffle.SortKeys(keys)
 
-	var maxGroup int64
-	var outputs int64
-	groups := make([]outGroup[K, O], 0, len(keys))
-	for _, k := range keys {
-		vs := acc[k]
-		if t.MaxReducerInput > 0 && len(vs) > t.MaxReducerInput {
+	less := shuffle.KeyLess[K]()
+	var vb runfile.ValueBatch
+	var vals []V
+	var keys, outputs, maxGroup int64
+	var groups []outGroup[K, O]
+	for len(curs) > 0 {
+		// Select the minimum key by linear scan: the fan-in is the
+		// partition's section count — small next to the decode work per
+		// group — and group membership below is decided by ==, so even
+		// distinct keys the fallback comparator cannot separate gather
+		// correctly.
+		mi := 0
+		for i := 1; i < len(curs); i++ {
+			if less(curs[i].key, curs[mi].key) {
+				mi = i
+			}
+		}
+		k := curs[mi].key
+		var total int64
+		for _, c := range curs {
+			if c.key == k {
+				total += c.sc.Count()
+			}
+		}
+		if t.MaxReducerInput > 0 && total > int64(t.MaxReducerInput) {
 			return ReduceReport{}, fatal(fmt.Errorf(
-				"proc: reducer for a key in partition %d received %d values, limit %d", t.ID, len(vs), t.MaxReducerInput))
+				"proc: reducer for a key in partition %d received %d values, limit %d", t.ID, total, t.MaxReducerInput))
 		}
-		if int64(len(vs)) > maxGroup {
-			maxGroup = int64(len(vs))
+		if total > maxGroup {
+			maxGroup = total
 		}
-		g := outGroup[K, O]{Key: k, Load: len(vs)}
-		j.spec.Reduce(k, vs, func(o O) { g.Outs = append(g.Outs, o) })
+		if j.spec.BatchReduce {
+			vals = vals[:0] // reduce released the arena; reuse it
+		} else {
+			vals = nil // reduce may retain the slice; give each key its own
+		}
+		for i := 0; i < len(curs); {
+			c := curs[i]
+			if c.key != k {
+				i++
+				continue
+			}
+			if err := c.sc.Values(&vb); err != nil {
+				return ReduceReport{}, fmt.Errorf("proc: reading values in partition %d: %w", t.ID, err)
+			}
+			var err error
+			vals, err = runfile.DecodeBatch[V](&vb, vals)
+			if err != nil {
+				return ReduceReport{}, fatal(fmt.Errorf("proc: decoding values: %w", err))
+			}
+			pairsIn += c.sc.Count()
+			if c.sc.Next() {
+				nk, err := runfile.Decode[K](c.sc.Key())
+				if err != nil {
+					return ReduceReport{}, fatal(fmt.Errorf("proc: decoding key: %w", err))
+				}
+				c.key = nk
+				i++
+			} else {
+				curs = append(curs[:i], curs[i+1:]...)
+			}
+		}
+		g := outGroup[K, O]{Key: k, Load: len(vals)}
+		j.spec.Reduce(k, vals, func(o O) { g.Outs = append(g.Outs, o) })
 		outputs += int64(len(g.Outs))
+		keys++
 		groups = append(groups, g)
 	}
 	path := outPath(ws.dir, t.ID, t.Attempt)
@@ -455,47 +645,9 @@ func (j *jobImpl[I, K, V, O]) runReduceTask(ws *workerState, t Task) (ReduceRepo
 	}
 	return ReduceReport{
 		Worker: ws.id, Part: t.ID, Attempt: t.Attempt, OutPath: path,
-		Keys: int64(len(keys)), Outputs: outputs, MaxGroup: maxGroup,
-		PairsIn: pairsIn, BytesRead: bytesRead,
+		Keys: keys, Outputs: outputs, MaxGroup: maxGroup,
+		PairsIn: pairsIn, BytesRead: bytesRead, PeakResident: maxGroup,
 	}, nil
-}
-
-// accumulateSection streams one committed section's groups into acc,
-// appending values in section order (the driver orders sections by map
-// task, preserving the value-order contract).
-func (j *jobImpl[I, K, V, O]) accumulateSection(ws *workerState, sec Section, acc map[K][]V, pairsIn *int64) error {
-	r, closeF, err := openSection(runfile.OSFS, sec)
-	if err != nil {
-		return err
-	}
-	defer closeF()
-	for {
-		kb, n, err := r.NextAppend(ws.kbuf[:0])
-		if err != nil {
-			if errors.Is(err, io.EOF) {
-				return nil
-			}
-			return fmt.Errorf("proc: reading section %s@%d: %w", sec.Path, sec.Offset, err)
-		}
-		ws.kbuf = kb
-		k, err := runfile.Decode[K](kb)
-		if err != nil {
-			return fatal(fmt.Errorf("proc: decoding key: %w", err))
-		}
-		for i := 0; i < n; i++ {
-			vb, err := r.ValueAppend(ws.vbuf[:0])
-			if err != nil {
-				return fmt.Errorf("proc: reading value in section %s@%d: %w", sec.Path, sec.Offset, err)
-			}
-			ws.vbuf = vb
-			v, err := runfile.Decode[V](vb)
-			if err != nil {
-				return fatal(fmt.Errorf("proc: decoding value: %w", err))
-			}
-			acc[k] = append(acc[k], v)
-			*pairsIn++
-		}
-	}
 }
 
 // writeOutputs encodes one reduce attempt's groups to its output file:
@@ -542,9 +694,21 @@ func readOutputs[K comparable, O any](fs runfile.FS, path string) ([]outGroup[K,
 	return groups, nil
 }
 
-// sortSectionsByTask orders a reduce task's input sections by map task
-// ordinal — the value-order contract (values arrive in map-task order,
-// whatever order the tasks actually completed in).
+// sortSectionsByTask orders a reduce task's input sections by (Task,
+// Attempt, Seq) — the value-order contract (values arrive in map-task
+// order, and within a task in the order its winning attempt sealed
+// them). Attempt breaks the tie when a salvaged section and a
+// re-executed attempt's section coexist for the same task; sorting by
+// Task alone left that order unstable across runs.
 func sortSectionsByTask(secs []Section) {
-	sort.Slice(secs, func(i, j int) bool { return secs[i].Task < secs[j].Task })
+	sort.Slice(secs, func(i, j int) bool {
+		a, b := secs[i], secs[j]
+		if a.Task != b.Task {
+			return a.Task < b.Task
+		}
+		if a.Attempt != b.Attempt {
+			return a.Attempt < b.Attempt
+		}
+		return a.Seq < b.Seq
+	})
 }

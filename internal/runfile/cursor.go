@@ -1,0 +1,84 @@
+// SectionCursor: index-driven iteration over one run image (a whole
+// run file or a fenced section of a spool file) without materializing
+// its pairs. The cursor holds only the section's index — encoded keys,
+// counts, offsets — and reads each group's value section on demand
+// into a caller-supplied ValueBatch, so a k-way merge over sections
+// keeps at most one group's values per cursor resident no matter how
+// large the sections are.
+package runfile
+
+import (
+	"fmt"
+	"io"
+)
+
+// SectionCursor iterates a run image's groups in written (key) order.
+// Positioned before the first group; Next advances. Many cursors can
+// share one file handle — reads are positioned (ReaderAt), no seek
+// state.
+type SectionCursor struct {
+	ra      io.ReaderAt
+	entries []IndexEntry
+	bodyEnd int64 // body length: where the last group's values end
+	pos     int   // current entry; -1 before the first Next
+}
+
+// NewSectionCursor opens a cursor over the size-byte run image read
+// through ra (offsets relative to the image's start — wrap a section
+// of a larger file in an io.SectionReader). bodyBytes is the image's
+// body length (run data before the footer index), which bounds the
+// last group's value section; a run file's writer reports it as
+// BodyBytes, and proc sections carry it as Section.DataBytes. The
+// index is loaded via LoadIndex, so a torn footer falls back to a
+// sequential scan.
+func NewSectionCursor(ra io.ReaderAt, size, bodyBytes int64) (*SectionCursor, error) {
+	entries, err := LoadIndex(ra, size)
+	if err != nil {
+		return nil, err
+	}
+	if bodyBytes <= 0 || bodyBytes > size {
+		return nil, fmt.Errorf("%w: section cursor over %d body bytes of a %d-byte image", ErrCorrupt, bodyBytes, size)
+	}
+	return &SectionCursor{ra: ra, entries: entries, bodyEnd: bodyBytes, pos: -1}, nil
+}
+
+// Len is the image's group count.
+func (c *SectionCursor) Len() int { return len(c.entries) }
+
+// Next advances to the next group, returning false when the cursor is
+// exhausted.
+func (c *SectionCursor) Next() bool {
+	if c.pos+1 >= len(c.entries) {
+		c.pos = len(c.entries)
+		return false
+	}
+	c.pos++
+	return true
+}
+
+// Key is the current group's encoded key bytes (decode with Decode).
+// Valid until the cursor is garbage collected — index entries own
+// their key bytes.
+func (c *SectionCursor) Key() []byte { return c.entries[c.pos].Key }
+
+// Count is the current group's value count.
+func (c *SectionCursor) Count() int64 { return c.entries[c.pos].Count }
+
+// Values reads the current group's framed value section into b with
+// one positioned read (b's arena is reused across calls). The value
+// section of entry i ends where entry i+1's framing begins — or at the
+// body end for the last group — and extends ValueBytes back from
+// there.
+func (c *SectionCursor) Values(b *ValueBatch) error {
+	e := c.entries[c.pos]
+	end := c.bodyEnd
+	if c.pos+1 < len(c.entries) {
+		end = c.entries[c.pos+1].Offset
+	}
+	start := end - e.ValueBytes
+	if start < e.Offset || e.ValueBytes < 0 {
+		return fmt.Errorf("%w: group %d value section [%d,%d) outside its group at %d",
+			ErrCorrupt, c.pos, start, end, e.Offset)
+	}
+	return b.ReadSectionAt(c.ra, start, e.ValueBytes, int(e.Count))
+}

@@ -409,7 +409,9 @@ func (in *Ingester[K, V]) ingestStep(st *partitionState[K, V], allowSwap bool) e
 			in.s.invalidateStats()
 		}
 	}
-	if st.pspool == nil {
+	if st.pspool == nil && in.s.sealSink == nil {
+		// A seal sink owns sealed-run storage; only sink-less streaming
+		// spools seals itself. (Pressure swaps still use the stash.)
 		st.pspool = &spool[K, V]{s: in.s, pattern: "mr-spool-*.run", kind: "seal spool"}
 	}
 	defer func() {

@@ -216,8 +216,9 @@ type Pair[K comparable, V any] struct {
 // reduce partitions.
 type Shuffle[K comparable, V any] struct {
 	hasher       Hasher[K]
-	partitioner  func(K) int      // optional override; used by tests and schemas
-	combiner     func(K, []V) []V // optional associative pre-aggregation, applied at seal time
+	partitioner  func(K) int                                      // optional override; used by tests and schemas
+	combiner     func(K, []V) []V                                 // optional associative pre-aggregation, applied at seal time
+	sealSink     func(part int, keys []K, groups map[K][]V) error // optional seal redirect (SetSealSink)
 	opts         Options
 	nparts       int
 	mask         uint64
@@ -481,6 +482,46 @@ func (s *Shuffle[K, V]) SetCombiner(fn func(key K, values []V) []V) {
 	s.combiner = fn
 }
 
+// SetSealSink redirects every sealed run to fn instead of the
+// shuffle's own spill path: whenever a partition's live run seals
+// (budget reached, or SealAllLive), fn receives the partition index
+// and the post-combine run — keys in canonical SortKeys order, values
+// in absorption order — and owns writing it somewhere durable. The
+// shuffle keeps nothing: resident pairs drop by the run's size, no
+// disk run is recorded, and compaction never fires, so the sink is the
+// exchange medium. This is how an external executor (internal/proc's
+// map workers) reuses the streaming ingestion path — budget-driven
+// sealing, combiner push-down, swap relief — while keeping its own
+// section/commit protocol. fn runs under the partition lock; it may be
+// called from concurrent goroutines for different partitions (the
+// Finish drain), never concurrently for one partition. Must be set
+// before ingestion starts. A sink requires a SpillDir when pressure
+// swaps should relieve staged memory; the sealed runs themselves never
+// touch the SpillDir.
+func (s *Shuffle[K, V]) SetSealSink(fn func(part int, keys []K, groups map[K][]V) error) {
+	s.invalidateStats()
+	s.sealSink = fn
+}
+
+// SealAllLive force-seals every partition's remaining live run, in
+// partition order — the final flush of a sink-directed round, turning
+// the under-budget residue into the sink's last runs. (The regular
+// Finish deliberately leaves under-budget live runs buffered for
+// in-process reads; a seal sink has no read side, so everything must
+// go to the sink.) Call after Ingester.Finish.
+func (s *Shuffle[K, V]) SealAllLive() error {
+	for p := range s.parts {
+		st := &s.parts[p]
+		st.mu.Lock()
+		err := st.seal(s, true)
+		st.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // NumPartitions returns the effective partition count P.
 func (s *Shuffle[K, V]) NumPartitions() int { return s.nparts }
 
@@ -692,6 +733,20 @@ func (st *partitionState[K, V]) seal(s *Shuffle[K, V], force bool) (err error) {
 	sealing := int64(st.livePairs)
 	st.lane.Begin(obs.OpSeal, sealing, 0)
 	defer func() { st.lane.End(obs.OpSeal, sealing, errFlag(err)) }()
+	if s.sealSink != nil {
+		// Sink-directed seal: the run leaves the shuffle entirely. No
+		// disk run, no compaction — the sink's storage is the read side.
+		if err := s.sealSink(st.idx, sortedMapKeys(st.live), st.live); err != nil {
+			return err
+		}
+		s.addResident(-st.livePairs)
+		st.spillEvents++
+		st.spilledPairs += int64(st.livePairs)
+		st.live = make(map[K][]V)
+		st.livePairs = 0
+		st.syncLive()
+		return nil
+	}
 	if s.opts.SpillDir != "" {
 		if s.spillTypeErr != nil {
 			return fmt.Errorf("shuffle: cannot spill: %w", s.spillTypeErr)

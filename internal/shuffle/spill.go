@@ -1097,6 +1097,19 @@ func sortedMapKeys[K comparable, V any](m map[K][]V) []K {
 	return keys
 }
 
+// KeyLess returns the canonical strict order on K — the comparator
+// behind SortKeys, exported for external k-way merges (internal/proc's
+// reduce workers order their section-cursor heap with it). Native
+// kinds compare directly; every other comparable kind falls back to
+// comparing formatted values, matching SortKeys' formatted fallback
+// (callers doing many comparisons should cache the formatted strings).
+func KeyLess[K comparable]() func(a, b K) bool {
+	if lt := nativeLess[K](); lt != nil {
+		return lt
+	}
+	return func(a, b K) bool { return fmt.Sprint(a) < fmt.Sprint(b) }
+}
+
 // nativeLess returns the typed strict order underlying SortKeys —
 // numeric for the number kinds, byte order for strings — or nil for
 // every other kind, which the merge then orders by cached formatted

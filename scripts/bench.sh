@@ -11,7 +11,8 @@
 #                       friends are all picked up automatically — for
 #                       dashboards and the scripts/benchcmp regression
 #                       gate (which watches spilled-MB, ns/op,
-#                       values/s and peak-resident-pairs)
+#                       values/s and peak-resident-pairs, and holds
+#                       proc-peak-resident-pairs under proc-peak-bound)
 #
 #   BENCH_trace_streaming.json  Chrome trace-event timeline of the
 #                       1M-pair streaming round (BenchmarkStreamingTrace1M
@@ -41,6 +42,16 @@ go test -run '^$' -bench 'BenchmarkExternalShuffle|BenchmarkMerge1MPairs|Benchma
 # asserts nonzero map/spill span overlap and exports the timeline.
 MRTRACE_OUT="$(pwd)/$TRACE" go test -run '^$' -bench 'BenchmarkStreamingTrace1M' \
 	-benchtime 1x ./internal/mr >> "$TXT" || {
+	status=$?
+	cat "$TXT"
+	exit "$status"
+}
+
+# The multi-process round under a small MemoryBudget: emits
+# proc-peak-resident-pairs next to proc-peak-bound so benchcmp can hold
+# worker residency under the budget's ceiling on every run.
+go test -run '^$' -bench 'BenchmarkProcRound' \
+	-benchtime 1x ./internal/proc >> "$TXT" || {
 	status=$?
 	cat "$TXT"
 	exit "$status"

@@ -23,6 +23,11 @@
 //   - reclaimed-MB (mid-round spill-file reclamation) on presence
 //     only: its realized value is relief-timing-dependent, but a drop
 //     to zero means reclamation stopped working.
+//   - proc-peak-resident-pairs, additionally, against the absolute
+//     ceiling the same benchmark reports as proc-peak-bound: the
+//     multi-process round's realized worker residency must sit under
+//     the MemoryBudget's promise on the new artifact alone, previous
+//     run or not.
 //
 // The asymmetry is deliberate: spilled bytes and peak residency are
 // (near-)reproducible, while ns/op and values/s from a handful of
@@ -91,7 +96,11 @@ func main() {
 		"spilled-MB":          {limit: *threshold, lowerIsBetter: true},
 		"ns/op":               {limit: *nsThreshold, lowerIsBetter: true},
 		"peak-resident-pairs": {limit: *peakThreshold, lowerIsBetter: true},
-		"values/s":            {limit: *nsThreshold},
+		// The proc-mode worker residency mark, against the same drift
+		// gate; its hard ceiling is the absolute proc-peak-bound check
+		// below.
+		"proc-peak-resident-pairs": {limit: *peakThreshold, lowerIsBetter: true},
+		"values/s":                 {limit: *nsThreshold},
 		// input-pairs/s is the cross-lane throughput number (values/s is
 		// post-combine volume in combiner lanes); same loose wall-clock
 		// gate as values/s.
@@ -121,6 +130,28 @@ func main() {
 
 	regressions := 0
 	compared := 0
+
+	// Absolute gate, new artifact alone: whenever a benchmark reports
+	// both proc-peak-resident-pairs and proc-peak-bound, the realized
+	// worker residency must sit at or under the bound the MemoryBudget
+	// promised. Unlike the relative gates this needs no previous run —
+	// a first artifact that violates the memory bound already fails.
+	for name, now := range cur {
+		peak, okP := now["proc-peak-resident-pairs"]
+		bound, okB := now["proc-peak-bound"]
+		if !okP || !okB || bound <= 0 {
+			continue
+		}
+		compared++
+		status := "ok"
+		if peak > bound {
+			status = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-60s %-20s peak=%.4g bound=%.4g (absolute gate: peak <= bound) %s\n",
+			name, "proc-peak-bound", peak, bound, status)
+	}
+
 	for name, now := range cur {
 		prev, ok := old[name]
 		if !ok {
