@@ -74,6 +74,7 @@ type options struct {
 	chunk      int
 	budget     int // per-partition buffered-pair bound inside workers; 0 = unbounded
 	q          int // reducer-size limit (paper's q); 0 = unlimited
+	splitpairs int // reduce range-split target in pairs; 0 = whole-partition merges
 	lease      time.Duration
 	timeout    time.Duration
 	top        int
@@ -94,6 +95,7 @@ func main() {
 	flag.IntVar(&o.chunk, "chunk", 0, "input lines per map task (0: auto)")
 	flag.IntVar(&o.budget, "budget", 0, "worker memory budget in buffered pairs per partition (0: unbounded)")
 	flag.IntVar(&o.q, "q", 0, "fail if any reducer receives more than q values (0: unlimited)")
+	flag.IntVar(&o.splitpairs, "splitpairs", 0, "split reduce merges into concurrent key ranges of ~this many pairs (0: whole-partition merges)")
 	flag.DurationVar(&o.lease, "lease", 2*time.Second, "task lease TTL")
 	flag.DurationVar(&o.timeout, "timeout", 2*time.Minute, "whole-run deadline")
 	flag.IntVar(&o.top, "top", 10, "print the top N words")
@@ -116,15 +118,16 @@ func run(o options, out io.Writer) ([]wcOut, proc.Metrics, error) {
 	}
 
 	popts := proc.Options{
-		Workers:         o.workers,
-		Partitions:      o.partitions,
-		MapChunk:        o.chunk,
-		MemoryBudget:    o.budget,
-		Dir:             o.dir,
-		KeepDir:         o.keep,
-		LeaseTTL:        o.lease,
-		Timeout:         o.timeout,
-		MaxReducerInput: o.q,
+		Workers:          o.workers,
+		Partitions:       o.partitions,
+		MapChunk:         o.chunk,
+		MemoryBudget:     o.budget,
+		Dir:              o.dir,
+		KeepDir:          o.keep,
+		LeaseTTL:         o.lease,
+		Timeout:          o.timeout,
+		MaxReducerInput:  o.q,
+		ReduceSplitPairs: o.splitpairs,
 	}
 	if o.chaos {
 		// Dwell a little per task so the kill lands mid-round, then
@@ -161,8 +164,8 @@ func run(o options, out io.Writer) ([]wcOut, proc.Metrics, error) {
 
 	fmt.Fprintf(out, "%d lines -> %d words in %v across %d workers\n",
 		met.MapInputs, met.Reducers, time.Since(start).Round(time.Millisecond), o.workers)
-	fmt.Fprintf(out, "pairs: emitted=%d shuffled=%d peakResident=%d  boundary: spilled=%dB(+%dB index) read=%dB\n",
-		met.PairsEmitted, met.PairsShuffled, met.PeakResidentPairs, met.BytesSpilled, met.IndexBytesSpilled, met.DiskBytesRead)
+	fmt.Fprintf(out, "pairs: emitted=%d shuffled=%d peakResident=%d reduceRanges=%d  boundary: spilled=%dB(+%dB index) read=%dB\n",
+		met.PairsEmitted, met.PairsShuffled, met.PeakResidentPairs, met.ReduceRanges, met.BytesSpilled, met.IndexBytesSpilled, met.DiskBytesRead)
 	fmt.Fprintf(out, "faults: deaths=%d leasesExpired=%d retries=%d+%d salvaged=%d speculative=%d\n",
 		met.WorkerDeaths, met.LeaseExpirations, met.MapRetries, met.ReduceRetries,
 		met.SalvagedTasks, met.Speculative)

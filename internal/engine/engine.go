@@ -98,6 +98,22 @@ type Config struct {
 	FailureEveryN int
 	MaxRetries    int
 
+	// ReduceSplitPairs, when positive, splits heavy reduce partitions'
+	// merges into class-aligned key ranges of roughly this many pairs —
+	// planned from the resident run indexes, never splitting a key
+	// group — and LPT-schedules the range units, not whole partitions,
+	// onto the reduce workers. Disjoint ranges of one partition then
+	// merge and reduce concurrently over a shared read surface (one set
+	// of spool handles and mmaps per partition), and the output is
+	// byte-identical to the unsplit round: ranges reassemble in key
+	// order before global assembly. Zero or negative keeps
+	// whole-partition scheduling.
+	ReduceSplitPairs int
+	// ReduceRangeConcurrency caps how many ranges one partition may be
+	// split into — the partition's maximum reduce parallelism. Zero
+	// means the worker count.
+	ReduceRangeConcurrency int
+
 	// LegacyMerge opts the round out of streaming shuffle ingestion and
 	// back onto the barrier path: every map task's output is buffered
 	// whole and merged after the map phase ends. Outputs are identical
@@ -205,9 +221,19 @@ type Metrics struct {
 	Partitions []PartitionStat
 	// Makespan is the LPT-scheduled heaviest worker load, in pairs;
 	// IdealMakespan is the load-balance floor. Their ratio is the
-	// residual skew the partitioning did not resolve.
+	// residual skew the partitioning did not resolve. With
+	// ReduceSplitPairs set both are computed over range units, so they
+	// reflect the schedule actually executed.
 	Makespan      int64
 	IdealMakespan int64
+	// ReduceRanges is the number of key-range units that split
+	// partitions' reduce merges executed as (0 when no partition was
+	// split); ReduceRangeSkew is max/mean pair load across those units
+	// (1 = perfectly balanced, 0 when unsplit) — the residual imbalance
+	// the index-driven split could not remove without splitting a
+	// group.
+	ReduceRanges    int64
+	ReduceRangeSkew float64
 	// SpillEvents and SpilledPairs report bounded-memory pressure;
 	// BytesSpilled and RunsMerged report the realized disk traffic and
 	// reduce-time merge width when a SpillDir made the spills real.
@@ -632,30 +658,132 @@ type partResult[K comparable, O any] struct {
 	loads []int
 }
 
-// runReducePhase schedules non-empty partitions onto workers with the
-// LPT balancer, reduces each partition's keys in sorted order, and
-// assembles the outputs in global key order.
+// reduceUnit is one schedulable piece of the reduce phase: a whole
+// partition (rng < 0) or one planned key range of a split partition.
+type reduceUnit struct {
+	part int
+	rng  int
+}
+
+// partReader lazily opens one partition's shared RangeReader and
+// refcounts it across the partition's concurrently-executing range
+// units: the first active unit opens (taking the disk-read semaphore
+// slot), the last active one closes. The slot is therefore held only
+// while at least one unit of the partition is actually running, which
+// is what keeps the semaphore deadlock-free under LPT's static
+// per-worker unit queues.
+type partReader[K comparable, V any] struct {
+	mu    sync.Mutex
+	part  shuffle.Partition[K, V]
+	rr    *shuffle.RangeReader[K, V]
+	users int
+}
+
+func (pr *partReader[K, V]) acquire() (*shuffle.RangeReader[K, V], error) {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if pr.rr == nil {
+		rr, err := pr.part.OpenRangeReader()
+		if err != nil {
+			return nil, err
+		}
+		pr.rr = rr
+	}
+	pr.users++
+	return pr.rr, nil
+}
+
+func (pr *partReader[K, V]) release() error {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	pr.users--
+	if pr.users > 0 {
+		return nil
+	}
+	rr := pr.rr
+	pr.rr = nil
+	return rr.Close()
+}
+
+// runReducePhase schedules reduce units onto workers with the LPT
+// balancer — whole non-empty partitions by default; with
+// Config.ReduceSplitPairs, heavy partitions split into class-aligned
+// key-range units weighted by indexed pair load — reduces each unit's
+// keys in sorted order, and assembles the outputs in global key order.
+// Range units of one partition reassemble in range order first, so the
+// output is byte-identical to the unsplit round.
 func runReducePhase[I any, K comparable, V, O any](r Round[I, K, V, O], sh *shuffle.Shuffle[K, V], st shuffle.Stats, res Result[K, O]) (Result[K, O], error) {
 	cfg := r.Config
 	workers := cfg.workers()
 	P := sh.NumPartitions()
 
-	// LPT assignment of partitions to reduce workers by pair load.
-	loads := make([]int, P)
+	// Plan key-range splits for partitions heavier than the target.
+	// Planning is a counting merge over the resident indexes — no disk
+	// read — and never splits an order-equivalence class.
+	ranges := make([][]shuffle.KeyRange[K], P)
+	if sp := cfg.ReduceSplitPairs; sp > 0 {
+		maxRanges := cfg.ReduceRangeConcurrency
+		if maxRanges <= 0 {
+			// A split target is an explicit opt-in: keep at least two
+			// ranges even with a single worker so the split happens.
+			maxRanges = workers
+			if maxRanges < 2 {
+				maxRanges = 2
+			}
+		}
+		for p := 0; p < P; p++ {
+			if st.PartitionKeys[p] == 0 || st.PartitionPairs[p] <= int64(sp) {
+				continue
+			}
+			ranges[p] = sh.Partition(p).PlanReduceRanges(int64(sp), maxRanges)
+		}
+	}
+
+	// One schedulable unit per partition — or per planned range —
+	// weighted by indexed pair load, LPT-assigned to workers. With no
+	// splits this degenerates to exactly the whole-partition schedule.
+	var units []reduceUnit
+	var loads []int
 	for p := 0; p < P; p++ {
-		loads[p] = int(st.PartitionPairs[p])
+		if rs := ranges[p]; rs != nil {
+			for i := range rs {
+				units = append(units, reduceUnit{p, i})
+				loads = append(loads, int(rs[i].Pairs))
+			}
+		} else {
+			units = append(units, reduceUnit{p, -1})
+			loads = append(loads, int(st.PartitionPairs[p]))
+		}
 	}
 	assignment, makespan := core.BalanceLoads(loads, workers)
 	res.Metrics.Makespan = makespan
 	res.Metrics.IdealMakespan = core.IdealMakespan(loads, workers)
 	perWorker := make([][]int, workers)
-	for p := 0; p < P; p++ {
-		res.Metrics.Partitions[p].Worker = assignment[p]
-		perWorker[assignment[p]] = append(perWorker[assignment[p]], p)
+	var rangeUnits, maxRangeLoad, sumRangeLoad int64
+	for u := range units {
+		if units[u].rng <= 0 {
+			// The partition's worker is where its first unit landed.
+			res.Metrics.Partitions[units[u].part].Worker = assignment[u]
+		}
+		if units[u].rng >= 0 {
+			rangeUnits++
+			l := int64(loads[u])
+			sumRangeLoad += l
+			if l > maxRangeLoad {
+				maxRangeLoad = l
+			}
+		}
+		perWorker[assignment[u]] = append(perWorker[assignment[u]], u)
+	}
+	res.Metrics.ReduceRanges = rangeUnits
+	if rangeUnits > 0 && sumRangeLoad > 0 {
+		res.Metrics.ReduceRangeSkew = float64(maxRangeLoad) / (float64(sumRangeLoad) / float64(rangeUnits))
 	}
 
 	// Reduce-task ordinals: non-empty partitions in ascending order, so
-	// fault injection is independent of key placement.
+	// fault injection is independent of key placement. A split
+	// partition's injection fires on its first range unit only, keeping
+	// the injected-failure count identical to the unsplit round.
 	ordinal := make([]int, P)
 	next := 0
 	for p := 0; p < P; p++ {
@@ -668,49 +796,107 @@ func runReducePhase[I any, K comparable, V, O any](r Round[I, K, V, O], sh *shuf
 	}
 
 	results := make([]partResult[K, O], P)
-	retries := make([]int64, P)
-	errs := make([]error, P)
+	rangeResults := make([][]partResult[K, O], P)
+	readers := make([]partReader[K, V], P)
+	for p := 0; p < P; p++ {
+		if ranges[p] != nil {
+			rangeResults[p] = make([]partResult[K, O], len(ranges[p]))
+		}
+		readers[p].part = sh.Partition(p)
+	}
+	retries := make([]int64, len(units))
+	errs := make([]error, len(units))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		if len(perWorker[w]) == 0 {
 			continue
 		}
 		wg.Add(1)
-		go func(w int, parts []int) {
+		go func(w int, us []int) {
 			defer wg.Done()
 			wlane := cfg.Recorder.Lane(obs.LaneWorker, w)
-			for _, p := range parts {
+			for _, u := range us {
+				p, rng := units[u].part, units[u].rng
 				if ordinal[p] < 0 {
 					continue
 				}
-				part := sh.Partition(p)
+				if rng < 0 {
+					part := sh.Partition(p)
+					attempts := 0
+					for {
+						wlane.Begin(obs.OpReduceTask, int64(p), int64(attempts))
+						pr, err := attemptReducePartition(r, part, ordinal[p], attempts)
+						wlane.End(obs.OpReduceTask, int64(len(pr.keys)), errFlag(err))
+						if err == nil {
+							results[p] = pr
+							break
+						}
+						attempts++
+						retries[u]++
+						if attempts > cfg.maxRetries() {
+							errs[u] = fmt.Errorf("engine: reduce partition %d of round %q failed after %d attempts: %w",
+								p, r.Name, attempts, err)
+							break
+						}
+					}
+					continue
+				}
+				rr, err := readers[p].acquire()
+				if err != nil {
+					errs[u] = fmt.Errorf("engine: opening partition %d for range reduce of round %q: %w",
+						p, r.Name, err)
+					continue
+				}
+				rlane := cfg.Recorder.Lane(obs.LaneRange, u)
 				attempts := 0
 				for {
 					wlane.Begin(obs.OpReduceTask, int64(p), int64(attempts))
-					pr, err := attemptReducePartition(r, part, ordinal[p], attempts)
+					rlane.Begin(obs.OpReduceRange, int64(p), int64(rng))
+					pr, err := attemptReduceRange(r, rr, ranges[p][rng], rng == 0, ordinal[p], attempts)
+					rlane.End(obs.OpReduceRange, int64(len(pr.keys)), errFlag(err))
 					wlane.End(obs.OpReduceTask, int64(len(pr.keys)), errFlag(err))
 					if err == nil {
-						results[p] = pr
+						rangeResults[p][rng] = pr
 						break
 					}
 					attempts++
-					retries[p]++
+					retries[u]++
 					if attempts > cfg.maxRetries() {
-						errs[p] = fmt.Errorf("engine: reduce partition %d of round %q failed after %d attempts: %w",
-							p, r.Name, attempts, err)
+						errs[u] = fmt.Errorf("engine: reduce partition %d range %d of round %q failed after %d attempts: %w",
+							p, rng, r.Name, attempts, err)
 						break
 					}
+				}
+				if cerr := readers[p].release(); cerr != nil && errs[u] == nil {
+					errs[u] = fmt.Errorf("engine: closing partition %d range reader of round %q: %w",
+						p, r.Name, cerr)
 				}
 			}
 		}(w, perWorker[w])
 	}
 	wg.Wait()
 
-	for p := 0; p < P; p++ {
-		if errs[p] != nil {
-			return res, errs[p]
+	for u := range units {
+		if errs[u] != nil {
+			return res, errs[u]
 		}
-		res.Metrics.ReduceRetries += retries[p]
+		res.Metrics.ReduceRetries += retries[u]
+	}
+
+	// Reassemble split partitions in range order: the ranges partition
+	// the key space in canonical order, so concatenation reproduces the
+	// whole-partition merge's key sequence exactly.
+	for p := 0; p < P; p++ {
+		if ranges[p] == nil {
+			continue
+		}
+		var pr partResult[K, O]
+		for _, rpr := range rangeResults[p] {
+			pr.keys = append(pr.keys, rpr.keys...)
+			pr.outs = append(pr.outs, rpr.outs...)
+			pr.loads = append(pr.loads, rpr.loads...)
+		}
+		results[p] = pr
 	}
 
 	// Global assembly: all keys sorted once, outputs concatenated in
@@ -790,6 +976,33 @@ func attemptReducePartition[I any, K comparable, V, O any](r Round[I, K, V, O], 
 		reduce, each = r.ReduceBatch, part.ForEachGroupBatch
 	}
 	err := each(func(k K, vs []V) error {
+		pr.keys = append(pr.keys, k)
+		pr.loads = append(pr.loads, len(vs))
+		var outs []O
+		reduce(k, vs, func(o O) { outs = append(outs, o) })
+		pr.outs = append(pr.outs, outs)
+		return nil
+	})
+	if err != nil {
+		return partResult[K, O]{}, err
+	}
+	return pr, nil
+}
+
+// attemptReduceRange runs one attempt of a single key-range unit of a
+// split partition, through the partition's shared RangeReader. Fault
+// injection fires only on the partition's first range (first == true),
+// so a split round injects exactly as many failures as an unsplit one.
+func attemptReduceRange[I any, K comparable, V, O any](r Round[I, K, V, O], rr *shuffle.RangeReader[K, V], kr shuffle.KeyRange[K], first bool, taskOrdinal, attempt int) (partResult[K, O], error) {
+	if fe := r.Config.FailureEveryN; fe > 0 && first && attempt == 0 && taskOrdinal%fe == 0 {
+		return partResult[K, O]{}, errInjected
+	}
+	var pr partResult[K, O]
+	reduce, batch := r.Reduce, false
+	if r.ReduceBatch != nil {
+		reduce, batch = r.ReduceBatch, true
+	}
+	err := rr.ForEachGroupRange(kr, batch, func(k K, vs []V) error {
 		pr.keys = append(pr.keys, k)
 		pr.loads = append(pr.loads, len(vs))
 		var outs []O

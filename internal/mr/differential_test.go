@@ -139,6 +139,25 @@ func checkDifferential[I any, K comparable, V, O any](
 		t.Fatalf("%s: flipped MaxLivePairs %d exceeds budget %d", trial, metF.MaxLivePairs, spillCfg.MemoryBudget)
 	}
 
+	// Range-split reduce on the spilled config: cutting heavy partitions
+	// into concurrent key-range units must change nothing observable —
+	// same outputs in the same order, same logical metrics.
+	splitCfg := spillCfg
+	splitCfg.ReduceSplitPairs = 1 + rng.Intn(8)
+	splitCfg.ReduceRangeConcurrency = rng.Intn(5)
+	outR, metR, err := mk(splitCfg).Run(inputs)
+	if err != nil {
+		t.Fatalf("%s: range-split run: %v", trial, err)
+	}
+	if !reflect.DeepEqual(outR, outS) {
+		t.Fatalf("%s: range-split outputs diverge (split=%d conc=%d)\ngot  %v\nwant %v",
+			trial, splitCfg.ReduceSplitPairs, splitCfg.ReduceRangeConcurrency, outR, outS)
+	}
+	if metR.PairsEmitted != metS.PairsEmitted || metR.PairsShuffled != metS.PairsShuffled ||
+		metR.Reducers != metS.Reducers || metR.MaxReducerInput != metS.MaxReducerInput {
+		t.Fatalf("%s: range-split logical metrics diverge\noff %+v\non  %+v", trial, metS, metR)
+	}
+
 	// Batch reduce path, randomly toggled: the arena-reuse contract must
 	// change nothing observable, spill off and on. (The reduce funcs in
 	// this suite render their values immediately, so they qualify.)
@@ -162,6 +181,68 @@ func checkDifferential[I any, K comparable, V, O any](
 		}
 	}
 	return metS.BytesSpilled
+}
+
+// TestRangeSplitSkewedAndFaulted drives the split path hard on a
+// workload with one dominant key: the hot partition must actually be
+// cut into range units (ReduceRanges > 0), outputs must match the
+// unsplit run exactly, and deterministic fault injection must retry
+// range units to the same outputs.
+func TestRangeSplitSkewedAndFaulted(t *testing.T) {
+	inputs := make([]int, 2000)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	mk := func(cfg Config) *Job[int, string, int, string] {
+		return &Job[int, string, int, string]{
+			Name: "range-skew",
+			Map: func(x int, emit func(string, int)) {
+				emit("hot", x) // every input hits one key
+				emit(fmt.Sprintf("k%02d", x%50), x)
+			},
+			Reduce: func(k string, vs []int, emit func(string)) {
+				emit(fmt.Sprint(k, len(vs), vs[0], vs[len(vs)-1]))
+			},
+			Config: cfg,
+		}
+	}
+	base := Config{Workers: 4, Partitions: 4, MemoryBudget: 32, SpillDir: t.TempDir()}
+	want, wantMet, err := mk(base).Run(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := base
+	split.ReduceSplitPairs = 64
+	got, met, err := mk(split).Run(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("range-split outputs diverge from whole-partition run")
+	}
+	if met.ReduceRanges == 0 {
+		t.Fatal("hot partition was not split; ReduceRanges = 0")
+	}
+	if met.ReduceRangeSkew < 1 {
+		t.Fatalf("ReduceRangeSkew = %v, want >= 1 when ranges exist", met.ReduceRangeSkew)
+	}
+	if met.Reducers != wantMet.Reducers || met.PairsShuffled != wantMet.PairsShuffled {
+		t.Fatalf("logical metrics diverge: %+v vs %+v", met, wantMet)
+	}
+
+	faulted := split
+	faulted.FailureEveryN = 2
+	faulted.MaxRetries = 3
+	gotF, metF, err := mk(faulted).Run(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotF, want) {
+		t.Fatal("range-split outputs diverge under fault injection")
+	}
+	if metF.ReduceRetries == 0 {
+		t.Fatal("fault injection never retried a reduce unit")
+	}
 }
 
 func TestDifferentialStringKeys(t *testing.T) {

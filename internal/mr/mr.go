@@ -121,6 +121,17 @@ type Config struct {
 	// not change results, only Metrics.WorkerInputs.
 	ReduceWorkersHint int
 
+	// ReduceSplitPairs, when positive, splits reduce partitions heavier
+	// than this many pairs into class-aligned key-range units that merge
+	// and reduce concurrently (planned from the resident run indexes).
+	// Outputs are byte-identical to the unsplit round; only scheduling
+	// granularity changes. ReduceRangeConcurrency caps how many ranges
+	// one partition may split into; zero selects the worker count. Both
+	// apply in ProcMode too, where each reduce worker splits its own
+	// partition merge the same way.
+	ReduceSplitPairs       int
+	ReduceRangeConcurrency int
+
 	// MaxReducerInput, when positive, makes the job fail if any reduce key
 	// receives more than this many values. It enforces the paper's reducer
 	// size limit q at runtime.
@@ -291,6 +302,12 @@ type Metrics struct {
 	PeakResidentPairs int64
 	SpillOverlapNs    int64
 	FinishDrainNs     int64
+	// ReduceRanges is how many key-range units split partitions were cut
+	// into under Config.ReduceSplitPairs (zero when splitting was off or
+	// no partition crossed the threshold). ReduceRangeSkew is max/mean
+	// planned pair load across those range units.
+	ReduceRanges    int64
+	ReduceRangeSkew float64
 	// ReducerInputLog2 is the log2-bucketed distribution of reducer
 	// input sizes — the paper's q distribution as realized by this
 	// round. Bucket i counts the reducers whose input size lies in
@@ -392,6 +409,8 @@ func (m Metrics) PublishTo(reg *obs.Registry) {
 	reg.Gauge("mr_round_makespan_pairs", "heaviest reduce worker load of the last round, in pairs").Set(float64(m.Makespan))
 	reg.Gauge("mr_round_peak_resident_pairs", "whole-round high-water mark of shuffle-resident pairs").Set(float64(m.PeakResidentPairs))
 	reg.Gauge("mr_round_max_live_pairs", "high-water mark of any partition's live buffer in the last round").Set(float64(m.MaxLivePairs))
+	reg.Gauge("mr_round_reduce_ranges", "key-range units split partitions were cut into in the last round").Set(float64(m.ReduceRanges))
+	reg.Gauge("mr_round_reduce_range_skew", "max/mean planned pair load across range units of the last round").Set(m.ReduceRangeSkew)
 
 	h := reg.Histogram("mr_reducer_input_size", "reducer input sizes (the paper's q distribution), log2 buckets", 32)
 	for i, n := range m.ReducerInputLog2 {
@@ -449,21 +468,23 @@ func (j *Job[I, K, V, O]) Run(inputs []I) ([]O, Metrics, error) {
 		Reduce:      engine.ReduceFunc[K, V, O](j.Reduce),
 		Partitioner: j.ShufflePartition,
 		Config: engine.Config{
-			Workers:               j.Config.Workers,
-			MapChunk:              j.Config.MapChunk,
-			Partitions:            j.Config.Partitions,
-			MemoryBudget:          j.Config.MemoryBudget,
-			MaxBufferedPairs:      j.Config.MaxBufferedPairs,
-			SpillDir:              j.Config.SpillDir,
-			CompactionConcurrency: j.Config.CompactionConcurrency,
-			SpoolRotateBytes:      j.Config.SpoolRotateBytes,
-			MaxReducerInput:       j.Config.MaxReducerInput,
-			RecordLoads:           j.Config.RecordLoads,
-			RecordKeys:            j.Config.ReduceWorkersHint > 0,
-			FailureEveryN:         j.Config.FailureEveryN,
-			MaxRetries:            j.Config.MaxRetries,
-			LegacyMerge:           j.Config.LegacyMerge,
-			Recorder:              j.Config.Recorder,
+			Workers:                j.Config.Workers,
+			MapChunk:               j.Config.MapChunk,
+			Partitions:             j.Config.Partitions,
+			MemoryBudget:           j.Config.MemoryBudget,
+			MaxBufferedPairs:       j.Config.MaxBufferedPairs,
+			SpillDir:               j.Config.SpillDir,
+			CompactionConcurrency:  j.Config.CompactionConcurrency,
+			SpoolRotateBytes:       j.Config.SpoolRotateBytes,
+			MaxReducerInput:        j.Config.MaxReducerInput,
+			ReduceSplitPairs:       j.Config.ReduceSplitPairs,
+			ReduceRangeConcurrency: j.Config.ReduceRangeConcurrency,
+			RecordLoads:            j.Config.RecordLoads,
+			RecordKeys:             j.Config.ReduceWorkersHint > 0,
+			FailureEveryN:          j.Config.FailureEveryN,
+			MaxRetries:             j.Config.MaxRetries,
+			LegacyMerge:            j.Config.LegacyMerge,
+			Recorder:               j.Config.Recorder,
 		},
 	}
 	if j.Combine != nil {
@@ -500,6 +521,8 @@ func (j *Job[I, K, V, O]) Run(inputs []I) ([]O, Metrics, error) {
 		PeakResidentPairs: res.Metrics.PeakResidentPairs,
 		SpillOverlapNs:    res.Metrics.SpillOverlapNs,
 		FinishDrainNs:     res.Metrics.FinishDrainNs,
+		ReduceRanges:      res.Metrics.ReduceRanges,
+		ReduceRangeSkew:   res.Metrics.ReduceRangeSkew,
 		ReducerInputLog2:  res.Metrics.ReducerInputLog2,
 	}
 	if j.Config.RecordLoads {

@@ -58,16 +58,18 @@ func MaybeProcWorker() { proc.MaybeWorker() }
 // enforces in-process.
 func (j *Job[I, K, V, O]) runProc(inputs []I) ([]O, Metrics, error) {
 	outs, pm, err := proc.Run[I, K, V, O](j.Name, inputs, proc.Options{
-		Workers:         j.Config.Workers,
-		Partitions:      j.Config.Partitions,
-		MapChunk:        j.Config.MapChunk,
-		MemoryBudget:    j.Config.MemoryBudget,
-		Dir:             j.Config.ProcDir,
-		WorkerCommand:   j.Config.ProcWorkerCommand,
-		LeaseTTL:        j.Config.ProcLeaseTTL,
-		MaxReducerInput: j.Config.MaxReducerInput,
-		Timeout:         j.Config.ProcTimeout,
-		Recorder:        j.Config.Recorder,
+		Workers:                j.Config.Workers,
+		Partitions:             j.Config.Partitions,
+		MapChunk:               j.Config.MapChunk,
+		MemoryBudget:           j.Config.MemoryBudget,
+		Dir:                    j.Config.ProcDir,
+		WorkerCommand:          j.Config.ProcWorkerCommand,
+		LeaseTTL:               j.Config.ProcLeaseTTL,
+		MaxReducerInput:        j.Config.MaxReducerInput,
+		ReduceSplitPairs:       j.Config.ReduceSplitPairs,
+		ReduceRangeConcurrency: j.Config.ReduceRangeConcurrency,
+		Timeout:                j.Config.ProcTimeout,
+		Recorder:               j.Config.Recorder,
 	})
 	met := Metrics{
 		MapInputs:         pm.MapInputs,
@@ -87,6 +89,7 @@ func (j *Job[I, K, V, O]) runProc(inputs []I) ([]O, Metrics, error) {
 		IndexBytesSpilled: pm.IndexBytesSpilled,
 		DiskBytesRead:     pm.DiskBytesRead,
 		PeakResidentPairs: pm.PeakResidentPairs,
+		ReduceRanges:      pm.ReduceRanges,
 	}
 	if err != nil {
 		// The reducer-size limit crosses the RPC boundary as a fatal

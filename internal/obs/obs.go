@@ -84,6 +84,10 @@ const (
 	// files open. Partition lane. Begin A = disk runs; End B = 1 on
 	// failure else 0.
 	OpReduceMerge
+	// OpReduceRange spans one key-range unit of a split partition's
+	// reduce merge. Range lane. Begin A = partition, B = range index;
+	// End A = keys reduced, B = 1 on failure else 0.
+	OpReduceRange
 
 	// OpWorkerLife spans one worker process from spawn to exit. Proc
 	// lane. Begin A = pid; End A = pid, B = 1 on unexpected death else 0.
@@ -130,6 +134,7 @@ var opNames = [numOps]struct{ name, a, b string }{
 	OpFenceAbort:   {"fence-abort", "task", "attempt"},
 	OpCompact:      {"compact", "runs", "err"},
 	OpReduceMerge:  {"reduce-merge", "runs", "err"},
+	OpReduceRange:  {"reduce-range", "partition", "range"},
 
 	OpWorkerLife:     {"worker-life", "pid", "died"},
 	OpProcMapTask:    {"proc-map-task", "task", "attempt"},
@@ -176,6 +181,7 @@ const (
 	LanePartition                     // one shuffle partition
 	LaneCompactor                     // one async compaction worker
 	LaneProc                          // one worker *process* (multi-process mode)
+	LaneRange                         // one reduce key-range unit (split partitions)
 )
 
 func (k LaneKind) String() string {
@@ -190,6 +196,8 @@ func (k LaneKind) String() string {
 		return "compactor"
 	case LaneProc:
 		return "proc-worker"
+	case LaneRange:
+		return "reduce-range"
 	default:
 		return fmt.Sprintf("lane-kind-%d", uint8(k))
 	}

@@ -24,12 +24,13 @@ import (
 // spills.
 func crashOptions(t *testing.T, extraEnv ...string) Options {
 	return Options{
-		Workers:      testWorkers(t),
-		Partitions:   5,
-		MemoryBudget: testMemBudget(t),
-		LeaseTTL:     time.Second,
-		Timeout:      90 * time.Second,
-		WorkerEnv:    append([]string{"MR_PROC_SLOW_MS=25"}, extraEnv...),
+		Workers:          testWorkers(t),
+		Partitions:       5,
+		MemoryBudget:     testMemBudget(t),
+		ReduceSplitPairs: testSplitPairs(t),
+		LeaseTTL:         time.Second,
+		Timeout:          90 * time.Second,
+		WorkerEnv:        append([]string{"MR_PROC_SLOW_MS=25"}, extraEnv...),
 	}
 }
 

@@ -413,9 +413,11 @@ func (d *Driver) grantReduceLocked(p int, worker string) Task {
 	}
 	return Task{
 		Kind: TaskReduce, ID: p, Attempt: attempt,
-		Sections:        d.reduceSections[p],
-		MaxReducerInput: d.opts.MaxReducerInput,
-		HeartbeatEvery:  d.hbEvery,
+		Sections:               d.reduceSections[p],
+		MaxReducerInput:        d.opts.MaxReducerInput,
+		ReduceSplitPairs:       d.opts.ReduceSplitPairs,
+		ReduceRangeConcurrency: d.opts.ReduceRangeConcurrency,
+		HeartbeatEvery:         d.hbEvery,
 	}
 }
 
@@ -526,6 +528,7 @@ func (d *Driver) reduceDone(rep ReduceReport) bool {
 	lane.End(obs.OpProcReduceTask, int64(rep.Part), 0)
 	d.reduceOut[rep.Part] = rep
 	d.met.DiskBytesRead += rep.BytesRead
+	d.met.ReduceRanges += rep.Ranges
 	if rep.PeakResident > d.met.PeakResidentPairs {
 		d.met.PeakResidentPairs = rep.PeakResident
 	}

@@ -125,6 +125,13 @@ type Options struct {
 	// MaxReducerInput, when positive, fails the job if any reduce key
 	// receives more values (the paper's q limit).
 	MaxReducerInput int
+	// ReduceSplitPairs, when positive, has each reduce worker split its
+	// partition's merge into class-aligned key ranges of roughly this
+	// many pairs and run them concurrently; output files stay
+	// byte-identical to the unsplit merge. ReduceRangeConcurrency caps
+	// the ranges per partition (zero selects GOMAXPROCS).
+	ReduceSplitPairs       int
+	ReduceRangeConcurrency int
 	// Timeout bounds the whole run. Zero means 2 minutes.
 	Timeout time.Duration
 	// Recorder, when non-nil, receives driver-side lifecycle events:
@@ -242,6 +249,11 @@ type Metrics struct {
 	// set this stays near P*MemoryBudget + BlockPairs regardless of
 	// input size — the bound the paper's q-tradeoff needs enforced.
 	PeakResidentPairs int64
+
+	// ReduceRanges is the total key-range units accepted reduce attempts
+	// split their merges into under Options.ReduceSplitPairs (zero when
+	// splitting was off or no partition crossed the threshold).
+	ReduceRanges int64
 
 	// MapRetries and ReduceRetries count task re-grants beyond the
 	// first (lease expiry, worker death, speculation, reported

@@ -134,6 +134,57 @@ func testMemBudget(t *testing.T) int {
 	return 0
 }
 
+// testSplitPairs reads the CI matrix's range-split column so the crash
+// suite also runs with reduce workers cutting their merges into
+// concurrent key ranges; default 0 = whole-partition merges.
+func testSplitPairs(t *testing.T) int {
+	if s := os.Getenv("MRPROC_SPLITPAIRS"); s != "" {
+		var n int
+		if _, err := fmt.Sscanf(s, "%d", &n); err == nil && n >= 0 {
+			return n
+		}
+		t.Fatalf("bad MRPROC_SPLITPAIRS=%q", s)
+	}
+	return 0
+}
+
+// TestProcRangeSplit: reduce workers told to split their merges into
+// key-range units must produce output files byte-identical to the
+// whole-partition merge — same records, same order — and report the
+// ranges they cut.
+func TestProcRangeSplit(t *testing.T) {
+	lines := genLines(150) // "common" dominates: a genuinely skewed hot key
+	const parts = 3
+	run := func(splitPairs, conc int) ([]wcOut, Metrics) {
+		outs, met, err := Run[string, string, int, wcOut]("wordcount-nocombine", lines, Options{
+			Workers: 2, Partitions: parts, Dir: t.TempDir(),
+			ReduceSplitPairs: splitPairs, ReduceRangeConcurrency: conc,
+			Timeout: 90 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outs, met
+	}
+	want, wantMet := run(0, 0)
+	if !reflect.DeepEqual(want, refWordCount(lines, parts)) {
+		t.Fatal("unsplit run diverges from reference")
+	}
+	for _, conc := range []int{0, 2} {
+		got, met := run(8, conc)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("range-split outputs (conc=%d) diverge from whole-partition merge", conc)
+		}
+		if met.ReduceRanges == 0 {
+			t.Fatalf("ReduceRanges = 0 with split target 8 over %d shuffled pairs", met.PairsShuffled)
+		}
+		if met.Reducers != wantMet.Reducers || met.MaxReducerInput != wantMet.MaxReducerInput ||
+			met.PeakResidentPairs != wantMet.PeakResidentPairs {
+			t.Fatalf("range-split metrics diverge:\nsplit %+v\nwhole %+v", met, wantMet)
+		}
+	}
+}
+
 func TestProcRunClean(t *testing.T) {
 	t.Run("unbounded", func(t *testing.T) { testProcRunClean(t, 0) })
 	// Inputs (480 pairs) far exceed the budget: every map task must

@@ -65,8 +65,13 @@ type Task struct {
 	MemoryBudget int
 
 	// Reduce fields: the committed input sections in map-task order.
-	Sections        []Section
-	MaxReducerInput int
+	// ReduceSplitPairs and ReduceRangeConcurrency carry the driver's
+	// range-split knobs: a positive split target has the worker cut the
+	// merge into class-aligned key ranges it runs concurrently.
+	Sections               []Section
+	MaxReducerInput        int
+	ReduceSplitPairs       int
+	ReduceRangeConcurrency int
 
 	// HeartbeatEvery is how often the worker should renew its lease on
 	// this task (the driver sets a fraction of the lease TTL). Zero means
@@ -137,8 +142,11 @@ type ReduceReport struct {
 	// PeakResident is the attempt's high-water resident pair count: the
 	// largest single group the k-way merge held decoded at once.
 	PeakResident int64
-	Err          string
-	Fatal        bool
+	// Ranges is how many key-range units the attempt split its merge
+	// into (0 when it ran as one whole-partition merge).
+	Ranges int64
+	Err    string
+	Fatal  bool
 }
 
 // Ack is the driver's answer to a report.

@@ -15,6 +15,7 @@ import (
 	"net/rpc"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -526,6 +527,15 @@ func (j *jobImpl[I, K, V, O]) runMapTask(ws *workerState, inputs any, t Task) (M
 // outGroups). Only the sections' indexes and one decoded group are
 // resident at a time: the memory bound is the merge fan-in plus the
 // largest single group, not the partition size.
+//
+// With Task.ReduceSplitPairs set, the worker first plans class-aligned
+// key ranges from the sections' decoded indexes, slices every section
+// cursor per range, and runs the range merges concurrently — then
+// concatenates their groups in range order, so the output file is
+// byte-identical to the unsplit merge. PeakResident stays the largest
+// single decoded group either way (each range holds at most one), but
+// a split attempt holds up to one group per concurrent range resident
+// at once — the documented residency multiplier of range concurrency.
 func (j *jobImpl[I, K, V, O]) runReduceTask(ws *workerState, t Task) (ReduceReport, error) {
 	ws.crashPoint("reduce", t.ID, nil)
 	// One handle per distinct spool file; every cursor reads through it
@@ -536,16 +546,8 @@ func (j *jobImpl[I, K, V, O]) runReduceTask(ws *workerState, t Task) (ReduceRepo
 			f.Close()
 		}
 	}()
-	// mergeCursor is one section's position in the merge. curs stays in
-	// section (task, attempt, seq) order throughout — gathering a key's
-	// values by ascending scan is what preserves the value-order
-	// contract across seal splits.
-	type mergeCursor struct {
-		sc  *runfile.SectionCursor
-		key K
-	}
-	var curs []*mergeCursor
-	var pairsIn, bytesRead int64
+	var scs []*runfile.SectionCursor
+	var bytesRead int64
 	for _, sec := range t.Sections {
 		f, ok := files[sec.Path]
 		if !ok {
@@ -561,12 +563,153 @@ func (j *jobImpl[I, K, V, O]) runReduceTask(ws *workerState, t Task) (ReduceRepo
 			return ReduceReport{}, fmt.Errorf("proc: section %s@%d+%d unreadable: %w", sec.Path, sec.Offset, sec.Length, err)
 		}
 		bytesRead += sec.DataBytes
+		scs = append(scs, sc)
+	}
+
+	var groups []outGroup[K, O]
+	var st mergeStats
+	var nRanges int64
+	if slices := sliceSectionsByRange[K](scs, t.ReduceSplitPairs, t.ReduceRangeConcurrency); slices != nil {
+		nRanges = int64(len(slices))
+		rangeGroups := make([][]outGroup[K, O], len(slices))
+		stats := make([]mergeStats, len(slices))
+		errs := make([]error, len(slices))
+		var wg sync.WaitGroup
+		for r := range slices {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				rangeGroups[r], stats[r], errs[r] = mergeSections(j, slices[r], t)
+			}(r)
+		}
+		wg.Wait()
+		for r := range slices {
+			if errs[r] != nil {
+				return ReduceReport{}, errs[r]
+			}
+			groups = append(groups, rangeGroups[r]...)
+			st.keys += stats[r].keys
+			st.outputs += stats[r].outputs
+			st.pairsIn += stats[r].pairsIn
+			if stats[r].maxGroup > st.maxGroup {
+				st.maxGroup = stats[r].maxGroup
+			}
+		}
+	} else {
+		var err error
+		groups, st, err = mergeSections(j, scs, t)
+		if err != nil {
+			return ReduceReport{}, err
+		}
+	}
+	path := outPath(ws.dir, t.ID, t.Attempt)
+	if err := writeOutputs(path, groups); err != nil {
+		return ReduceReport{}, err
+	}
+	return ReduceReport{
+		Worker: ws.id, Part: t.ID, Attempt: t.Attempt, OutPath: path,
+		Keys: st.keys, Outputs: st.outputs, MaxGroup: st.maxGroup,
+		PairsIn: st.pairsIn, BytesRead: bytesRead, PeakResident: st.maxGroup,
+		Ranges: nRanges,
+	}, nil
+}
+
+// sliceSectionsByRange plans class-aligned key ranges from the
+// sections' resident indexes (decoded keys + counts — no value read)
+// and slices every cursor to each range's [lo, hi) window. nil means
+// run unsplit: splitting disabled, the partition under the target, or
+// an index key that fails to decode (the whole-partition merge decodes
+// the same bytes and surfaces the error fatally).
+func sliceSectionsByRange[K comparable](scs []*runfile.SectionCursor, splitPairs, maxRanges int) [][]*runfile.SectionCursor {
+	if splitPairs <= 0 {
+		return nil
+	}
+	if maxRanges <= 0 {
+		// A split target is an explicit opt-in: keep at least two ranges
+		// even on a single-CPU worker so the requested split happens.
+		maxRanges = runtime.GOMAXPROCS(0)
+		if maxRanges < 2 {
+			maxRanges = 2
+		}
+	}
+	secKeys := make([][]K, len(scs))
+	counts := make(map[K]int64)
+	var total int64
+	for i, sc := range scs {
+		ks := make([]K, sc.Len())
+		for e := 0; e < sc.Len(); e++ {
+			k, err := runfile.Decode[K](sc.KeyAt(e))
+			if err != nil {
+				return nil
+			}
+			ks[e] = k
+			counts[k] += sc.CountAt(e)
+			total += sc.CountAt(e)
+		}
+		secKeys[i] = ks
+	}
+	if total <= int64(splitPairs) {
+		return nil
+	}
+	distinct := make([]K, 0, len(counts))
+	for k := range counts {
+		distinct = append(distinct, k)
+	}
+	shuffle.SortKeys(distinct)
+	loads := make([]int64, len(distinct))
+	for i, k := range distinct {
+		loads[i] = counts[k]
+	}
+	ranges := shuffle.PlanRangesFromCounts(distinct, loads, int64(splitPairs), maxRanges)
+	if ranges == nil {
+		return nil
+	}
+	out := make([][]*runfile.SectionCursor, len(ranges))
+	for r, kr := range ranges {
+		// Slices stay in section (task, attempt, seq) order — the
+		// value-order contract each range merge preserves.
+		for i, sc := range scs {
+			lo, hi := kr.Clamp(secKeys[i])
+			if lo == hi {
+				continue
+			}
+			s, err := sc.Slice(lo, hi)
+			if err != nil {
+				return nil
+			}
+			out[r] = append(out[r], s)
+		}
+	}
+	return out
+}
+
+// mergeStats is one merge's group profile, summed across ranges when
+// the partition was split.
+type mergeStats struct {
+	keys, outputs, maxGroup, pairsIn int64
+}
+
+// mergeSections runs the k-way merge-reduce over the given section
+// cursors (whole sections, or one range's slices) and returns the
+// reduced groups in canonical key order. Each call owns its cursors
+// and decode arena, so disjoint ranges merge concurrently.
+func mergeSections[I any, K comparable, V, O any](j *jobImpl[I, K, V, O], scs []*runfile.SectionCursor, t Task) ([]outGroup[K, O], mergeStats, error) {
+	// mergeCursor is one section's position in the merge. curs stays in
+	// section (task, attempt, seq) order throughout — gathering a key's
+	// values by ascending scan is what preserves the value-order
+	// contract across seal splits.
+	type mergeCursor struct {
+		sc  *runfile.SectionCursor
+		key K
+	}
+	var curs []*mergeCursor
+	for _, sc := range scs {
 		if !sc.Next() {
 			continue
 		}
 		k, err := runfile.Decode[K](sc.Key())
 		if err != nil {
-			return ReduceReport{}, fatal(fmt.Errorf("proc: decoding key: %w", err))
+			return nil, mergeStats{}, fatal(fmt.Errorf("proc: decoding key: %w", err))
 		}
 		curs = append(curs, &mergeCursor{sc: sc, key: k})
 	}
@@ -574,7 +717,7 @@ func (j *jobImpl[I, K, V, O]) runReduceTask(ws *workerState, t Task) (ReduceRepo
 	less := shuffle.KeyLess[K]()
 	var vb runfile.ValueBatch
 	var vals []V
-	var keys, outputs, maxGroup int64
+	var st mergeStats
 	var groups []outGroup[K, O]
 	for len(curs) > 0 {
 		// Select the minimum key by linear scan: the fan-in is the
@@ -596,11 +739,11 @@ func (j *jobImpl[I, K, V, O]) runReduceTask(ws *workerState, t Task) (ReduceRepo
 			}
 		}
 		if t.MaxReducerInput > 0 && total > int64(t.MaxReducerInput) {
-			return ReduceReport{}, fatal(fmt.Errorf(
+			return nil, mergeStats{}, fatal(fmt.Errorf(
 				"proc: reducer for a key in partition %d received %d values, limit %d", t.ID, total, t.MaxReducerInput))
 		}
-		if total > maxGroup {
-			maxGroup = total
+		if total > st.maxGroup {
+			st.maxGroup = total
 		}
 		if j.spec.BatchReduce {
 			vals = vals[:0] // reduce released the arena; reuse it
@@ -614,18 +757,18 @@ func (j *jobImpl[I, K, V, O]) runReduceTask(ws *workerState, t Task) (ReduceRepo
 				continue
 			}
 			if err := c.sc.Values(&vb); err != nil {
-				return ReduceReport{}, fmt.Errorf("proc: reading values in partition %d: %w", t.ID, err)
+				return nil, mergeStats{}, fmt.Errorf("proc: reading values in partition %d: %w", t.ID, err)
 			}
 			var err error
 			vals, err = runfile.DecodeBatch[V](&vb, vals)
 			if err != nil {
-				return ReduceReport{}, fatal(fmt.Errorf("proc: decoding values: %w", err))
+				return nil, mergeStats{}, fatal(fmt.Errorf("proc: decoding values: %w", err))
 			}
-			pairsIn += c.sc.Count()
+			st.pairsIn += c.sc.Count()
 			if c.sc.Next() {
 				nk, err := runfile.Decode[K](c.sc.Key())
 				if err != nil {
-					return ReduceReport{}, fatal(fmt.Errorf("proc: decoding key: %w", err))
+					return nil, mergeStats{}, fatal(fmt.Errorf("proc: decoding key: %w", err))
 				}
 				c.key = nk
 				i++
@@ -635,19 +778,11 @@ func (j *jobImpl[I, K, V, O]) runReduceTask(ws *workerState, t Task) (ReduceRepo
 		}
 		g := outGroup[K, O]{Key: k, Load: len(vals)}
 		j.spec.Reduce(k, vals, func(o O) { g.Outs = append(g.Outs, o) })
-		outputs += int64(len(g.Outs))
-		keys++
+		st.outputs += int64(len(g.Outs))
+		st.keys++
 		groups = append(groups, g)
 	}
-	path := outPath(ws.dir, t.ID, t.Attempt)
-	if err := writeOutputs(path, groups); err != nil {
-		return ReduceReport{}, err
-	}
-	return ReduceReport{
-		Worker: ws.id, Part: t.ID, Attempt: t.Attempt, OutPath: path,
-		Keys: keys, Outputs: outputs, MaxGroup: maxGroup,
-		PairsIn: pairsIn, BytesRead: bytesRead, PeakResident: maxGroup,
-	}, nil
+	return groups, st, nil
 }
 
 // writeOutputs encodes one reduce attempt's groups to its output file:

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 	"reflect"
+	"unsafe"
 )
 
 // CanRoundTripIdentity reports whether values of type T preserve
@@ -168,77 +169,68 @@ func Append[T any](dst []byte, v T) ([]byte, error) {
 // dispatch per batch instead of per value); layout changes must land
 // in both — TestDecodeBatchKinds pins their agreement.
 func Decode[T any](data []byte) (T, error) {
-	var out T
-	switch p := any(&out).(type) {
+	// The fast paths dispatch on (*T)(nil) and build their result in a
+	// case-local value reinterpreted by castTo: a type switch on
+	// any(&out) would force out — and so every decoded key and value on
+	// the merge and swap-readback paths — through the heap.
+	switch any((*T)(nil)).(type) {
 	case *int:
 		x, err := decodeVarint(data)
-		*p = int(x)
-		return out, err
+		return castTo[T](int(x)), err
 	case *int8:
 		x, err := decodeVarint(data)
-		*p = int8(x)
-		return out, err
+		return castTo[T](int8(x)), err
 	case *int16:
 		x, err := decodeVarint(data)
-		*p = int16(x)
-		return out, err
+		return castTo[T](int16(x)), err
 	case *int32:
 		x, err := decodeVarint(data)
-		*p = int32(x)
-		return out, err
+		return castTo[T](int32(x)), err
 	case *int64:
 		x, err := decodeVarint(data)
-		*p = x
-		return out, err
+		return castTo[T](x), err
 	case *uint:
 		x, err := decodeUvarint(data)
-		*p = uint(x)
-		return out, err
+		return castTo[T](uint(x)), err
 	case *uint8:
 		x, err := decodeUvarint(data)
-		*p = uint8(x)
-		return out, err
+		return castTo[T](uint8(x)), err
 	case *uint16:
 		x, err := decodeUvarint(data)
-		*p = uint16(x)
-		return out, err
+		return castTo[T](uint16(x)), err
 	case *uint32:
 		x, err := decodeUvarint(data)
-		*p = uint32(x)
-		return out, err
+		return castTo[T](uint32(x)), err
 	case *uint64:
 		x, err := decodeUvarint(data)
-		*p = x
-		return out, err
+		return castTo[T](x), err
 	case *uintptr:
 		x, err := decodeUvarint(data)
-		*p = uintptr(x)
-		return out, err
+		return castTo[T](uintptr(x)), err
 	case *float32:
 		if len(data) != 4 {
+			var out T
 			return out, fmt.Errorf("runfile: float32 needs 4 bytes, got %d", len(data))
 		}
-		*p = math.Float32frombits(binary.LittleEndian.Uint32(data))
-		return out, nil
+		return castTo[T](math.Float32frombits(binary.LittleEndian.Uint32(data))), nil
 	case *float64:
 		if len(data) != 8 {
+			var out T
 			return out, fmt.Errorf("runfile: float64 needs 8 bytes, got %d", len(data))
 		}
-		*p = math.Float64frombits(binary.LittleEndian.Uint64(data))
-		return out, nil
+		return castTo[T](math.Float64frombits(binary.LittleEndian.Uint64(data))), nil
 	case *bool:
 		if len(data) != 1 {
+			var out T
 			return out, fmt.Errorf("runfile: bool needs 1 byte, got %d", len(data))
 		}
-		*p = data[0] != 0
-		return out, nil
+		return castTo[T](data[0] != 0), nil
 	case *string:
-		*p = string(data)
-		return out, nil
+		return castTo[T](string(data)), nil
 	case *[]byte:
-		*p = append([]byte(nil), data...)
-		return out, nil
+		return castTo[T](append([]byte(nil), data...)), nil
 	default:
+		var out T
 		if plan := fixedPlanFor[T](); plan != nil {
 			if err := plan.decodeInto(data, fixedPtr(&out)); err != nil {
 				return out, err
@@ -251,6 +243,11 @@ func Decode[T any](data []byte) (T, error) {
 		return out, nil
 	}
 }
+
+// castTo reinterprets a fast-path case's concrete value as T. Sound
+// only when U is exactly T (each switch case guarantees it); the copy
+// through unsafe keeps the value out of the heap.
+func castTo[T, U any](u U) T { return *(*T)(unsafe.Pointer(&u)) }
 
 func decodeVarint(data []byte) (int64, error) {
 	x, n := binary.Varint(data)

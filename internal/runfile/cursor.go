@@ -45,6 +45,33 @@ func NewSectionCursor(ra io.ReaderAt, size, bodyBytes int64) (*SectionCursor, er
 // Len is the image's group count.
 func (c *SectionCursor) Len() int { return len(c.entries) }
 
+// KeyAt returns entry i's encoded key bytes without moving the cursor,
+// for callers binary-searching the index (range splitting seeks by
+// decoded key before Slice clamps the cursor). CountAt is entry i's
+// value count, for weighing range plans from the index alone.
+func (c *SectionCursor) KeyAt(i int) []byte { return c.entries[i].Key }
+
+// CountAt returns entry i's value count without moving the cursor.
+func (c *SectionCursor) CountAt(i int) int64 { return c.entries[i].Count }
+
+// Slice returns an independent cursor clamped to entries [lo, hi),
+// sharing this cursor's reader and loaded index — no I/O. The sliced
+// cursor's body end is where entry hi's framing begins (the parent's
+// body end when hi is the group count), so the last in-range group's
+// value section stays addressable. Slices of one parent are safe to
+// iterate concurrently: reads are positioned and each cursor keeps its
+// own position.
+func (c *SectionCursor) Slice(lo, hi int) (*SectionCursor, error) {
+	if lo < 0 || hi < lo || hi > len(c.entries) {
+		return nil, fmt.Errorf("%w: section slice [%d,%d) of %d groups", ErrCorrupt, lo, hi, len(c.entries))
+	}
+	end := c.bodyEnd
+	if hi < len(c.entries) {
+		end = c.entries[hi].Offset
+	}
+	return &SectionCursor{ra: c.ra, entries: c.entries[lo:hi], bodyEnd: end, pos: -1}, nil
+}
+
 // Next advances to the next group, returning false when the cursor is
 // exhausted.
 func (c *SectionCursor) Next() bool {

@@ -106,6 +106,16 @@ type Writer struct {
 	index       []IndexEntry
 	curValStart int64 // file offset where the open group's values begin
 	footerStart int64 // where Finish started the footer; 0 until then
+
+	// uvbuf backs writeUvarint. A stack buffer would escape through the
+	// bufio.Writer's io.Writer parameter, costing one tiny heap
+	// allocation per varint — the single hottest allocation site on the
+	// spill path.
+	uvbuf [binary.MaxVarintLen64]byte
+	// keyArena backs the index entries' key copies for the current run;
+	// Reset truncates it, so a long-lived spool writer allocates key
+	// storage O(log runs) times instead of once per group.
+	keyArena []byte
 }
 
 // NewWriter starts a version-2 run file on w, writing the header
@@ -135,6 +145,7 @@ func (w *Writer) Reset(out io.Writer) {
 	w.err = nil
 	w.finished = false
 	w.index = w.index[:0]
+	w.keyArena = w.keyArena[:0]
 	w.curValStart = 0
 	w.footerStart = 0
 	w.write(magicPrefix[:])
@@ -151,8 +162,7 @@ func (w *Writer) write(p []byte) {
 }
 
 func (w *Writer) writeUvarint(x uint64) {
-	var buf [binary.MaxVarintLen64]byte
-	w.write(buf[:binary.PutUvarint(buf[:], x)])
+	w.write(w.uvbuf[:binary.PutUvarint(w.uvbuf[:], x)])
 }
 
 // WriteGroup appends one key group. Callers must present groups in the
@@ -188,8 +198,17 @@ func (w *Writer) BeginGroup(key []byte, n int) error {
 	}
 	if w.version >= Version2 {
 		w.sealEntry()
+		// Copy the caller's (typically reused) key buffer into the
+		// writer's arena: one growing allocation per run instead of one
+		// per group. Arena growth may reallocate, but earlier entries
+		// keep the old backing array alive, so their slices stay valid.
+		var kcopy []byte // empty key stays nil, as append([]byte(nil)) would
+		if len(key) > 0 {
+			w.keyArena = append(w.keyArena, key...)
+			kcopy = w.keyArena[len(w.keyArena)-len(key):]
+		}
 		w.index = append(w.index, IndexEntry{
-			Key:    append([]byte(nil), key...),
+			Key:    kcopy,
 			Count:  int64(n),
 			Offset: w.bytes,
 		})

@@ -3,6 +3,7 @@ package shuffle
 import (
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/errfs"
@@ -319,6 +320,168 @@ func TestFaultInjectionReduceMerge(t *testing.T) {
 			if got[k] != n {
 				t.Fatalf("key %d has %d values, want %d", k, got[k], n)
 			}
+		}
+	})
+}
+
+// TestFaultInjectionRangeMerge marches the same fault battery through
+// the parallel range-merge path: spool opens during OpenRangeReader,
+// clamped positioned reads inside concurrent ForEachGroupRange calls,
+// and mapping faults (which must stay invisible via the pread
+// fallback). Every injected failure must keep ErrInjected reachable
+// through the chain, the shared reader must close cleanly with its
+// semaphore slot released — proven by reopening and re-reading the full
+// dataset — and the concurrent merges must join without leaks (-race).
+func TestFaultInjectionRangeMerge(t *testing.T) {
+	const budget, pairs, keys = 4, 32, 5
+	build := func(fs *errfs.FS, mod ...func(*Options)) *Shuffle[int, int] {
+		s, err := spillWorkload(t, fs, budget, pairs, keys, mod...)
+		if err != nil {
+			t.Fatalf("spill phase: %v", err)
+		}
+		fs.Reset()
+		return s
+	}
+	plan := func(s *Shuffle[int, int]) []KeyRange[int] {
+		ranges := s.Partition(0).PlanReduceRanges(int64(pairs)/3, 4)
+		if ranges == nil {
+			t.Fatal("workload did not plan a split; the march exercises nothing")
+		}
+		return ranges
+	}
+	// readAll runs every range concurrently through one shared reader
+	// and returns the first error in range order plus the pairs read.
+	readAll := func(rr *RangeReader[int, int], ranges []KeyRange[int]) (int, error) {
+		counts := make([]int, len(ranges))
+		errs := make([]error, len(ranges))
+		var wg sync.WaitGroup
+		for i := range ranges {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = rr.ForEachGroupRange(ranges[i], false, func(_ int, vs []int) error {
+					counts[i] += len(vs)
+					return nil
+				})
+			}(i)
+		}
+		wg.Wait()
+		total := 0
+		for i := range ranges {
+			if errs[i] != nil {
+				return 0, errs[i]
+			}
+			total += counts[i]
+		}
+		return total, nil
+	}
+
+	// Discovery: a clean ranged pass under the pread fallback.
+	probe := errfs.New(nil)
+	s := build(probe, noMmap)
+	ranges := plan(s)
+	rr, err := s.Partition(0).OpenRangeReader()
+	if err != nil {
+		t.Fatalf("clean open: %v", err)
+	}
+	if n, err := readAll(rr, ranges); err != nil || n != pairs {
+		t.Fatalf("clean ranged read: %d pairs, err %v; want %d", n, err, pairs)
+	}
+	rr.Close()
+	opens, preads := probe.Calls(errfs.OpOpen), probe.Calls(errfs.OpReadAt)
+	if opens < 2 || preads < 2 {
+		t.Fatalf("clean ranged pass used %d opens / %d preads; expected a multi-run merge", opens, preads)
+	}
+	s.Close()
+
+	// Open faults: OpenRangeReader must fail wrapped, release everything
+	// it took, and a clean retry on the same partition must succeed.
+	for _, tc := range []struct {
+		name string
+		nth  int
+	}{
+		{"open-first-spool", 1},
+		{"open-last-spool", opens},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := errfs.New(nil)
+			s := build(fs, noMmap)
+			defer s.Close()
+			ranges := plan(s)
+			fs.FailAt(errfs.OpOpen, tc.nth, nil)
+			if _, err := s.Partition(0).OpenRangeReader(); err == nil {
+				t.Fatal("OpenRangeReader succeeded despite injected open failure")
+			} else if !errors.Is(err, errfs.ErrInjected) {
+				t.Fatalf("injected cause lost from the chain: %v", err)
+			}
+			fs.Reset()
+			rr, err := s.Partition(0).OpenRangeReader()
+			if err != nil {
+				t.Fatalf("clean reopen after injected failure: %v", err)
+			}
+			defer rr.Close()
+			if n, err := readAll(rr, ranges); err != nil || n != pairs {
+				t.Fatalf("re-read after failed open: %d pairs, err %v; want %d", n, err, pairs)
+			}
+		})
+	}
+
+	// Read faults inside the concurrent merges: the hit range surfaces
+	// the wrapped error, Close stays clean, and a fresh reader streams
+	// the full dataset — nothing was corrupted or left held.
+	for _, tc := range []struct {
+		name string
+		nth  int
+	}{
+		{"pread-first", 1},
+		{"pread-mid", preads / 2},
+		{"pread-last", preads},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := errfs.New(nil)
+			s := build(fs, noMmap)
+			defer s.Close()
+			ranges := plan(s)
+			rr, err := s.Partition(0).OpenRangeReader()
+			if err != nil {
+				t.Fatal(err)
+			}
+			fs.FailAt(errfs.OpReadAt, tc.nth, nil)
+			if _, err := readAll(rr, ranges); err == nil {
+				t.Fatal("ranged read succeeded despite injected read failure")
+			} else if !errors.Is(err, errfs.ErrInjected) {
+				t.Fatalf("injected cause lost from the chain: %v", err)
+			}
+			if err := rr.Close(); err != nil {
+				t.Fatalf("closing reader after injected failure: %v", err)
+			}
+			fs.Reset()
+			rr2, err := s.Partition(0).OpenRangeReader()
+			if err != nil {
+				t.Fatalf("reopen after injected failure: %v", err)
+			}
+			defer rr2.Close()
+			if n, err := readAll(rr2, ranges); err != nil || n != pairs {
+				t.Fatalf("clean re-read: %d pairs, err %v; want %d (silent truncation)", n, err, pairs)
+			}
+		})
+	}
+
+	// Mapping faults must not surface through the ranged path either:
+	// the shared view falls back to positioned reads.
+	t.Run("mmap-fault-is-invisible", func(t *testing.T) {
+		fs := errfs.New(nil)
+		s := build(fs)
+		defer s.Close()
+		ranges := plan(s)
+		fs.FailAt(errfs.OpMmap, 1, nil)
+		rr, err := s.Partition(0).OpenRangeReader()
+		if err != nil {
+			t.Fatalf("mmap fault must engage the fallback, not fail the open: %v", err)
+		}
+		defer rr.Close()
+		if n, err := readAll(rr, ranges); err != nil || n != pairs {
+			t.Fatalf("ranged read under mmap fault: %d pairs, err %v; want %d", n, err, pairs)
 		}
 	})
 }

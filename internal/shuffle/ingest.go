@@ -538,7 +538,10 @@ func (in *Ingester[K, V]) absorbSwapped(st *partitionState[K, V], sec swapSec) e
 	// diagnosis asserts it stays zero before reduce, and swap traffic is
 	// already fully visible as SwapBytes (each section is written and
 	// read back exactly once).
-	buf := make([]byte, sec.size)
+	if int64(cap(st.swapBuf)) < sec.size {
+		st.swapBuf = make([]byte, sec.size)
+	}
+	buf := st.swapBuf[:sec.size]
 	if _, err := io.ReadFull(io.NewSectionReader(ra, sec.off, sec.size), buf); err != nil {
 		return fmt.Errorf("shuffle: reading swap spool %s: %w", sec.rf.path, err)
 	}
@@ -559,7 +562,10 @@ func (in *Ingester[K, V]) absorbSwapped(st *partitionState[K, V], sec swapSec) e
 		rest = rest[m+int(l):]
 		return b, nil
 	}
-	chunk := make([]Pair[K, V], 0, s.blockPairs)
+	if cap(st.swapChunk) < s.blockPairs {
+		st.swapChunk = make([]Pair[K, V], 0, s.blockPairs)
+	}
+	chunk := st.swapChunk[:0]
 	flush := func() error {
 		if len(chunk) == 0 {
 			return nil
@@ -576,7 +582,7 @@ func (in *Ingester[K, V]) absorbSwapped(st *partitionState[K, V], sec swapSec) e
 		if err != nil {
 			return err
 		}
-		k, err := runfile.Decode[K](kb)
+		k, err := st.decodeSwappedKey(kb)
 		if err != nil {
 			return fmt.Errorf("shuffle: decoding swapped key in spool %s: %w", sec.rf.path, err)
 		}
@@ -603,6 +609,30 @@ func (in *Ingester[K, V]) absorbSwapped(st *partitionState[K, V], sec swapSec) e
 		return fmt.Errorf("shuffle: removing swap spool %s: %w", sec.rf.path, err)
 	}
 	return nil
+}
+
+// decodeSwappedKey decodes one swapped pair's key, interning string
+// keys through the partition's dedup table: the readback revisits each
+// hot key once per pair, and the map lookup on the raw bytes is
+// allocation-free, so repeat keys share one decoded string instead of
+// allocating per pair. Non-string keys decode directly.
+func (st *partitionState[K, V]) decodeSwappedKey(kb []byte) (K, error) {
+	var zero K
+	if _, isString := any(zero).(string); !isString {
+		return runfile.Decode[K](kb)
+	}
+	if k, ok := st.intern[string(kb)]; ok {
+		return k, nil
+	}
+	k, err := runfile.Decode[K](kb)
+	if err != nil {
+		return zero, err
+	}
+	if st.intern == nil {
+		st.intern = make(map[string]K)
+	}
+	st.intern[any(k).(string)] = k
+	return k, nil
 }
 
 // swapStaged sheds staged blocks to the partition's stash under memory

@@ -1,0 +1,324 @@
+// Key-range splitting of the reduce merge: one partition's sorted key
+// space is cut into balanced, class-aligned ranges so disjoint slices
+// of the same partition can be merged and reduced concurrently.
+//
+// The plan comes entirely from the resident run indexes (a counting
+// merge — no disk read): PlanReduceRanges walks the partition's groups
+// in canonical order, accumulating pair counts, and closes a range
+// whenever the accumulated load passes the target *and* the next group
+// starts a new order-equivalence class. Boundaries land only at class
+// starts, so a key — including distinct keys the fallback comparator
+// cannot separate — never straddles two ranges, and the one-reducer-
+// per-group contract survives the split.
+//
+// RangeReader is the concurrent read surface: it opens the partition's
+// spool files and mmaps once (openRunViews — the same shared per-spool
+// mapping the whole-partition merge uses), and each ForEachGroupRange
+// call builds its own clamped cursor set over subslices of the resident
+// indexes, seeked by binary search. Ranges emitted in plan order
+// concatenate to exactly the whole-partition merge's group sequence,
+// value-order contract included, which is the determinism argument: the
+// split changes who reads a group, never what the group is or where it
+// appears.
+package shuffle
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// KeyRange is one planned slice of a partition's sorted key space:
+// [Lo, Hi) in canonical key order, where an unset bound (HasLo/HasHi
+// false) extends to the partition's edge. Bounds always sit on
+// order-equivalence-class starts: every key order-equal to Lo is
+// inside, every key order-equal to Hi is in the next range.
+type KeyRange[K comparable] struct {
+	Lo    K
+	HasLo bool
+	Hi    K
+	HasHi bool
+	// Pairs and Keys are the range's planned load from the resident
+	// indexes — the weights range units are scheduled by.
+	Pairs int64
+	Keys  int64
+
+	// Cached formatted bounds for the fallback comparator, computed at
+	// plan time so clamping never re-formats them.
+	loFmt, hiFmt string
+}
+
+// Contains reports whether k falls in the range under the canonical
+// order (the comparator behind SortKeys). Keys order-equal to Lo are
+// inside; keys order-equal to Hi are not.
+func (r KeyRange[K]) Contains(k K) bool {
+	less := nativeLess[K]()
+	if less != nil {
+		if r.HasLo && less(k, r.Lo) {
+			return false
+		}
+		if r.HasHi && !less(k, r.Hi) {
+			return false
+		}
+		return true
+	}
+	kf := fmt.Sprint(k)
+	if r.HasLo && kf < r.loFmt {
+		return false
+	}
+	if r.HasHi && !(kf < r.hiFmt) {
+		return false
+	}
+	return true
+}
+
+// PlanReduceRanges cuts the partition into class-aligned key ranges of
+// roughly targetPairs pairs each, weighted by the resident indexes'
+// per-group counts (a pure in-memory counting merge — no run file is
+// opened). maxRanges caps the cut; the final range absorbs whatever
+// remains. Returns nil — meaning "don't split" — when targetPairs or
+// maxRanges disables splitting, when the partition is empty or fits a
+// single range, or when the counting pass fails (the whole-partition
+// merge will surface the error).
+func (p Partition[K, V]) PlanReduceRanges(targetPairs int64, maxRanges int) []KeyRange[K] {
+	if targetPairs <= 0 || maxRanges <= 1 {
+		return nil
+	}
+	less := nativeLess[K]()
+	var ranges []KeyRange[K]
+	var cur KeyRange[K]
+	var curPairs, curKeys int64
+	var prev K
+	var prevFmt string
+	started := false
+	err := p.forEachGroup(false, false, func(k K, count int, _ []V) error {
+		var kf string
+		if less == nil {
+			kf = fmt.Sprint(k)
+		}
+		if started && curPairs >= targetPairs && len(ranges) < maxRanges-1 {
+			// Close the current range here only if k starts a new
+			// order-equivalence class: strictly greater than the previous
+			// group under the comparator. Groups the comparator cannot
+			// separate stay together.
+			classStart := false
+			if less != nil {
+				classStart = less(prev, k)
+			} else {
+				classStart = prevFmt < kf
+			}
+			if classStart {
+				cur.Hi, cur.HasHi, cur.hiFmt = k, true, kf
+				cur.Pairs, cur.Keys = curPairs, curKeys
+				ranges = append(ranges, cur)
+				cur = KeyRange[K]{Lo: k, HasLo: true, loFmt: kf}
+				curPairs, curKeys = 0, 0
+			}
+		}
+		curPairs += int64(count)
+		curKeys++
+		prev, prevFmt, started = k, kf, true
+		return nil
+	})
+	if err != nil || !started || len(ranges) == 0 {
+		return nil
+	}
+	cur.Pairs, cur.Keys = curPairs, curKeys
+	ranges = append(ranges, cur)
+	return ranges
+}
+
+// PlanRangesFromCounts cuts a sorted distinct-key sequence with per-key
+// pair counts into class-aligned ranges of roughly targetPairs pairs —
+// the standalone twin of Partition.PlanReduceRanges for callers that
+// already aggregated their (key, count) profile (proc reduce workers
+// plan from their sections' decoded indexes). keys must be in canonical
+// order (SortKeys). Returns nil when splitting is disabled or the
+// sequence fits a single range.
+func PlanRangesFromCounts[K comparable](keys []K, counts []int64, targetPairs int64, maxRanges int) []KeyRange[K] {
+	if targetPairs <= 0 || maxRanges <= 1 || len(keys) == 0 {
+		return nil
+	}
+	less := nativeLess[K]()
+	var ranges []KeyRange[K]
+	var cur KeyRange[K]
+	var curPairs, curKeys int64
+	var prevFmt string
+	for i, k := range keys {
+		var kf string
+		if less == nil {
+			kf = fmt.Sprint(k)
+		}
+		if i > 0 && curPairs >= targetPairs && len(ranges) < maxRanges-1 {
+			classStart := false
+			if less != nil {
+				classStart = less(keys[i-1], k)
+			} else {
+				classStart = prevFmt < kf
+			}
+			if classStart {
+				cur.Hi, cur.HasHi, cur.hiFmt = k, true, kf
+				cur.Pairs, cur.Keys = curPairs, curKeys
+				ranges = append(ranges, cur)
+				cur = KeyRange[K]{Lo: k, HasLo: true, loFmt: kf}
+				curPairs, curKeys = 0, 0
+			}
+		}
+		curPairs += counts[i]
+		curKeys++
+		prevFmt = kf
+	}
+	if len(ranges) == 0 {
+		return nil
+	}
+	cur.Pairs, cur.Keys = curPairs, curKeys
+	return append(ranges, cur)
+}
+
+// Clamp resolves the range to the [lo, hi) index window of keys, which
+// must be sorted in canonical order — the exported seek proc reduce
+// workers use to slice their section cursors per range.
+func (r KeyRange[K]) Clamp(keys []K) (lo, hi int) {
+	return clampRange(len(keys), func(i int) K { return keys[i] }, nativeLess[K](), r)
+}
+
+// lowerBound returns the first i in [0, n) whose key (via keyAt) is not
+// below the bound under the canonical order — the clamp seek shared by
+// the typed and formatted-fallback comparators. boundFmt is the bound's
+// cached formatted form, used when less is nil.
+func lowerBound[K comparable](n int, keyAt func(int) K, less func(a, b K) bool, bound K, boundFmt string) int {
+	if less != nil {
+		return sort.Search(n, func(i int) bool { return !less(keyAt(i), bound) })
+	}
+	return sort.Search(n, func(i int) bool { return !(fmt.Sprint(keyAt(i)) < boundFmt) })
+}
+
+// clampRange resolves a KeyRange to the [lo, hi) index window of a
+// sorted key sequence. The sequence must be sorted in canonical order
+// (it is: run indexes and sorted key slices are written that way).
+func clampRange[K comparable](n int, keyAt func(int) K, less func(a, b K) bool, r KeyRange[K]) (lo, hi int) {
+	lo, hi = 0, n
+	if r.HasLo {
+		lo = lowerBound(n, keyAt, less, r.Lo, r.loFmt)
+	}
+	if r.HasHi {
+		hi = lowerBound(n, keyAt, less, r.Hi, r.hiFmt)
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// RangeReader reads disjoint key ranges of one partition concurrently.
+// It holds the partition's read surface open once — spool handles and
+// shared mmaps (openRunViews), the disk-read semaphore slot, the
+// reduce-merge span — while any number of goroutines each run
+// ForEachGroupRange over their own range. Close releases all of it.
+// The partition must be quiescent (reduce phase): no concurrent writes.
+type RangeReader[K comparable, V any] struct {
+	s    *Shuffle[K, V]
+	st   *partitionState[K, V]
+	less func(a, b K) bool
+
+	views    []runView // one per disk run, sharing per-spool handles/mmaps
+	closeAll func()
+
+	memRuns []map[K][]V // sealed in-memory runs, then the live run
+	memKeys [][]K       // their sorted key slices, computed once
+
+	hasDisk   bool
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// OpenRangeReader opens the partition's shared read surface for
+// concurrent range merges. With disk runs it takes a disk-read
+// semaphore slot and opens every spool handle and mapping exactly once,
+// held until Close; the reduce-merge span covers the same window.
+func (p Partition[K, V]) OpenRangeReader() (*RangeReader[K, V], error) {
+	st := &p.s.parts[p.idx]
+	if p.s.closed && st.spilledToDisk {
+		return nil, fmt.Errorf("shuffle: partition %d read after Close: spilled runs deleted", p.idx)
+	}
+	rr := &RangeReader[K, V]{s: p.s, st: st, less: nativeLess[K]()}
+	if len(st.disk) > 0 {
+		rr.hasDisk = true
+		p.s.diskSem <- struct{}{}
+		st.lane.Begin(obs.OpReduceMerge, int64(len(st.disk)), 0)
+		views, closeAll, err := openRunViews(p.s, st.disk)
+		if err != nil {
+			closeAll()
+			st.lane.End(obs.OpReduceMerge, 0, 1)
+			<-p.s.diskSem
+			return nil, err
+		}
+		rr.views, rr.closeAll = views, closeAll
+	}
+	for _, run := range st.runs {
+		rr.memRuns = append(rr.memRuns, run)
+		rr.memKeys = append(rr.memKeys, sortedMapKeys(run))
+	}
+	if len(st.live) > 0 {
+		rr.memRuns = append(rr.memRuns, st.live)
+		rr.memKeys = append(rr.memKeys, sortedMapKeys(st.live))
+	}
+	return rr, nil
+}
+
+// Close releases the reader's handles, mappings, semaphore slot and
+// span. Safe to call more than once; must not race ForEachGroupRange.
+func (rr *RangeReader[K, V]) Close() error {
+	rr.closeOnce.Do(func() {
+		if rr.closeAll != nil {
+			rr.closeAll()
+		}
+		if rr.hasDisk {
+			rr.st.lane.End(obs.OpReduceMerge, 0, 0)
+			<-rr.s.diskSem
+		}
+	})
+	return rr.closeErr
+}
+
+// ForEachGroupRange streams the partition's groups inside r, in
+// canonical key order, through fn — the clamped twin of ForEachGroup
+// (reuseValues false) and ForEachGroupBatch (reuseValues true: the
+// slice is scratch, valid only during the call). Every cursor is seeked
+// to the range by binary search over its resident index and reads
+// through the reader's shared views, so concurrent calls with disjoint
+// ranges are safe and the concatenation of all planned ranges in order
+// reproduces the whole-partition merge exactly.
+func (rr *RangeReader[K, V]) ForEachGroupRange(r KeyRange[K], reuseValues bool, fn func(k K, vs []V) error) error {
+	fmtKeys := rr.less == nil
+	reuseValues = reuseValues && !fmtKeys
+	var cursors []*groupCursor[K, V]
+	for i, dr := range rr.st.disk {
+		idx := dr.index
+		lo, hi := clampRange(len(idx), func(j int) K { return idx[j].key }, rr.less, r)
+		if lo == hi {
+			continue
+		}
+		cursors = append(cursors, &groupCursor[K, V]{
+			runIdx: i, fmtKeys: fmtKeys, idx: idx[lo:hi],
+			file: rr.views[i].file, img: rr.views[i].img, ra: rr.views[i].ra, raOff: rr.views[i].raOff,
+			meter: &rr.s.diskRead,
+		})
+	}
+	base := len(rr.st.disk)
+	for i, run := range rr.memRuns {
+		keys := rr.memKeys[i]
+		lo, hi := clampRange(len(keys), func(j int) K { return keys[j] }, rr.less, r)
+		if lo == hi {
+			continue
+		}
+		cursors = append(cursors, &groupCursor[K, V]{
+			runIdx: base + i, fmtKeys: fmtKeys, mem: run, memKeys: keys[lo:hi],
+		})
+	}
+	return mergeGroupCursors(cursors, rr.less, true, reuseValues, func(k K, _ int, vs []V) error {
+		return fn(k, vs)
+	})
+}

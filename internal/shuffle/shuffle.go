@@ -299,6 +299,25 @@ type partitionState[K comparable, V any] struct {
 	scratch    map[K]int
 	presizeOff bool
 
+	// freeVs recycles live-run value-slice backing arrays across
+	// disk-bound seals: once a run's groups are encoded into the spool
+	// the slices are dead, so the next fill reuses their capacity
+	// instead of re-growing every key's slice from nil. Slices are
+	// zeroed before harvesting so recycled capacity never pins decoded
+	// values. The in-memory-run and seal-sink paths hand the map itself
+	// away and must not recycle.
+	freeVs []([]V)
+	// swapBuf and swapChunk are absorbSwapped's reused section read
+	// buffer and decode staging block (values are copied out by absorb,
+	// keys/values by Decode, so reuse is safe). intern dedups string
+	// keys decoded from swapped sections: a partition re-reads each of
+	// its hot keys once per swapped pair, so without the table the
+	// readback allocates one string per pair instead of one per
+	// distinct key.
+	swapBuf   []byte
+	swapChunk []Pair[K, V]
+	intern    map[string]K
+
 	// pspool is the partition's seal spool: one shared temp file (per
 	// rotation epoch) receiving every run the streaming path seals for
 	// this partition; stash is the swap spool, receiving the raw
@@ -641,7 +660,11 @@ func (st *partitionState[K, V]) absorb(s *Shuffle[K, V], pairs []Pair[K, V]) err
 		return nil
 	}
 	for i := range pairs {
-		st.live[pairs[i].Key] = append(st.live[pairs[i].Key], pairs[i].Value)
+		vs, ok := st.live[pairs[i].Key]
+		if !ok && len(st.freeVs) > 0 {
+			vs = st.grabSlice(1)
+		}
+		st.live[pairs[i].Key] = append(vs, pairs[i].Value)
 		st.livePairs++
 		if st.livePairs > st.maxLivePairs {
 			st.maxLivePairs = st.livePairs
@@ -655,6 +678,39 @@ func (st *partitionState[K, V]) absorb(s *Shuffle[K, V], pairs []Pair[K, V]) err
 	}
 	st.syncLive()
 	return nil
+}
+
+// recycleLive clears the live map in place — keeping its buckets, so
+// refills never pay rehash growth — and harvests the now-dead value
+// slices' backing arrays for reuse by later absorbs. Only the
+// disk-spill seal path may call this: the groups were synchronously
+// encoded into the spool, so nothing else references the slices. The
+// harvest is capped so a round whose key population shifts cannot grow
+// the freelist without bound.
+func (st *partitionState[K, V]) recycleLive() {
+	for _, vs := range st.live {
+		if cap(vs) == 0 || len(st.freeVs) >= 8192 {
+			continue
+		}
+		clear(vs) // drop value references so recycled capacity pins nothing
+		st.freeVs = append(st.freeVs, vs[:0])
+	}
+	clear(st.live)
+}
+
+// grabSlice returns an empty value slice with capacity at least n,
+// preferring a recycled backing array. Only the freelist's top few
+// entries are probed; a miss falls through to a fresh allocation.
+func (st *partitionState[K, V]) grabSlice(n int) []V {
+	for i, l := 0, len(st.freeVs); i < 4 && i < l; i++ {
+		s := st.freeVs[l-1-i]
+		if cap(s) >= n {
+			st.freeVs[l-1-i] = st.freeVs[l-1]
+			st.freeVs = st.freeVs[:l-1]
+			return s
+		}
+	}
+	return make([]V, 0, n)
 }
 
 // absorbPresized is absorb's under-budget fast path: count the block's
@@ -683,15 +739,23 @@ func (st *partitionState[K, V]) absorbPresized(pairs []Pair[K, V]) {
 				if min := 2 * cap(vs); newCap < min {
 					newCap = min
 				}
-				grown := make([]V, len(vs), newCap)
+				grown := st.grabSlice(newCap)[:len(vs)]
 				copy(grown, vs)
 				st.live[k] = grown
+				if cap(vs) > 0 && len(st.freeVs) < 8192 {
+					clear(vs) // old backing is dead; recycle it too
+					st.freeVs = append(st.freeVs, vs[:0])
+				}
 			}
 		}
 		clear(cnt)
 	}
 	for i := range pairs {
-		st.live[pairs[i].Key] = append(st.live[pairs[i].Key], pairs[i].Value)
+		vs, ok := st.live[pairs[i].Key]
+		if !ok && len(st.freeVs) > 0 {
+			vs = st.grabSlice(1)
+		}
+		st.live[pairs[i].Key] = append(vs, pairs[i].Value)
 	}
 	st.livePairs += len(pairs)
 	if st.livePairs > st.maxLivePairs {
@@ -764,12 +828,13 @@ func (st *partitionState[K, V]) seal(s *Shuffle[K, V], force bool) (err error) {
 			return err
 		}
 		s.addResident(-st.livePairs) // live pairs now on disk
+		st.recycleLive()
 	} else {
 		st.runs = append(st.runs, st.live)
+		st.live = make(map[K][]V)
 	}
 	st.spillEvents++
 	st.spilledPairs += int64(st.livePairs)
-	st.live = make(map[K][]V)
 	st.livePairs = 0
 	st.syncLive()
 	if st.pspool != nil && needsCompaction(st.disk) {

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/obs"
 )
 
@@ -244,10 +245,26 @@ func BenchmarkExternalShuffle(b *testing.B) {
 	b.Run("in-memory", func(b *testing.B) {
 		run(b, Options{Partitions: parts}, false)
 	})
-	b.Run("spill-to-disk", func(b *testing.B) {
+	// The two spill lanes pin key placement (WithSeed): their gated
+	// spilled-MB depends on which keys share a partition — above all in
+	// the combiner lane, where seal cancellation hinges on per-partition
+	// group sizes — and the default per-process maphash seed moves it
+	// ±25% between runs, which no tight benchcmp gate survives. Pinned,
+	// the spill metrics are a pure function of the workload. The -seeded
+	// suffix marks the measurement-condition change: benchcmp treats the
+	// renamed lanes as new benchmarks, so the pinned constants are never
+	// diffed against unpinned-era samples. The streaming lanes stay on
+	// the default hasher: their values/s floor is a comparison against
+	// maphash-placed history, and the seeded FNV fallback costs ~10% of
+	// exactly the ingest throughput being gated (their spilled-MB is
+	// already seal-point-deterministic, and benchcmp's 10% gate absorbs
+	// its small cross-seed spread).
+	b.Run("spill-to-disk-seeded", func(b *testing.B) {
+		defer WithSeed(42)()
 		run(b, Options{Partitions: parts, MaxBufferedPairs: budget, SpillDir: b.TempDir()}, false)
 	})
-	b.Run("spill-with-combiner", func(b *testing.B) {
+	b.Run("spill-with-combiner-seeded", func(b *testing.B) {
+		defer WithSeed(42)()
 		run(b, Options{Partitions: parts, MaxBufferedPairs: budget, SpillDir: b.TempDir()}, true)
 	})
 
@@ -279,6 +296,7 @@ func BenchmarkExternalShuffle(b *testing.B) {
 		streamTasks := benchPairs(total, nStream, nKeys)
 		b.ReportAllocs()
 		var spilledMB, diskReadMB, swapMB, reclaimedMB, overlapMs, finishMs float64
+		var reduceRanges, rangeSkew float64
 		var peakResident int64
 		var streamed, wantSpilled int64
 		// One recorder for the whole run: the rings are allocated here,
@@ -369,18 +387,109 @@ func BenchmarkExternalShuffle(b *testing.B) {
 			overlapMs = float64(ing.OverlapNs()) / 1e6
 			finishMs = float64(ing.FinishNs()) / 1e6
 
-			var got int64
+			// Range-split parallel read-back: plan key ranges per
+			// partition from the resident footer indexes and read each
+			// range as an independent unit on the worker pool — the
+			// production reduce shape (PlanReduceRanges + RangeReader).
+			// Each unit's batch merge reuses its value arena, so this is
+			// also the allocation-light decode path.
+			type rbUnit struct {
+				p, rng int // rng < 0: whole-partition fallback
+				kr     KeyRange[string]
+			}
+			var units []rbUnit
+			var rangeUnits int
+			var maxRangePairs, sumRangePairs int64
 			for p := 0; p < s.NumPartitions(); p++ {
-				err := s.Partition(p).ForEachGroup(func(_ string, vs []int) error {
-					got += int64(len(vs))
-					return nil
-				})
-				if err != nil {
-					b.Fatal(err)
+				krs := s.Partition(p).PlanReduceRanges(int64(total/parts/4), 4)
+				if krs == nil {
+					units = append(units, rbUnit{p: p, rng: -1})
+					continue
 				}
+				for r, kr := range krs {
+					units = append(units, rbUnit{p: p, rng: r, kr: kr})
+					if kr.Pairs > maxRangePairs {
+						maxRangePairs = kr.Pairs
+					}
+					sumRangePairs += kr.Pairs
+					rangeUnits++
+				}
+			}
+			// One refcounted reader per split partition: the first unit
+			// in opens it, the last one out closes it, so at most
+			// `workers` readers hold disk-read slots at any moment.
+			type partRd struct {
+				mu    sync.Mutex
+				rr    *RangeReader[string, int]
+				users int
+			}
+			rds := make([]partRd, parts)
+			for ui := range units {
+				if units[ui].rng >= 0 {
+					rds[units[ui].p].users++
+				}
+			}
+			counts := make([]int64, len(units))
+			rerrs := make([]error, len(units))
+			unitCh := make(chan int, len(units))
+			var rwg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				rwg.Add(1)
+				go func() {
+					defer rwg.Done()
+					for ui := range unitCh {
+						u := units[ui]
+						var n int64
+						count := func(_ string, vs []int) error {
+							n += int64(len(vs))
+							return nil
+						}
+						var err error
+						if u.rng < 0 {
+							err = s.Partition(u.p).ForEachGroupBatch(count)
+						} else {
+							rd := &rds[u.p]
+							rd.mu.Lock()
+							if rd.rr == nil {
+								rd.rr, err = s.Partition(u.p).OpenRangeReader()
+							}
+							rr := rd.rr
+							rd.mu.Unlock()
+							if err == nil && rr != nil {
+								err = rr.ForEachGroupRange(u.kr, true, count)
+							}
+							rd.mu.Lock()
+							rd.users--
+							if rd.users == 0 && rd.rr != nil {
+								if cerr := rd.rr.Close(); cerr != nil && err == nil {
+									err = cerr
+								}
+								rd.rr = nil
+							}
+							rd.mu.Unlock()
+						}
+						counts[ui], rerrs[ui] = n, err
+					}
+				}()
+			}
+			for ui := range units {
+				unitCh <- ui
+			}
+			close(unitCh)
+			rwg.Wait()
+			var got int64
+			for ui := range units {
+				if rerrs[ui] != nil {
+					b.Fatal(rerrs[ui])
+				}
+				got += counts[ui]
 			}
 			if got != total {
 				b.Fatalf("streamed %d pairs, want %d", got, total)
+			}
+			reduceRanges = float64(rangeUnits)
+			if rangeUnits > 0 {
+				rangeSkew = float64(maxRangePairs) / (float64(sumRangePairs) / float64(rangeUnits))
 			}
 			if i >= 0 { // warmup pairs are outside the timed window
 				streamed += got
@@ -405,6 +514,8 @@ func BenchmarkExternalShuffle(b *testing.B) {
 		b.ReportMetric(diskReadMB, "disk-read-MB")
 		b.ReportMetric(overlapMs, "overlap-ms")
 		b.ReportMetric(finishMs, "finish-drain-ms")
+		b.ReportMetric(reduceRanges, "reduce-ranges")
+		b.ReportMetric(rangeSkew, "range-skew")
 		b.ReportMetric(float64(streamed)/b.Elapsed().Seconds(), "values/s")
 		b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "input-pairs/s")
 		if traced {
@@ -501,6 +612,160 @@ func BenchmarkReduceMergeDecode(b *testing.B) {
 			b.ReportMetric(float64(streamed)/b.Elapsed().Seconds(), "values/s")
 		})
 	}
+}
+
+// BenchmarkReduceRangeSkew pits whole-partition LPT scheduling against
+// index-driven range units on a skewed shuffle: ~70% of all pairs land
+// in one partition, so the whole-partition plan's makespan is pinned to
+// the hot partition no matter how the workers are loaded, while range
+// splitting cuts the hot partition into class-aligned units any worker
+// can take. Both plans are balanced with the same LPT scheduler
+// (core.BalanceLoads); the bench asserts the range plan's makespan is
+// strictly smaller and reports both in pairs-per-busiest-worker. The
+// timed section reads every range unit through RangeReader, so values/s
+// tracks the split merge's real decode cost on skewed data.
+func BenchmarkReduceRangeSkew(b *testing.B) {
+	// Pinned placement makes the reported makespans exact constants
+	// (the probe below adapts the key population to whatever seed is
+	// in force, but the resulting group sizes — and so the planned
+	// loads benchcmp compares — would still drift per process).
+	defer WithSeed(42)()
+	const (
+		parts   = 4
+		workers = 4
+		budget  = 1024
+		total   = 1 << 15
+	)
+	// Probe the partition hash for a key population that pins ~70% of
+	// the pairs to partition 0.
+	probe := New[string, int](Options{Partitions: parts})
+	var hotKeys, coldKeys []string
+	for i := 0; len(hotKeys) < 64 || len(coldKeys) < 192; i++ {
+		k := fmt.Sprintf("skew-%06d", i)
+		if probe.PartitionOf(k) == 0 {
+			if len(hotKeys) < 64 {
+				hotKeys = append(hotKeys, k)
+			}
+		} else if len(coldKeys) < 192 {
+			coldKeys = append(coldKeys, k)
+		}
+	}
+	if err := probe.Close(); err != nil {
+		b.Fatal(err)
+	}
+	pairs := make([]Pair[string, int], total)
+	for i := range pairs {
+		if i%10 < 7 {
+			pairs[i] = Pair[string, int]{hotKeys[i%len(hotKeys)], i}
+		} else {
+			pairs[i] = Pair[string, int]{coldKeys[i%len(coldKeys)], i}
+		}
+	}
+
+	b.ReportAllocs()
+	var streamed int64
+	var lptMakespan, rangeMakespan int64
+	var rangeUnits int
+	var rangeSkew float64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := New[string, int](Options{Partitions: parts, MaxBufferedPairs: budget, SpillDir: b.TempDir()})
+		buf := s.NewTaskBuffer()
+		for _, p := range pairs {
+			buf.Emit(p.Key, p.Value)
+		}
+		if err := s.Merge([]*TaskBuffer[string, int]{buf}); err != nil {
+			b.Fatal(err)
+		}
+
+		// Whole-partition plan: LPT over per-partition pair counts.
+		partLoads := make([]int, parts)
+		for p := 0; p < parts; p++ {
+			partLoads[p] = int(s.Partition(p).Pairs())
+		}
+		_, lptMakespan = core.BalanceLoads(partLoads, workers)
+
+		// Range plan: the same scheduler over index-planned range units.
+		type rbUnit struct {
+			p, rng int // rng < 0: whole-partition unit
+			kr     KeyRange[string]
+		}
+		var units []rbUnit
+		var unitLoads []int
+		var maxRangePairs, sumRangePairs int64
+		rangeUnits = 0
+		for p := 0; p < parts; p++ {
+			krs := s.Partition(p).PlanReduceRanges(int64(total/(workers*2)), workers)
+			if krs == nil {
+				units = append(units, rbUnit{p: p, rng: -1})
+				unitLoads = append(unitLoads, partLoads[p])
+				continue
+			}
+			for r, kr := range krs {
+				units = append(units, rbUnit{p: p, rng: r, kr: kr})
+				unitLoads = append(unitLoads, int(kr.Pairs))
+				if kr.Pairs > maxRangePairs {
+					maxRangePairs = kr.Pairs
+				}
+				sumRangePairs += kr.Pairs
+				rangeUnits++
+			}
+		}
+		_, rangeMakespan = core.BalanceLoads(unitLoads, workers)
+		if rangeMakespan >= lptMakespan {
+			b.Fatalf("range plan makespan %d did not beat whole-partition LPT makespan %d",
+				rangeMakespan, lptMakespan)
+		}
+		if rangeUnits > 0 {
+			rangeSkew = float64(maxRangePairs) / (float64(sumRangePairs) / float64(rangeUnits))
+		}
+
+		readers := make([]*RangeReader[string, int], parts)
+		b.StartTimer()
+		var got int64
+		count := func(_ string, vs []int) error {
+			got += int64(len(vs))
+			return nil
+		}
+		for _, u := range units {
+			var err error
+			if u.rng < 0 {
+				err = s.Partition(u.p).ForEachGroupBatch(count)
+			} else {
+				if readers[u.p] == nil {
+					if readers[u.p], err = s.Partition(u.p).OpenRangeReader(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				err = readers[u.p].ForEachGroupRange(u.kr, true, count)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		for _, rr := range readers {
+			if rr != nil {
+				if err := rr.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if got != total {
+			b.Fatalf("read %d pairs, want %d", got, total)
+		}
+		streamed += got
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(lptMakespan), "lpt-makespan-pairs")
+	b.ReportMetric(float64(rangeMakespan), "range-makespan-pairs")
+	b.ReportMetric(float64(rangeUnits), "reduce-ranges")
+	b.ReportMetric(rangeSkew, "range-skew")
+	b.ReportMetric(float64(streamed)/b.Elapsed().Seconds(), "values/s")
 }
 
 // BenchmarkMergeScaling shows merge throughput as partitions scale from

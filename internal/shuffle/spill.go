@@ -552,23 +552,29 @@ func mergeDiskRuns[K comparable, V any](s *Shuffle[K, V], compacting []diskRun[K
 	return out.Name(), w, keysWritten, nil
 }
 
-// openDiskCursors opens one cursor per disk run, in seal order, each
-// metered through the shuffle's DiskBytesRead counter. The cursor's
-// key ordering comes from the run's resident index; the file supplies
-// only value-section bytes, addressed directly through the index.
-// Runs embedded in the same spool file share one handle, and the whole
-// file is mapped once (up to the end of its furthest-reaching run)
-// when the platform and the FS support it: cursors then read their
-// sections as zero-copy views of the page cache. Any mapping failure —
-// no platform support, an injected fault, address-space pressure —
-// silently selects the pread fallback, positioned reads on the shared
-// handle (no seek state, so sibling cursors never interfere). The
-// legacy perValue hook additionally keeps a sequential reader per run
-// so the pre-batch decode loop stays measurable. The returned closeAll
-// is safe to call whether or not err is nil; it unmaps and closes every
-// handle opened so far, once each.
-func openDiskCursors[K comparable, V any](s *Shuffle[K, V], runs []diskRun[K], fmtKeys bool) ([]*groupCursor[K, V], func(), error) {
-	var cursors []*groupCursor[K, V]
+// runView is one disk run's opened read surface: a zero-copy mapped
+// view of the run's image when the platform and FS support it, or the
+// positioned-read fallback on the shared handle otherwise. Views of
+// runs embedded in one spool file share a single handle and a single
+// mapping, so several cursors — including clamped range cursors reading
+// the same run concurrently — cost one descriptor and one mapping per
+// file.
+type runView struct {
+	file  runfile.File
+	img   []byte      // mapped view of the run image (zero-copy path)
+	ra    io.ReaderAt // positioned-read fallback (when img is nil)
+	raOff int64       // run's offset within the file (ra path)
+}
+
+// openRunViews opens one view per disk run, in seal order. Each spool
+// file is opened once and mapped once (up to the end of its
+// furthest-reaching run) when possible; any mapping failure — no
+// platform support, an injected fault, address-space pressure —
+// silently selects the pread fallback (no seek state, so sibling
+// cursors never interfere). The returned closeAll is safe to call
+// whether or not err is nil; it unmaps and closes every handle opened
+// so far, once each.
+func openRunViews[K comparable, V any](s *Shuffle[K, V], runs []diskRun[K]) ([]runView, func(), error) {
 	type openFile struct {
 		f      runfile.File
 		mapped []byte
@@ -591,12 +597,13 @@ func openDiskCursors[K comparable, V any](s *Shuffle[K, V], runs []diskRun[K], f
 			mapLen[dr.file] = end
 		}
 	}
+	views := make([]runView, 0, len(runs))
 	for _, dr := range runs {
 		of, ok := files[dr.file]
 		if !ok {
 			f, err := s.fs.Open(dr.file.path)
 			if err != nil {
-				return cursors, closeAll, fmt.Errorf("shuffle: opening spill run: %w", err)
+				return views, closeAll, fmt.Errorf("shuffle: opening spill run: %w", err)
 			}
 			of = &openFile{f: f}
 			if !s.opts.DisableMmap {
@@ -606,20 +613,41 @@ func openDiskCursors[K comparable, V any](s *Shuffle[K, V], runs []diskRun[K], f
 			}
 			files[dr.file] = of
 		}
-		c := &groupCursor[K, V]{
-			runIdx: len(cursors), fmtKeys: fmtKeys, perValue: s.perValue, idx: dr.index,
-			file: of.f, meter: &s.diskRead,
-		}
+		v := runView{file: of.f}
 		if of.mapped != nil {
-			c.img = of.mapped[dr.off : dr.off+dr.size]
+			v.img = of.mapped[dr.off : dr.off+dr.size]
 		} else {
-			c.ra = countingReaderAt{of.f, &s.diskRead}
-			c.raOff = dr.off
+			v.ra = countingReaderAt{of.f, &s.diskRead}
+			v.raOff = dr.off
+		}
+		views = append(views, v)
+	}
+	return views, closeAll, nil
+}
+
+// openDiskCursors opens one cursor per disk run, in seal order, each
+// metered through the shuffle's DiskBytesRead counter. The cursor's
+// key ordering comes from the run's resident index; the file supplies
+// only value-section bytes, addressed directly through the index (see
+// openRunViews for the mapped-view/pread split). The legacy perValue
+// hook additionally keeps a sequential reader per run so the pre-batch
+// decode loop stays measurable.
+func openDiskCursors[K comparable, V any](s *Shuffle[K, V], runs []diskRun[K], fmtKeys bool) ([]*groupCursor[K, V], func(), error) {
+	views, closeAll, err := openRunViews(s, runs)
+	if err != nil {
+		return nil, closeAll, err
+	}
+	cursors := make([]*groupCursor[K, V], 0, len(runs))
+	for i, dr := range runs {
+		c := &groupCursor[K, V]{
+			runIdx: i, fmtKeys: fmtKeys, perValue: s.perValue, idx: dr.index,
+			file: views[i].file, img: views[i].img, ra: views[i].ra, raOff: views[i].raOff,
+			meter: &s.diskRead,
 		}
 		if s.perValue {
-			var src io.Reader = of.f
+			var src io.Reader = views[i].file
 			if dr.off != 0 {
-				src = io.NewSectionReader(of.f, dr.off, dr.size)
+				src = io.NewSectionReader(views[i].file, dr.off, dr.size)
 			}
 			c.rd = runfile.NewReader(countingReader{src, &s.diskRead})
 		}
@@ -986,6 +1014,15 @@ func (p Partition[K, V]) forEachGroup(withValues, reuseValues bool, fn func(k K,
 		})
 	}
 
+	return mergeGroupCursors(cursors, less, withValues, reuseValues, fn)
+}
+
+// mergeGroupCursors runs the k-way heap merge over an already-built
+// cursor set, yielding groups in canonical key order — the shared core
+// of forEachGroup and the clamped range merges (RangeReader). Cursors
+// must be ordered by runIdx ascending (seal order, live run last) so
+// the value-order contract holds.
+func mergeGroupCursors[K comparable, V any](cursors []*groupCursor[K, V], less func(a, b K) bool, withValues, reuseValues bool, fn func(k K, count int, vs []V) error) error {
 	h := &cursorHeap[K, V]{less: less}
 	if err := primeCursors(h, cursors); err != nil {
 		return err
